@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Ablation: FTI checkpoint levels L1-L4 (the paper evaluates L1 only
+ * and defers the level comparison to the FTI paper; this bench
+ * regenerates that comparison on a MATCH workload).
+ *
+ * Expected shape: write time L1 < L2 < L3 < L4; read (recovery) time in
+ * milliseconds for local levels.
+ */
+
+#include <cstdio>
+
+#include "bench/common.hh"
+#include "src/util/table.hh"
+
+using namespace match;
+using namespace match::bench;
+
+int
+main(int argc, char **argv)
+{
+    const auto options = BenchOptions::parse(argc, argv);
+
+    std::printf("=== Ablation: FTI checkpoint levels (HPCCG, small, 64 "
+                "processes, REINIT-FTI) ===\n\n");
+    util::Table table({"Level", "Storage path", "WriteCkpt(s)",
+                       "Application(s)", "Total(s)"});
+    const char *paths[] = {
+        "", "node-local ramfs", "local + partner copy",
+        "local + Reed-Solomon group", "parallel FS (differential)"};
+    for (int level = 1; level <= 4; ++level) {
+        core::ExperimentConfig config;
+        config.app = "HPCCG";
+        config.nprocs = 64;
+        config.design = ft::Design::ReinitFti;
+        config.runs = options.runs;
+        config.seed = options.seed;
+        config.ckptLevel = level;
+        config.sandboxDir = options.sandboxDir;
+        const auto result = core::runExperiment(config);
+        table.addRow({"L" + std::to_string(level), paths[level],
+                      util::Table::cell(result.mean.ckptWrite),
+                      util::Table::cell(result.mean.application),
+                      util::Table::cell(result.mean.total())});
+    }
+    std::printf("%s\n", table.toString().c_str());
+    return 0;
+}

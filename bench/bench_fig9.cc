@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Reproduces Figure 9: execution-time breakdown per design across
+ * input problem sizes (64 processes), recovering from ONE injected
+ * process failure.
+ */
+
+#include "bench/common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace match::bench;
+    const auto options = BenchOptions::parse(argc, argv);
+    runFigure(options, "Figure 9", Sweep::InputSizes,
+              /*inject=*/true, Report::Breakdown);
+    return 0;
+}

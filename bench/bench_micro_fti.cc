@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Micro-benchmarks of the FTI library: checkpoint wall cost per level
+ * (real serialization + file I/O) and recovery.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <vector>
+
+#include "src/fti/fti.hh"
+#include "src/simmpi/runtime.hh"
+
+using namespace match;
+using namespace match::simmpi;
+
+namespace
+{
+
+fti::FtiConfig
+benchConfig(int level)
+{
+    fti::FtiConfig cfg;
+    cfg.ckptDir = std::filesystem::exists("/dev/shm")
+                      ? "/dev/shm/match-fti-micro"
+                      : "/tmp/match-fti-micro";
+    cfg.execId = "micro-l" + std::to_string(level);
+    cfg.defaultLevel = level;
+    cfg.groupSize = 4;
+    cfg.parityShards = 4;
+    return cfg;
+}
+
+void
+BM_CheckpointLevel(benchmark::State &state)
+{
+    const int level = static_cast<int>(state.range(0));
+    const std::size_t doubles = static_cast<std::size_t>(state.range(1));
+    const auto cfg = benchConfig(level);
+    for (auto _ : state) {
+        fti::Fti::purge(cfg);
+        Runtime runtime;
+        JobOptions opts;
+        opts.nprocs = 8;
+        runtime.run(opts, [&](Proc &proc) {
+            fti::Fti fti(proc, cfg);
+            std::vector<double> data(doubles, 1.5);
+            fti.protect(0, data.data(), data.size() * sizeof(double));
+            for (int id = 1; id <= 4; ++id)
+                fti.checkpoint(id);
+        });
+    }
+    fti::Fti::purge(cfg);
+    state.SetBytesProcessed(state.iterations() * 4 * 8 *
+                            static_cast<std::int64_t>(doubles) *
+                            sizeof(double));
+}
+BENCHMARK(BM_CheckpointLevel)
+    ->Args({1, 1 << 12})
+    ->Args({2, 1 << 12})
+    ->Args({3, 1 << 12})
+    ->Args({4, 1 << 12})
+    ->Args({1, 1 << 16});
+
+void
+BM_Recover(benchmark::State &state)
+{
+    const auto cfg = benchConfig(1);
+    fti::Fti::purge(cfg);
+    {
+        Runtime runtime;
+        JobOptions opts;
+        opts.nprocs = 8;
+        runtime.run(opts, [&](Proc &proc) {
+            fti::Fti fti(proc, cfg);
+            std::vector<double> data(1 << 14, 2.5);
+            fti.protect(0, data.data(), data.size() * sizeof(double));
+            fti.checkpoint(1);
+        });
+    }
+    for (auto _ : state) {
+        Runtime runtime;
+        JobOptions opts;
+        opts.nprocs = 8;
+        runtime.run(opts, [&](Proc &proc) {
+            fti::Fti fti(proc, cfg);
+            std::vector<double> data(1 << 14, 0.0);
+            fti.protect(0, data.data(), data.size() * sizeof(double));
+            fti.recover();
+            benchmark::DoNotOptimize(data.data());
+        });
+    }
+    fti::Fti::purge(cfg);
+    state.SetBytesProcessed(state.iterations() * 8 *
+                            static_cast<std::int64_t>(1 << 14) *
+                            sizeof(double));
+}
+BENCHMARK(BM_Recover);
+
+} // namespace
+
+BENCHMARK_MAIN();

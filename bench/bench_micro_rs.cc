@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Micro-benchmarks of the Reed-Solomon codec backing FTI L3: encode and
+ * reconstruct throughput across group geometries.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <optional>
+#include <vector>
+
+#include "src/fti/rs_codec.hh"
+#include "src/util/rng.hh"
+
+using match::fti::RsCodec;
+
+namespace
+{
+
+std::vector<std::vector<std::uint8_t>>
+makeShards(int k, std::size_t bytes)
+{
+    match::util::Rng rng(1);
+    std::vector<std::vector<std::uint8_t>> shards(k);
+    for (auto &shard : shards) {
+        shard.resize(bytes);
+        for (auto &b : shard)
+            b = static_cast<std::uint8_t>(rng.below(256));
+    }
+    return shards;
+}
+
+void
+BM_RsEncode(benchmark::State &state)
+{
+    const int k = static_cast<int>(state.range(0));
+    const std::size_t bytes = static_cast<std::size_t>(state.range(1));
+    const RsCodec codec(k, k);
+    const auto shards = makeShards(k, bytes);
+    for (auto _ : state) {
+        auto parity = codec.encode(shards);
+        benchmark::DoNotOptimize(parity);
+    }
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<std::int64_t>(k) * bytes);
+}
+BENCHMARK(BM_RsEncode)
+    ->Args({4, 64 << 10})
+    ->Args({8, 64 << 10})
+    ->Args({4, 1 << 20});
+
+void
+BM_RsReconstruct(benchmark::State &state)
+{
+    const int k = static_cast<int>(state.range(0));
+    const std::size_t bytes = 64 << 10;
+    const RsCodec codec(k, k);
+    const auto data = makeShards(k, bytes);
+    const auto parity = codec.encode(data);
+    // Lose the first k/2 members (data + parity shard each).
+    std::vector<std::optional<std::vector<std::uint8_t>>> shards(2 * k);
+    for (int i = 0; i < k; ++i) {
+        if (i < k / 2)
+            continue;
+        shards[i] = data[i];
+        shards[k + i] = parity[i];
+    }
+    for (auto _ : state) {
+        auto out = codec.reconstruct(shards);
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<std::int64_t>(k) * bytes);
+}
+BENCHMARK(BM_RsReconstruct)->Arg(4)->Arg(8);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Micro-benchmarks of the simulator substrate itself (wall-clock cost,
+ * not virtual time): fiber switches, point-to-point messaging,
+ * collectives across rank counts. These bound how fast the figure
+ * benches can run.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "src/simmpi/fiber.hh"
+#include "src/simmpi/proc.hh"
+#include "src/simmpi/runtime.hh"
+
+using namespace match::simmpi;
+
+namespace
+{
+
+void
+BM_FiberSwitch(benchmark::State &state)
+{
+    bool stop = false;
+    Fiber fiber([&stop] {
+        while (!stop)
+            Fiber::current()->yield();
+    });
+    for (auto _ : state) {
+        fiber.setState(Fiber::State::Runnable);
+        fiber.resume();
+    }
+    stop = true;
+    fiber.setState(Fiber::State::Runnable);
+    fiber.resume(); // run to completion so the fiber unwinds cleanly
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FiberSwitch);
+
+void
+BM_PingPong(benchmark::State &state)
+{
+    const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        Runtime runtime;
+        JobOptions opts;
+        opts.nprocs = 2;
+        runtime.run(opts, [&](Proc &proc) {
+            std::vector<std::uint8_t> buf(bytes, 1);
+            for (int i = 0; i < 100; ++i) {
+                if (proc.rank() == 0) {
+                    proc.send(1, 0, buf.data(), buf.size());
+                    proc.recv(1, 1, buf.data(), buf.size());
+                } else {
+                    proc.recv(0, 0, buf.data(), buf.size());
+                    proc.send(0, 1, buf.data(), buf.size());
+                }
+            }
+        });
+    }
+    state.SetItemsProcessed(state.iterations() * 200);
+}
+BENCHMARK(BM_PingPong)->Arg(8)->Arg(1 << 10)->Arg(64 << 10);
+
+void
+BM_Allreduce(benchmark::State &state)
+{
+    const int procs = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        Runtime runtime;
+        JobOptions opts;
+        opts.nprocs = procs;
+        runtime.run(opts, [&](Proc &proc) {
+            double acc = proc.rank();
+            for (int i = 0; i < 20; ++i)
+                acc = proc.allreduce(acc) / procs;
+            benchmark::DoNotOptimize(acc);
+        });
+    }
+    state.SetItemsProcessed(state.iterations() * 20 * procs);
+}
+BENCHMARK(BM_Allreduce)->Arg(8)->Arg(64)->Arg(512);
+
+void
+BM_JobSpinUp(benchmark::State &state)
+{
+    const int procs = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        Runtime runtime;
+        JobOptions opts;
+        opts.nprocs = procs;
+        runtime.run(opts, [&](Proc &proc) { proc.barrier(); });
+    }
+    state.SetItemsProcessed(state.iterations() * procs);
+}
+BENCHMARK(BM_JobSpinUp)->Arg(64)->Arg(512);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Projection bench: combines MATCH's measured per-design recovery times
+ * and checkpoint costs with the Young/Daly model to estimate machine
+ * efficiency on the production systems the paper's introduction cites
+ * (Sequoia 19.2 h, Blue Waters 6.7 h, Taurus 3.65 h MTBF). This is the
+ * "MATCH as a foundation for future fault-tolerance decisions" use case
+ * of Section V-E, quantified.
+ */
+
+#include <cstdio>
+
+#include "bench/common.hh"
+#include "src/core/projection.hh"
+#include "src/util/table.hh"
+
+using namespace match;
+using namespace match::bench;
+
+int
+main(int argc, char **argv)
+{
+    const auto options = BenchOptions::parse(argc, argv);
+
+    // Measure one representative configuration per design: HPCCG,
+    // small input, 512 processes (failures matter most at scale).
+    std::printf("=== Projection: measured MATCH quantities x Young/Daly "
+                "model (HPCCG, small, 512 processes) ===\n\n");
+
+    struct Measured
+    {
+        ft::Design design;
+        double ckptCost;  // seconds per checkpoint
+        double recovery;  // seconds per failure
+    };
+    std::vector<Measured> designs;
+    for (ft::Design design : ft::allDesigns) {
+        core::ExperimentConfig config;
+        config.app = "HPCCG";
+        config.nprocs = 512;
+        config.design = design;
+        config.injectFailure = true;
+        config.runs = options.runs;
+        config.seed = options.seed;
+        config.sandboxDir = options.sandboxDir;
+        const auto result = core::runExperiment(config);
+        // 149 iterations, stride 10 => 14 checkpoints per run.
+        const double per_ckpt = result.mean.ckptWrite / 14.0;
+        designs.push_back({design, per_ckpt, result.mean.recovery});
+    }
+
+    util::Table table({"Machine", "MTBF", "Design", "Ckpt(s)",
+                       "Recovery(s)", "DalyInterval(s)",
+                       "Efficiency(%)"});
+    for (const auto &machine : core::paperMachines()) {
+        for (const auto &m : designs) {
+            const double tau =
+                core::dalyInterval(m.ckptCost, machine.mtbfSeconds);
+            const double eff = core::efficiencyAtOptimum(
+                m.ckptCost, m.recovery, machine.mtbfSeconds);
+            table.addRow({machine.name,
+                          util::Table::cell(machine.mtbfSeconds / 3600.0,
+                                            2) +
+                              " h",
+                          ft::designName(m.design),
+                          util::Table::cell(m.ckptCost, 3),
+                          util::Table::cell(m.recovery, 2),
+                          util::Table::cell(tau, 0),
+                          util::Table::cell(100.0 * eff, 3)});
+        }
+    }
+    std::printf("%s\n", table.toString().c_str());
+    std::printf("Reading: at hours-scale MTBFs all designs run "
+                "efficiently, but the ordering (Reinit > ULFM > "
+                "Restart) persists and the gap widens as MTBF shrinks "
+                "— the paper's motivation for cheap MPI recovery at "
+                "exascale failure rates.\n");
+    return 0;
+}

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Reproduces Table I: the experimentation configuration for the six
+ * proxy applications (arguments per input class and process counts).
+ */
+
+#include <cstdio>
+#include <sstream>
+
+#include "src/apps/app.hh"
+#include "src/util/table.hh"
+
+using namespace match;
+
+int
+main()
+{
+    std::printf("=== Table I: Experimentation configuration for proxy "
+                "applications ===\n");
+    std::printf("(default scaling size: 64 processes; default input "
+                "problem: small)\n\n");
+
+    util::Table table({"Application", "Small Input", "Medium Input",
+                       "Large Input", "Number of processes"});
+    for (const auto &spec : apps::registry()) {
+        std::ostringstream procs;
+        for (std::size_t i = 0; i < spec.scalingSizes.size(); ++i) {
+            if (i)
+                procs << ", ";
+            procs << spec.scalingSizes[i];
+        }
+        table.addRow({spec.name, spec.args(apps::InputSize::Small),
+                      spec.args(apps::InputSize::Medium),
+                      spec.args(apps::InputSize::Large), procs.str()});
+    }
+    std::printf("%s\n", table.toString().c_str());
+    return 0;
+}

@@ -1,0 +1,158 @@
+#include "bench/common.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+
+#include "src/util/logging.hh"
+#include "src/util/table.hh"
+
+namespace match::bench
+{
+
+using apps::InputSize;
+using core::ExperimentConfig;
+using core::runExperiment;
+using ft::Design;
+
+BenchOptions
+BenchOptions::parse(int argc, char **argv)
+{
+    BenchOptions options;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--quick") {
+            options.quick = true;
+            options.runs = 2;
+        } else if (arg == "--runs" && i + 1 < argc) {
+            options.runs = std::atoi(argv[++i]);
+        } else if (arg == "--seed" && i + 1 < argc) {
+            options.seed = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--csv" && i + 1 < argc) {
+            options.csvDir = argv[++i];
+        } else if (arg == "--sandbox" && i + 1 < argc) {
+            options.sandboxDir = argv[++i];
+        } else if (arg == "--apps" && i + 1 < argc) {
+            std::istringstream list(argv[++i]);
+            std::string name;
+            while (std::getline(list, name, ','))
+                options.apps.push_back(name);
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf(
+                "options: [--quick] [--runs N] [--seed S] [--csv DIR] "
+                "[--apps A,B] [--sandbox DIR]\n");
+            std::exit(0);
+        } else {
+            util::fatal("unknown option: %s", arg.c_str());
+        }
+    }
+    if (options.apps.empty()) {
+        for (const auto &spec : apps::registry())
+            options.apps.push_back(spec.name);
+    }
+    return options;
+}
+
+namespace
+{
+
+std::string
+sanitize(std::string name)
+{
+    std::replace(name.begin(), name.end(), ' ', '_');
+    return name;
+}
+
+} // anonymous namespace
+
+void
+runFigure(const BenchOptions &options, const std::string &figure,
+          Sweep sweep, bool inject, Report report)
+{
+    std::printf("=== %s: %s, %s ===\n", figure.c_str(),
+                sweep == Sweep::ScalingSizes
+                    ? "scaling sizes (small input)"
+                    : "input sizes (64 processes)",
+                inject ? "one injected process failure"
+                       : "no process failures");
+    std::printf("(methodology: %d runs averaged per configuration)\n\n",
+                options.runs);
+
+    for (const std::string &app : options.apps) {
+        const auto &spec = apps::findApp(app);
+
+        std::vector<std::pair<int, InputSize>> cells;
+        if (sweep == Sweep::ScalingSizes) {
+            for (int procs : spec.scalingSizes) {
+                if (options.quick && procs != spec.scalingSizes.front() &&
+                    procs != spec.scalingSizes.back())
+                    continue;
+                cells.emplace_back(procs, InputSize::Small);
+            }
+        } else {
+            for (InputSize input : core::allInputs)
+                cells.emplace_back(64, input);
+        }
+
+        std::vector<std::string> headers;
+        if (sweep == Sweep::ScalingSizes)
+            headers = {"#Processes", "Design"};
+        else
+            headers = {"Input", "Design"};
+        if (report == Report::Breakdown) {
+            headers.insert(headers.end(),
+                           {"Application(s)", "WriteCkpt(s)",
+                            "Recovery(s)", "Total(s)"});
+        } else {
+            headers.insert(headers.end(), {"Recovery(s)"});
+        }
+        util::Table table(headers);
+
+        for (const auto &[procs, input] : cells) {
+            for (Design design : ft::allDesigns) {
+                ExperimentConfig config;
+                config.app = app;
+                config.input = input;
+                config.nprocs = procs;
+                config.design = design;
+                config.injectFailure = inject;
+                config.runs = options.runs;
+                config.seed = options.seed;
+                config.sandboxDir = options.sandboxDir;
+                config.cacheDir = options.sandboxDir + "/cell-cache";
+                const auto result = runExperiment(config);
+                const ft::Breakdown &bd = result.mean;
+
+                std::vector<std::string> row;
+                row.push_back(sweep == Sweep::ScalingSizes
+                                  ? std::to_string(procs)
+                                  : apps::inputSizeName(input));
+                row.push_back(ft::designName(design));
+                if (report == Report::Breakdown) {
+                    row.push_back(util::Table::cell(bd.application));
+                    row.push_back(util::Table::cell(bd.ckptWrite));
+                    row.push_back(util::Table::cell(bd.recovery));
+                    row.push_back(util::Table::cell(bd.total()));
+                } else {
+                    row.push_back(util::Table::cell(bd.recovery));
+                }
+                table.addRow(std::move(row));
+            }
+        }
+
+        std::printf("--- %s ---\n%s\n", app.c_str(),
+                    table.toString().c_str());
+        if (!options.csvDir.empty()) {
+            std::filesystem::create_directories(options.csvDir);
+            const std::string path = options.csvDir + "/" +
+                                     sanitize(figure) + "-" + app +
+                                     ".csv";
+            if (!table.writeCsv(path))
+                util::warn("cannot write %s", path.c_str());
+        }
+    }
+}
+
+} // namespace match::bench

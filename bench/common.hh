@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Shared driver for the figure-reproduction benchmarks: option parsing,
+ * grid execution, and paper-style table rendering.
+ *
+ * Every bench binary prints, for each proxy application, the same
+ * series the corresponding paper figure plots: one row per
+ * (configuration, design) with the stacked-bar components.
+ */
+
+#ifndef MATCH_BENCH_COMMON_HH
+#define MATCH_BENCH_COMMON_HH
+
+#include <string>
+#include <vector>
+
+#include "src/core/experiment.hh"
+
+namespace match::bench
+{
+
+/** Command-line options shared by the figure benches. */
+struct BenchOptions
+{
+    /** Paper methodology: five runs averaged per configuration. */
+    int runs = 5;
+    /** --quick: 2 runs, endpoints-only scaling sweep (64 and 512). */
+    bool quick = false;
+    /** --csv DIR: also write one CSV per app into DIR. */
+    std::string csvDir;
+    /** --apps A,B,...: restrict to a subset of the six apps. */
+    std::vector<std::string> apps;
+    std::uint64_t seed = 42;
+    std::string sandboxDir = "/dev/shm/match-fti-bench";
+
+    static BenchOptions parse(int argc, char **argv);
+};
+
+/** Which axis the figure sweeps. */
+enum class Sweep
+{
+    ScalingSizes, ///< Figures 5-7: P in {64,128,256,512}, small input
+    InputSizes,   ///< Figures 8-10: input in {S,M,L}, 64 processes
+};
+
+/** What the figure reports. */
+enum class Report
+{
+    Breakdown, ///< stacked application/ckpt-write/recovery components
+    Recovery,  ///< recovery time only (Figures 7 and 10)
+};
+
+/**
+ * Run one figure's whole grid and print per-app tables.
+ *
+ * @param options parsed CLI options
+ * @param figure label printed in the header (e.g. "Figure 5")
+ * @param sweep scaling-size or input-size sweep
+ * @param inject whether a process failure is injected
+ * @param report breakdown or recovery-only rows
+ */
+void runFigure(const BenchOptions &options, const std::string &figure,
+               Sweep sweep, bool inject, Report report);
+
+} // namespace match::bench
+
+#endif // MATCH_BENCH_COMMON_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Using the data-dependency analysis tool (paper Section III-A /
+ * Algorithm 1): instrument a small Jacobi solver with the Tracer,
+ * write the dynamic trace to disk, and let the analysis identify which
+ * data objects FTI must protect.
+ *
+ * The same trace file can be fed to the standalone CLI:
+ *   ./build/src/analysis/match-ckpt-analysis /tmp/match-jacobi.trace --verbose
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "src/analysis/ckpt_finder.hh"
+#include "src/analysis/trace.hh"
+
+using namespace match::analysis;
+
+int
+main()
+{
+    // A little Jacobi iteration: x_{k+1} = (b + x_k)/2 elementwise.
+    // State: x (varies, defined before the loop), b (constant input),
+    // tmp (loop-local scratch), k (loop counter).
+    constexpr int n = 4;
+    std::vector<double> x(n, 0.0), b(n, 1.0);
+
+    Trace trace;
+    Tracer tracer(trace);
+    tracer.define("x", x[0], __LINE__);
+    tracer.define("b", b[0], __LINE__);
+    tracer.define("k", 0, __LINE__);
+
+    tracer.loopBegin();
+    for (int k = 0; k < 6; ++k) {
+        tracer.loopIteration();
+        tracer.read("k", k, __LINE__);
+        std::vector<double> tmp(n);
+        tracer.define("tmp", 0.0, __LINE__);
+        for (int i = 0; i < n; ++i) {
+            tracer.read("b", b[i], __LINE__);
+            tracer.read("x", x[i], __LINE__);
+            tmp[i] = 0.5 * (b[i] + x[i]);
+            tracer.write("tmp", tmp[i], __LINE__);
+        }
+        x = tmp;
+        tracer.write("x", x[0], __LINE__);
+        tracer.write("k", k + 1, __LINE__);
+    }
+
+    const std::string path = "/tmp/match-jacobi.trace";
+    trace.writeFile(path);
+    std::printf("wrote %zu trace events to %s\n\n", trace.size(),
+                path.c_str());
+
+    std::printf("%-8s %-18s %-12s %-10s %s\n", "location",
+                "defined-before", "iterations", "varies", "checkpoint?");
+    for (const LocationReport &r : analyzeLocations(trace)) {
+        std::printf("%-8s %-18s %-12d %-10s %s\n", r.location.c_str(),
+                    r.definedBeforeLoop ? "yes" : "no", r.iterationsUsed,
+                    r.valuesVary ? "yes" : "no",
+                    r.checkpointed ? "YES" : "no");
+    }
+
+    std::printf("\nFTI protect set:");
+    for (const auto &loc : findCheckpointLocations(trace))
+        std::printf(" %s", loc.c_str());
+    std::printf("\n(expected: k and x — not the constant b, not the "
+                "loop-local tmp)\n");
+    return 0;
+}

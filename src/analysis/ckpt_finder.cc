@@ -1,0 +1,88 @@
+#include "src/analysis/ckpt_finder.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace match::analysis
+{
+
+std::vector<LocationReport>
+analyzeLocations(const Trace &trace)
+{
+    // Pass 1 (the paper builds both location sets by traversing the
+    // instruction trace once): collect
+    //  - Locs_before_loop: locations defined/written before LoopBegin;
+    //  - Locs_in_loop: locations read/written inside the loop, with the
+    //    set of iterations touching them and the set of observed values.
+    struct InLoopInfo
+    {
+        std::set<int> iterations;
+        std::set<std::uint64_t> values;
+    };
+    std::set<std::string> before_loop;
+    std::map<std::string, InLoopInfo> in_loop;
+
+    bool in_main_loop = false;
+    int iteration = -1;
+    for (const TraceEvent &event : trace.events()) {
+        switch (event.kind) {
+          case TraceEvent::Kind::LoopBegin:
+            in_main_loop = true;
+            iteration = -1;
+            continue;
+          case TraceEvent::Kind::LoopIter:
+            ++iteration;
+            continue;
+          case TraceEvent::Kind::Define:
+          case TraceEvent::Kind::Write:
+          case TraceEvent::Kind::Read:
+            break;
+        }
+        if (!in_main_loop) {
+            // Reads before the loop do not define anything.
+            if (event.kind != TraceEvent::Kind::Read)
+                before_loop.insert(event.location);
+            continue;
+        }
+        // Definitions inside the loop create loop-local objects; they
+        // are tracked so principle 1 can exclude them, but a define is
+        // also a use of the location for iteration counting.
+        InLoopInfo &info = in_loop[event.location];
+        info.iterations.insert(iteration);
+        info.values.insert(event.value);
+    }
+
+    // Passes 2-3: apply the principles per in-loop location. (The
+    // paper's "remove repetition" step is implicit in the set
+    // representation.)
+    std::vector<LocationReport> reports;
+    for (const auto &[location, info] : in_loop) {
+        LocationReport report;
+        report.location = location;
+        report.definedBeforeLoop = before_loop.count(location) > 0;
+        report.iterationsUsed = static_cast<int>(info.iterations.size());
+        report.valuesVary = info.values.size() > 1;
+        report.checkpointed = report.definedBeforeLoop &&
+                              report.iterationsUsed >= 2 &&
+                              report.valuesVary;
+        reports.push_back(std::move(report));
+    }
+    std::sort(reports.begin(), reports.end(),
+              [](const LocationReport &a, const LocationReport &b) {
+                  return a.location < b.location;
+              });
+    return reports;
+}
+
+std::vector<std::string>
+findCheckpointLocations(const Trace &trace)
+{
+    std::vector<std::string> out;
+    for (const LocationReport &report : analyzeLocations(trace))
+        if (report.checkpointed)
+            out.push_back(report.location);
+    return out;
+}
+
+} // namespace match::analysis

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Algorithm 1 of the paper: find the data objects that must be
+ * checkpointed, by data-dependency analysis over a dynamic trace.
+ *
+ * The three principles (paper Section III-A):
+ *  1. Checkpointed objects are defined BEFORE the main computation loop
+ *     (locations local to the loop body are excluded).
+ *  2. They are used (read or written) ACROSS iterations of the loop.
+ *  3. Their values VARY across iterations (loop-constant inputs like
+ *     the system matrix need no checkpointing).
+ */
+
+#ifndef MATCH_ANALYSIS_CKPT_FINDER_HH
+#define MATCH_ANALYSIS_CKPT_FINDER_HH
+
+#include <string>
+#include <vector>
+
+#include "src/analysis/trace.hh"
+
+namespace match::analysis
+{
+
+/** Diagnostic detail for one analyzed location. */
+struct LocationReport
+{
+    std::string location;
+    bool definedBeforeLoop = false;
+    int iterationsUsed = 0;
+    bool valuesVary = false;
+    bool checkpointed = false;
+};
+
+/**
+ * Run Algorithm 1 and return the checkpoint set (sorted location
+ * names).
+ */
+std::vector<std::string> findCheckpointLocations(const Trace &trace);
+
+/** Run Algorithm 1 and return per-location diagnostics (sorted). */
+std::vector<LocationReport> analyzeLocations(const Trace &trace);
+
+} // namespace match::analysis
+
+#endif // MATCH_ANALYSIS_CKPT_FINDER_HH

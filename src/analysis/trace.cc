@@ -1,0 +1,113 @@
+#include "src/analysis/trace.hh"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace match::analysis
+{
+
+namespace
+{
+
+const char *
+kindName(TraceEvent::Kind kind)
+{
+    switch (kind) {
+      case TraceEvent::Kind::Define: return "def";
+      case TraceEvent::Kind::Read: return "load";
+      case TraceEvent::Kind::Write: return "store";
+      case TraceEvent::Kind::LoopBegin: return "loop";
+      case TraceEvent::Kind::LoopIter: return "iter";
+    }
+    return "?";
+}
+
+bool
+kindFromName(const std::string &name, TraceEvent::Kind &out)
+{
+    if (name == "def") out = TraceEvent::Kind::Define;
+    else if (name == "load") out = TraceEvent::Kind::Read;
+    else if (name == "store") out = TraceEvent::Kind::Write;
+    else if (name == "loop") out = TraceEvent::Kind::LoopBegin;
+    else if (name == "iter") out = TraceEvent::Kind::LoopIter;
+    else return false;
+    return true;
+}
+
+} // anonymous namespace
+
+std::uint64_t
+Tracer::bits(double value)
+{
+    std::uint64_t out;
+    std::memcpy(&out, &value, sizeof(out));
+    return out;
+}
+
+std::string
+Trace::toText() const
+{
+    std::ostringstream out;
+    for (const TraceEvent &event : events_) {
+        out << kindName(event.kind);
+        if (event.kind == TraceEvent::Kind::Define ||
+            event.kind == TraceEvent::Kind::Read ||
+            event.kind == TraceEvent::Kind::Write) {
+            out << ' ' << event.location << ' ' << event.value << ' '
+                << event.line;
+        }
+        out << '\n';
+    }
+    return out.str();
+}
+
+bool
+Trace::fromText(const std::string &text, Trace &out)
+{
+    Trace parsed;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        std::istringstream fields(line);
+        std::string kind_name;
+        fields >> kind_name;
+        TraceEvent event;
+        if (!kindFromName(kind_name, event.kind))
+            return false;
+        if (event.kind == TraceEvent::Kind::Define ||
+            event.kind == TraceEvent::Kind::Read ||
+            event.kind == TraceEvent::Kind::Write) {
+            if (!(fields >> event.location >> event.value >> event.line))
+                return false;
+        }
+        parsed.add(std::move(event));
+    }
+    out = std::move(parsed);
+    return true;
+}
+
+bool
+Trace::writeFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << toText();
+    return static_cast<bool>(out);
+}
+
+bool
+Trace::readFile(const std::string &path, Trace &out)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return fromText(buffer.str(), out);
+}
+
+} // namespace match::analysis

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Dynamic execution traces for the checkpoint-object analysis.
+ *
+ * The paper generates traces with LLVM-Tracer; here applications (or
+ * tests) record them through the Tracer instrumentation helper. A trace
+ * is a flat sequence of events over named locations (registers or
+ * memory objects): definitions/allocations, reads, writes, and loop
+ * markers that separate the pre-loop region from the main computation
+ * loop and its iterations.
+ */
+
+#ifndef MATCH_ANALYSIS_TRACE_HH
+#define MATCH_ANALYSIS_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace match::analysis
+{
+
+/** One dynamic event. */
+struct TraceEvent
+{
+    enum class Kind
+    {
+        Define,    ///< location defined or allocated
+        Read,      ///< location read
+        Write,     ///< location written
+        LoopBegin, ///< start of the main computation loop
+        LoopIter,  ///< start of a loop iteration
+    };
+
+    Kind kind = Kind::Define;
+    /** Location name: register or memory object (empty for markers). */
+    std::string location;
+    /** Observed value bits (used by the value-variation principle). */
+    std::uint64_t value = 0;
+    /** Source line of the operation (informational). */
+    int line = 0;
+};
+
+/** A dynamic instruction trace. */
+class Trace
+{
+  public:
+    void add(TraceEvent event) { events_.push_back(std::move(event)); }
+    const std::vector<TraceEvent> &events() const { return events_; }
+    std::size_t size() const { return events_.size(); }
+
+    /** Serialize to the on-disk text format (one event per line). */
+    std::string toText() const;
+
+    /** Parse the text format; returns false on malformed input. */
+    static bool fromText(const std::string &text, Trace &out);
+
+    /** File helpers. */
+    bool writeFile(const std::string &path) const;
+    static bool readFile(const std::string &path, Trace &out);
+
+  private:
+    std::vector<TraceEvent> events_;
+};
+
+/** Instrumentation helper that applications use to emit a trace. */
+class Tracer
+{
+  public:
+    explicit Tracer(Trace &trace) : trace_(trace) {}
+
+    /** Record a definition/allocation of `name`. */
+    void
+    define(const std::string &name, double value = 0.0, int line = 0)
+    {
+        trace_.add({TraceEvent::Kind::Define, name, bits(value), line});
+    }
+
+    /** Record a read of `name` observing `value`. */
+    void
+    read(const std::string &name, double value, int line = 0)
+    {
+        trace_.add({TraceEvent::Kind::Read, name, bits(value), line});
+    }
+
+    /** Record a write of `value` to `name`. */
+    void
+    write(const std::string &name, double value, int line = 0)
+    {
+        trace_.add({TraceEvent::Kind::Write, name, bits(value), line});
+    }
+
+    /** Mark the start of the main computation loop. */
+    void loopBegin() { trace_.add({TraceEvent::Kind::LoopBegin, {}, 0, 0}); }
+
+    /** Mark the start of a loop iteration. */
+    void loopIteration() { trace_.add({TraceEvent::Kind::LoopIter, {}, 0, 0}); }
+
+  private:
+    static std::uint64_t bits(double value);
+
+    Trace &trace_;
+};
+
+} // namespace match::analysis
+
+#endif // MATCH_ANALYSIS_TRACE_HH

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * AMG proxy: algebraic multigrid solve of a Laplace problem (ECP AMG on
+ * HYPRE's BoomerAMG). Table I arguments give the per-process grid:
+ * "-problem 2 -n 20 20 20" (small) up to 60^3 (large).
+ */
+
+#ifndef MATCH_APPS_AMG_HH
+#define MATCH_APPS_AMG_HH
+
+#include "src/apps/app.hh"
+
+namespace match::apps
+{
+
+/** Parsed AMG command line. */
+struct AmgConfig
+{
+    int problem = 2; ///< anisotropy problem in the Laplace domain
+    int nx = 20;     ///< per-process grid dimensions
+    int ny = 20;
+    int nz = 20;
+    int cycles = 30; ///< V-cycles in the solve loop
+
+    /** Parse "-problem P -n A B C" (Table I format). */
+    static AmgConfig fromArgs(const std::vector<std::string> &args);
+};
+
+void amgMain(simmpi::Proc &proc, const fti::FtiConfig &fti_config,
+             const AppParams &params);
+
+AppSpec amgSpec();
+
+} // namespace match::apps
+
+#endif // MATCH_APPS_AMG_HH

@@ -1,0 +1,60 @@
+#include "src/apps/app.hh"
+
+#include <sstream>
+
+#include "src/util/logging.hh"
+
+namespace match::apps
+{
+
+const char *
+inputSizeName(InputSize input)
+{
+    switch (input) {
+      case InputSize::Small: return "Small";
+      case InputSize::Medium: return "Medium";
+      case InputSize::Large: return "Large";
+    }
+    return "Unknown";
+}
+
+const AppSpec &
+findApp(const std::string &name)
+{
+    for (const AppSpec &spec : registry())
+        if (spec.name == name)
+            return spec;
+    util::fatal("unknown proxy application: %s", name.c_str());
+}
+
+std::vector<std::string>
+splitArgs(const std::string &args)
+{
+    std::istringstream in(args);
+    std::vector<std::string> out;
+    std::string token;
+    while (in >> token)
+        out.push_back(token);
+    return out;
+}
+
+void
+exchangeHalo1d(simmpi::Proc &proc, const void *send_lo,
+               const void *send_hi, void *recv_lo, void *recv_hi,
+               std::size_t bytes, std::size_t virtual_bytes)
+{
+    const int rank = proc.rank();
+    const int size = proc.size();
+    constexpr simmpi::Tag up_tag = 100;
+    constexpr simmpi::Tag down_tag = 101;
+    if (rank > 0)
+        proc.sendScaled(rank - 1, down_tag, send_lo, bytes, virtual_bytes);
+    if (rank < size - 1)
+        proc.sendScaled(rank + 1, up_tag, send_hi, bytes, virtual_bytes);
+    if (rank > 0)
+        proc.recv(rank - 1, up_tag, recv_lo, bytes);
+    if (rank < size - 1)
+        proc.recv(rank + 1, down_tag, recv_hi, bytes);
+}
+
+} // namespace match::apps

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * CoMD proxy: classical molecular dynamics with a Lennard-Jones
+ * potential (ExMatEx/ECP CoMD). Table I arguments are the GLOBAL cell
+ * grid: "-nx 128 -ny 128 -nz 128" (small) up to 512^3 (large); four
+ * atoms per cell (FCC lattice), strong scaling across ranks.
+ */
+
+#ifndef MATCH_APPS_COMD_HH
+#define MATCH_APPS_COMD_HH
+
+#include "src/apps/app.hh"
+
+namespace match::apps
+{
+
+/** Parsed CoMD command line. */
+struct ComdConfig
+{
+    int nx = 128; ///< global cell grid
+    int ny = 128;
+    int nz = 128;
+    int steps = 100; ///< CoMD's default timestep count
+
+    /** Parse "-nx A -ny B -nz C" (Table I format). */
+    static ComdConfig fromArgs(const std::vector<std::string> &args);
+
+    /** Atoms in the global problem (4 per FCC cell). */
+    double
+    globalAtoms() const
+    {
+        return 4.0 * nx * ny * nz;
+    }
+};
+
+void comdMain(simmpi::Proc &proc, const fti::FtiConfig &fti_config,
+              const AppParams &params);
+
+AppSpec comdSpec();
+
+} // namespace match::apps
+
+#endif // MATCH_APPS_COMD_HH

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * HPCCG proxy: a preconditioned-conjugate-gradient solver on a 27-point
+ * stencil over a 3-D chimney domain (Mantevo HPCCG). Table I arguments
+ * are the per-process subgrid dimensions: "64 64 64" (small),
+ * "128 128 128" (medium), "192 192 192" (large).
+ */
+
+#ifndef MATCH_APPS_HPCCG_HH
+#define MATCH_APPS_HPCCG_HH
+
+#include "src/apps/app.hh"
+
+namespace match::apps
+{
+
+/** Parsed HPCCG command line. */
+struct HpccgConfig
+{
+    int nx = 64; ///< per-process subgrid dimensions
+    int ny = 64;
+    int nz = 64;
+    int maxIterations = 149; ///< HPCCG's default CG iteration count
+
+    /** Parse "nx ny nz" (Table I format). */
+    static HpccgConfig fromArgs(const std::vector<std::string> &args);
+};
+
+/** Per-rank FTI-instrumented main. */
+void hpccgMain(simmpi::Proc &proc, const fti::FtiConfig &fti_config,
+               const AppParams &params);
+
+/** Registry descriptor. */
+AppSpec hpccgSpec();
+
+} // namespace match::apps
+
+#endif // MATCH_APPS_HPCCG_HH

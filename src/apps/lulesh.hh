@@ -1,0 +1,43 @@
+/**
+ * @file
+ * LULESH proxy: Lagrangian shock hydrodynamics on a Sedov blast problem
+ * (LLNL LULESH 2.0). Table I arguments: "-s 30 -p" (small) up to
+ * "-s 50 -p" (large); -s is the per-process element edge, and the app
+ * requires a cubic process count (the paper runs 64 and 512 only).
+ */
+
+#ifndef MATCH_APPS_LULESH_HH
+#define MATCH_APPS_LULESH_HH
+
+#include "src/apps/app.hh"
+
+namespace match::apps
+{
+
+/** Parsed LULESH command line. */
+struct LuleshConfig
+{
+    int s = 30;           ///< per-process element edge (-s)
+    bool progress = true; ///< -p flag
+
+    static LuleshConfig fromArgs(const std::vector<std::string> &args);
+
+    /**
+     * Physical timestep count: LULESH's CFL condition shrinks dt as the
+     * mesh refines, so steps grow linearly with -s (932 at s=30).
+     */
+    int
+    physicalIterations() const
+    {
+        return 932 * s / 30;
+    }
+};
+
+void luleshMain(simmpi::Proc &proc, const fti::FtiConfig &fti_config,
+                const AppParams &params);
+
+AppSpec luleshSpec();
+
+} // namespace match::apps
+
+#endif // MATCH_APPS_LULESH_HH

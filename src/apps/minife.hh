@@ -1,0 +1,36 @@
+/**
+ * @file
+ * miniFE proxy: unstructured implicit finite-element solve (Mantevo
+ * miniFE) — assembly of a hex-element stiffness system followed by a CG
+ * solve. Table I arguments are the GLOBAL domain dimensions:
+ * "-nx 20 -ny 20 -nz 20" (small) up to 60^3 (large).
+ */
+
+#ifndef MATCH_APPS_MINIFE_HH
+#define MATCH_APPS_MINIFE_HH
+
+#include "src/apps/app.hh"
+
+namespace match::apps
+{
+
+/** Parsed miniFE command line. */
+struct MinifeConfig
+{
+    int nx = 20; ///< global domain dimensions
+    int ny = 20;
+    int nz = 20;
+    int maxIterations = 200; ///< miniFE's default CG iteration cap
+
+    /** Parse "-nx A -ny B -nz C" (Table I format). */
+    static MinifeConfig fromArgs(const std::vector<std::string> &args);
+};
+
+void minifeMain(simmpi::Proc &proc, const fti::FtiConfig &fti_config,
+                const AppParams &params);
+
+AppSpec minifeSpec();
+
+} // namespace match::apps
+
+#endif // MATCH_APPS_MINIFE_HH

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * miniVite proxy: distributed graph community detection with the Louvain
+ * method (ECP miniVite). Table I arguments: "-p 3 -l -n 128000" (small)
+ * up to 512000 vertices (large); -l generates a synthetic random
+ * geometric graph, -p sets the vertex-degree knob.
+ */
+
+#ifndef MATCH_APPS_MINIVITE_HH
+#define MATCH_APPS_MINIVITE_HH
+
+#include "src/apps/app.hh"
+
+namespace match::apps
+{
+
+/** Parsed miniVite command line. */
+struct MiniviteConfig
+{
+    long vertices = 128000; ///< global vertex count (-n)
+    int degreeKnob = 3;     ///< -p parameter
+    bool synthetic = true;  ///< -l: generate a synthetic RGG
+    int maxPhases = 17;     ///< Louvain passes until threshold
+
+    static MiniviteConfig fromArgs(const std::vector<std::string> &args);
+};
+
+void miniviteMain(simmpi::Proc &proc, const fti::FtiConfig &fti_config,
+                  const AppParams &params);
+
+AppSpec miniviteSpec();
+
+} // namespace match::apps
+
+#endif // MATCH_APPS_MINIVITE_HH

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * The MATCH proxy-application registry (the paper's Section II-B set).
+ */
+
+#include "src/apps/amg.hh"
+#include "src/apps/app.hh"
+#include "src/apps/comd.hh"
+#include "src/apps/hpccg.hh"
+#include "src/apps/lulesh.hh"
+#include "src/apps/minife.hh"
+#include "src/apps/minivite.hh"
+
+namespace match::apps
+{
+
+const std::vector<AppSpec> &
+registry()
+{
+    static const std::vector<AppSpec> apps = {
+        amgSpec(),    comdSpec(),   hpccgSpec(),
+        luleshSpec(), minifeSpec(), miniviteSpec(),
+    };
+    return apps;
+}
+
+} // namespace match::apps

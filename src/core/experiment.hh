@@ -1,0 +1,77 @@
+/**
+ * @file
+ * MATCH experiment runner: executes (app, input, scale, design) cells of
+ * the paper's evaluation grid with the paper's methodology — five runs
+ * per configuration, a uniformly random failure site per run, averaged
+ * results (Section V-B).
+ */
+
+#ifndef MATCH_CORE_EXPERIMENT_HH
+#define MATCH_CORE_EXPERIMENT_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/apps/app.hh"
+#include "src/ft/design.hh"
+
+namespace match::core
+{
+
+/** One cell of the evaluation grid. */
+struct ExperimentConfig
+{
+    std::string app = "HPCCG";
+    apps::InputSize input = apps::InputSize::Small;
+    int nprocs = 64;
+    ft::Design design = ft::Design::ReinitFti;
+    bool injectFailure = false;
+
+    /** Paper methodology: five runs, averaged. */
+    int runs = 5;
+    std::uint64_t seed = 42;
+
+    /** FTI checkpoint level (paper: L1) and sandbox root. */
+    int ckptLevel = 1;
+    /** Checkpoint every N main-loop iterations (paper: 10). */
+    int ckptStride = 10;
+    std::string sandboxDir = "/tmp/match-fti";
+
+    simmpi::CostParams costParams{};
+
+    /** Multiplicative system-noise amplitude applied per run; failure-free
+     *  runs are otherwise bit-identical in the simulator. */
+    double noiseSigma = 0.01;
+
+    /** When non-empty, memoize results on disk keyed by the full
+     *  configuration (figure benches share many grid cells). Results
+     *  are deterministic, so cache hits are exact replays. */
+    std::string cacheDir;
+};
+
+/** Averaged outcome of one grid cell. */
+struct ExperimentResult
+{
+    ft::Breakdown mean;
+    std::vector<ft::Breakdown> perRun;
+};
+
+/** Run one grid cell (deterministic in the config). */
+ExperimentResult runExperiment(const ExperimentConfig &config);
+
+/**
+ * Scaling sizes of an app restricted by Table I (LULESH runs on cube
+ * process counts only).
+ */
+std::vector<int> scalingSizesFor(const std::string &app);
+
+/** All three input classes. */
+inline constexpr std::array<apps::InputSize, 3> allInputs{
+    apps::InputSize::Small, apps::InputSize::Medium,
+    apps::InputSize::Large};
+
+} // namespace match::core
+
+#endif // MATCH_CORE_EXPERIMENT_HH

@@ -1,0 +1,49 @@
+#include "src/core/projection.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/logging.hh"
+
+namespace match::core
+{
+
+const std::vector<Machine> &
+paperMachines()
+{
+    // MTBFs from the paper's introduction (node failures).
+    static const std::vector<Machine> machines = {
+        {"Sequoia (2013)", 19.2 * 3600.0},
+        {"Blue Waters (2014)", 6.7 * 3600.0},
+        {"Taurus (2016)", 3.65 * 3600.0},
+    };
+    return machines;
+}
+
+double
+dalyInterval(double ckpt_cost, double mtbf)
+{
+    MATCH_ASSERT(ckpt_cost > 0.0 && mtbf > 0.0,
+                 "Daly interval needs positive cost and MTBF");
+    return std::sqrt(2.0 * ckpt_cost * mtbf);
+}
+
+double
+efficiency(double ckpt_cost, double interval, double recovery,
+           double mtbf)
+{
+    MATCH_ASSERT(interval > 0.0 && mtbf > 0.0,
+                 "efficiency needs positive interval and MTBF");
+    const double waste = ckpt_cost / interval +
+                         (interval / 2.0 + recovery) / mtbf;
+    return std::clamp(1.0 - waste, 0.0, 1.0);
+}
+
+double
+efficiencyAtOptimum(double ckpt_cost, double recovery, double mtbf)
+{
+    return efficiency(ckpt_cost, dalyInterval(ckpt_cost, mtbf), recovery,
+                      mtbf);
+}
+
+} // namespace match::core

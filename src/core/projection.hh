@@ -1,0 +1,57 @@
+/**
+ * @file
+ * First-order checkpoint/restart performance projection (Young 1974,
+ * Daly 2006): turns MATCH's measured per-design quantities (checkpoint
+ * cost, recovery time) into machine-level efficiency estimates for the
+ * production MTBFs the paper's introduction motivates with — Sequoia
+ * (19.2 h), Blue Waters (6.7 h) and Taurus (3.65 h).
+ */
+
+#ifndef MATCH_CORE_PROJECTION_HH
+#define MATCH_CORE_PROJECTION_HH
+
+#include <string>
+#include <vector>
+
+namespace match::core
+{
+
+/** A machine failure regime (mean time between failures, seconds). */
+struct Machine
+{
+    std::string name;
+    double mtbfSeconds = 0.0;
+};
+
+/** The three systems the paper's introduction cites. */
+const std::vector<Machine> &paperMachines();
+
+/**
+ * Young/Daly optimal checkpoint interval: tau* = sqrt(2 * delta * M)
+ * for checkpoint cost `delta` and MTBF `M` (both seconds).
+ */
+double dalyInterval(double ckpt_cost, double mtbf);
+
+/**
+ * First-order machine efficiency of a checkpoint/recovery configuration:
+ *
+ *   E(tau) = 1 - delta/tau - (tau/2 + R) / M
+ *
+ * i.e. useful fraction after checkpoint overhead (delta per interval
+ * tau), expected re-executed work (tau/2 per failure) and recovery time
+ * R, with failures every M seconds. Clamped to [0, 1].
+ *
+ * @param ckpt_cost   seconds to write one checkpoint (delta)
+ * @param interval    seconds of work between checkpoints (tau)
+ * @param recovery    seconds to restore MPI + data state after a failure
+ * @param mtbf        mean time between failures (M)
+ */
+double efficiency(double ckpt_cost, double interval, double recovery,
+                  double mtbf);
+
+/** Efficiency at the Daly-optimal interval. */
+double efficiencyAtOptimum(double ckpt_cost, double recovery, double mtbf);
+
+} // namespace match::core
+
+#endif // MATCH_CORE_PROJECTION_HH

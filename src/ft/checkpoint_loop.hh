@@ -1,0 +1,64 @@
+/**
+ * @file
+ * CheckpointLoop: the paper's Figure-1 main-computation-loop pattern as
+ * a reusable helper, so all six proxy apps share identical FTI
+ * instrumentation (recover at loop top, checkpoint every `stride`
+ * iterations, fault-injection cancellation point).
+ */
+
+#ifndef MATCH_FT_CHECKPOINT_LOOP_HH
+#define MATCH_FT_CHECKPOINT_LOOP_HH
+
+#include "src/fti/fti.hh"
+#include "src/simmpi/proc.hh"
+
+namespace match::ft
+{
+
+/** Drives an FTI-protected BSP main loop. */
+class CheckpointLoop
+{
+  public:
+    /**
+     * @param proc the rank handle
+     * @param fti the rank's FTI instance; the loop counter must already
+     *            be protected (it is restored by recover())
+     * @param stride checkpoint every `stride` iterations (paper: 10)
+     */
+    CheckpointLoop(simmpi::Proc &proc, fti::Fti &fti, int stride = 10)
+        : proc_(proc), fti_(fti), stride_(stride)
+    {}
+
+    /**
+     * Run `body(iter)` for iterations [*iter, total). `*iter` must be the
+     * FTI-protected loop counter: recovery rewinds it to the last
+     * checkpointed value and the loop re-executes from there.
+     */
+    template <typename Body>
+    void
+    run(int *iter, int total, Body &&body)
+    {
+        for (; *iter < total; ++*iter) {
+            proc_.iterationPoint(*iter);
+            // Paper Fig. 1: "At the beginning of the loop, if the
+            // execution is a restart", recover; then checkpoint every
+            // cp_stride iterations.
+            if (fti_.status() != 0)
+                fti_.recover();
+            if (*iter > 0 && *iter % stride_ == 0)
+                fti_.checkpoint(*iter / stride_);
+            body(*iter);
+        }
+    }
+
+    int stride() const { return stride_; }
+
+  private:
+    simmpi::Proc &proc_;
+    fti::Fti &fti_;
+    int stride_;
+};
+
+} // namespace match::ft
+
+#endif // MATCH_FT_CHECKPOINT_LOOP_HH

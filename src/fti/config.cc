@@ -1,0 +1,61 @@
+#include "src/fti/config.hh"
+
+#include "src/util/logging.hh"
+
+namespace match::fti
+{
+
+FtiConfig
+FtiConfig::fromFile(const std::string &path)
+{
+    util::IniFile ini;
+    if (!ini.parseFile(path))
+        util::fatal("cannot parse FTI config file: %s", path.c_str());
+    return fromIni(ini);
+}
+
+FtiConfig
+FtiConfig::fromIni(const util::IniFile &ini)
+{
+    FtiConfig cfg;
+    cfg.ckptDir = ini.getString("basic", "ckpt_dir", cfg.ckptDir);
+    cfg.execId = ini.getString("basic", "exec_id", cfg.execId);
+    cfg.defaultLevel = static_cast<int>(
+        ini.getInt("basic", "ckpt_level", cfg.defaultLevel));
+    cfg.groupSize = static_cast<int>(
+        ini.getInt("basic", "group_size", cfg.groupSize));
+    cfg.parityShards = static_cast<int>(
+        ini.getInt("basic", "parity_shards", cfg.parityShards));
+    cfg.diffBlockSize = static_cast<std::size_t>(
+        ini.getInt("advanced", "diff_block_size",
+                   static_cast<long>(cfg.diffBlockSize)));
+    cfg.keepOnlyLatest =
+        ini.getBool("advanced", "keep_only_latest", cfg.keepOnlyLatest);
+    cfg.virtualFactor =
+        ini.getDouble("advanced", "virtual_factor", cfg.virtualFactor);
+    if (cfg.defaultLevel < 1 || cfg.defaultLevel > 4)
+        util::fatal("FTI ckpt_level must be 1..4, got %d",
+                    cfg.defaultLevel);
+    if (cfg.groupSize < 1 || cfg.parityShards < 0)
+        util::fatal("invalid FTI group geometry %d+%d", cfg.groupSize,
+                    cfg.parityShards);
+    return cfg;
+}
+
+util::IniFile
+FtiConfig::toIni() const
+{
+    util::IniFile ini;
+    ini.set("basic", "ckpt_dir", ckptDir);
+    ini.set("basic", "exec_id", execId);
+    ini.setInt("basic", "ckpt_level", defaultLevel);
+    ini.setInt("basic", "group_size", groupSize);
+    ini.setInt("basic", "parity_shards", parityShards);
+    ini.setInt("advanced", "diff_block_size",
+               static_cast<long>(diffBlockSize));
+    ini.set("advanced", "keep_only_latest", keepOnlyLatest ? "1" : "0");
+    ini.setDouble("advanced", "virtual_factor", virtualFactor);
+    return ini;
+}
+
+} // namespace match::fti

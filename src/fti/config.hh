@@ -1,0 +1,61 @@
+/**
+ * @file
+ * FTI configuration, read from an INI file like the real library
+ * (FTI_Init's first argument is the config path).
+ */
+
+#ifndef MATCH_FTI_CONFIG_HH
+#define MATCH_FTI_CONFIG_HH
+
+#include <string>
+
+#include "src/util/ini.hh"
+
+namespace match::fti
+{
+
+/** Parsed [basic]/[advanced] FTI configuration. */
+struct FtiConfig
+{
+    /** Root of the checkpoint sandbox. Subdirectories model the storage
+     *  tiers: `local/` is the node-local ramfs ("/dev/shm"), `pfs/` the
+     *  parallel file system. */
+    std::string ckptDir = "/tmp/match-fti";
+
+    /** Execution id: restarted jobs find their checkpoints under it. */
+    std::string execId = "exec";
+
+    /** Default checkpoint level for Fti::checkpoint() (paper: L1). */
+    int defaultLevel = 1;
+
+    /** L3 Reed-Solomon group size (data shards per stripe). */
+    int groupSize = 4;
+
+    /** Parity shards per L3 stripe; groupSize/2 survives "half the
+     *  nodes within a checkpoint encoding group". */
+    int parityShards = 2;
+
+    /** Block size for L4 differential checkpointing. */
+    std::size_t diffBlockSize = 64 * 1024;
+
+    /** Keep only the latest committed checkpoint (saves disk). */
+    bool keepOnlyLatest = true;
+
+    /** Multiplier applied to real protected bytes when pricing virtual
+     *  checkpoint time (scaled-down arrays standing in for paper-scale
+     *  ones). */
+    double virtualFactor = 1.0;
+
+    /** Load from an INI file; missing keys keep their defaults. */
+    static FtiConfig fromFile(const std::string &path);
+
+    /** Load from INI text (used by tests). */
+    static FtiConfig fromIni(const util::IniFile &ini);
+
+    /** Serialize to INI for round-tripping. */
+    util::IniFile toIni() const;
+};
+
+} // namespace match::fti
+
+#endif // MATCH_FTI_CONFIG_HH

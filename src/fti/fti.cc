@@ -1,0 +1,727 @@
+#include "src/fti/fti.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "src/fti/rs_codec.hh"
+#include "src/util/logging.hh"
+
+namespace fs = std::filesystem;
+
+namespace match::fti
+{
+
+using simmpi::CategoryScope;
+using simmpi::TimeCategory;
+
+std::uint64_t
+fnv1a(const void *data, std::size_t bytes, std::uint64_t seed)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    std::uint64_t hash = seed;
+    for (std::size_t i = 0; i < bytes; ++i) {
+        hash ^= p[i];
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
+namespace
+{
+
+/**
+ * Plain data-file write. Atomicity of a checkpoint is provided by the
+ * metadata commit (written last, via rename), so data files need no
+ * tmp+rename dance — this halves the filesystem traffic of a run.
+ */
+void
+writeFilePlain(const std::string &path, const void *data,
+               std::size_t bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        util::fatal("cannot open checkpoint file %s", path.c_str());
+    out.write(static_cast<const char *>(data),
+              static_cast<std::streamsize>(bytes));
+    if (!out)
+        util::fatal("short write to checkpoint file %s", path.c_str());
+}
+
+/** Atomic write for commit records (tmp + rename). */
+void
+writeFileAtomic(const std::string &path, const void *data,
+                std::size_t bytes)
+{
+    const std::string tmp = path + ".tmp";
+    writeFilePlain(tmp, data, bytes);
+    fs::rename(tmp, path);
+}
+
+bool
+readFile(const std::string &path, std::vector<std::uint8_t> &out)
+{
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in)
+        return false;
+    const auto size = in.tellg();
+    in.seekg(0);
+    out.resize(static_cast<std::size_t>(size));
+    in.read(reinterpret_cast<char *>(out.data()), size);
+    return static_cast<bool>(in);
+}
+
+} // anonymous namespace
+
+// ---------------------------------------------------------------------------
+// Path helpers
+// ---------------------------------------------------------------------------
+
+std::string
+Fti::execDir(const FtiConfig &config)
+{
+    return config.ckptDir + "/" + config.execId;
+}
+
+std::string
+Fti::localDir(const FtiConfig &config, int rank)
+{
+    return execDir(config) + "/local/rank" + std::to_string(rank);
+}
+
+std::string
+Fti::ckptFile(const FtiConfig &config, int rank, int ckpt_id)
+{
+    return localDir(config, rank) + "/ckpt" + std::to_string(ckpt_id) +
+           ".fti";
+}
+
+std::string
+Fti::partnerFile(const FtiConfig &config, int holder, int owner,
+                 int ckpt_id)
+{
+    return localDir(config, holder) + "/partner" + std::to_string(owner) +
+           "-ckpt" + std::to_string(ckpt_id) + ".fti";
+}
+
+std::string
+Fti::parityFile(const FtiConfig &config, int rank, int ckpt_id)
+{
+    return localDir(config, rank) + "/parity-ckpt" +
+           std::to_string(ckpt_id) + ".rs";
+}
+
+std::string
+Fti::pfsFile(const FtiConfig &config, int rank, int ckpt_id)
+{
+    return execDir(config) + "/pfs/rank" + std::to_string(rank) + "-ckpt" +
+           std::to_string(ckpt_id) + ".fti";
+}
+
+std::string
+Fti::metaFile(const FtiConfig &config, int ckpt_id)
+{
+    return execDir(config) + "/meta/ckpt" + std::to_string(ckpt_id) +
+           ".meta";
+}
+
+void
+Fti::purge(const FtiConfig &config)
+{
+    std::error_code ec;
+    fs::remove_all(execDir(config), ec);
+}
+
+// ---------------------------------------------------------------------------
+// Construction / registration
+// ---------------------------------------------------------------------------
+
+Fti::Fti(simmpi::Proc &proc, FtiConfig config, simmpi::CommId comm)
+    : proc_(proc), config_(std::move(config)),
+      comm_(comm == simmpi::commNull ? proc.world() : comm)
+{
+    fs::create_directories(localDir(config_, proc_.runtime().commRank(
+                                                 proc_.globalIndex(),
+                                                 comm_)));
+    fs::create_directories(execDir(config_) + "/meta");
+    fs::create_directories(execDir(config_) + "/pfs/diff");
+    recoveryCkptId_ = newestCommittedCkpt();
+    if (recoveryCkptId_ > 0) {
+        MetaInfo meta;
+        if (loadMeta(recoveryCkptId_, meta)) {
+            prevCkptId_ = meta.ckptId;
+            prevLevel_ = meta.level;
+        }
+    }
+}
+
+void
+Fti::protect(int id, void *ptr, std::size_t bytes)
+{
+    MATCH_ASSERT(ptr != nullptr || bytes == 0,
+                 "cannot protect a null region");
+    regions_[id] = ProtectedRegion{id, ptr, bytes};
+}
+
+void
+Fti::unprotect(int id)
+{
+    regions_.erase(id);
+}
+
+std::size_t
+Fti::protectedBytes() const
+{
+    std::size_t total = 0;
+    for (const auto &[id, region] : regions_)
+        total += region.bytes;
+    return total;
+}
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint8_t>
+Fti::serializeRegions() const
+{
+    // [u32 id][u64 bytes][raw payload] per region, in id order.
+    std::size_t total = 0;
+    for (const auto &[id, region] : regions_)
+        total += sizeof(std::uint32_t) + sizeof(std::uint64_t) +
+                 region.bytes;
+    std::vector<std::uint8_t> blob(total);
+    std::size_t off = 0;
+    for (const auto &[id, region] : regions_) {
+        const auto id32 = static_cast<std::uint32_t>(id);
+        const auto len64 = static_cast<std::uint64_t>(region.bytes);
+        std::memcpy(blob.data() + off, &id32, sizeof(id32));
+        off += sizeof(id32);
+        std::memcpy(blob.data() + off, &len64, sizeof(len64));
+        off += sizeof(len64);
+        std::memcpy(blob.data() + off, region.ptr, region.bytes);
+        off += region.bytes;
+    }
+    return blob;
+}
+
+void
+Fti::deserializeRegions(const std::vector<std::uint8_t> &blob)
+{
+    std::size_t off = 0;
+    while (off < blob.size()) {
+        std::uint32_t id32;
+        std::uint64_t len64;
+        MATCH_ASSERT(off + sizeof(id32) + sizeof(len64) <= blob.size(),
+                     "truncated checkpoint blob");
+        std::memcpy(&id32, blob.data() + off, sizeof(id32));
+        off += sizeof(id32);
+        std::memcpy(&len64, blob.data() + off, sizeof(len64));
+        off += sizeof(len64);
+        auto it = regions_.find(static_cast<int>(id32));
+        if (it == regions_.end()) {
+            util::fatal("checkpoint contains unprotected region id %u",
+                        id32);
+        }
+        if (it->second.bytes != len64) {
+            util::fatal("size mismatch restoring region %u: "
+                        "registered %zu, stored %llu",
+                        id32, it->second.bytes,
+                        static_cast<unsigned long long>(len64));
+        }
+        MATCH_ASSERT(off + len64 <= blob.size(),
+                     "truncated checkpoint payload");
+        std::memcpy(it->second.ptr, blob.data() + off, len64);
+        off += len64;
+    }
+    MATCH_ASSERT(off == blob.size(), "trailing bytes in checkpoint blob");
+}
+
+// ---------------------------------------------------------------------------
+// Metadata
+// ---------------------------------------------------------------------------
+
+void
+Fti::commitMeta(const MetaInfo &meta)
+{
+    util::IniFile ini;
+    ini.setInt("ckpt", "id", meta.ckptId);
+    ini.setInt("ckpt", "level", meta.level);
+    ini.setInt("ckpt", "nprocs", meta.nprocs);
+    for (int r = 0; r < meta.nprocs; ++r) {
+        ini.setInt("ranks", "bytes" + std::to_string(r),
+                   static_cast<long>(meta.bytesPerRank[r]));
+        ini.set("ranks", "crc" + std::to_string(r),
+                std::to_string(meta.checksumPerRank[r]));
+    }
+    const std::string path = metaFile(config_, meta.ckptId);
+    const std::string text = ini.toString();
+    writeFileAtomic(path, text.data(), text.size());
+}
+
+bool
+Fti::loadMeta(int ckpt_id, MetaInfo &meta) const
+{
+    util::IniFile ini;
+    if (!ini.parseFile(metaFile(config_, ckpt_id)))
+        return false;
+    meta.ckptId = static_cast<int>(ini.getInt("ckpt", "id", 0));
+    meta.level = static_cast<int>(ini.getInt("ckpt", "level", 0));
+    meta.nprocs = static_cast<int>(ini.getInt("ckpt", "nprocs", 0));
+    if (meta.ckptId != ckpt_id || meta.level < 1 || meta.nprocs < 1)
+        return false;
+    meta.bytesPerRank.resize(meta.nprocs);
+    meta.checksumPerRank.resize(meta.nprocs);
+    for (int r = 0; r < meta.nprocs; ++r) {
+        meta.bytesPerRank[r] = static_cast<std::size_t>(
+            ini.getInt("ranks", "bytes" + std::to_string(r), -1));
+        const std::string crc =
+            ini.getString("ranks", "crc" + std::to_string(r), "");
+        if (crc.empty())
+            return false;
+        meta.checksumPerRank[r] = std::strtoull(crc.c_str(), nullptr, 10);
+    }
+    return true;
+}
+
+int
+Fti::newestCommittedCkpt() const
+{
+    const fs::path dir = execDir(config_) + "/meta";
+    int newest = 0;
+    std::error_code ec;
+    for (const auto &entry : fs::directory_iterator(dir, ec)) {
+        const std::string name = entry.path().filename().string();
+        if (name.rfind("ckpt", 0) != 0)
+            continue;
+        const int id = std::atoi(name.c_str() + 4);
+        if (id <= newest)
+            continue;
+        MetaInfo meta;
+        if (loadMeta(id, meta) &&
+            meta.nprocs == proc_.runtime().commSize(comm_)) {
+            newest = id;
+        }
+    }
+    return newest;
+}
+
+void
+Fti::cleanupOlderCheckpoints(int keep_id)
+{
+    // Remove exactly the files of the previous committed checkpoint
+    // (tracked per level), not a speculative id window: the filesystem
+    // traffic of stat-ing absent files dominated checkpoint wall time.
+    if (prevCkptId_ <= 0 || prevCkptId_ >= keep_id)
+        return;
+    const int rank = proc_.runtime().commRank(proc_.globalIndex(), comm_);
+    const int size = proc_.runtime().commSize(comm_);
+    const int owner = (rank + size - 1) % size; // whose L2 copy I hold
+    std::error_code ec;
+    const int id = prevCkptId_;
+    if (prevLevel_ <= 3)
+        fs::remove(ckptFile(config_, rank, id), ec);
+    if (prevLevel_ == 2)
+        fs::remove(partnerFile(config_, rank, owner, id), ec);
+    if (prevLevel_ == 3)
+        fs::remove(parityFile(config_, rank, id), ec);
+    if (prevLevel_ == 4)
+        fs::remove(pfsFile(config_, rank, id), ec);
+    if (rank == 0)
+        fs::remove(metaFile(config_, id), ec);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint write paths
+// ---------------------------------------------------------------------------
+
+double
+Fti::ckptFactor() const
+{
+    if (proc_.runtime().policy() == simmpi::ErrorPolicy::Return) {
+        return proc_.runtime().costModel().ulfmCkptFactor(
+            proc_.runtime().commSize(comm_));
+    }
+    return 1.0;
+}
+
+void
+Fti::writeLocal(int ckpt_id, const std::vector<std::uint8_t> &blob)
+{
+    // The constructor created this rank's local directory.
+    const int rank = proc_.runtime().commRank(proc_.globalIndex(), comm_);
+    writeFilePlain(ckptFile(config_, rank, ckpt_id), blob.data(),
+                   blob.size());
+}
+
+void
+Fti::writePartnerCopy(int ckpt_id, const std::vector<std::uint8_t> &blob)
+{
+    // Rank r's copy lives on the "next node": holder = (r+1) mod P.
+    const int size = proc_.runtime().commSize(comm_);
+    const int rank = proc_.runtime().commRank(proc_.globalIndex(), comm_);
+    const int holder = (rank + 1) % size;
+    if (!auxDirsCreated_) {
+        fs::create_directories(localDir(config_, holder));
+        auxDirsCreated_ = true;
+    }
+    writeFilePlain(partnerFile(config_, holder, rank, ckpt_id),
+                   blob.data(), blob.size());
+}
+
+void
+Fti::encodeGroupParity(int ckpt_id, const MetaInfo &meta)
+{
+    // The group leader (first rank of each encoding group) reads the
+    // group's data files, pads them to the longest, and writes one parity
+    // shard into each member's local directory. Any ceil(G/2) member
+    // losses are then recoverable.
+    const int rank = proc_.runtime().commRank(proc_.globalIndex(), comm_);
+    const int gs = config_.groupSize;
+    if (rank % gs != 0)
+        return;
+    const int size = proc_.runtime().commSize(comm_);
+    const int group_lo = rank;
+    const int group_hi = std::min(rank + gs, size);
+    const int k = group_hi - group_lo;
+    const int m = std::min(k, config_.parityShards);
+    if (m == 0)
+        return;
+
+    std::vector<std::vector<std::uint8_t>> data(k);
+    std::size_t stripe = 0;
+    for (int i = 0; i < k; ++i)
+        stripe = std::max(stripe, meta.bytesPerRank[group_lo + i]);
+    for (int i = 0; i < k; ++i) {
+        if (!readFile(ckptFile(config_, group_lo + i, ckpt_id), data[i]))
+            util::fatal("L3 encode: missing data file for rank %d",
+                        group_lo + i);
+        data[i].resize(stripe, 0);
+    }
+    const RsCodec codec(k, m);
+    const auto parity = codec.encode(data);
+    for (int p = 0; p < m; ++p) {
+        const int holder = group_lo + p;
+        if (!auxDirsCreated_)
+            fs::create_directories(localDir(config_, holder));
+        writeFilePlain(parityFile(config_, holder, ckpt_id),
+                       parity[p].data(), parity[p].size());
+    }
+    auxDirsCreated_ = true;
+}
+
+std::size_t
+Fti::writePfs(int ckpt_id, const std::vector<std::uint8_t> &blob)
+{
+    // Differential checkpointing: the first L4 checkpoint writes a base
+    // image; later ones write only the blocks that differ from the base.
+    const int rank = proc_.runtime().commRank(proc_.globalIndex(), comm_);
+    const std::string dir =
+        execDir(config_) + "/pfs/diff/rank" + std::to_string(rank);
+    if (!pfsDirCreated_) {
+        fs::create_directories(dir);
+        pfsDirCreated_ = true;
+    }
+    const std::string base = dir + "/base.fti";
+    std::vector<std::uint8_t> base_blob;
+    if (!readFile(base, base_blob)) {
+        writeFilePlain(base, blob.data(), blob.size());
+        // The base image also serves as this checkpoint's PFS copy.
+        writeFilePlain(pfsFile(config_, rank, ckpt_id), blob.data(),
+                       blob.size());
+        return blob.size();
+    }
+    // Delta vs base: [u64 offset][u64 len][payload] per changed block.
+    const std::size_t bs = config_.diffBlockSize;
+    std::vector<std::uint8_t> delta;
+    std::size_t changed = 0;
+    for (std::size_t off = 0; off < blob.size(); off += bs) {
+        const std::size_t len = std::min(bs, blob.size() - off);
+        const bool same =
+            off + len <= base_blob.size() &&
+            std::memcmp(blob.data() + off, base_blob.data() + off, len) ==
+                0;
+        if (same)
+            continue;
+        const std::uint64_t off64 = off, len64 = len;
+        const std::size_t pos = delta.size();
+        delta.resize(pos + sizeof(off64) + sizeof(len64) + len);
+        std::memcpy(delta.data() + pos, &off64, sizeof(off64));
+        std::memcpy(delta.data() + pos + sizeof(off64), &len64,
+                    sizeof(len64));
+        std::memcpy(delta.data() + pos + sizeof(off64) + sizeof(len64),
+                    blob.data() + off, len);
+        changed += len;
+    }
+    // Record the full size so recovery can handle growth/shrink.
+    const std::string delta_path =
+        dir + "/delta" + std::to_string(ckpt_id) + ".fti";
+    std::vector<std::uint8_t> payload(sizeof(std::uint64_t) + delta.size());
+    const std::uint64_t full = blob.size();
+    std::memcpy(payload.data(), &full, sizeof(full));
+    std::memcpy(payload.data() + sizeof(full), delta.data(), delta.size());
+    writeFilePlain(delta_path, payload.data(), payload.size());
+    return changed;
+}
+
+void
+Fti::checkpoint(int ckpt_id, int level)
+{
+    MATCH_ASSERT(!finalized_, "checkpoint after finalize");
+    MATCH_ASSERT(ckpt_id > 0, "checkpoint ids start at 1");
+    if (level == 0)
+        level = config_.defaultLevel;
+    MATCH_ASSERT(level >= 1 && level <= 4, "invalid checkpoint level");
+
+    CategoryScope scope(proc_, TimeCategory::CkptWrite);
+    const double t0 = proc_.now();
+
+    const std::vector<std::uint8_t> blob = serializeRegions();
+    const std::uint64_t crc = fnv1a(blob.data(), blob.size());
+    util::debug("FTI checkpoint: g=%d comm=%d id=%d bytes=%zu crc=%llu",
+                proc_.globalIndex(), comm_, ckpt_id, blob.size(),
+                static_cast<unsigned long long>(crc));
+
+    // Data path: every level keeps a local copy except L4, which streams
+    // to the parallel file system. Differential L4 checkpoints are
+    // priced by the bytes actually shipped.
+    std::size_t priced_bytes = blob.size();
+    if (level <= 3)
+        writeLocal(ckpt_id, blob);
+    if (level == 2)
+        writePartnerCopy(ckpt_id, blob);
+    if (level == 4)
+        priced_bytes = writePfs(ckpt_id, blob);
+
+    // Consistency protocol: gather sizes/checksums at rank 0, which
+    // commits the metadata record; everyone waits for the commit.
+    struct Entry
+    {
+        std::uint64_t bytes;
+        std::uint64_t crc;
+    };
+    const int size = proc_.runtime().commSize(comm_);
+    const int rank = proc_.runtime().commRank(proc_.globalIndex(), comm_);
+    Entry mine{blob.size(), crc};
+    std::vector<Entry> entries(static_cast<std::size_t>(size));
+    proc_.gather(0, &mine, sizeof(mine), entries.data(), comm_);
+
+    MetaInfo meta;
+    meta.ckptId = ckpt_id;
+    meta.level = level;
+    meta.nprocs = size;
+    meta.bytesPerRank.resize(size);
+    meta.checksumPerRank.resize(size);
+    if (rank == 0) {
+        for (int r = 0; r < size; ++r) {
+            meta.bytesPerRank[r] =
+                static_cast<std::size_t>(entries[r].bytes);
+            meta.checksumPerRank[r] = entries[r].crc;
+        }
+    }
+
+    if (level == 3) {
+        // All data files must exist before the leaders encode.
+        proc_.barrier(comm_);
+        // Distribute sizes so every leader can pad its stripe.
+        std::vector<std::uint64_t> sizes(static_cast<std::size_t>(size));
+        std::uint64_t my_size = blob.size();
+        proc_.allgather(&my_size, sizeof(my_size), sizes.data(), comm_);
+        MetaInfo enc_meta = meta;
+        enc_meta.bytesPerRank.resize(size);
+        for (int r = 0; r < size; ++r)
+            enc_meta.bytesPerRank[r] =
+                static_cast<std::size_t>(sizes[r]);
+        encodeGroupParity(ckpt_id, enc_meta);
+        proc_.barrier(comm_);
+    }
+
+    if (rank == 0)
+        commitMeta(meta);
+    int committed = 1;
+    proc_.bcast(0, &committed, sizeof(committed), comm_);
+
+    // Virtual cost of the data path (the real file I/O above happens in
+    // wall time, not simulated time).
+    const double virt_bytes =
+        static_cast<double>(priced_bytes) * config_.virtualFactor;
+    proc_.sleepFor(proc_.runtime().costModel().checkpointWrite(
+                       level, static_cast<std::size_t>(virt_bytes), size) *
+                   ckptFactor());
+
+    if (config_.keepOnlyLatest)
+        cleanupOlderCheckpoints(ckpt_id);
+    prevCkptId_ = ckpt_id;
+    prevLevel_ = level;
+    lastCkptId_ = ckpt_id;
+    writeSeconds_ += proc_.now() - t0;
+}
+
+// ---------------------------------------------------------------------------
+// Recovery
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint8_t>
+Fti::reconstructFromGroup(const MetaInfo &meta)
+{
+    const int rank = proc_.runtime().commRank(proc_.globalIndex(), comm_);
+    const int gs = config_.groupSize;
+    const int size = meta.nprocs;
+    const int group_lo = (rank / gs) * gs;
+    const int group_hi = std::min(group_lo + gs, size);
+    const int k = group_hi - group_lo;
+    const int m = std::min(k, config_.parityShards);
+    std::size_t stripe = 0;
+    for (int i = 0; i < k; ++i)
+        stripe = std::max(stripe, meta.bytesPerRank[group_lo + i]);
+
+    std::vector<std::optional<std::vector<std::uint8_t>>> shards(
+        static_cast<std::size_t>(k + m));
+    for (int i = 0; i < k; ++i) {
+        std::vector<std::uint8_t> buf;
+        if (readFile(ckptFile(config_, group_lo + i, meta.ckptId), buf)) {
+            buf.resize(stripe, 0);
+            shards[i] = std::move(buf);
+        }
+    }
+    for (int p = 0; p < m; ++p) {
+        std::vector<std::uint8_t> buf;
+        if (readFile(parityFile(config_, group_lo + p, meta.ckptId),
+                     buf)) {
+            if (buf.size() == stripe)
+                shards[k + p] = std::move(buf);
+        }
+    }
+    const RsCodec codec(k, m);
+    auto data = codec.reconstruct(shards);
+    if (data.empty()) {
+        util::fatal("L3 recovery failed: too many lost shards in group "
+                    "[%d, %d)", group_lo, group_hi);
+    }
+    auto blob = std::move(data[rank - group_lo]);
+    blob.resize(meta.bytesPerRank[rank]);
+    return blob;
+}
+
+std::vector<std::uint8_t>
+Fti::readPfsBlob(const MetaInfo &meta)
+{
+    const int rank = proc_.runtime().commRank(proc_.globalIndex(), comm_);
+    std::vector<std::uint8_t> blob;
+    if (readFile(pfsFile(config_, rank, meta.ckptId), blob))
+        return blob;
+    // Differential path: base + the delta for this checkpoint.
+    const std::string dir =
+        execDir(config_) + "/pfs/diff/rank" + std::to_string(rank);
+    std::vector<std::uint8_t> base;
+    if (!readFile(dir + "/base.fti", base))
+        util::fatal("L4 recovery: no base image for rank %d", rank);
+    std::vector<std::uint8_t> payload;
+    if (!readFile(dir + "/delta" + std::to_string(meta.ckptId) + ".fti",
+                  payload)) {
+        return base; // checkpoint was the base itself
+    }
+    MATCH_ASSERT(payload.size() >= sizeof(std::uint64_t),
+                 "truncated delta file");
+    std::uint64_t full;
+    std::memcpy(&full, payload.data(), sizeof(full));
+    base.resize(full, 0);
+    std::size_t off = sizeof(full);
+    while (off < payload.size()) {
+        std::uint64_t at, len;
+        MATCH_ASSERT(off + 2 * sizeof(std::uint64_t) <= payload.size(),
+                     "truncated delta record");
+        std::memcpy(&at, payload.data() + off, sizeof(at));
+        std::memcpy(&len, payload.data() + off + sizeof(at), sizeof(len));
+        off += 2 * sizeof(std::uint64_t);
+        MATCH_ASSERT(off + len <= payload.size() &&
+                         at + len <= base.size(),
+                     "delta record out of range");
+        std::memcpy(base.data() + at, payload.data() + off, len);
+        off += len;
+    }
+    return base;
+}
+
+std::vector<std::uint8_t>
+Fti::readBlobForRecovery(const MetaInfo &meta)
+{
+    const int rank = proc_.runtime().commRank(proc_.globalIndex(), comm_);
+    const std::uint64_t want_crc = meta.checksumPerRank[rank];
+    const std::size_t want_bytes = meta.bytesPerRank[rank];
+
+    if (meta.level <= 3) {
+        std::vector<std::uint8_t> blob;
+        if (readFile(ckptFile(config_, rank, meta.ckptId), blob) &&
+            blob.size() == want_bytes &&
+            fnv1a(blob.data(), blob.size()) == want_crc) {
+            return blob;
+        }
+        // Local copy lost or corrupt: escalate by level.
+        if (meta.level == 2) {
+            const int holder = (rank + 1) % meta.nprocs;
+            if (readFile(partnerFile(config_, holder, rank, meta.ckptId),
+                         blob) &&
+                blob.size() == want_bytes &&
+                fnv1a(blob.data(), blob.size()) == want_crc) {
+                return blob;
+            }
+            util::fatal("L2 recovery failed for rank %d: local and "
+                        "partner copies both lost", rank);
+        }
+        if (meta.level == 3) {
+            blob = reconstructFromGroup(meta);
+            if (fnv1a(blob.data(), blob.size()) == want_crc)
+                return blob;
+            util::fatal("L3 recovery failed checksum for rank %d", rank);
+        }
+        util::fatal("L1 recovery failed for rank %d: checkpoint lost "
+                    "(L1 cannot survive node-storage loss)", rank);
+    }
+    auto blob = readPfsBlob(meta);
+    if (blob.size() == want_bytes &&
+        fnv1a(blob.data(), blob.size()) == want_crc)
+        return blob;
+    util::fatal("L4 recovery failed checksum for rank %d", rank);
+}
+
+void
+Fti::recover()
+{
+    MATCH_ASSERT(!finalized_, "recover after finalize");
+    const int newest = newestCommittedCkpt();
+    if (newest == 0)
+        util::fatal("FTI_Recover called with no committed checkpoint");
+
+    CategoryScope scope(proc_, TimeCategory::CkptRead);
+    const double t0 = proc_.now();
+
+    MetaInfo meta;
+    const bool ok = loadMeta(newest, meta);
+    MATCH_ASSERT(ok, "committed checkpoint lost its metadata");
+    const auto blob = readBlobForRecovery(meta);
+    util::debug("FTI recover: g=%d comm=%d rank=%d ckpt=%d bytes=%zu",
+                proc_.globalIndex(), comm_,
+                proc_.runtime().commRank(proc_.globalIndex(), comm_),
+                newest, blob.size());
+    deserializeRegions(blob);
+
+    const int size = proc_.runtime().commSize(comm_);
+    const double virt_bytes =
+        static_cast<double>(blob.size()) * config_.virtualFactor;
+    proc_.sleepFor(proc_.runtime().costModel().checkpointRead(
+        meta.level, static_cast<std::size_t>(virt_bytes), size));
+
+    lastCkptId_ = newest;
+    recoveryCkptId_ = 0; // the paper's loop recovers exactly once
+    readSeconds_ += proc_.now() - t0;
+}
+
+void
+Fti::finalize()
+{
+    finalized_ = true;
+}
+
+} // namespace match::fti

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * FTI: an application-level, multi-level checkpointing library
+ * (reimplementation of Bautista-Gomez et al., SC'11, as used by MATCH).
+ *
+ * The API mirrors the real library's usage pattern (paper Figure 1):
+ *
+ *     Fti fti(proc, FtiConfig::fromFile(argv[1]), world); // FTI_Init
+ *     fti.protect(0, &iter, sizeof(iter));                // FTI_Protect
+ *     fti.protect(1, x.data(), bytes(x));
+ *     while (...) {
+ *         if (fti.status() != 0) fti.recover();           // FTI_Recover
+ *         if (iter % stride == 0) fti.checkpoint(++id);   // FTI_Checkpoint
+ *     }
+ *     fti.finalize();                                     // FTI_Finalize
+ *
+ * Checkpoint levels:
+ *  - L1: node-local ramfs write (the paper's configuration).
+ *  - L2: L1 plus a copy on a partner node.
+ *  - L3: L1 plus Reed-Solomon parity across the encoding group; survives
+ *        the loss of up to `parityShards` members per group.
+ *  - L4: flush to the parallel file system, with differential
+ *        checkpointing (only changed blocks are written after the base).
+ *
+ * Checkpoints are real files under a sandbox directory; recovery really
+ * restores the protected buffers (bit-for-bit, verified by checksums).
+ * Virtual time is charged through the runtime's cost model.
+ */
+
+#ifndef MATCH_FTI_FTI_HH
+#define MATCH_FTI_FTI_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/fti/config.hh"
+#include "src/simmpi/proc.hh"
+
+namespace match::fti
+{
+
+/** One registered data object (FTI_Protect target). */
+struct ProtectedRegion
+{
+    int id = 0;
+    void *ptr = nullptr;
+    std::size_t bytes = 0;
+};
+
+/** FNV-1a 64-bit checksum used for checkpoint integrity. */
+std::uint64_t fnv1a(const void *data, std::size_t bytes,
+                    std::uint64_t seed = 0xcbf29ce484222325ULL);
+
+/** Per-rank FTI instance (the library is an MPI library: one per rank). */
+class Fti
+{
+  public:
+    /**
+     * FTI_Init: bind to a rank and a communicator, scan the sandbox for
+     * a committed checkpoint from a previous incarnation.
+     */
+    Fti(simmpi::Proc &proc, FtiConfig config,
+        simmpi::CommId comm = simmpi::commNull);
+
+    /**
+     * FTI_Protect: register (or re-register) a data object.
+     *
+     * @warning The region must remain at this address for the lifetime
+     * of the registration: like the real FTI, the library snapshots
+     * whatever `ptr` points to at checkpoint time. If the application
+     * reallocates the buffer (vector growth, swap tricks), it must call
+     * protect() again with the new address.
+     */
+    void protect(int id, void *ptr, std::size_t bytes);
+
+    /** Drop a protected region (real FTI: protect with count 0). */
+    void unprotect(int id);
+
+    /**
+     * FTI_Status: 0 when this execution starts fresh; otherwise the id of
+     * the committed checkpoint that recovery would restore.
+     */
+    int status() const { return recoveryCkptId_; }
+
+    /**
+     * FTI_Checkpoint: write all protected regions at `level` (default:
+     * the configured level). Collective over the bound communicator.
+     * @param ckpt_id monotonically increasing checkpoint id (> 0)
+     */
+    void checkpoint(int ckpt_id, int level = 0);
+
+    /**
+     * FTI_Recover: restore all protected regions from the newest
+     * committed checkpoint. Sizes must match the registrations.
+     * Falls back to partner copies (L2), RS reconstruction (L3) or
+     * base+delta replay (L4) when the primary file is gone.
+     */
+    void recover();
+
+    /** FTI_Finalize. */
+    void finalize();
+
+    /** Re-bind to a repaired world communicator (paper Fig. 3 note:
+     *  "FTI must use the repaired world communicator"). */
+    void setComm(simmpi::CommId comm) { comm_ = comm; }
+
+    /** Total bytes currently protected on this rank. */
+    std::size_t protectedBytes() const;
+
+    /** Id of the last checkpoint this rank committed (0 if none). */
+    int lastCheckpointId() const { return lastCkptId_; }
+
+    /** Virtual seconds spent writing checkpoints by this rank. */
+    double writeSeconds() const { return writeSeconds_; }
+
+    /** Virtual seconds spent reading checkpoints by this rank. */
+    double readSeconds() const { return readSeconds_; }
+
+    /// @name Sandbox path helpers (shared with tests/tools).
+    /// @{
+    static std::string execDir(const FtiConfig &config);
+    static std::string localDir(const FtiConfig &config, int rank);
+    static std::string ckptFile(const FtiConfig &config, int rank,
+                                int ckpt_id);
+    static std::string partnerFile(const FtiConfig &config, int holder,
+                                   int owner, int ckpt_id);
+    static std::string parityFile(const FtiConfig &config, int rank,
+                                  int ckpt_id);
+    static std::string pfsFile(const FtiConfig &config, int rank,
+                               int ckpt_id);
+    static std::string metaFile(const FtiConfig &config, int ckpt_id);
+    /// @}
+
+    /** Remove an execution's whole sandbox (fresh-experiment helper). */
+    static void purge(const FtiConfig &config);
+
+  private:
+    struct MetaInfo
+    {
+        int ckptId = 0;
+        int level = 0;
+        int nprocs = 0;
+        std::vector<std::size_t> bytesPerRank;
+        std::vector<std::uint64_t> checksumPerRank;
+    };
+
+    std::vector<std::uint8_t> serializeRegions() const;
+    void deserializeRegions(const std::vector<std::uint8_t> &blob);
+    void writeLocal(int ckpt_id, const std::vector<std::uint8_t> &blob);
+    void writePartnerCopy(int ckpt_id,
+                          const std::vector<std::uint8_t> &blob);
+    void encodeGroupParity(int ckpt_id, const MetaInfo &meta);
+    /** @return bytes actually shipped (differential L4 writes less). */
+    std::size_t writePfs(int ckpt_id,
+                         const std::vector<std::uint8_t> &blob);
+    void commitMeta(const MetaInfo &meta);
+    bool loadMeta(int ckpt_id, MetaInfo &meta) const;
+    int newestCommittedCkpt() const;
+    void cleanupOlderCheckpoints(int keep_id);
+    std::vector<std::uint8_t> readBlobForRecovery(const MetaInfo &meta);
+    std::vector<std::uint8_t> reconstructFromGroup(const MetaInfo &meta);
+    std::vector<std::uint8_t> readPfsBlob(const MetaInfo &meta);
+    double ckptFactor() const;
+
+    simmpi::Proc &proc_;
+    FtiConfig config_;
+    simmpi::CommId comm_;
+    std::map<int, ProtectedRegion> regions_;
+    int recoveryCkptId_ = 0;
+    int lastCkptId_ = 0;
+    double writeSeconds_ = 0.0;
+    double readSeconds_ = 0.0;
+    bool finalized_ = false;
+    bool auxDirsCreated_ = false;
+    bool pfsDirCreated_ = false;
+    /** Previous committed checkpoint (for precise cleanup). */
+    int prevCkptId_ = 0;
+    int prevLevel_ = 0;
+};
+
+} // namespace match::fti
+
+#endif // MATCH_FTI_FTI_HH

@@ -1,0 +1,111 @@
+#include "src/fti/rs_codec.hh"
+
+#include "src/util/gf256.hh"
+#include "src/util/logging.hh"
+
+namespace match::fti
+{
+
+using util::GfMatrix;
+namespace gf = util::gf256;
+
+RsCodec::RsCodec(int k, int m) : k_(k), m_(m)
+{
+    MATCH_ASSERT(k >= 1 && m >= 0 && k + m <= 255,
+                 "invalid RS geometry");
+    const GfMatrix matrix = GfMatrix::systematicVandermonde(
+        static_cast<std::size_t>(k), static_cast<std::size_t>(m));
+    encodeMatrix_.resize(static_cast<std::size_t>(k + m) * k);
+    for (int r = 0; r < k + m; ++r)
+        for (int c = 0; c < k; ++c)
+            encodeMatrix_[static_cast<std::size_t>(r) * k + c] =
+                matrix.at(r, c);
+}
+
+std::uint8_t
+RsCodec::enc(int row, int col) const
+{
+    return encodeMatrix_[static_cast<std::size_t>(row) * k_ + col];
+}
+
+std::vector<std::vector<std::uint8_t>>
+RsCodec::encode(const std::vector<std::vector<std::uint8_t>> &data) const
+{
+    MATCH_ASSERT(static_cast<int>(data.size()) == k_,
+                 "encode expects exactly k data shards");
+    const std::size_t len = data.empty() ? 0 : data[0].size();
+    for (const auto &shard : data)
+        MATCH_ASSERT(shard.size() == len, "data shards must be equal size");
+
+    std::vector<std::vector<std::uint8_t>> parity(
+        static_cast<std::size_t>(m_));
+    for (int p = 0; p < m_; ++p) {
+        parity[p].assign(len, 0);
+        for (int c = 0; c < k_; ++c) {
+            gf::mulAdd(parity[p].data(), data[c].data(), len,
+                       enc(k_ + p, c));
+        }
+    }
+    return parity;
+}
+
+std::vector<std::vector<std::uint8_t>>
+RsCodec::reconstruct(
+    const std::vector<std::optional<std::vector<std::uint8_t>>> &shards)
+    const
+{
+    MATCH_ASSERT(static_cast<int>(shards.size()) == k_ + m_,
+                 "reconstruct expects k+m shard slots");
+    // Pick the first k available shards.
+    std::vector<int> rows;
+    for (int i = 0; i < k_ + m_ && static_cast<int>(rows.size()) < k_; ++i) {
+        if (shards[i].has_value())
+            rows.push_back(i);
+    }
+    if (static_cast<int>(rows.size()) < k_)
+        return {}; // unrecoverable
+
+    std::size_t len = 0;
+    for (const auto &shard : shards)
+        if (shard)
+            len = std::max(len, shard->size());
+    for (int row : rows)
+        MATCH_ASSERT(shards[row]->size() == len,
+                     "surviving shards must be equal size");
+
+    // Fast path: all data shards survive.
+    bool all_data = true;
+    for (int i = 0; i < k_; ++i)
+        all_data = all_data && shards[i].has_value();
+    if (all_data) {
+        std::vector<std::vector<std::uint8_t>> out;
+        out.reserve(k_);
+        for (int i = 0; i < k_; ++i)
+            out.push_back(*shards[i]);
+        return out;
+    }
+
+    // Invert the sub-matrix formed by the surviving rows; multiplying the
+    // survivors by the inverse yields the original data shards.
+    GfMatrix sub(static_cast<std::size_t>(k_),
+                 static_cast<std::size_t>(k_));
+    for (int r = 0; r < k_; ++r)
+        for (int c = 0; c < k_; ++c)
+            sub.at(r, c) = enc(rows[r], c);
+    GfMatrix inv(1, 1);
+    const bool ok = sub.invert(inv);
+    MATCH_ASSERT(ok, "any k rows of the RS matrix must be invertible");
+
+    std::vector<std::vector<std::uint8_t>> out(
+        static_cast<std::size_t>(k_));
+    for (int d = 0; d < k_; ++d) {
+        out[d].assign(len, 0);
+        for (int r = 0; r < k_; ++r) {
+            gf::mulAdd(out[d].data(), shards[rows[r]]->data(), len,
+                       inv.at(d, r));
+        }
+    }
+    return out;
+}
+
+} // namespace match::fti

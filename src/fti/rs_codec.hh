@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Reed-Solomon erasure codec over GF(2^8) for FTI's L3 checkpoint level.
+ *
+ * A stripe is a group of k equally-sized data shards (one per group
+ * member's checkpoint file, zero-padded to the longest). Encoding
+ * produces m parity shards such that the stripe survives the loss of any
+ * m shards (FTI: "the breakdown of half of the nodes within a checkpoint
+ * encoding group").
+ */
+
+#ifndef MATCH_FTI_RS_CODEC_HH
+#define MATCH_FTI_RS_CODEC_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace match::fti
+{
+
+/** Reed-Solomon codec for a fixed (k data, m parity) geometry. */
+class RsCodec
+{
+  public:
+    /**
+     * @param k number of data shards (group size), k >= 1
+     * @param m number of parity shards, m >= 0, k + m <= 255
+     */
+    RsCodec(int k, int m);
+
+    int dataShards() const { return k_; }
+    int parityShards() const { return m_; }
+
+    /**
+     * Encode parity shards from k equal-length data shards.
+     * @param data k shards, all the same size
+     * @return m parity shards of the same size
+     */
+    std::vector<std::vector<std::uint8_t>>
+    encode(const std::vector<std::vector<std::uint8_t>> &data) const;
+
+    /**
+     * Reconstruct the full set of k data shards from any k survivors.
+     *
+     * @param shards k+m entries indexed by shard id (0..k-1 data,
+     *               k..k+m-1 parity); a missing shard is nullopt
+     * @return the k data shards, or empty when fewer than k survive
+     */
+    std::vector<std::vector<std::uint8_t>>
+    reconstruct(const std::vector<std::optional<std::vector<std::uint8_t>>>
+                    &shards) const;
+
+  private:
+    int k_;
+    int m_;
+    /** (k+m) x k systematic encoding matrix; top k rows are identity. */
+    std::vector<std::uint8_t> encodeMatrix_;
+
+    std::uint8_t enc(int row, int col) const;
+};
+
+} // namespace match::fti
+
+#endif // MATCH_FTI_RS_CODEC_HH

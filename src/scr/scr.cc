@@ -1,0 +1,391 @@
+#include "src/scr/scr.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "src/util/logging.hh"
+
+namespace fs = std::filesystem;
+
+namespace match::scr
+{
+
+using simmpi::CategoryScope;
+using simmpi::TimeCategory;
+
+const char *
+redundancyName(Redundancy scheme)
+{
+    switch (scheme) {
+      case Redundancy::Single: return "SINGLE";
+      case Redundancy::Partner: return "PARTNER";
+      case Redundancy::Xor: return "XOR";
+    }
+    return "UNKNOWN";
+}
+
+namespace
+{
+
+std::string
+jobDir(const ScrConfig &config)
+{
+    return config.cacheDir + "/" + config.jobId;
+}
+
+bool
+readWhole(const std::string &path, std::vector<std::uint8_t> &out)
+{
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in)
+        return false;
+    const auto size = in.tellg();
+    in.seekg(0);
+    out.resize(static_cast<std::size_t>(size));
+    in.read(reinterpret_cast<char *>(out.data()), size);
+    return static_cast<bool>(in);
+}
+
+void
+writeWhole(const std::string &path, const std::vector<std::uint8_t> &data)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        util::fatal("SCR: cannot write %s", path.c_str());
+    out.write(reinterpret_cast<const char *>(data.data()),
+              static_cast<std::streamsize>(data.size()));
+}
+
+} // anonymous namespace
+
+std::string
+Scr::datasetDir(const ScrConfig &config, int dataset, int rank)
+{
+    return jobDir(config) + "/dataset" + std::to_string(dataset) +
+           "/rank" + std::to_string(rank);
+}
+
+std::string
+Scr::markerFile(const ScrConfig &config, int dataset)
+{
+    return jobDir(config) + "/dataset" + std::to_string(dataset) +
+           "/committed";
+}
+
+std::string
+Scr::parityFile(const ScrConfig &config, int dataset, int group)
+{
+    return jobDir(config) + "/dataset" + std::to_string(dataset) +
+           "/xor-group" + std::to_string(group) + ".parity";
+}
+
+void
+Scr::purge(const ScrConfig &config)
+{
+    std::error_code ec;
+    fs::remove_all(jobDir(config), ec);
+    fs::remove_all(config.prefixDir + "/" + config.jobId, ec);
+}
+
+Scr::Scr(simmpi::Proc &proc, ScrConfig config)
+    : proc_(proc), config_(std::move(config))
+{
+    fs::create_directories(jobDir(config_));
+    lastCommitted_ = newestCommittedDataset();
+    restartDataset_ = lastCommitted_;
+}
+
+int
+Scr::rank() const
+{
+    return proc_.rank();
+}
+
+int
+Scr::size() const
+{
+    return proc_.size();
+}
+
+int
+Scr::newestCommittedDataset() const
+{
+    int newest = 0;
+    std::error_code ec;
+    for (const auto &entry : fs::directory_iterator(jobDir(config_), ec)) {
+        const std::string name = entry.path().filename().string();
+        if (name.rfind("dataset", 0) != 0)
+            continue;
+        const int id = std::atoi(name.c_str() + 7);
+        if (id > newest && fs::exists(markerFile(config_, id)))
+            newest = id;
+    }
+    return newest;
+}
+
+bool
+Scr::needCheckpoint(int iteration) const
+{
+    return iteration > 0 && config_.checkpointInterval > 0 &&
+           iteration % config_.checkpointInterval == 0;
+}
+
+void
+Scr::startCheckpoint()
+{
+    MATCH_ASSERT(!finalized_, "SCR used after finalize");
+    MATCH_ASSERT(writingDataset_ == 0,
+                 "SCR_Start_checkpoint while a checkpoint is open");
+    writingDataset_ = lastCommitted_ + 1;
+    routedFiles_.clear();
+    fs::create_directories(
+        datasetDir(config_, writingDataset_, rank()));
+}
+
+std::string
+Scr::routeFile(const std::string &name)
+{
+    MATCH_ASSERT(writingDataset_ != 0,
+                 "SCR_Route_file outside a checkpoint");
+    MATCH_ASSERT(name.find('/') == std::string::npos,
+                 "SCR file names must be plain file names");
+    routedFiles_.push_back(name);
+    return datasetDir(config_, writingDataset_, rank()) + "/" + name;
+}
+
+void
+Scr::applyRedundancy()
+{
+    const int r = rank();
+    const int n = size();
+    switch (config_.scheme) {
+      case Redundancy::Single:
+        return;
+      case Redundancy::Partner: {
+        // Copy every routed file to the neighbour's directory.
+        const int holder = (r + 1) % n;
+        const std::string dst =
+            datasetDir(config_, writingDataset_, holder) + "-partner" +
+            std::to_string(r);
+        fs::create_directories(dst);
+        for (const std::string &name : routedFiles_) {
+            fs::copy_file(datasetDir(config_, writingDataset_, r) + "/" +
+                              name,
+                          dst + "/" + name,
+                          fs::copy_options::overwrite_existing);
+        }
+        return;
+      }
+      case Redundancy::Xor: {
+        // RAID-5-style: the group leader XORs the members' files
+        // (concatenated, zero-padded) into one parity blob per group.
+        const int gs = config_.groupSize;
+        if (r % gs != 0)
+            return;
+        const int lo = r;
+        const int hi = std::min(lo + gs, n);
+        std::size_t stripe = 0;
+        std::vector<std::vector<std::uint8_t>> blobs(hi - lo);
+        for (int m = lo; m < hi; ++m) {
+            for (const std::string &name : routedFiles_) {
+                std::vector<std::uint8_t> file;
+                if (!readWhole(datasetDir(config_, writingDataset_, m) +
+                                   "/" + name,
+                               file))
+                    util::fatal("SCR XOR: missing member file (rank %d)",
+                                m);
+                auto &blob = blobs[m - lo];
+                blob.insert(blob.end(), file.begin(), file.end());
+            }
+            stripe = std::max(stripe, blobs[m - lo].size());
+        }
+        std::vector<std::uint8_t> parity(stripe, 0);
+        for (auto &blob : blobs) {
+            blob.resize(stripe, 0);
+            for (std::size_t i = 0; i < stripe; ++i)
+                parity[i] ^= blob[i];
+        }
+        writeWhole(parityFile(config_, writingDataset_, lo / gs), parity);
+        return;
+      }
+    }
+}
+
+void
+Scr::completeCheckpoint(bool valid)
+{
+    MATCH_ASSERT(writingDataset_ != 0,
+                 "SCR_Complete_checkpoint without start");
+    CategoryScope scope(proc_, TimeCategory::CkptWrite);
+
+    // All ranks agree on validity (SCR's allreduce).
+    const std::int64_t all_valid =
+        proc_.allreduceInt(valid ? 1 : 0, simmpi::ReduceOp::LogicalAnd);
+
+    std::size_t bytes = 0;
+    for (const std::string &name : routedFiles_) {
+        std::error_code ec;
+        bytes += fs::file_size(datasetDir(config_, writingDataset_,
+                                          rank()) +
+                                   "/" + name,
+                               ec);
+    }
+
+    if (all_valid) {
+        if (config_.scheme != Redundancy::Single)
+            proc_.barrier(); // member files must exist before encoding
+        applyRedundancy();
+        if (config_.scheme != Redundancy::Single)
+            proc_.barrier();
+        if (rank() == 0) {
+            const std::string marker =
+                markerFile(config_, writingDataset_);
+            std::ofstream out(marker);
+            out << "committed\n";
+        }
+        int committed = 1;
+        proc_.bcast(0, &committed, sizeof(committed));
+        lastCommitted_ = writingDataset_;
+
+        // Optional flush of every Nth dataset to the prefix directory.
+        if (config_.flushEvery > 0 &&
+            lastCommitted_ % config_.flushEvery == 0) {
+            const std::string dst = config_.prefixDir + "/" +
+                                    config_.jobId + "/dataset" +
+                                    std::to_string(lastCommitted_) +
+                                    "/rank" + std::to_string(rank());
+            fs::create_directories(dst);
+            for (const std::string &name : routedFiles_) {
+                fs::copy_file(
+                    datasetDir(config_, lastCommitted_, rank()) + "/" +
+                        name,
+                    dst + "/" + name,
+                    fs::copy_options::overwrite_existing);
+            }
+        }
+    }
+
+    // Modelled cost: map the scheme onto the storage-tier model.
+    const int level = config_.scheme == Redundancy::Single  ? 1
+                      : config_.scheme == Redundancy::Partner ? 2
+                                                              : 3;
+    proc_.sleepFor(proc_.runtime().costModel().checkpointWrite(
+        level, bytes, size()));
+
+    // Drop the previous dataset (SCR keeps a bounded cache).
+    if (all_valid && lastCommitted_ >= 2) {
+        std::error_code ec;
+        fs::remove_all(datasetDir(config_, lastCommitted_ - 1, rank()),
+                       ec);
+        if (rank() == 0) {
+            fs::remove(markerFile(config_, lastCommitted_ - 1), ec);
+        }
+    }
+    writingDataset_ = 0;
+    routedFiles_.clear();
+}
+
+void
+Scr::startRestart()
+{
+    MATCH_ASSERT(restartDataset_ > 0, "SCR_Start_restart without restart");
+    routedFiles_.clear();
+}
+
+void
+Scr::rebuildFromPartner(const std::string &name)
+{
+    const int holder = (rank() + 1) % size();
+    const std::string src = datasetDir(config_, restartDataset_, holder) +
+                            "-partner" + std::to_string(rank()) + "/" +
+                            name;
+    if (!fs::exists(src))
+        util::fatal("SCR PARTNER rebuild failed for rank %d: partner "
+                    "copy lost too", rank());
+    fs::create_directories(datasetDir(config_, restartDataset_, rank()));
+    fs::copy_file(src,
+                  datasetDir(config_, restartDataset_, rank()) + "/" +
+                      name,
+                  fs::copy_options::overwrite_existing);
+}
+
+void
+Scr::rebuildFromXor(const std::string &name)
+{
+    // XOR the surviving members' blobs with the parity to recover this
+    // rank's blob; only single-file datasets are rebuildable this way
+    // (the benchmark writes one file per rank, like most SCR users).
+    const int gs = config_.groupSize;
+    const int lo = (rank() / gs) * gs;
+    const int hi = std::min(lo + gs, size());
+    std::vector<std::uint8_t> acc;
+    if (!readWhole(parityFile(config_, restartDataset_, lo / gs), acc))
+        util::fatal("SCR XOR rebuild: parity lost for group %d", lo / gs);
+    std::size_t my_size = 0;
+    for (int m = lo; m < hi; ++m) {
+        if (m == rank())
+            continue;
+        std::vector<std::uint8_t> blob;
+        if (!readWhole(datasetDir(config_, restartDataset_, m) + "/" +
+                           name,
+                       blob))
+            util::fatal("SCR XOR rebuild: two losses in group %d",
+                        lo / gs);
+        my_size = std::max(my_size, blob.size());
+        blob.resize(acc.size(), 0);
+        for (std::size_t i = 0; i < acc.size(); ++i)
+            acc[i] ^= blob[i];
+    }
+    // The recovered blob is padded to the stripe; the application reads
+    // the bytes it wrote (sizes are application knowledge under SCR).
+    fs::create_directories(datasetDir(config_, restartDataset_, rank()));
+    writeWhole(datasetDir(config_, restartDataset_, rank()) + "/" + name,
+               acc);
+}
+
+std::string
+Scr::routeRestartFile(const std::string &name)
+{
+    MATCH_ASSERT(restartDataset_ > 0,
+                 "SCR restart routing without a restart");
+    CategoryScope scope(proc_, TimeCategory::CkptRead);
+    const std::string path =
+        datasetDir(config_, restartDataset_, rank()) + "/" + name;
+    if (!fs::exists(path)) {
+        switch (config_.scheme) {
+          case Redundancy::Single:
+            util::fatal("SCR SINGLE cannot rebuild lost file %s",
+                        path.c_str());
+          case Redundancy::Partner:
+            rebuildFromPartner(name);
+            break;
+          case Redundancy::Xor:
+            rebuildFromXor(name);
+            break;
+        }
+    }
+    std::error_code ec;
+    const auto bytes = fs::file_size(path, ec);
+    proc_.sleepFor(proc_.runtime().costModel().checkpointRead(
+        config_.scheme == Redundancy::Xor ? 3 : 1,
+        ec ? 0 : static_cast<std::size_t>(bytes), size()));
+    return path;
+}
+
+void
+Scr::completeRestart(bool valid)
+{
+    MATCH_ASSERT(restartDataset_ > 0,
+                 "SCR_Complete_restart without a restart");
+    (void)valid;
+    restartDataset_ = 0;
+}
+
+void
+Scr::finalize()
+{
+    finalized_ = true;
+}
+
+} // namespace match::scr

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * SCR: a Scalable Checkpoint/Restart library in the style of LLNL's SCR
+ * (Mohror et al., TPDS 2014), the alternative checkpointing interface
+ * the paper names for future MATCH extensions (Section V-E).
+ *
+ * SCR differs from FTI in its programming model: the application writes
+ * its own checkpoint files and SCR only *routes* them into a node-local
+ * cache, applies a redundancy scheme, and flushes/fetches against the
+ * parallel file system:
+ *
+ *     Scr scr(proc, config);                     // SCR_Init
+ *     if (scr.haveRestart()) {                   // SCR_Have_restart
+ *         scr.startRestart();                    // SCR_Start_restart
+ *         read(scr.routeFile("state.bin"));      // SCR_Route_file
+ *         scr.completeRestart(true);             // SCR_Complete_restart
+ *     }
+ *     while (...) {
+ *         if (scr.needCheckpoint(iter)) {        // SCR_Need_checkpoint
+ *             scr.startCheckpoint();             // SCR_Start_checkpoint
+ *             write(scr.routeFile("state.bin"));
+ *             scr.completeCheckpoint(true);      // SCR_Complete_checkpoint
+ *         }
+ *     }
+ *     scr.finalize();                            // SCR_Finalize
+ *
+ * Redundancy schemes: SINGLE (node-local only), PARTNER (copy on the
+ * neighbour node), XOR (RAID-5-style parity across the group, one
+ * member loss per group recoverable).
+ */
+
+#ifndef MATCH_SCR_SCR_HH
+#define MATCH_SCR_SCR_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/simmpi/proc.hh"
+
+namespace match::scr
+{
+
+/** Redundancy scheme applied at SCR_Complete_checkpoint. */
+enum class Redundancy
+{
+    Single,  ///< cache copy only; any storage loss is fatal
+    Partner, ///< full copy on the (rank+1) neighbour
+    Xor,     ///< XOR parity across the group; survives 1 loss per group
+};
+
+const char *redundancyName(Redundancy scheme);
+
+/** SCR configuration (the real library reads these from scr.conf). */
+struct ScrConfig
+{
+    /** Node-local cache root (the real SCR uses /dev/shm or SSD). */
+    std::string cacheDir = "/tmp/match-scr/cache";
+    /** Prefix directory on the parallel file system (flush target). */
+    std::string prefixDir = "/tmp/match-scr/prefix";
+    /** Job identifier: restarted jobs find their datasets under it. */
+    std::string jobId = "job";
+    Redundancy scheme = Redundancy::Xor;
+    /** XOR/partner group size. */
+    int groupSize = 4;
+    /** SCR_Need_checkpoint: checkpoint every N loop iterations. */
+    int checkpointInterval = 10;
+    /** Flush every Nth checkpoint to the prefix directory (0 = never);
+     *  SCR drains the cache asynchronously in the real library. */
+    int flushEvery = 0;
+};
+
+/** Per-rank SCR instance. */
+class Scr
+{
+  public:
+    /** SCR_Init: bind to the rank, scan for restartable datasets. */
+    Scr(simmpi::Proc &proc, ScrConfig config);
+
+    /// @name Checkpoint path.
+    /// @{
+    /** SCR_Need_checkpoint: interval policy on the loop counter. */
+    bool needCheckpoint(int iteration) const;
+
+    /** SCR_Start_checkpoint: open a new dataset. */
+    void startCheckpoint();
+
+    /**
+     * SCR_Route_file: translate an application file name into the path
+     * the application must actually use (inside the cache, unique per
+     * dataset and rank). Valid between start/complete pairs.
+     */
+    std::string routeFile(const std::string &name);
+
+    /**
+     * SCR_Complete_checkpoint: apply the redundancy scheme, commit the
+     * dataset marker, and charge the modelled cost. All ranks must call
+     * it with the same validity flag.
+     */
+    void completeCheckpoint(bool valid);
+    /// @}
+
+    /// @name Restart path.
+    /// @{
+    /** SCR_Have_restart: a committed dataset is available. */
+    bool haveRestart() const { return restartDataset_ > 0; }
+
+    /** SCR_Start_restart: open the newest committed dataset. */
+    void startRestart();
+
+    /**
+     * Route a file for reading; when the rank's cache copy is missing,
+     * the redundancy scheme rebuilds it (partner fetch or XOR rebuild)
+     * before returning the path.
+     */
+    std::string routeRestartFile(const std::string &name);
+
+    /** SCR_Complete_restart: close the restart (clears haveRestart). */
+    void completeRestart(bool valid);
+    /// @}
+
+    /** SCR_Finalize. */
+    void finalize();
+
+    /** Id of the dataset currently open for writing (0 when none). */
+    int currentDataset() const { return writingDataset_; }
+
+    /// @name Sandbox helpers shared with tests.
+    /// @{
+    static std::string datasetDir(const ScrConfig &config, int dataset,
+                                  int rank);
+    static std::string markerFile(const ScrConfig &config, int dataset);
+    static std::string parityFile(const ScrConfig &config, int dataset,
+                                  int group);
+    /// @}
+
+    /** Remove a job's whole sandbox. */
+    static void purge(const ScrConfig &config);
+
+  private:
+    int newestCommittedDataset() const;
+    void applyRedundancy();
+    void rebuildFromPartner(const std::string &name);
+    void rebuildFromXor(const std::string &name);
+    int rank() const;
+    int size() const;
+
+    simmpi::Proc &proc_;
+    ScrConfig config_;
+    int writingDataset_ = 0;
+    int restartDataset_ = 0;
+    int lastCommitted_ = 0;
+    std::vector<std::string> routedFiles_;
+    bool finalized_ = false;
+};
+
+} // namespace match::scr
+
+#endif // MATCH_SCR_SCR_HH

@@ -1,0 +1,190 @@
+#include "src/simmpi/cost_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/logging.hh"
+
+namespace match::simmpi
+{
+
+int
+CostModel::treeLevels(int procs)
+{
+    MATCH_ASSERT(procs >= 1, "tree over empty process set");
+    int levels = 0;
+    int span = 1;
+    while (span < procs) {
+        span *= 2;
+        ++levels;
+    }
+    return std::max(levels, 1);
+}
+
+SimTime
+CostModel::compute(double flops) const
+{
+    return flops / params_.computeFlops;
+}
+
+SimTime
+CostModel::memory(double bytes) const
+{
+    return bytes / params_.memoryBw;
+}
+
+SimTime
+CostModel::pointToPoint(std::size_t bytes) const
+{
+    return params_.netLatency +
+           static_cast<double>(bytes) * params_.netBytePeriod;
+}
+
+SimTime
+CostModel::collective(CollKind kind, std::size_t bytes, int procs) const
+{
+    const int levels = treeLevels(procs);
+    const SimTime hop = pointToPoint(bytes);
+    switch (kind) {
+      case CollKind::Barrier:
+        // Dissemination barrier: log2(P) rounds of empty messages.
+        return levels * pointToPoint(0);
+      case CollKind::Bcast:
+      case CollKind::Reduce:
+      case CollKind::Scan:
+        return levels * hop;
+      case CollKind::Allreduce:
+        // Reduce + broadcast tree.
+        return 2.0 * levels * hop;
+      case CollKind::Gather:
+      case CollKind::Scatter:
+        // Binomial tree; data volume doubles towards the root, modelled
+        // as levels * hop + (P-1) serialization at the root.
+        return levels * pointToPoint(0) +
+               static_cast<double>(procs - 1) * static_cast<double>(bytes) *
+                   params_.netBytePeriod;
+      case CollKind::Allgather:
+        // Ring allgather: P-1 steps of per-rank blocks.
+        return static_cast<double>(std::max(procs - 1, 1)) * hop;
+      case CollKind::Alltoall:
+        return static_cast<double>(std::max(procs - 1, 1)) * hop;
+    }
+    return hop;
+}
+
+SimTime
+CostModel::checkpointWrite(int level, std::size_t bytes, int procs) const
+{
+    const double size = static_cast<double>(bytes);
+    const int levels = treeLevels(procs);
+    // Every level pays the FTI bookkeeping + consistency collectives;
+    // the data path differs per level.
+    const SimTime sync = params_.ckptBaseCost +
+                         levels * params_.ckptSyncPerLevel;
+    switch (level) {
+      case 1:
+        return sync + size / params_.ckptL1Bw;
+      case 2:
+        // Local write plus partner copy over the network.
+        return sync + size / params_.ckptL2Bw + pointToPoint(bytes);
+      case 3:
+        // Local write plus RS encoding across the group.
+        return sync + size / params_.ckptL1Bw + size / params_.ckptL3Bw;
+      case 4:
+        // All ranks share the PFS pipe.
+        return sync + size * procs / params_.ckptL4AggregateBw;
+      default:
+        util::panic("invalid FTI checkpoint level %d", level);
+    }
+}
+
+SimTime
+CostModel::checkpointRead(int level, std::size_t bytes, int procs) const
+{
+    // Reads skip the consistency protocol; the paper measures
+    // milliseconds. L4 restores share the PFS like writes do.
+    const double size = static_cast<double>(bytes);
+    switch (level) {
+      case 1:
+        return size / params_.ckptL1Bw;
+      case 2:
+        return size / params_.ckptL2Bw;
+      case 3:
+        return size / params_.ckptL3Bw;
+      case 4:
+        return size * procs / params_.ckptL4AggregateBw;
+      default:
+        util::panic("invalid FTI checkpoint level %d", level);
+    }
+}
+
+SimTime
+CostModel::restartRecovery(int procs) const
+{
+    return params_.restartBaseCost + params_.restartPerProcCost * procs;
+}
+
+SimTime
+CostModel::reinitRecovery(int procs) const
+{
+    return params_.reinitBaseCost + params_.reinitPerLevel *
+                                        treeLevels(procs);
+}
+
+SimTime
+CostModel::ulfmRevoke(int procs) const
+{
+    return params_.ulfmRevokePerLevel * treeLevels(procs);
+}
+
+SimTime
+CostModel::ulfmShrink(int procs) const
+{
+    return params_.ulfmShrinkPerLevel * treeLevels(procs);
+}
+
+SimTime
+CostModel::ulfmSpawn(int newProcs) const
+{
+    return params_.ulfmSpawnBaseCost +
+           params_.ulfmSpawnPerProcCost * newProcs;
+}
+
+SimTime
+CostModel::ulfmMerge(int procs) const
+{
+    return params_.ulfmMergePerLevel * treeLevels(procs);
+}
+
+SimTime
+CostModel::ulfmAgree(int procs) const
+{
+    return params_.ulfmAgreePerLevel * treeLevels(procs);
+}
+
+SimTime
+CostModel::ulfmAppSync(int procs) const
+{
+    return params_.ulfmAppSyncPerProc * procs;
+}
+
+SimTime
+CostModel::ulfmFullRepair(int procs, int failed) const
+{
+    return ulfmRevoke(procs) + ulfmShrink(procs) + ulfmSpawn(failed) +
+           ulfmMerge(procs) + ulfmAgree(procs) + ulfmAppSync(procs);
+}
+
+double
+CostModel::ulfmAppFactor(int procs) const
+{
+    return 1.0 + params_.ulfmAppSlowdownPerLevel * treeLevels(procs);
+}
+
+double
+CostModel::ulfmCkptFactor(int procs) const
+{
+    return 1.0 + params_.ulfmCkptSlowdownPerLevel * treeLevels(procs);
+}
+
+} // namespace match::simmpi

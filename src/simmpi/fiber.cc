@@ -1,0 +1,143 @@
+#include "src/simmpi/fiber.hh"
+
+#include <cstring>
+
+#include "src/simmpi/errors.hh"
+#include "src/util/logging.hh"
+
+namespace match::simmpi
+{
+
+namespace
+{
+
+/// The fiber being resumed/running right now (single-threaded scheduler).
+thread_local Fiber *currentFiber = nullptr;
+
+} // anonymous namespace
+
+#if defined(__x86_64__) && defined(__linux__)
+
+// Minimal SysV x86-64 stack switch (boost::context style). Unlike
+// glibc's swapcontext it performs no rt_sigprocmask syscalls, which
+// matters: a 512-rank simulation context-switches millions of times.
+// Only the callee-saved integer registers and the stack pointer are
+// exchanged; fibers share the FP environment.
+extern "C" void matchCtxSwap(void **save_sp, void *restore_sp);
+asm(R"(
+.text
+.globl matchCtxSwap
+.type matchCtxSwap,@function
+.align 16
+matchCtxSwap:
+    pushq %rbp
+    pushq %rbx
+    pushq %r12
+    pushq %r13
+    pushq %r14
+    pushq %r15
+    movq %rsp, (%rdi)
+    movq %rsi, %rsp
+    popq %r15
+    popq %r14
+    popq %r13
+    popq %r12
+    popq %rbx
+    popq %rbp
+    ret
+.size matchCtxSwap,.-matchCtxSwap
+)");
+
+void
+Fiber::initStack()
+{
+    // Craft the initial stack so the first matchCtxSwap "returns" into
+    // trampolineEntry with correct 16-byte alignment (entry rsp % 16 ==
+    // 8, as after a call) and a null fake return address above it.
+    std::uintptr_t top =
+        reinterpret_cast<std::uintptr_t>(stack_.data() + stack_.size());
+    top &= ~static_cast<std::uintptr_t>(15);
+    auto *slots = reinterpret_cast<void **>(top);
+    // Layout downward from top: [fake ret=0][RIP][rbp][rbx][r12..r15].
+    slots[-1] = nullptr;
+    slots[-2] = reinterpret_cast<void *>(&Fiber::trampolineEntry);
+    for (int i = 3; i <= 8; ++i)
+        slots[-i] = nullptr;
+    sp_ = reinterpret_cast<void *>(slots - 8);
+}
+
+void
+Fiber::trampolineEntry()
+{
+    currentFiber->trampoline();
+}
+
+#else
+#error "simmpi fibers currently support x86-64 Linux only"
+#endif
+
+Fiber *
+Fiber::current()
+{
+    return currentFiber;
+}
+
+Fiber::Fiber(std::function<void()> body, std::size_t stack_bytes)
+    : body_(std::move(body)), stack_(stack_bytes)
+{
+    MATCH_ASSERT(body_ != nullptr, "fiber needs a body");
+    MATCH_ASSERT(stack_bytes >= 64 * 1024, "fiber stack too small");
+    state_ = State::Runnable;
+}
+
+Fiber::~Fiber()
+{
+    // A fiber destroyed mid-flight would leak the C++ objects live on its
+    // stack. The runtime always unwinds fibers (via FiberUnwind throws)
+    // before dropping them; warn loudly if that contract is broken.
+    if (started_ && state_ != State::Finished)
+        util::warn("destroying unfinished fiber; stack objects leak");
+}
+
+void
+Fiber::trampoline()
+{
+    try {
+        body_();
+    } catch (const FiberUnwind &) {
+        // Expected teardown path (kill/abort/rollback); destructors on
+        // the fiber stack have already run during unwinding.
+    } catch (const std::exception &e) {
+        util::panic("uncaught exception on rank fiber: %s", e.what());
+    } catch (...) {
+        util::panic("uncaught non-standard exception on rank fiber");
+    }
+    state_ = State::Finished;
+    matchCtxSwap(&sp_, schedulerSp_);
+    util::panic("resumed a finished fiber");
+}
+
+void
+Fiber::resume()
+{
+    MATCH_ASSERT(currentFiber == nullptr,
+                 "resume() must be called from the scheduler");
+    MATCH_ASSERT(state_ == State::Runnable, "fiber not runnable");
+    currentFiber = this;
+    if (!started_) {
+        started_ = true;
+        initStack();
+    }
+    matchCtxSwap(&schedulerSp_, sp_);
+    currentFiber = nullptr;
+}
+
+void
+Fiber::yield()
+{
+    MATCH_ASSERT(currentFiber == this,
+                 "yield() must be called from inside the fiber");
+    matchCtxSwap(&sp_, schedulerSp_);
+}
+
+} // namespace match::simmpi

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Cooperative user-level fibers on a hand-rolled x86-64 stack switch.
+ *
+ * Each simulated MPI rank runs on its own fiber. The single-threaded
+ * scheduler resumes exactly one fiber at a time; fibers return control by
+ * yielding. Exceptions never propagate across a context switch: the entry
+ * trampoline catches everything and records the outcome.
+ *
+ * The switch exchanges only the callee-saved integer registers and the
+ * stack pointer (no signal mask, unlike ucontext), because a 512-rank
+ * simulation switches contexts millions of times per run.
+ */
+
+#ifndef MATCH_SIMMPI_FIBER_HH
+#define MATCH_SIMMPI_FIBER_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace match::simmpi
+{
+
+/** One cooperatively-scheduled execution context. */
+class Fiber
+{
+  public:
+    /** Lifecycle states of a fiber. */
+    enum class State
+    {
+        Runnable,  ///< can be resumed
+        Blocked,   ///< parked on a runtime event
+        Finished,  ///< body returned or unwound
+    };
+
+    /**
+     * Create a fiber executing `body` on a private stack.
+     * @param body the function to run; exceptions thrown by it are
+     *             swallowed by the trampoline (FiberUnwind silently, any
+     *             other exception via panic).
+     * @param stack_bytes stack size; proxy-app frames are shallow, the
+     *             default leaves ample headroom for FTI buffers.
+     */
+    explicit Fiber(std::function<void()> body,
+                   std::size_t stack_bytes = 128 * 1024);
+
+    ~Fiber();
+
+    Fiber(const Fiber &) = delete;
+    Fiber &operator=(const Fiber &) = delete;
+
+    /**
+     * Switch from the scheduler into this fiber until it yields or
+     * finishes. Must only be called from scheduler context.
+     */
+    void resume();
+
+    /**
+     * Switch from this fiber back to the scheduler. Must only be called
+     * from inside the fiber's own body.
+     */
+    void yield();
+
+    State state() const { return state_; }
+    void setState(State state) { state_ = state; }
+
+    bool finished() const { return state_ == State::Finished; }
+
+    /** Fiber currently executing, or nullptr in scheduler context. */
+    static Fiber *current();
+
+    /** Fiber-local storage slot (thread_local is useless under fibers:
+     *  they all share one OS thread). Used by the MPI compat shim. */
+    void *userData() const { return userData_; }
+    void setUserData(void *data) { userData_ = data; }
+
+  private:
+    void trampoline();
+    void initStack();
+    static void trampolineEntry();
+
+    std::function<void()> body_;
+    std::vector<std::uint8_t> stack_;
+    void *sp_ = nullptr;          ///< fiber stack pointer when parked
+    void *schedulerSp_ = nullptr; ///< scheduler stack pointer while running
+    State state_ = State::Runnable;
+    bool started_ = false;
+    void *userData_ = nullptr;    ///< fiber-local storage
+};
+
+} // namespace match::simmpi
+
+#endif // MATCH_SIMMPI_FIBER_HH

@@ -1,0 +1,278 @@
+/**
+ * @file
+ * C-flavoured MPI compatibility shim over the simulated runtime.
+ *
+ * The paper's sample implementations (Figures 1-3) are written against
+ * the MPI C API. This header lets such code compile nearly verbatim
+ * against the simulator, which makes porting real proxy applications
+ * into MATCH mostly mechanical:
+ *
+ *     using namespace match::simmpi::compat;
+ *     void rank_main(match::simmpi::Proc &proc)
+ *     {
+ *         BindProc bind(proc);                  // instead of mpirun
+ *         int rank, size;
+ *         MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+ *         MPI_Comm_size(MPI_COMM_WORLD, &size);
+ *         double sum;
+ *         MPI_Allreduce(&x, &sum, 1, MPI_DOUBLE, MPI_SUM,
+ *                       MPI_COMM_WORLD);
+ *     }
+ *
+ * Supported: init/finalize, rank/size, send/recv (standard mode),
+ * barrier, bcast, allreduce, reduce-to-all semantics, wtime. The shim
+ * is deliberately the *subset the six proxy apps and the paper's
+ * listings need* — not a full MPI implementation.
+ */
+
+#ifndef MATCH_SIMMPI_MPI_COMPAT_HH
+#define MATCH_SIMMPI_MPI_COMPAT_HH
+
+#include <cstring>
+
+#include "src/simmpi/proc.hh"
+#include "src/util/logging.hh"
+
+namespace match::simmpi::compat
+{
+
+/** MPI_SUCCESS and friends. */
+inline constexpr int MPI_SUCCESS = 0;
+inline constexpr int MPI_ERR_OTHER = 15;
+
+/** Communicator handle; MPI_COMM_WORLD resolves to the current world
+ *  (which ULFM repair may have replaced). */
+struct MPI_Comm_t
+{
+    CommId id = commNull; ///< commNull means "the current world"
+};
+inline constexpr MPI_Comm_t MPI_COMM_WORLD{commNull};
+using MPI_Comm = MPI_Comm_t;
+
+/** The datatypes the proxy apps use. */
+enum MPI_Datatype
+{
+    MPI_INT,
+    MPI_LONG_LONG,
+    MPI_DOUBLE,
+    MPI_BYTE,
+};
+
+/** Size in bytes of a datatype element. */
+constexpr std::size_t
+datatypeBytes(MPI_Datatype type)
+{
+    switch (type) {
+      case MPI_INT: return sizeof(int);
+      case MPI_LONG_LONG: return sizeof(long long);
+      case MPI_DOUBLE: return sizeof(double);
+      case MPI_BYTE: return 1;
+    }
+    return 1;
+}
+
+/** Reduction operators. */
+enum MPI_Op
+{
+    MPI_SUM,
+    MPI_MIN,
+    MPI_MAX,
+    MPI_PROD,
+    MPI_LAND,
+};
+
+/** Receive status (subset). */
+struct MPI_Status
+{
+    int MPI_SOURCE = -1;
+    int MPI_TAG = -1;
+    int count = 0;
+};
+inline MPI_Status *const MPI_STATUS_IGNORE = nullptr;
+
+inline constexpr int MPI_ANY_SOURCE = anySource;
+inline constexpr int MPI_ANY_TAG = anyTag;
+
+namespace detail
+{
+
+/** The Proc bound to the current fiber. All rank fibers share one OS
+ *  thread, so the binding lives in the fiber's user-data slot, not in
+ *  a thread_local. */
+inline Proc &
+proc()
+{
+    Fiber *fiber = Fiber::current();
+    MATCH_ASSERT(fiber != nullptr,
+                 "MPI compat call outside a BindProc scope "
+                 "(no rank fiber is running)");
+    Proc *bound = static_cast<Proc *>(fiber->userData());
+    MATCH_ASSERT(bound != nullptr,
+                 "MPI compat call outside a BindProc scope");
+    return *bound;
+}
+
+inline CommId
+resolve(MPI_Comm comm)
+{
+    return comm.id == commNull ? proc().world() : comm.id;
+}
+
+inline ReduceOp
+convert(MPI_Op op)
+{
+    switch (op) {
+      case MPI_SUM: return ReduceOp::Sum;
+      case MPI_MIN: return ReduceOp::Min;
+      case MPI_MAX: return ReduceOp::Max;
+      case MPI_PROD: return ReduceOp::Prod;
+      case MPI_LAND: return ReduceOp::LogicalAnd;
+    }
+    return ReduceOp::Sum;
+}
+
+} // namespace detail
+
+/**
+ * Bind the calling rank's Proc for the enclosing scope; plays the role
+ * of MPI_Init/MPI_Finalize's process-global state. Nesting replaces
+ * the binding and restores it on scope exit (ULFM restart scopes).
+ */
+class BindProc
+{
+  public:
+    explicit BindProc(Proc &proc)
+    {
+        fiber_ = Fiber::current();
+        MATCH_ASSERT(fiber_ != nullptr,
+                     "BindProc must be constructed on a rank fiber");
+        saved_ = fiber_->userData();
+        fiber_->setUserData(&proc);
+    }
+    ~BindProc() { fiber_->setUserData(saved_); }
+    BindProc(const BindProc &) = delete;
+    BindProc &operator=(const BindProc &) = delete;
+
+  private:
+    Fiber *fiber_;
+    void *saved_;
+};
+
+inline int
+MPI_Init(int *, char ***)
+{
+    detail::proc(); // must already be bound
+    return MPI_SUCCESS;
+}
+
+inline int
+MPI_Finalize()
+{
+    return MPI_SUCCESS;
+}
+
+inline int
+MPI_Comm_rank(MPI_Comm comm, int *rank)
+{
+    *rank = detail::proc().runtime().commRank(
+        detail::proc().globalIndex(), detail::resolve(comm));
+    return MPI_SUCCESS;
+}
+
+inline int
+MPI_Comm_size(MPI_Comm comm, int *size)
+{
+    *size = detail::proc().runtime().commSize(detail::resolve(comm));
+    return MPI_SUCCESS;
+}
+
+inline int
+MPI_Send(const void *buf, int count, MPI_Datatype type, int dest,
+         int tag, MPI_Comm comm)
+{
+    detail::proc().runtime().send(detail::proc().globalIndex(),
+                                  detail::resolve(comm), dest, tag, buf,
+                                  count * datatypeBytes(type),
+                                  count * datatypeBytes(type));
+    return MPI_SUCCESS;
+}
+
+inline int
+MPI_Recv(void *buf, int count, MPI_Datatype type, int source, int tag,
+         MPI_Comm comm, MPI_Status *status)
+{
+    const RecvStatus rs = detail::proc().runtime().recv(
+        detail::proc().globalIndex(), detail::resolve(comm), source, tag,
+        buf, count * datatypeBytes(type));
+    if (status) {
+        status->MPI_SOURCE = rs.source;
+        status->MPI_TAG = rs.tag;
+        status->count =
+            static_cast<int>(rs.bytes / datatypeBytes(type));
+    }
+    return MPI_SUCCESS;
+}
+
+inline int
+MPI_Barrier(MPI_Comm comm)
+{
+    detail::proc().barrier(detail::resolve(comm));
+    return MPI_SUCCESS;
+}
+
+inline int
+MPI_Bcast(void *buf, int count, MPI_Datatype type, int root,
+          MPI_Comm comm)
+{
+    detail::proc().bcast(root, buf, count * datatypeBytes(type),
+                         detail::resolve(comm));
+    return MPI_SUCCESS;
+}
+
+inline int
+MPI_Allreduce(const void *sendbuf, void *recvbuf, int count,
+              MPI_Datatype type, MPI_Op op, MPI_Comm comm)
+{
+    Proc &p = detail::proc();
+    const CommId c = detail::resolve(comm);
+    if (type == MPI_DOUBLE) {
+        p.runtime().allreduceDouble(
+            p.globalIndex(), c, static_cast<const double *>(sendbuf),
+            static_cast<double *>(recvbuf), count, detail::convert(op));
+        return MPI_SUCCESS;
+    }
+    if (type == MPI_LONG_LONG) {
+        p.runtime().allreduceInt64(
+            p.globalIndex(), c,
+            static_cast<const std::int64_t *>(sendbuf),
+            static_cast<std::int64_t *>(recvbuf), count,
+            detail::convert(op));
+        return MPI_SUCCESS;
+    }
+    if (type == MPI_INT) {
+        // Widen to int64 for the engine, then narrow back.
+        std::vector<std::int64_t> in(count), out(count);
+        const int *src = static_cast<const int *>(sendbuf);
+        for (int i = 0; i < count; ++i)
+            in[i] = src[i];
+        p.runtime().allreduceInt64(p.globalIndex(), c, in.data(),
+                                   out.data(), count,
+                                   detail::convert(op));
+        int *dst = static_cast<int *>(recvbuf);
+        for (int i = 0; i < count; ++i)
+            dst[i] = static_cast<int>(out[i]);
+        return MPI_SUCCESS;
+    }
+    return MPI_ERR_OTHER;
+}
+
+/** Virtual time, like MPI_Wtime. */
+inline double
+MPI_Wtime()
+{
+    return detail::proc().now();
+}
+
+} // namespace match::simmpi::compat
+
+#endif // MATCH_SIMMPI_MPI_COMPAT_HH

@@ -1,0 +1,1133 @@
+#include "src/simmpi/runtime.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "src/simmpi/proc.hh"
+#include "src/util/logging.hh"
+
+namespace match::simmpi
+{
+
+Runtime::Runtime() = default;
+Runtime::~Runtime() = default;
+
+// ---------------------------------------------------------------------------
+// Job setup and the scheduler
+// ---------------------------------------------------------------------------
+
+JobResult
+Runtime::run(const JobOptions &options, RankMain main)
+{
+    MATCH_ASSERT(options.policy != ErrorPolicy::Reinit,
+                 "use runReinit() for the Reinit policy");
+    auto body = [this, main](int g) {
+        Proc proc(this, g);
+        main(proc);
+    };
+    return runImpl(options, body);
+}
+
+JobResult
+Runtime::runReinit(const JobOptions &options, ReinitMain main)
+{
+    MATCH_ASSERT(options.policy == ErrorPolicy::Reinit,
+                 "runReinit() requires the Reinit policy");
+    auto body = [this, main](int g) {
+        // OMPI_Reinit(): invoke resilient_main, re-entering it after every
+        // runtime-level global-restart recovery.
+        Proc proc(this, g);
+        ReinitState state = (ranks_[g].respawned || recoveries_ > 0)
+                                ? ReinitState::Restarted
+                                : ReinitState::New;
+        for (;;) {
+            try {
+                main(proc, state);
+                return;
+            } catch (const ReinitRollback &) {
+                RankState &rs = ranks_[g];
+                const SimTime target =
+                    std::max(rs.clock, reinitRestartTime_);
+                rs.perCategory[static_cast<int>(TimeCategory::Recovery)] +=
+                    target - rs.clock;
+                rs.clock = target;
+                rs.category = TimeCategory::Application;
+                state = ReinitState::Restarted;
+            }
+        }
+    };
+    return runImpl(options, body);
+}
+
+JobResult
+Runtime::runImpl(const JobOptions &options, std::function<void(int)> body)
+{
+    MATCH_ASSERT(options.nprocs >= 1, "job needs at least one process");
+    costModel_ = CostModel(options.costParams);
+    policy_ = options.policy;
+    injection_ = options.injection;
+    fiberBody_ = std::move(body);
+
+    ranks_.clear();
+    ranks_.resize(options.nprocs);
+    ready_ = decltype(ready_)();
+    for (int g = 0; g < options.nprocs; ++g) {
+        RankState &rs = ranks_[g];
+        rs.globalIndex = g;
+        rs.fiber = std::make_unique<Fiber>([this, g] { fiberBody_(g); });
+        pushReady(g);
+    }
+
+    comms_.clear();
+    std::vector<int> world(options.nprocs);
+    for (int g = 0; g < options.nprocs; ++g)
+        world[g] = g;
+    createComm(std::move(world));
+    currentWorld_ = commWorld;
+    pendingColl_.clear();
+    repairOp_ = RepairOp{};
+    jobAborting_ = false;
+    abortTime_ = 0.0;
+    reinitRestartTime_ = 0.0;
+    failureCount_ = 0;
+    recoveries_ = 0;
+    failureFired_ = false;
+    failedRank_ = -1;
+    failTime_ = 0.0;
+    deathHandled_ = false;
+
+    scheduleLoop();
+
+    JobResult result;
+    buildResult(result);
+    return result;
+}
+
+void
+Runtime::pushReady(int g)
+{
+    ready_.emplace(ranks_[g].clock, g);
+}
+
+void
+Runtime::scheduleLoop()
+{
+    while (anyUnfinished()) {
+        if (ready_.empty()) {
+            for (const auto &rs : ranks_) {
+                util::warn("rank %d: state=%d blocked=%d failed=%d t=%.6f",
+                           rs.globalIndex,
+                           static_cast<int>(rs.fiber->state()),
+                           static_cast<int>(rs.blockReason), rs.failed,
+                           rs.clock);
+            }
+            util::panic("simmpi scheduler deadlock: no runnable rank");
+        }
+        const int g = ready_.top().second;
+        ready_.pop();
+        RankState &rs = ranks_[g];
+        if (rs.fiber->state() != Fiber::State::Runnable)
+            continue; // stale entry (defensive; should not occur)
+        rs.fiber->resume();
+        if (rs.fiber->state() == Fiber::State::Runnable)
+            pushReady(g); // defensive: a voluntary yield re-queues
+        if (rs.fiber->finished() && rs.failed && !deathHandled_) {
+            // The fiber died from the injected SIGTERM; propagate the
+            // failure to the rest of the job exactly once.
+            deathHandled_ = true;
+            onRankDeath(g);
+        }
+    }
+}
+
+bool
+Runtime::anyUnfinished() const
+{
+    for (const auto &rs : ranks_)
+        if (!rs.fiber->finished())
+            return true;
+    return false;
+}
+
+void
+Runtime::buildResult(JobResult &result) const
+{
+    result.aborted = jobAborting_;
+    result.recoveries = recoveries_;
+    result.failureFired = failureFired_;
+    result.failedRank = failedRank_;
+    result.failTime = failTime_;
+    result.perRank.resize(ranks_.size());
+    SimTime makespan = 0.0;
+    std::array<double, 4> sums{};
+    for (std::size_t g = 0; g < ranks_.size(); ++g) {
+        result.perRank[g] = ranks_[g].perCategory;
+        makespan = std::max(makespan, ranks_[g].clock);
+        for (int c = 0; c < 4; ++c)
+            sums[c] += ranks_[g].perCategory[c];
+    }
+    for (int c = 0; c < 4; ++c)
+        result.breakdown[c] = sums[c] / static_cast<double>(ranks_.size());
+    result.makespan = makespan;
+}
+
+// ---------------------------------------------------------------------------
+// Blocking, signals and error delivery
+// ---------------------------------------------------------------------------
+
+void
+Runtime::block(int g, BlockReason reason)
+{
+    RankState &rs = ranks_[g];
+    rs.blockReason = reason;
+    rs.fiber->setState(Fiber::State::Blocked);
+    rs.fiber->yield();
+    rs.blockReason = BlockReason::None;
+}
+
+void
+Runtime::wake(int g)
+{
+    RankState &rs = ranks_[g];
+    if (rs.fiber->state() == Fiber::State::Blocked) {
+        rs.fiber->setState(Fiber::State::Runnable);
+        pushReady(g);
+    }
+}
+
+void
+Runtime::checkSignals(int g)
+{
+    RankState &rs = ranks_[g];
+    if (rs.unwindAbort) {
+        const SimTime dt = std::max(0.0, abortTime_ - rs.clock);
+        rs.clock += dt;
+        rs.perCategory[static_cast<int>(TimeCategory::Recovery)] += dt;
+        throw JobAborted(Err::ProcFailed);
+    }
+    if (rs.unwindReinit) {
+        rs.unwindReinit = false;
+        throw ReinitRollback{};
+    }
+}
+
+void
+Runtime::deliverError(int g, Err err)
+{
+    RankState &rs = ranks_[g];
+    switch (policy_) {
+      case ErrorPolicy::Fatal:
+        if (!jobAborting_) {
+            triggerJobAbort(std::max(
+                rs.clock, failTime_ + costModel_.detectionLatency()));
+        }
+        checkSignals(g); // throws JobAborted
+        util::panic("fatal error policy did not abort");
+      case ErrorPolicy::Reinit:
+        // The runtime normally recovers before ranks observe the error;
+        // if one slips through, treat it as the rollback signal.
+        throw ReinitRollback{};
+      case ErrorPolicy::Return:
+        if (!rs.errorHandler) {
+            util::panic("rank %d observed %s with no error handler", g,
+                        errName(err));
+        }
+        if (rs.inErrorHandler) {
+            util::panic("nested MPI error (%s) inside error handler on "
+                        "rank %d", errName(err), g);
+        }
+        rs.errorHandler(err); // expected to repair and throw UlfmRestart
+        util::panic("ULFM error handler on rank %d returned; it must "
+                    "unwind via UlfmRestart", g);
+    }
+    util::panic("unreachable error delivery path");
+}
+
+// ---------------------------------------------------------------------------
+// Failure machinery
+// ---------------------------------------------------------------------------
+
+void
+Runtime::iterationPoint(int g, int iteration)
+{
+    checkSignals(g);
+    if (!injection_ || injection_->fired)
+        return;
+    if (injection_->iteration != iteration || injection_->rank != g)
+        return;
+    // Figure 4 of the paper: raise(SIGTERM) on the selected rank in the
+    // selected iteration of the main computation loop.
+    injection_->fired = true;
+    RankState &rs = ranks_[g];
+    rs.failed = true;
+    rs.failTime = rs.clock;
+    ++failureCount_;
+    failureFired_ = true;
+    failedRank_ = g;
+    failTime_ = rs.clock;
+    util::debug("KILL rank %d at iteration %d (t=%.3f)", g, iteration,
+                rs.clock);
+    throw ProcessKilled{};
+}
+
+void
+Runtime::onRankDeath(int g)
+{
+    failPendingOpsFor(g);
+    const SimTime detect = failTime_ + costModel_.detectionLatency();
+    switch (policy_) {
+      case ErrorPolicy::Fatal:
+        triggerJobAbort(detect);
+        break;
+      case ErrorPolicy::Reinit:
+        triggerReinitRecovery(detect);
+        break;
+      case ErrorPolicy::Return:
+        // Survivors observe the failure through their next operation on a
+        // communicator involving the dead rank.
+        break;
+    }
+}
+
+void
+Runtime::failPendingOpsFor(int deadGlobal)
+{
+    const SimTime detect = failTime_ + costModel_.detectionLatency();
+    for (auto &[key, op] : pendingColl_) {
+        if (op.done || op.failed)
+            continue;
+        const Communicator &comm = commRef(op.comm);
+        if (!comm.contains(deadGlobal))
+            continue;
+        op.failed = true;
+        op.failTime = detect;
+        for (std::size_t lr = 0; lr < op.arrived.size(); ++lr) {
+            if (op.arrived[lr])
+                wake(comm.members[lr]);
+        }
+    }
+    for (auto &rs : ranks_) {
+        if (rs.blockReason != BlockReason::Recv)
+            continue;
+        if (commRef(rs.recvComm).contains(deadGlobal))
+            wake(rs.globalIndex);
+    }
+}
+
+void
+Runtime::triggerJobAbort(SimTime when)
+{
+    if (jobAborting_)
+        return;
+    jobAborting_ = true;
+    abortTime_ = when;
+    for (auto &rs : ranks_) {
+        if (rs.fiber->finished())
+            continue;
+        rs.unwindAbort = true;
+        wake(rs.globalIndex);
+    }
+}
+
+void
+Runtime::triggerReinitRecovery(SimTime when)
+{
+    ++recoveries_;
+    reinitRestartTime_ =
+        when + costModel_.reinitRecovery(static_cast<int>(ranks_.size()));
+    // A global restart discards all in-flight communication state, and
+    // every rank restarts its collective sequence numbering from zero.
+    pendingColl_.clear();
+    for (auto &rs : ranks_) {
+        rs.mailbox.clear();
+        rs.collSeq.clear();
+        if (rs.failed && rs.fiber->finished()) {
+            // Respawn the dead slot with a fresh incarnation whose clock
+            // starts when recovery completes.
+            const int g = rs.globalIndex;
+            const SimTime lost = reinitRestartTime_ - rs.failTime;
+            rs.perCategory[static_cast<int>(TimeCategory::Recovery)] +=
+                std::max(0.0, lost);
+            rs.failed = false;
+            rs.respawned = true;
+            rs.clock = reinitRestartTime_;
+            rs.category = TimeCategory::Application;
+            rs.fiber = std::make_unique<Fiber>([this, g] { fiberBody_(g); });
+            pushReady(g);
+        } else if (!rs.fiber->finished()) {
+            rs.unwindReinit = true;
+            wake(rs.globalIndex);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Time accounting
+// ---------------------------------------------------------------------------
+
+SimTime
+Runtime::clock(int g) const
+{
+    return ranks_[g].clock;
+}
+
+void
+Runtime::sleepFor(int g, SimTime dt)
+{
+    checkSignals(g);
+    MATCH_ASSERT(dt >= 0.0, "time cannot flow backwards");
+    RankState &rs = ranks_[g];
+    rs.clock += dt;
+    rs.perCategory[static_cast<int>(rs.category)] += dt;
+}
+
+void
+Runtime::computeFlops(int g, double flops)
+{
+    checkSignals(g);
+    double dt = costModel_.compute(flops);
+    if (policy_ == ErrorPolicy::Return &&
+        ranks_[g].category == TimeCategory::Application)
+        dt *= costModel_.ulfmAppFactor(static_cast<int>(ranks_.size()));
+    RankState &rs = ranks_[g];
+    rs.clock += dt;
+    rs.perCategory[static_cast<int>(rs.category)] += dt;
+}
+
+void
+Runtime::computeBytes(int g, double bytes)
+{
+    checkSignals(g);
+    double dt = costModel_.memory(bytes);
+    if (policy_ == ErrorPolicy::Return &&
+        ranks_[g].category == TimeCategory::Application)
+        dt *= costModel_.ulfmAppFactor(static_cast<int>(ranks_.size()));
+    RankState &rs = ranks_[g];
+    rs.clock += dt;
+    rs.perCategory[static_cast<int>(rs.category)] += dt;
+}
+
+void
+Runtime::setCategory(int g, TimeCategory category)
+{
+    ranks_[g].category = category;
+}
+
+TimeCategory
+Runtime::category(int g) const
+{
+    return ranks_[g].category;
+}
+
+// ---------------------------------------------------------------------------
+// Communicators
+// ---------------------------------------------------------------------------
+
+CommId
+Runtime::createComm(std::vector<int> members)
+{
+    Communicator comm;
+    comm.id = static_cast<CommId>(comms_.size());
+    comm.members = std::move(members);
+    comm.globalToLocal.assign(ranks_.size(), -1);
+    for (std::size_t lr = 0; lr < comm.members.size(); ++lr)
+        comm.globalToLocal[comm.members[lr]] = static_cast<int>(lr);
+    comms_.push_back(std::move(comm));
+    return comms_.back().id;
+}
+
+const Runtime::Communicator &
+Runtime::commRef(CommId comm) const
+{
+    MATCH_ASSERT(comm >= 0 && comm < static_cast<CommId>(comms_.size()),
+                 "invalid communicator handle");
+    return comms_[comm];
+}
+
+Runtime::Communicator &
+Runtime::commMutable(CommId comm)
+{
+    MATCH_ASSERT(comm >= 0 && comm < static_cast<CommId>(comms_.size()),
+                 "invalid communicator handle");
+    return comms_[comm];
+}
+
+int
+Runtime::commSize(CommId comm) const
+{
+    return static_cast<int>(commRef(comm).members.size());
+}
+
+Rank
+Runtime::commRank(int g, CommId comm) const
+{
+    return localRank(g, comm);
+}
+
+bool
+Runtime::commRevoked(CommId comm) const
+{
+    return commRef(comm).revoked;
+}
+
+int
+Runtime::localRank(int g, CommId comm) const
+{
+    const Communicator &c = commRef(comm);
+    MATCH_ASSERT(c.contains(g), "rank is not a communicator member");
+    return c.globalToLocal[g];
+}
+
+// ---------------------------------------------------------------------------
+// Point-to-point
+// ---------------------------------------------------------------------------
+
+void
+Runtime::send(int g, CommId comm, Rank dest, Tag tag, const void *buf,
+              std::size_t bytes, std::size_t virtual_bytes)
+{
+    checkSignals(g);
+    const Communicator &c = commRef(comm);
+    if (c.revoked)
+        deliverError(g, Err::Revoked);
+    MATCH_ASSERT(dest >= 0 && dest < static_cast<Rank>(c.members.size()),
+                 "send destination out of range");
+    const int destGlobal = c.members[dest];
+    RankState &rs = ranks_[g];
+    if (failureCount_ > 0 && ranks_[destGlobal].failed) {
+        const SimTime detect =
+            ranks_[destGlobal].failTime + costModel_.detectionLatency();
+        sleepFor(g, std::max(0.0, detect - rs.clock));
+        deliverError(g, Err::ProcFailed);
+    }
+
+    double factor = 1.0;
+    if (policy_ == ErrorPolicy::Return &&
+        rs.category == TimeCategory::Application)
+        factor = costModel_.ulfmAppFactor(static_cast<int>(ranks_.size()));
+
+    Message msg;
+    msg.srcLocal = localRank(g, comm);
+    msg.tag = tag;
+    msg.comm = comm;
+    msg.payload.assign(static_cast<const std::uint8_t *>(buf),
+                       static_cast<const std::uint8_t *>(buf) + bytes);
+    msg.arrival = rs.clock + costModel_.pointToPoint(virtual_bytes) * factor;
+    const Rank srcLocal = msg.srcLocal;
+    ranks_[destGlobal].mailbox.push_back(std::move(msg));
+    sleepFor(g, costModel_.sideOverhead());
+
+    RankState &dr = ranks_[destGlobal];
+    if (dr.blockReason == BlockReason::Recv && dr.recvComm == comm &&
+        (dr.recvSrc == anySource || dr.recvSrc == srcLocal) &&
+        (dr.recvTag == anyTag || dr.recvTag == tag)) {
+        wake(destGlobal);
+    }
+}
+
+bool
+Runtime::probe(int g, CommId comm, Rank src, Tag tag) const
+{
+    for (const auto &msg : ranks_[g].mailbox) {
+        if (msg.comm != comm)
+            continue;
+        if (src != anySource && msg.srcLocal != src)
+            continue;
+        if (tag != anyTag && msg.tag != tag)
+            continue;
+        return true;
+    }
+    return false;
+}
+
+RecvStatus
+Runtime::recv(int g, CommId comm, Rank src, Tag tag, void *buf,
+              std::size_t capacity)
+{
+    checkSignals(g);
+    RankState &rs = ranks_[g];
+    for (;;) {
+        const Communicator &c = commRef(comm);
+        if (c.revoked)
+            deliverError(g, Err::Revoked);
+        for (auto it = rs.mailbox.begin(); it != rs.mailbox.end(); ++it) {
+            if (it->comm != comm)
+                continue;
+            if (src != anySource && it->srcLocal != src)
+                continue;
+            if (tag != anyTag && it->tag != tag)
+                continue;
+            const SimTime completion = std::max(rs.clock, it->arrival) +
+                                       costModel_.sideOverhead();
+            const SimTime dt = completion - rs.clock;
+            rs.clock = completion;
+            rs.perCategory[static_cast<int>(rs.category)] += dt;
+            RecvStatus status;
+            status.source = it->srcLocal;
+            status.tag = it->tag;
+            status.bytes = it->payload.size();
+            MATCH_ASSERT(it->payload.size() <= capacity,
+                         "receive buffer too small");
+            std::memcpy(buf, it->payload.data(), it->payload.size());
+            rs.mailbox.erase(it);
+            return status;
+        }
+        // No message queued: fail fast when the awaited peer is dead
+        // (MPIX_ERR_PROC_FAILED; for ANY_SOURCE any dead member counts).
+        if (failureCount_ > 0) {
+            bool peerDead = false;
+            SimTime peerFailTime = 0.0;
+            if (src != anySource) {
+                const int srcGlobal = c.members[src];
+                if (ranks_[srcGlobal].failed) {
+                    peerDead = true;
+                    peerFailTime = ranks_[srcGlobal].failTime;
+                }
+            } else {
+                for (int member : c.members) {
+                    if (member != g && ranks_[member].failed) {
+                        peerDead = true;
+                        peerFailTime = ranks_[member].failTime;
+                        break;
+                    }
+                }
+            }
+            if (peerDead) {
+                const SimTime detect =
+                    peerFailTime + costModel_.detectionLatency();
+                sleepFor(g, std::max(0.0, detect - rs.clock));
+                deliverError(g, Err::ProcFailed);
+            }
+        }
+        rs.recvComm = comm;
+        rs.recvSrc = src;
+        rs.recvTag = tag;
+        block(g, BlockReason::Recv);
+        checkSignals(g);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Nonblocking point-to-point
+// ---------------------------------------------------------------------------
+
+int
+Runtime::isend(int g, CommId comm, Rank dest, Tag tag, const void *buf,
+               std::size_t bytes, std::size_t virtual_bytes)
+{
+    // Eager/buffered semantics: the payload is captured by the send, so
+    // an isend is a send plus a trivially-complete request.
+    send(g, comm, dest, tag, buf, bytes, virtual_bytes);
+    RankState &rs = ranks_[g];
+    const int id = rs.nextRequestId++;
+    RankState::PendingRequest req;
+    req.isRecv = false;
+    req.done = true;
+    req.comm = comm;
+    req.peer = dest;
+    req.tag = tag;
+    rs.requests[id] = req;
+    return id;
+}
+
+int
+Runtime::irecv(int g, CommId comm, Rank src, Tag tag, void *buf,
+               std::size_t capacity)
+{
+    checkSignals(g);
+    RankState &rs = ranks_[g];
+    const int id = rs.nextRequestId++;
+    RankState::PendingRequest req;
+    req.isRecv = true;
+    req.done = false;
+    req.comm = comm;
+    req.peer = src;
+    req.tag = tag;
+    req.buf = buf;
+    req.capacity = capacity;
+    rs.requests[id] = req;
+    return id;
+}
+
+RecvStatus
+Runtime::wait(int g, int request)
+{
+    RankState &rs = ranks_[g];
+    auto it = rs.requests.find(request);
+    MATCH_ASSERT(it != rs.requests.end(), "wait on unknown request");
+    RankState::PendingRequest req = it->second;
+    rs.requests.erase(it);
+    if (req.done)
+        return req.status;
+    // A pending nonblocking receive completes exactly like a blocking
+    // receive posted now (matching consumed messages in order).
+    return recv(g, req.comm, req.peer, req.tag, req.buf, req.capacity);
+}
+
+bool
+Runtime::testRequest(int g, int request)
+{
+    RankState &rs = ranks_[g];
+    auto it = rs.requests.find(request);
+    MATCH_ASSERT(it != rs.requests.end(), "test on unknown request");
+    if (it->second.done)
+        return true;
+    return probe(g, it->second.comm, it->second.peer, it->second.tag);
+}
+
+// ---------------------------------------------------------------------------
+// Collectives
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint8_t>
+Runtime::joinCollective(int g, CollKind kind, CollData data, CommId comm,
+                        ReduceOp rop, Rank root, const void *in,
+                        std::size_t in_bytes, std::size_t virtual_bytes)
+{
+    checkSignals(g);
+    const Communicator &c = commRef(comm);
+    if (c.revoked)
+        deliverError(g, Err::Revoked);
+    if (failureCount_ > 0) {
+        // A collective over a communicator with a failed member raises
+        // MPIX_ERR_PROC_FAILED for every participant.
+        for (int member : c.members) {
+            if (member != g && ranks_[member].failed) {
+                const SimTime detect = ranks_[member].failTime +
+                                       costModel_.detectionLatency();
+                sleepFor(g, std::max(0.0, detect - ranks_[g].clock));
+                deliverError(g, Err::ProcFailed);
+            }
+        }
+    }
+
+    RankState &rs = ranks_[g];
+    const std::uint64_t seq = rs.collSeq[comm]++;
+    const CollKey key{comm, seq};
+    auto [it, created] = pendingColl_.try_emplace(key);
+    CollectiveOp &op = it->second;
+    if (created) {
+        op.kind = kind;
+        op.data = data;
+        op.comm = comm;
+        op.rop = rop;
+        op.root = root;
+        op.bytes = virtual_bytes;
+        op.expected = static_cast<int>(c.members.size());
+        op.arrived.assign(c.members.size(), false);
+        op.contrib.resize(c.members.size());
+    }
+    MATCH_ASSERT(op.kind == kind && op.data == data,
+                 "mismatched collective across ranks");
+    const int lr = localRank(g, comm);
+    MATCH_ASSERT(!op.arrived[lr], "rank joined the same collective twice");
+    op.arrived[lr] = true;
+    ++op.arrivedCount;
+    if (in && in_bytes) {
+        op.contrib[lr].assign(
+            static_cast<const std::uint8_t *>(in),
+            static_cast<const std::uint8_t *>(in) + in_bytes);
+    }
+    op.maxArrival = std::max(op.maxArrival,
+                             rs.clock + costModel_.sideOverhead());
+
+    if (op.arrivedCount == op.expected) {
+        completeCollective(op);
+        for (std::size_t r = 0; r < op.arrived.size(); ++r) {
+            const int member = c.members[r];
+            if (member != g)
+                wake(member);
+        }
+    } else {
+        block(g, BlockReason::Collective);
+        checkSignals(g);
+    }
+
+    // Re-look-up: the map may have changed while this fiber was blocked.
+    auto post = pendingColl_.find(key);
+    MATCH_ASSERT(post != pendingColl_.end(),
+                 "collective op vanished while blocked");
+    CollectiveOp &fin = post->second;
+    if (fin.failed && !fin.done) {
+        sleepFor(g, std::max(0.0, fin.failTime - rs.clock));
+        // Leave the op in place for the other victims; recovery clears it.
+        deliverError(g, Err::ProcFailed);
+    }
+    MATCH_ASSERT(fin.done, "woken from a collective that is not done");
+    const SimTime dt = std::max(0.0, fin.completion - rs.clock);
+    rs.clock += dt;
+    rs.perCategory[static_cast<int>(rs.category)] += dt;
+    std::vector<std::uint8_t> result = fin.result;
+    if (++fin.consumedCount == fin.expected)
+        pendingColl_.erase(post);
+    return result;
+}
+
+void
+Runtime::completeCollective(CollectiveOp &op)
+{
+    const Communicator &c = commRef(op.comm);
+    const int procs = static_cast<int>(c.members.size());
+    double factor = 1.0;
+    if (policy_ == ErrorPolicy::Return) {
+        // The op inherits the phase of its participants; FTI checkpoint
+        // collectives see a smaller interference factor than app ones.
+        const TimeCategory cat = ranks_[c.members[0]].category;
+        factor = (cat == TimeCategory::CkptWrite)
+                     ? costModel_.ulfmCkptFactor(procs)
+                     : costModel_.ulfmAppFactor(procs);
+    }
+    op.completion = op.maxArrival +
+                    costModel_.collective(op.kind, op.bytes, procs) * factor;
+    reduceBytes(op);
+    op.done = true;
+}
+
+namespace
+{
+
+template <typename T>
+void
+combine(std::vector<std::uint8_t> &acc, const std::vector<std::uint8_t> &in,
+        ReduceOp op)
+{
+    if (acc.empty()) {
+        acc = in;
+        return;
+    }
+    MATCH_ASSERT(acc.size() == in.size(), "reduce contribution mismatch");
+    auto *a = reinterpret_cast<T *>(acc.data());
+    const auto *b = reinterpret_cast<const T *>(in.data());
+    const std::size_t n = acc.size() / sizeof(T);
+    for (std::size_t i = 0; i < n; ++i) {
+        switch (op) {
+          case ReduceOp::Sum: a[i] = a[i] + b[i]; break;
+          case ReduceOp::Min: a[i] = std::min(a[i], b[i]); break;
+          case ReduceOp::Max: a[i] = std::max(a[i], b[i]); break;
+          case ReduceOp::Prod: a[i] = a[i] * b[i]; break;
+          case ReduceOp::LogicalAnd:
+            a[i] = static_cast<T>(a[i] && b[i]);
+            break;
+        }
+    }
+}
+
+} // anonymous namespace
+
+void
+Runtime::reduceBytes(CollectiveOp &op)
+{
+    switch (op.data) {
+      case CollData::None:
+        return;
+      case CollData::ReduceDouble: {
+        std::vector<std::uint8_t> acc;
+        for (const auto &contrib : op.contrib)
+            combine<double>(acc, contrib, op.rop);
+        op.result = std::move(acc);
+        return;
+      }
+      case CollData::ReduceInt64: {
+        std::vector<std::uint8_t> acc;
+        for (const auto &contrib : op.contrib)
+            combine<std::int64_t>(acc, contrib, op.rop);
+        op.result = std::move(acc);
+        return;
+      }
+      case CollData::Bcast:
+        op.result = op.contrib[op.root];
+        return;
+      case CollData::Gather:
+      case CollData::Allgather: {
+        std::vector<std::uint8_t> out;
+        for (const auto &contrib : op.contrib)
+            out.insert(out.end(), contrib.begin(), contrib.end());
+        op.result = std::move(out);
+        return;
+      }
+      case CollData::ExscanInt64: {
+        std::vector<std::uint8_t> out(op.contrib.size() *
+                                      sizeof(std::int64_t));
+        auto *vals = reinterpret_cast<std::int64_t *>(out.data());
+        std::int64_t running = 0;
+        for (std::size_t r = 0; r < op.contrib.size(); ++r) {
+            vals[r] = running;
+            if (!op.contrib[r].empty()) {
+                std::int64_t v;
+                std::memcpy(&v, op.contrib[r].data(), sizeof(v));
+                running += v;
+            }
+        }
+        op.result = std::move(out);
+        return;
+      }
+    }
+}
+
+void
+Runtime::barrier(int g, CommId comm)
+{
+    joinCollective(g, CollKind::Barrier, CollData::None, comm,
+                   ReduceOp::Sum, 0, nullptr, 0, 0);
+}
+
+void
+Runtime::allreduceDouble(int g, CommId comm, const double *in, double *out,
+                         std::size_t n, ReduceOp op)
+{
+    const auto result = joinCollective(g, CollKind::Allreduce,
+                                       CollData::ReduceDouble, comm, op, 0,
+                                       in, n * sizeof(double),
+                                       n * sizeof(double));
+    MATCH_ASSERT(result.size() == n * sizeof(double),
+                 "allreduce result size mismatch");
+    std::memcpy(out, result.data(), result.size());
+}
+
+void
+Runtime::allreduceInt64(int g, CommId comm, const std::int64_t *in,
+                        std::int64_t *out, std::size_t n, ReduceOp op)
+{
+    const auto result = joinCollective(g, CollKind::Allreduce,
+                                       CollData::ReduceInt64, comm, op, 0,
+                                       in, n * sizeof(std::int64_t),
+                                       n * sizeof(std::int64_t));
+    MATCH_ASSERT(result.size() == n * sizeof(std::int64_t),
+                 "allreduce result size mismatch");
+    std::memcpy(out, result.data(), result.size());
+}
+
+void
+Runtime::bcast(int g, CommId comm, Rank root, void *buf, std::size_t bytes,
+               std::size_t virtual_bytes)
+{
+    const bool amRoot = localRank(g, comm) == root;
+    const auto result = joinCollective(g, CollKind::Bcast, CollData::Bcast,
+                                       comm, ReduceOp::Sum, root,
+                                       amRoot ? buf : nullptr,
+                                       amRoot ? bytes : 0, virtual_bytes);
+    MATCH_ASSERT(result.size() == bytes, "bcast size mismatch");
+    if (!amRoot)
+        std::memcpy(buf, result.data(), bytes);
+}
+
+void
+Runtime::gather(int g, CommId comm, Rank root, const void *in,
+                std::size_t bytes, void *out, std::size_t virtual_bytes)
+{
+    const auto result = joinCollective(g, CollKind::Gather, CollData::Gather,
+                                       comm, ReduceOp::Sum, root, in, bytes,
+                                       virtual_bytes);
+    if (localRank(g, comm) == root) {
+        MATCH_ASSERT(result.size() ==
+                         bytes * commRef(comm).members.size(),
+                     "gather size mismatch");
+        std::memcpy(out, result.data(), result.size());
+    }
+}
+
+void
+Runtime::allgather(int g, CommId comm, const void *in, std::size_t bytes,
+                   void *out, std::size_t virtual_bytes)
+{
+    const auto result = joinCollective(g, CollKind::Allgather,
+                                       CollData::Allgather, comm,
+                                       ReduceOp::Sum, 0, in, bytes,
+                                       virtual_bytes);
+    MATCH_ASSERT(result.size() == bytes * commRef(comm).members.size(),
+                 "allgather size mismatch");
+    std::memcpy(out, result.data(), result.size());
+}
+
+std::int64_t
+Runtime::exscanInt64(int g, CommId comm, std::int64_t value)
+{
+    const auto result = joinCollective(g, CollKind::Scan,
+                                       CollData::ExscanInt64, comm,
+                                       ReduceOp::Sum, 0, &value,
+                                       sizeof(value), sizeof(value));
+    const int lr = localRank(g, comm);
+    std::int64_t out;
+    std::memcpy(&out, result.data() + lr * sizeof(std::int64_t),
+                sizeof(out));
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// ULFM extension
+// ---------------------------------------------------------------------------
+
+void
+Runtime::setErrorHandler(int g, std::function<void(Err)> handler)
+{
+    ranks_[g].errorHandler = std::move(handler);
+}
+
+void
+Runtime::ulfmRevoke(int g, CommId comm)
+{
+    MATCH_ASSERT(policy_ == ErrorPolicy::Return,
+                 "ULFM operations require the Return error policy");
+    Communicator &c = commMutable(comm);
+    if (c.revoked)
+        return;
+    c.revoked = true;
+    // Interrupt everything pending on the communicator: mark ops failed
+    // and wake everyone blocked so they observe the revocation.
+    for (auto &[key, op] : pendingColl_) {
+        if (op.comm == comm && !op.done && !op.failed) {
+            op.failed = true;
+            op.failTime = ranks_[g].clock;
+        }
+    }
+    for (auto &rs : ranks_) {
+        if (rs.fiber->finished())
+            continue;
+        if (rs.blockReason == BlockReason::Recv && rs.recvComm == comm)
+            wake(rs.globalIndex);
+        if (rs.blockReason == BlockReason::Collective)
+            wake(rs.globalIndex);
+    }
+    sleepFor(g, costModel_.ulfmRevoke(static_cast<int>(c.members.size())));
+}
+
+CommId
+Runtime::ulfmRepairWorld(int g)
+{
+    return repairWorldCommon(g, /*shrinking=*/false);
+}
+
+CommId
+Runtime::ulfmShrinkWorld(int g)
+{
+    return repairWorldCommon(g, /*shrinking=*/true);
+}
+
+CommId
+Runtime::repairWorldCommon(int g, bool shrinking)
+{
+    MATCH_ASSERT(policy_ == ErrorPolicy::Return,
+                 "ULFM operations require the Return error policy");
+    RankState &rs = ranks_[g];
+    rs.inErrorHandler = true;
+
+    const CommId oldWorld = currentWorld_;
+    const Communicator &world = commRef(oldWorld);
+
+    if (!repairOp_.active) {
+        repairOp_ = RepairOp{};
+        repairOp_.active = true;
+        repairOp_.shrinking = shrinking;
+        repairOp_.oldWorld = oldWorld;
+        repairOp_.arrived.assign(world.members.size(), false);
+        for (int member : world.members) {
+            if (!(ranks_[member].failed && ranks_[member].fiber->finished()))
+                ++repairOp_.expected;
+        }
+    }
+    MATCH_ASSERT(repairOp_.oldWorld == oldWorld &&
+                     repairOp_.shrinking == shrinking,
+                 "inconsistent concurrent world repairs");
+    const int lr = localRank(g, oldWorld);
+    MATCH_ASSERT(!repairOp_.arrived[lr], "rank repaired the world twice");
+    repairOp_.arrived[lr] = true;
+    ++repairOp_.arrivedCount;
+    repairOp_.maxArrival = std::max(repairOp_.maxArrival, rs.clock);
+
+    if (repairOp_.arrivedCount == repairOp_.expected) {
+        const int procs = static_cast<int>(world.members.size());
+        std::vector<int> deadSlots;
+        for (int member : world.members) {
+            if (ranks_[member].failed && ranks_[member].fiber->finished())
+                deadSlots.push_back(member);
+        }
+        MATCH_ASSERT(!deadSlots.empty(), "repair with no failed process");
+        const int failed = static_cast<int>(deadSlots.size());
+        SimTime cost;
+        if (shrinking) {
+            // Shrinking recovery skips the spawn + merge of replacements.
+            cost = costModel_.ulfmShrink(procs) +
+                   costModel_.ulfmAgree(procs) +
+                   costModel_.ulfmAppSync(procs);
+        } else {
+            cost = costModel_.ulfmShrink(procs) +
+                   costModel_.ulfmSpawn(failed) +
+                   costModel_.ulfmMerge(procs) +
+                   costModel_.ulfmAgree(procs) +
+                   costModel_.ulfmAppSync(procs);
+        }
+        repairOp_.completion = repairOp_.maxArrival + cost;
+        repairOp_.done = true;
+        ++recoveries_;
+        // Any stale collectives from before the failure are dead now.
+        pendingColl_.clear();
+        std::vector<int> newMembers;
+        if (shrinking) {
+            for (int member : world.members) {
+                if (!(ranks_[member].failed &&
+                      ranks_[member].fiber->finished()))
+                    newMembers.push_back(member);
+            }
+        } else {
+            newMembers = world.members;
+            // MPI_Comm_spawn: replacement processes re-execute the rank
+            // main; MPI_Intercomm_merge slots them into the old ranks.
+            for (int slot : deadSlots) {
+                RankState &dead = ranks_[slot];
+                const SimTime lost = repairOp_.completion - dead.failTime;
+                dead.perCategory[static_cast<int>(
+                    TimeCategory::Recovery)] += std::max(0.0, lost);
+                dead.failed = false;
+                dead.respawned = true;
+                dead.clock = repairOp_.completion;
+                dead.category = TimeCategory::Application;
+                dead.mailbox.clear();
+                dead.collSeq.clear();
+                dead.fiber = std::make_unique<Fiber>(
+                    [this, slot] { fiberBody_(slot); });
+                pushReady(slot);
+            }
+        }
+        // Survivors restart their collective numbering alongside the
+        // fresh communicator (worldc[++worldi] in the paper's Figure 3).
+        for (auto &rank : ranks_)
+            rank.collSeq.clear();
+        repairOp_.newWorld = createComm(std::move(newMembers));
+        currentWorld_ = repairOp_.newWorld;
+        const Communicator &old = commRef(oldWorld);
+        for (std::size_t r = 0; r < repairOp_.arrived.size(); ++r) {
+            const int member = old.members[r];
+            if (member != g && repairOp_.arrived[r])
+                wake(member);
+        }
+    } else {
+        block(g, BlockReason::Repair);
+        // No signal check: under the Return policy the repair owns this
+        // fiber; aborts/rollbacks do not occur here.
+    }
+
+    MATCH_ASSERT(repairOp_.done, "woken from an incomplete world repair");
+    const SimTime dt = std::max(0.0, repairOp_.completion - rs.clock);
+    rs.clock += dt;
+    rs.perCategory[static_cast<int>(rs.category)] += dt;
+    const CommId newWorld = repairOp_.newWorld;
+    if (++repairOp_.consumedCount == repairOp_.expected)
+        repairOp_ = RepairOp{};
+    rs.inErrorHandler = false;
+    return newWorld;
+}
+
+bool
+Runtime::isSurvivor(int g) const
+{
+    return !ranks_[g].respawned;
+}
+
+bool
+Runtime::isRespawned(int g) const
+{
+    return ranks_[g].respawned;
+}
+
+} // namespace match::simmpi

@@ -1,0 +1,397 @@
+/**
+ * @file
+ * The simulated MPI runtime: ranks, scheduler, messaging, collectives,
+ * failure semantics, and the ULFM/Reinit recovery extensions.
+ *
+ * Model summary
+ * -------------
+ * A job of P ranks runs inside one OS process. Each rank is a fiber;
+ * a single-threaded conservative discrete-event scheduler always resumes
+ * the runnable rank with the smallest virtual clock, so event ordering is
+ * deterministic. Simulated MPI calls are the only points where virtual
+ * time advances and the only cancellation points at which a fiber can be
+ * killed (SIGTERM injection), unwound (job abort), rolled back (Reinit)
+ * or diverted into its error handler (ULFM).
+ *
+ * Messages really move bytes between rank heaps, and collectives really
+ * combine data, so applications compute correct answers; completion
+ * times come from the CostModel.
+ */
+
+#ifndef MATCH_SIMMPI_RUNTIME_HH
+#define MATCH_SIMMPI_RUNTIME_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <queue>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/simmpi/cost_model.hh"
+#include "src/simmpi/errors.hh"
+#include "src/simmpi/fiber.hh"
+#include "src/simmpi/types.hh"
+
+namespace match::simmpi
+{
+
+class Proc;
+
+/** Reinit start state handed to resilient_main (OMPI_reinit_state_t). */
+enum class ReinitState
+{
+    New,        ///< first execution
+    Restarted,  ///< re-entered after a global-restart recovery
+};
+
+/** Per-rank entry point for Fatal/Return policies. */
+using RankMain = std::function<void(Proc &)>;
+
+/** Per-rank resilient entry point for the Reinit policy. */
+using ReinitMain = std::function<void(Proc &, ReinitState)>;
+
+/** A single planned fail-stop process failure (the SIGTERM injection). */
+struct InjectionPlan
+{
+    int iteration = 0;   ///< main-loop iteration at which to fire
+    Rank rank = 0;       ///< world rank to kill
+    bool fired = false;  ///< set once the SIGTERM has been raised
+};
+
+/** Options for one simulated job launch. */
+struct JobOptions
+{
+    int nprocs = 4;
+    ErrorPolicy policy = ErrorPolicy::Fatal;
+    CostParams costParams{};
+    /** Shared with the driver so a fired injection survives job restarts. */
+    std::shared_ptr<InjectionPlan> injection;
+    std::uint64_t seed = 0;
+};
+
+/** Outcome of one simulated job. */
+struct JobResult
+{
+    /** True when the job died under MPI_ERRORS_ARE_FATAL. */
+    bool aborted = false;
+    /** Virtual time when the job (or its abort) completed. */
+    SimTime makespan = 0.0;
+    /** Mean per-rank seconds in each TimeCategory. */
+    std::array<double, 4> breakdown{};
+    /** Per-rank category times (index = world rank). */
+    std::vector<std::array<double, 4>> perRank;
+    /** Number of online recoveries performed (ULFM or Reinit). */
+    int recoveries = 0;
+    /** Set when the planned failure fired during this job. */
+    bool failureFired = false;
+    Rank failedRank = -1;
+    SimTime failTime = 0.0;
+
+    /** Sum of the mean per-rank category times (the stacked-bar total). */
+    double total() const
+    {
+        return breakdown[0] + breakdown[1] + breakdown[2] + breakdown[3];
+    }
+};
+
+/**
+ * The simulated MPI runtime. One Runtime instance simulates one job
+ * (possibly with online ULFM/Reinit recoveries inside it); the launcher
+ * creates fresh instances for Restart-style re-deployments.
+ */
+class Runtime
+{
+  public:
+    Runtime();
+    ~Runtime();
+
+    Runtime(const Runtime &) = delete;
+    Runtime &operator=(const Runtime &) = delete;
+
+    /** Run a job under the Fatal or Return error policy. */
+    JobResult run(const JobOptions &options, RankMain main);
+
+    /** Run a job under the Reinit policy with a resilient main. */
+    JobResult runReinit(const JobOptions &options, ReinitMain main);
+
+    /// @name Rank-side operations (called through Proc on a rank fiber).
+    /// @{
+    SimTime clock(int g) const;
+    void computeFlops(int g, double flops);
+    void computeBytes(int g, double bytes);
+    /** Advance the rank clock by a raw model cost (no slowdown factors). */
+    void sleepFor(int g, SimTime dt);
+    void send(int g, CommId comm, Rank dest, Tag tag, const void *buf,
+              std::size_t bytes, std::size_t virtual_bytes);
+    RecvStatus recv(int g, CommId comm, Rank src, Tag tag, void *buf,
+                    std::size_t capacity);
+    /** True when a matching message is already queued (MPI_Iprobe). */
+    bool probe(int g, CommId comm, Rank src, Tag tag) const;
+    /** Nonblocking receive: returns a request id; complete with wait().
+     *  The buffer must stay valid until the wait. */
+    int irecv(int g, CommId comm, Rank src, Tag tag, void *buf,
+              std::size_t capacity);
+    /** Nonblocking send. Sends are eager/buffered, so the payload is
+     *  captured immediately; the request completes trivially. */
+    int isend(int g, CommId comm, Rank dest, Tag tag, const void *buf,
+              std::size_t bytes, std::size_t virtual_bytes);
+    /** Complete one request; returns the receive status (empty for
+     *  sends). */
+    RecvStatus wait(int g, int request);
+    /** True when the request would complete without blocking. */
+    bool testRequest(int g, int request);
+    void barrier(int g, CommId comm);
+    void allreduceDouble(int g, CommId comm, const double *in, double *out,
+                         std::size_t n, ReduceOp op);
+    void allreduceInt64(int g, CommId comm, const std::int64_t *in,
+                        std::int64_t *out, std::size_t n, ReduceOp op);
+    void bcast(int g, CommId comm, Rank root, void *buf, std::size_t bytes,
+               std::size_t virtual_bytes);
+    /** Root receives size*P bytes ordered by rank; others pass nullptr. */
+    void gather(int g, CommId comm, Rank root, const void *in,
+                std::size_t bytes, void *out, std::size_t virtual_bytes);
+    void allgather(int g, CommId comm, const void *in, std::size_t bytes,
+                   void *out, std::size_t virtual_bytes);
+    std::int64_t exscanInt64(int g, CommId comm, std::int64_t value);
+    void iterationPoint(int g, int iteration);
+    /// @}
+
+    /// @name Communicator queries.
+    /// @{
+    int commSize(CommId comm) const;
+    Rank commRank(int g, CommId comm) const;
+    CommId worldComm() const { return currentWorld_; }
+    bool commRevoked(CommId comm) const;
+    /// @}
+
+    /// @name ULFM extension (valid under ErrorPolicy::Return).
+    /// @{
+    /** Install the per-rank error handler invoked on op failure. */
+    void setErrorHandler(int g, std::function<void(Err)> handler);
+    /** MPIX_Comm_revoke: interrupt all pending ops on the communicator. */
+    void ulfmRevoke(int g, CommId comm);
+    /**
+     * Non-shrinking repair, collective over survivors: shrink + spawn +
+     * merge + agree. Creates replacement fibers for dead slots and a
+     * repaired world communicator; survivors call this from their error
+     * handler and get the new world id back. Replacements re-enter the
+     * rank main with Proc::isRespawned() == true.
+     */
+    CommId ulfmRepairWorld(int g);
+    /**
+     * Shrinking repair, collective over survivors: the new world consists
+     * of the survivors only (no spawn/merge). Used by the shrinking-
+     * recovery ablation.
+     */
+    CommId ulfmShrinkWorld(int g);
+    /** True when this rank survived the last failure (paper IsSurvivor). */
+    bool isSurvivor(int g) const;
+    /** True when this rank was created by a ULFM respawn. */
+    bool isRespawned(int g) const;
+    /// @}
+
+    /** Accounting category control (FTI and recovery paths set these). */
+    void setCategory(int g, TimeCategory category);
+    TimeCategory category(int g) const;
+
+    const CostModel &costModel() const { return costModel_; }
+    ErrorPolicy policy() const { return policy_; }
+
+    /** Number of failures observed so far in this job. */
+    int failureCount() const { return failureCount_; }
+
+  private:
+    struct Message
+    {
+        Rank srcLocal;
+        Tag tag;
+        CommId comm;
+        std::vector<std::uint8_t> payload;
+        SimTime arrival;
+    };
+
+    enum class BlockReason
+    {
+        None,
+        Recv,
+        Collective,
+        Repair,
+    };
+
+    /** What a collective op does with the contributed bytes. */
+    enum class CollData
+    {
+        None,
+        ReduceDouble,
+        ReduceInt64,
+        Bcast,
+        Gather,
+        Allgather,
+        ExscanInt64,
+    };
+
+    struct RankState
+    {
+        int globalIndex = 0;
+        std::unique_ptr<Fiber> fiber;
+        SimTime clock = 0.0;
+        bool failed = false;
+        SimTime failTime = 0.0;
+        bool respawned = false;
+        std::deque<Message> mailbox;
+        TimeCategory category = TimeCategory::Application;
+        std::array<double, 4> perCategory{};
+        BlockReason blockReason = BlockReason::None;
+        CommId recvComm = commNull;
+        Rank recvSrc = anySource;
+        Tag recvTag = anyTag;
+        bool unwindAbort = false;
+        bool unwindReinit = false;
+        std::function<void(Err)> errorHandler;
+        bool inErrorHandler = false;
+        /** Next collective sequence number per communicator. */
+        std::map<CommId, std::uint64_t> collSeq;
+        /** Outstanding nonblocking requests by id. */
+        struct PendingRequest
+        {
+            bool isRecv = false;
+            bool done = false;
+            CommId comm = commNull;
+            Rank peer = anySource;
+            Tag tag = anyTag;
+            void *buf = nullptr;
+            std::size_t capacity = 0;
+            RecvStatus status;
+        };
+        std::map<int, PendingRequest> requests;
+        int nextRequestId = 1;
+    };
+
+    struct Communicator
+    {
+        CommId id = commNull;
+        std::vector<int> members;       ///< global index by local rank
+        std::vector<int> globalToLocal; ///< local rank by global index
+        bool revoked = false;
+
+        bool
+        contains(int g) const
+        {
+            return g < static_cast<int>(globalToLocal.size()) &&
+                   globalToLocal[g] >= 0;
+        }
+    };
+
+    struct CollectiveOp
+    {
+        CollKind kind = CollKind::Barrier;
+        CollData data = CollData::None;
+        CommId comm = commNull;
+        ReduceOp rop = ReduceOp::Sum;
+        Rank root = 0;
+        std::size_t bytes = 0;
+        int expected = 0;
+        int arrivedCount = 0;
+        int consumedCount = 0;
+        std::vector<bool> arrived;
+        std::vector<std::vector<std::uint8_t>> contrib;
+        std::vector<std::uint8_t> result;
+        SimTime maxArrival = 0.0;
+        bool failed = false;
+        SimTime failTime = 0.0;
+        bool done = false;
+        SimTime completion = 0.0;
+    };
+
+    /** Rendezvous state for a ULFM world repair (shrinking or not). */
+    struct RepairOp
+    {
+        bool active = false;
+        bool shrinking = false;
+        CommId oldWorld = commNull;
+        int expected = 0;
+        int arrivedCount = 0;
+        int consumedCount = 0;
+        std::vector<bool> arrived; ///< by old-world local rank
+        SimTime maxArrival = 0.0;
+        bool done = false;
+        SimTime completion = 0.0;
+        CommId newWorld = commNull;
+    };
+
+    using CollKey = std::pair<CommId, std::uint64_t>;
+
+    // --- scheduler -------------------------------------------------------
+    JobResult runImpl(const JobOptions &options,
+                      std::function<void(int)> fiberBody);
+    void scheduleLoop();
+    bool anyUnfinished() const;
+    void buildResult(JobResult &result) const;
+    /** Enqueue a runnable fiber with its current clock as priority. */
+    void pushReady(int g);
+
+    // --- blocking helpers (called on a rank fiber) -------------------------
+    void block(int g, BlockReason reason);
+    void wake(int g);
+    void checkSignals(int g);
+    [[noreturn]] void deliverError(int g, Err err);
+
+    // --- failure machinery --------------------------------------------------
+    void onRankDeath(int g);
+    void failPendingOpsFor(int deadGlobal);
+    void triggerJobAbort(SimTime when);
+    void triggerReinitRecovery(SimTime when);
+
+    // --- collectives ----------------------------------------------------------
+    std::vector<std::uint8_t> joinCollective(int g, CollKind kind,
+                                             CollData data, CommId comm,
+                                             ReduceOp rop, Rank root,
+                                             const void *in,
+                                             std::size_t in_bytes,
+                                             std::size_t virtual_bytes);
+    void completeCollective(CollectiveOp &op);
+    void reduceBytes(CollectiveOp &op);
+    CommId repairWorldCommon(int g, bool shrinking);
+
+    CommId createComm(std::vector<int> members);
+    const Communicator &commRef(CommId comm) const;
+    Communicator &commMutable(CommId comm);
+    int localRank(int g, CommId comm) const;
+
+    // --- data ---------------------------------------------------------------
+    CostModel costModel_;
+    ErrorPolicy policy_ = ErrorPolicy::Fatal;
+    std::shared_ptr<InjectionPlan> injection_;
+    std::vector<RankState> ranks_;
+    std::vector<Communicator> comms_;
+    CommId currentWorld_ = commWorld;
+    std::map<CollKey, CollectiveOp> pendingColl_;
+    RepairOp repairOp_;
+    std::function<void(int)> fiberBody_;
+    /** Min-heap of (clock-at-enqueue, rank): the DES ready queue. A
+     *  runnable fiber's clock cannot change before it is resumed, so
+     *  enqueue-time priorities are exact; rank index breaks ties. */
+    std::priority_queue<std::pair<SimTime, int>,
+                        std::vector<std::pair<SimTime, int>>,
+                        std::greater<>>
+        ready_;
+
+    bool jobAborting_ = false;
+    SimTime abortTime_ = 0.0;
+    SimTime reinitRestartTime_ = 0.0;
+    int failureCount_ = 0;
+    int recoveries_ = 0;
+    bool failureFired_ = false;
+    Rank failedRank_ = -1;
+    SimTime failTime_ = 0.0;
+    bool deathHandled_ = false;
+};
+
+} // namespace match::simmpi
+
+#endif // MATCH_SIMMPI_RUNTIME_HH

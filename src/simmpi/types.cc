@@ -1,0 +1,30 @@
+#include "src/simmpi/types.hh"
+
+namespace match::simmpi
+{
+
+const char *
+errName(Err err)
+{
+    switch (err) {
+      case Err::Success: return "MPI_SUCCESS";
+      case Err::ProcFailed: return "MPIX_ERR_PROC_FAILED";
+      case Err::Revoked: return "MPIX_ERR_REVOKED";
+      case Err::Other: return "MPI_ERR_OTHER";
+    }
+    return "MPI_ERR_UNKNOWN";
+}
+
+const char *
+timeCategoryName(TimeCategory category)
+{
+    switch (category) {
+      case TimeCategory::Application: return "application";
+      case TimeCategory::CkptWrite: return "write-checkpoints";
+      case TimeCategory::CkptRead: return "read-checkpoints";
+      case TimeCategory::Recovery: return "recovery";
+      default: return "unknown";
+    }
+}
+
+} // namespace match::simmpi

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Fundamental types shared across the simulated MPI runtime.
+ */
+
+#ifndef MATCH_SIMMPI_TYPES_HH
+#define MATCH_SIMMPI_TYPES_HH
+
+#include <cstdint>
+#include <string>
+
+namespace match::simmpi
+{
+
+/** Rank within a communicator. */
+using Rank = int;
+
+/** Message tag. */
+using Tag = int;
+
+/** Virtual time in seconds since job launch. */
+using SimTime = double;
+
+/** Communicator handle (index into the runtime's communicator table). */
+using CommId = int;
+
+/** Wildcard source for receives. */
+inline constexpr Rank anySource = -1;
+
+/** Wildcard tag for receives. */
+inline constexpr Tag anyTag = -1;
+
+/** The always-present world communicator. */
+inline constexpr CommId commWorld = 0;
+
+/** Invalid/null communicator handle. */
+inline constexpr CommId commNull = -1;
+
+/** Result classes mirroring the MPI/ULFM error classes we model. */
+enum class Err
+{
+    Success = 0,
+    ProcFailed,    ///< MPIX_ERR_PROC_FAILED: a peer involved has failed
+    Revoked,       ///< MPIX_ERR_REVOKED: the communicator was revoked
+    Other,         ///< any other failure (bad arguments, internal)
+};
+
+/** Human-readable error-class name. */
+const char *errName(Err err);
+
+/** Reduction operators supported by the collective engine. */
+enum class ReduceOp
+{
+    Sum,
+    Min,
+    Max,
+    Prod,
+    LogicalAnd,
+};
+
+/** How the runtime reacts to a process failure observed by an operation. */
+enum class ErrorPolicy
+{
+    Fatal,    ///< MPI_ERRORS_ARE_FATAL: abort the whole job (Restart design)
+    Return,   ///< errors delivered to the rank's error handler (ULFM design)
+    Reinit,   ///< runtime-internal global-restart recovery (Reinit design)
+};
+
+/** Status of a completed receive. */
+struct RecvStatus
+{
+    Rank source = anySource;
+    Tag tag = anyTag;
+    std::size_t bytes = 0;
+};
+
+/** Category buckets for the paper's execution-time breakdown. */
+enum class TimeCategory
+{
+    Application = 0,
+    CkptWrite,
+    CkptRead,
+    Recovery,
+    NumCategories,
+};
+
+/** Name of a breakdown category as printed by the harness. */
+const char *timeCategoryName(TimeCategory category);
+
+} // namespace match::simmpi
+
+#endif // MATCH_SIMMPI_TYPES_HH

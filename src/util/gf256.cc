@@ -1,0 +1,210 @@
+#include "src/util/gf256.hh"
+
+#include "src/util/logging.hh"
+
+namespace match::util
+{
+
+namespace
+{
+
+struct Tables
+{
+    std::uint8_t exp[512];
+    std::uint8_t log[256];
+
+    Tables()
+    {
+        // Generator 3 of GF(2^8) mod 0x11b cycles through all 255
+        // nonzero elements.
+        unsigned x = 1;
+        for (unsigned i = 0; i < 255; ++i) {
+            exp[i] = static_cast<std::uint8_t>(x);
+            log[x] = static_cast<std::uint8_t>(i);
+            // x *= 3 in the field: x*2 ^ x, reduced mod 0x11b.
+            unsigned x2 = x << 1;
+            if (x2 & 0x100)
+                x2 ^= 0x11b;
+            x = x2 ^ x;
+        }
+        // Duplicate so exp[log a + log b] needs no modulo.
+        for (unsigned i = 255; i < 512; ++i)
+            exp[i] = exp[i - 255];
+        log[0] = 0; // unused sentinel
+    }
+};
+
+const Tables tables;
+
+} // anonymous namespace
+
+namespace gf256
+{
+
+std::uint8_t
+mul(std::uint8_t a, std::uint8_t b)
+{
+    if (a == 0 || b == 0)
+        return 0;
+    return tables.exp[tables.log[a] + tables.log[b]];
+}
+
+std::uint8_t
+div(std::uint8_t a, std::uint8_t b)
+{
+    MATCH_ASSERT(b != 0, "division by zero in GF(256)");
+    if (a == 0)
+        return 0;
+    return tables.exp[tables.log[a] + 255 - tables.log[b]];
+}
+
+std::uint8_t
+inverse(std::uint8_t a)
+{
+    MATCH_ASSERT(a != 0, "zero has no inverse in GF(256)");
+    return tables.exp[255 - tables.log[a]];
+}
+
+std::uint8_t
+pow(std::uint8_t a, unsigned n)
+{
+    if (n == 0)
+        return 1;
+    if (a == 0)
+        return 0;
+    const unsigned e = (static_cast<unsigned>(tables.log[a]) * n) % 255;
+    return tables.exp[e];
+}
+
+void
+mulAdd(std::uint8_t *y, const std::uint8_t *x, std::size_t len,
+       std::uint8_t c)
+{
+    if (c == 0)
+        return;
+    if (c == 1) {
+        for (std::size_t i = 0; i < len; ++i)
+            y[i] ^= x[i];
+        return;
+    }
+    const unsigned logc = tables.log[c];
+    for (std::size_t i = 0; i < len; ++i) {
+        if (x[i])
+            y[i] ^= tables.exp[logc + tables.log[x[i]]];
+    }
+}
+
+} // namespace gf256
+
+GfMatrix::GfMatrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0)
+{
+    MATCH_ASSERT(rows > 0 && cols > 0, "matrix dimensions must be positive");
+}
+
+std::uint8_t &
+GfMatrix::at(std::size_t r, std::size_t c)
+{
+    MATCH_ASSERT(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+}
+
+std::uint8_t
+GfMatrix::at(std::size_t r, std::size_t c) const
+{
+    MATCH_ASSERT(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+}
+
+GfMatrix
+GfMatrix::multiply(const GfMatrix &other) const
+{
+    MATCH_ASSERT(cols_ == other.rows_, "dimension mismatch in multiply");
+    GfMatrix out(rows_, other.cols_);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        for (std::size_t k = 0; k < cols_; ++k) {
+            const std::uint8_t a = at(r, k);
+            if (!a)
+                continue;
+            for (std::size_t c = 0; c < other.cols_; ++c) {
+                out.at(r, c) = gf256::add(
+                    out.at(r, c), gf256::mul(a, other.at(k, c)));
+            }
+        }
+    }
+    return out;
+}
+
+bool
+GfMatrix::invert(GfMatrix &out) const
+{
+    MATCH_ASSERT(rows_ == cols_, "only square matrices can be inverted");
+    const std::size_t n = rows_;
+    // Augmented [A | I] Gauss-Jordan.
+    GfMatrix work(*this);
+    out = GfMatrix(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        out.at(i, i) = 1;
+
+    for (std::size_t col = 0; col < n; ++col) {
+        // Find pivot.
+        std::size_t pivot = col;
+        while (pivot < n && work.at(pivot, col) == 0)
+            ++pivot;
+        if (pivot == n)
+            return false;
+        if (pivot != col) {
+            for (std::size_t c = 0; c < n; ++c) {
+                std::swap(work.at(pivot, c), work.at(col, c));
+                std::swap(out.at(pivot, c), out.at(col, c));
+            }
+        }
+        // Scale pivot row to 1.
+        const std::uint8_t inv = gf256::inverse(work.at(col, col));
+        for (std::size_t c = 0; c < n; ++c) {
+            work.at(col, c) = gf256::mul(work.at(col, c), inv);
+            out.at(col, c) = gf256::mul(out.at(col, c), inv);
+        }
+        // Eliminate the column everywhere else.
+        for (std::size_t r = 0; r < n; ++r) {
+            if (r == col)
+                continue;
+            const std::uint8_t factor = work.at(r, col);
+            if (!factor)
+                continue;
+            for (std::size_t c = 0; c < n; ++c) {
+                work.at(r, c) = gf256::add(
+                    work.at(r, c), gf256::mul(factor, work.at(col, c)));
+                out.at(r, c) = gf256::add(
+                    out.at(r, c), gf256::mul(factor, out.at(col, c)));
+            }
+        }
+    }
+    return true;
+}
+
+GfMatrix
+GfMatrix::systematicVandermonde(std::size_t k, std::size_t m)
+{
+    MATCH_ASSERT(k > 0 && k + m <= 255,
+                 "RS shard count must fit in GF(256)");
+    // Start from a (k+m) x k Vandermonde matrix, then normalize the top
+    // k x k block to the identity by column operations. The resulting
+    // matrix keeps the any-k-rows-invertible property and is systematic.
+    GfMatrix vand(k + m, k);
+    for (std::size_t r = 0; r < k + m; ++r)
+        for (std::size_t c = 0; c < k; ++c)
+            vand.at(r, c) = gf256::pow(static_cast<std::uint8_t>(r + 1),
+                                       static_cast<unsigned>(c));
+
+    GfMatrix top(k, k);
+    for (std::size_t r = 0; r < k; ++r)
+        for (std::size_t c = 0; c < k; ++c)
+            top.at(r, c) = vand.at(r, c);
+    GfMatrix topInv(k, k);
+    const bool ok = top.invert(topInv);
+    MATCH_ASSERT(ok, "Vandermonde top block must be invertible");
+    return vand.multiply(topInv);
+}
+
+} // namespace match::util

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * GF(2^8) arithmetic and Vandermonde-style matrix helpers.
+ *
+ * These back the Reed-Solomon erasure codec that implements FTI's L3
+ * checkpoint level. The field uses the AES polynomial x^8+x^4+x^3+x+1
+ * (0x11b) with log/antilog tables built from generator 3.
+ */
+
+#ifndef MATCH_UTIL_GF256_HH
+#define MATCH_UTIL_GF256_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace match::util
+{
+
+/** Arithmetic over GF(2^8). All operations are table-driven. */
+namespace gf256
+{
+
+/** Field addition (= subtraction = XOR). */
+constexpr std::uint8_t
+add(std::uint8_t a, std::uint8_t b)
+{
+    return a ^ b;
+}
+
+/** Field multiplication. */
+std::uint8_t mul(std::uint8_t a, std::uint8_t b);
+
+/** Field division; b must be nonzero. */
+std::uint8_t div(std::uint8_t a, std::uint8_t b);
+
+/** Multiplicative inverse; a must be nonzero. */
+std::uint8_t inverse(std::uint8_t a);
+
+/** a raised to the n-th power (n >= 0). */
+std::uint8_t pow(std::uint8_t a, unsigned n);
+
+/** y += c * x over byte spans (the codec's inner loop). */
+void mulAdd(std::uint8_t *y, const std::uint8_t *x, std::size_t len,
+            std::uint8_t c);
+
+} // namespace gf256
+
+/** Dense byte matrix over GF(2^8), used for RS encode/decode matrices. */
+class GfMatrix
+{
+  public:
+    GfMatrix(std::size_t rows, std::size_t cols);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+    std::uint8_t &at(std::size_t r, std::size_t c);
+    std::uint8_t at(std::size_t r, std::size_t c) const;
+
+    /** this * other; inner dimensions must agree. */
+    GfMatrix multiply(const GfMatrix &other) const;
+
+    /**
+     * Invert a square matrix by Gauss-Jordan elimination.
+     * @retval true on success; false when the matrix is singular.
+     */
+    bool invert(GfMatrix &out) const;
+
+    /**
+     * Build a systematic encoding matrix for k data and m parity shards:
+     * the top k x k block is the identity, the bottom m rows come from a
+     * Vandermonde construction, so any k of the k+m rows are invertible.
+     */
+    static GfMatrix systematicVandermonde(std::size_t k, std::size_t m);
+
+  private:
+    std::size_t rows_;
+    std::size_t cols_;
+    std::vector<std::uint8_t> data_;
+};
+
+} // namespace match::util
+
+#endif // MATCH_UTIL_GF256_HH

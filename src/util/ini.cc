@@ -1,0 +1,196 @@
+#include "src/util/ini.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace match::util
+{
+
+namespace
+{
+
+std::string
+trim(const std::string &str)
+{
+    std::size_t begin = 0;
+    std::size_t end = str.size();
+    while (begin < end && std::isspace(static_cast<unsigned char>(str[begin])))
+        ++begin;
+    while (end > begin && std::isspace(static_cast<unsigned char>(str[end - 1])))
+        --end;
+    return str.substr(begin, end - begin);
+}
+
+} // anonymous namespace
+
+bool
+IniFile::parseString(const std::string &text)
+{
+    decltype(sections_) parsed;
+    std::istringstream in(text);
+    std::string line;
+    std::string section;
+    while (std::getline(in, line)) {
+        // Strip comments starting with '#' or ';'.
+        auto comment = line.find_first_of("#;");
+        if (comment != std::string::npos)
+            line = line.substr(0, comment);
+        line = trim(line);
+        if (line.empty())
+            continue;
+        if (line.front() == '[') {
+            if (line.back() != ']')
+                return false;
+            section = trim(line.substr(1, line.size() - 2));
+            if (section.empty())
+                return false;
+            parsed[section]; // materialize the (possibly empty) section
+            continue;
+        }
+        auto eq = line.find('=');
+        if (eq == std::string::npos)
+            return false;
+        std::string key = trim(line.substr(0, eq));
+        std::string value = trim(line.substr(eq + 1));
+        if (key.empty())
+            return false;
+        parsed[section][key] = value;
+    }
+    sections_ = std::move(parsed);
+    return true;
+}
+
+bool
+IniFile::parseFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return parseString(buffer.str());
+}
+
+std::string
+IniFile::toString() const
+{
+    std::ostringstream out;
+    for (const auto &[section, keys] : sections_) {
+        if (!section.empty())
+            out << '[' << section << "]\n";
+        for (const auto &[key, value] : keys)
+            out << key << " = " << value << '\n';
+        out << '\n';
+    }
+    return out.str();
+}
+
+bool
+IniFile::writeFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << toString();
+    return static_cast<bool>(out);
+}
+
+std::optional<std::string>
+IniFile::get(const std::string &section, const std::string &key) const
+{
+    auto sit = sections_.find(section);
+    if (sit == sections_.end())
+        return std::nullopt;
+    auto kit = sit->second.find(key);
+    if (kit == sit->second.end())
+        return std::nullopt;
+    return kit->second;
+}
+
+std::string
+IniFile::getString(const std::string &section, const std::string &key,
+                   const std::string &dflt) const
+{
+    auto value = get(section, key);
+    return value ? *value : dflt;
+}
+
+long
+IniFile::getInt(const std::string &section, const std::string &key,
+                long dflt) const
+{
+    auto value = get(section, key);
+    if (!value)
+        return dflt;
+    char *end = nullptr;
+    long parsed = std::strtol(value->c_str(), &end, 10);
+    return (end && *end == '\0' && !value->empty()) ? parsed : dflt;
+}
+
+double
+IniFile::getDouble(const std::string &section, const std::string &key,
+                   double dflt) const
+{
+    auto value = get(section, key);
+    if (!value)
+        return dflt;
+    char *end = nullptr;
+    double parsed = std::strtod(value->c_str(), &end);
+    return (end && *end == '\0' && !value->empty()) ? parsed : dflt;
+}
+
+bool
+IniFile::getBool(const std::string &section, const std::string &key,
+                 bool dflt) const
+{
+    auto value = get(section, key);
+    if (!value)
+        return dflt;
+    if (*value == "1" || *value == "true" || *value == "yes")
+        return true;
+    if (*value == "0" || *value == "false" || *value == "no")
+        return false;
+    return dflt;
+}
+
+void
+IniFile::set(const std::string &section, const std::string &key,
+             const std::string &value)
+{
+    sections_[section][key] = value;
+}
+
+void
+IniFile::setInt(const std::string &section, const std::string &key,
+                long value)
+{
+    set(section, key, std::to_string(value));
+}
+
+void
+IniFile::setDouble(const std::string &section, const std::string &key,
+                   double value)
+{
+    std::ostringstream out;
+    out << value;
+    set(section, key, out.str());
+}
+
+bool
+IniFile::hasSection(const std::string &section) const
+{
+    return sections_.count(section) > 0;
+}
+
+std::size_t
+IniFile::size() const
+{
+    std::size_t total = 0;
+    for (const auto &[section, keys] : sections_)
+        total += keys.size();
+    return total;
+}
+
+} // namespace match::util

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Minimal INI configuration reader/writer.
+ *
+ * FTI is configured through an INI file in the real library; our
+ * reimplementation keeps that interface so benchmark code reads like
+ * FTI-enabled application code. Supports [sections], key = value pairs,
+ * '#' and ';' comments, and round-trip serialization.
+ */
+
+#ifndef MATCH_UTIL_INI_HH
+#define MATCH_UTIL_INI_HH
+
+#include <map>
+#include <optional>
+#include <string>
+
+namespace match::util
+{
+
+/** Parsed INI document: section -> key -> raw string value. */
+class IniFile
+{
+  public:
+    IniFile() = default;
+
+    /** Parse from text; returns false (and keeps nothing) on syntax error. */
+    bool parseString(const std::string &text);
+
+    /** Parse from a file on disk. */
+    bool parseFile(const std::string &path);
+
+    /** Serialize back to INI text with sorted sections and keys. */
+    std::string toString() const;
+
+    /** Write to a file; returns false on I/O failure. */
+    bool writeFile(const std::string &path) const;
+
+    /** Raw string lookup. */
+    std::optional<std::string> get(const std::string &section,
+                                   const std::string &key) const;
+
+    /** Typed lookups with defaults. */
+    std::string getString(const std::string &section, const std::string &key,
+                          const std::string &dflt) const;
+    long getInt(const std::string &section, const std::string &key,
+                long dflt) const;
+    double getDouble(const std::string &section, const std::string &key,
+                     double dflt) const;
+    bool getBool(const std::string &section, const std::string &key,
+                 bool dflt) const;
+
+    /** Insert or overwrite a value. */
+    void set(const std::string &section, const std::string &key,
+             const std::string &value);
+    void setInt(const std::string &section, const std::string &key,
+                long value);
+    void setDouble(const std::string &section, const std::string &key,
+                   double value);
+
+    /** True when the section exists (even if empty). */
+    bool hasSection(const std::string &section) const;
+
+    /** Number of (section, key) pairs. */
+    std::size_t size() const;
+
+  private:
+    std::map<std::string, std::map<std::string, std::string>> sections_;
+};
+
+} // namespace match::util
+
+#endif // MATCH_UTIL_INI_HH

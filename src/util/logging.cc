@@ -1,0 +1,101 @@
+#include "src/util/logging.hh"
+
+#include <cstdlib>
+
+namespace match::util
+{
+
+namespace
+{
+
+LogLevel
+initialLevel()
+{
+    if (const char *env = std::getenv("MATCH_LOG")) {
+        std::string value(env);
+        if (value == "quiet") return LogLevel::Quiet;
+        if (value == "warn") return LogLevel::Warn;
+        if (value == "info") return LogLevel::Info;
+        if (value == "debug") return LogLevel::Debug;
+    }
+    return LogLevel::Warn;
+}
+
+LogLevel globalLevel = initialLevel();
+
+void
+emit(const char *prefix, const char *fmt, va_list args)
+{
+    std::fprintf(stderr, "%s", prefix);
+    std::vfprintf(stderr, fmt, args);
+    std::fprintf(stderr, "\n");
+}
+
+} // anonymous namespace
+
+LogLevel
+logLevel()
+{
+    return globalLevel;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    globalLevel = level;
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (globalLevel < LogLevel::Info)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    emit("info: ", fmt, args);
+    va_end(args);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    if (globalLevel < LogLevel::Warn)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    emit("warn: ", fmt, args);
+    va_end(args);
+}
+
+void
+debug(const char *fmt, ...)
+{
+    if (globalLevel < LogLevel::Debug)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    emit("debug: ", fmt, args);
+    va_end(args);
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    emit("fatal: ", fmt, args);
+    va_end(args);
+    std::exit(1);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    emit("panic: ", fmt, args);
+    va_end(args);
+    std::abort();
+}
+
+} // namespace match::util

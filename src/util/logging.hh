@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Status and error reporting helpers in the gem5 spirit.
+ *
+ * - inform(): normal operating message, no connotation of a problem.
+ * - warn():   something might be off; keep running.
+ * - fatal():  the run cannot continue due to a user/configuration error;
+ *             exits with code 1.
+ * - panic():  an internal invariant of the library itself is broken;
+ *             aborts so a debugger/core dump can be taken.
+ */
+
+#ifndef MATCH_UTIL_LOGGING_HH
+#define MATCH_UTIL_LOGGING_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+namespace match::util
+{
+
+/** Verbosity levels for runtime log filtering. */
+enum class LogLevel
+{
+    Quiet = 0,   ///< only fatal/panic
+    Warn = 1,    ///< + warnings
+    Info = 2,    ///< + inform
+    Debug = 3,   ///< + debug chatter
+};
+
+/** Get the process-wide log level (default Warn; MATCH_LOG env overrides). */
+LogLevel logLevel();
+
+/** Set the process-wide log level programmatically. */
+void setLogLevel(LogLevel level);
+
+/** printf-style informational message to stderr (level Info). */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** printf-style warning to stderr (level Warn). */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** printf-style debug message to stderr (level Debug). */
+void debug(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report an unrecoverable user-level error and exit(1). */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a broken internal invariant and abort(). */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Assert an internal invariant; calls panic() with location info when the
+ * condition is false. Active in all build types (these guards are cheap
+ * relative to the simulation work they protect).
+ */
+#define MATCH_ASSERT(cond, msg)                                              \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::match::util::panic("assertion failed at %s:%d: %s (%s)",       \
+                                 __FILE__, __LINE__, #cond, msg);            \
+        }                                                                    \
+    } while (0)
+
+} // namespace match::util
+
+#endif // MATCH_UTIL_LOGGING_HH

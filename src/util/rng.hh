@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for reproducible runs.
+ *
+ * All randomness in the suite (fault-injection sites, noise models,
+ * synthetic graph generation) flows through Rng so a (seed, stream) pair
+ * fully determines an experiment. The generator is xoshiro256**, seeded
+ * through SplitMix64 as its authors recommend.
+ */
+
+#ifndef MATCH_UTIL_RNG_HH
+#define MATCH_UTIL_RNG_HH
+
+#include <cstdint>
+
+namespace match::util
+{
+
+/** SplitMix64 step; used for seeding and cheap hashing. */
+constexpr std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/** Deterministic xoshiro256** generator. */
+class Rng
+{
+  public:
+    /**
+     * Construct a generator from a seed and a stream id. Different stream
+     * ids give statistically independent sequences for the same seed,
+     * which lets each simulated rank own a private stream.
+     */
+    explicit Rng(std::uint64_t seed, std::uint64_t stream = 0)
+    {
+        std::uint64_t sm = seed ^ (0x632be59bd9b4e019ULL * (stream + 1));
+        for (auto &word : state_)
+            word = splitmix64(sm);
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound) using Lemire's method. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        if (bound == 0)
+            return 0;
+        // Rejection-free multiply-shift; bias is negligible for the
+        // bounds used in this suite (<= 2^32).
+        return static_cast<std::uint64_t>(
+            (static_cast<__uint128_t>(next()) * bound) >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    between(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(
+                        below(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+  private:
+    static constexpr std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace match::util
+
+#endif // MATCH_UTIL_RNG_HH

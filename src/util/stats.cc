@@ -1,0 +1,64 @@
+#include "src/util/stats.hh"
+
+#include <cmath>
+
+namespace match::util
+{
+
+void
+RunningStat::add(double sample)
+{
+    ++count_;
+    if (count_ == 1) {
+        mean_ = sample;
+        min_ = sample;
+        max_ = sample;
+        m2_ = 0.0;
+        return;
+    }
+    const double delta = sample - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (sample - mean_);
+    if (sample < min_)
+        min_ = sample;
+    if (sample > max_)
+        max_ = sample;
+}
+
+double
+RunningStat::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+mean(const std::vector<double> &samples)
+{
+    if (samples.empty())
+        return 0.0;
+    double total = 0.0;
+    for (double sample : samples)
+        total += sample;
+    return total / static_cast<double>(samples.size());
+}
+
+double
+geomean(const std::vector<double> &samples)
+{
+    if (samples.empty())
+        return 0.0;
+    double logsum = 0.0;
+    for (double sample : samples)
+        logsum += std::log(sample);
+    return std::exp(logsum / static_cast<double>(samples.size()));
+}
+
+} // namespace match::util

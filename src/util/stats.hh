@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Small running-statistics helpers (mean, stddev, min, max, geomean).
+ *
+ * The paper averages each configuration over five runs; RunningStat is the
+ * accumulator the experiment runner uses for that.
+ */
+
+#ifndef MATCH_UTIL_STATS_HH
+#define MATCH_UTIL_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace match::util
+{
+
+/** Welford-style running mean/variance plus min/max. */
+class RunningStat
+{
+  public:
+    /** Fold one sample into the accumulator. */
+    void add(double sample);
+
+    std::size_t count() const { return count_; }
+    double mean() const { return count_ ? mean_ : 0.0; }
+    /** Sample variance (n-1 denominator); 0 for fewer than two samples. */
+    double variance() const;
+    double stddev() const;
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+  private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Arithmetic mean of a sample vector (0 for empty input). */
+double mean(const std::vector<double> &samples);
+
+/** Geometric mean; all samples must be positive (0 for empty input). */
+double geomean(const std::vector<double> &samples);
+
+} // namespace match::util
+
+#endif // MATCH_UTIL_STATS_HH

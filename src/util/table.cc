@@ -1,0 +1,91 @@
+#include "src/util/table.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "src/util/logging.hh"
+
+namespace match::util
+{
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    MATCH_ASSERT(!headers_.empty(), "a table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    MATCH_ASSERT(cells.size() == headers_.size(),
+                 "row width must match header width");
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::cell(double value, int precision)
+{
+    std::ostringstream out;
+    out << std::fixed << std::setprecision(precision) << value;
+    return out.str();
+}
+
+std::string
+Table::toString() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream out;
+    auto emitRow = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+                << row[c];
+        }
+        out << '\n';
+    };
+    emitRow(headers_);
+    std::size_t total = 0;
+    for (auto w : widths)
+        total += w + 2;
+    out << std::string(total, '-') << '\n';
+    for (const auto &row : rows_)
+        emitRow(row);
+    return out.str();
+}
+
+std::string
+Table::toCsv() const
+{
+    std::ostringstream out;
+    auto emitRow = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                out << ',';
+            out << row[c];
+        }
+        out << '\n';
+    };
+    emitRow(headers_);
+    for (const auto &row : rows_)
+        emitRow(row);
+    return out.str();
+}
+
+bool
+Table::writeCsv(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << toCsv();
+    return static_cast<bool>(out);
+}
+
+} // namespace match::util

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Plain-text table and CSV reporters used by the benchmark harness.
+ *
+ * Every figure/table binary prints (a) an aligned human-readable table that
+ * mirrors the rows/series the paper reports and (b) optionally a CSV file
+ * for plotting.
+ */
+
+#ifndef MATCH_UTIL_TABLE_HH
+#define MATCH_UTIL_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace match::util
+{
+
+/** Column-aligned text table with a header row. */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; must have exactly as many cells as there are headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with fixed precision. */
+    static std::string cell(double value, int precision = 2);
+
+    /** Render with aligned columns and a rule under the header. */
+    std::string toString() const;
+
+    /** Render as RFC-4180-ish CSV (no quoting needed for our content). */
+    std::string toCsv() const;
+
+    /** Write the CSV rendering to a file; returns false on I/O error. */
+    bool writeCsv(const std::string &path) const;
+
+    std::size_t rows() const { return rows_.size(); }
+    std::size_t columns() const { return headers_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace match::util
+
+#endif // MATCH_UTIL_TABLE_HH

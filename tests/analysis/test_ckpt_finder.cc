@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Algorithm-1 tests: the three principles individually, trace round
+ * trips, and an end-to-end validation on an instrumented CG kernel whose
+ * expected checkpoint set matches what the proxy apps hand-protect.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "src/analysis/ckpt_finder.hh"
+#include "src/analysis/trace.hh"
+
+namespace fs = std::filesystem;
+using namespace match::analysis;
+
+namespace
+{
+
+/** Instrument a tiny CG-like loop. Locations:
+ *  A (matrix, constant), b (rhs, constant), x/r/p (state, varying),
+ *  rtrans (scalar state), alpha (loop-local temporary), iter (counter).
+ */
+Trace
+cgTrace(int iterations)
+{
+    Trace trace;
+    Tracer tracer(trace);
+    tracer.define("A", 6.0, 10);
+    tracer.define("b", 1.0, 11);
+    tracer.define("x", 0.0, 12);
+    tracer.define("r", 1.0, 13);
+    tracer.define("p", 1.0, 14);
+    tracer.define("rtrans", 8.0, 15);
+    tracer.define("iter", 0.0, 16);
+
+    double x = 0.0, r = 1.0, p = 1.0, rtrans = 8.0;
+    tracer.loopBegin();
+    for (int i = 0; i < iterations; ++i) {
+        tracer.loopIteration();
+        tracer.read("iter", i, 20);
+        tracer.write("iter", i + 1, 20);
+        tracer.read("A", 6.0, 21); // constant matrix
+        tracer.read("p", p, 21);
+        // alpha is defined inside the loop: principle 1 excludes it.
+        const double alpha = rtrans / (7.0 + i);
+        tracer.define("alpha", alpha, 22);
+        tracer.read("alpha", alpha, 23);
+        x += alpha * p;
+        tracer.write("x", x, 23);
+        r -= alpha * 0.5;
+        tracer.write("r", r, 24);
+        tracer.read("b", 1.0, 24); // constant rhs
+        rtrans = r * r;
+        tracer.read("rtrans", rtrans, 25);
+        tracer.write("rtrans", rtrans, 25);
+        p = r + 0.1 * p;
+        tracer.write("p", p, 26);
+    }
+    return trace;
+}
+
+} // namespace
+
+TEST(CkptFinder, CgKernelFindsExactlyTheProtectedSet)
+{
+    const Trace trace = cgTrace(5);
+    const auto locations = findCheckpointLocations(trace);
+    // The same set the proxy apps pass to FTI_Protect: the loop counter
+    // and the varying solver state; NOT the constant A/b, NOT the
+    // loop-local alpha.
+    EXPECT_EQ(locations, (std::vector<std::string>{"iter", "p", "r",
+                                                   "rtrans", "x"}));
+}
+
+TEST(CkptFinder, Principle1ExcludesLoopLocals)
+{
+    const auto reports = analyzeLocations(cgTrace(4));
+    for (const auto &report : reports) {
+        if (report.location == "alpha") {
+            EXPECT_FALSE(report.definedBeforeLoop);
+            EXPECT_FALSE(report.checkpointed);
+            // alpha IS used every iteration with varying values.
+            EXPECT_GE(report.iterationsUsed, 4);
+            EXPECT_TRUE(report.valuesVary);
+        }
+    }
+}
+
+TEST(CkptFinder, Principle2ExcludesSingleIterationUse)
+{
+    Trace trace;
+    Tracer tracer(trace);
+    tracer.define("once", 1.0);
+    tracer.define("always", 1.0);
+    tracer.loopBegin();
+    for (int i = 0; i < 3; ++i) {
+        tracer.loopIteration();
+        if (i == 1)
+            tracer.write("once", 2.0 + i);
+        tracer.write("always", 2.0 + i);
+    }
+    const auto locations = findCheckpointLocations(trace);
+    EXPECT_EQ(locations, (std::vector<std::string>{"always"}));
+}
+
+TEST(CkptFinder, Principle3ExcludesConstants)
+{
+    const auto reports = analyzeLocations(cgTrace(4));
+    bool saw_matrix = false;
+    for (const auto &report : reports) {
+        if (report.location == "A") {
+            saw_matrix = true;
+            EXPECT_TRUE(report.definedBeforeLoop);
+            EXPECT_GE(report.iterationsUsed, 2);
+            EXPECT_FALSE(report.valuesVary);
+            EXPECT_FALSE(report.checkpointed);
+        }
+    }
+    EXPECT_TRUE(saw_matrix);
+}
+
+TEST(CkptFinder, EmptyTraceFindsNothing)
+{
+    Trace trace;
+    EXPECT_TRUE(findCheckpointLocations(trace).empty());
+}
+
+TEST(CkptFinder, TraceWithoutLoopFindsNothing)
+{
+    Trace trace;
+    Tracer tracer(trace);
+    tracer.define("x", 1.0);
+    tracer.write("x", 2.0);
+    EXPECT_TRUE(findCheckpointLocations(trace).empty());
+}
+
+TEST(CkptFinder, WritesBeforeLoopCountAsDefinitions)
+{
+    Trace trace;
+    Tracer tracer(trace);
+    tracer.write("y", 1.0); // store before the loop defines y
+    tracer.loopBegin();
+    for (int i = 0; i < 2; ++i) {
+        tracer.loopIteration();
+        tracer.write("y", 2.0 + i);
+    }
+    EXPECT_EQ(findCheckpointLocations(trace),
+              (std::vector<std::string>{"y"}));
+}
+
+TEST(CkptFinder, ReadsBeforeLoopDoNotDefine)
+{
+    Trace trace;
+    Tracer tracer(trace);
+    tracer.read("ghost", 1.0); // read of something never defined
+    tracer.loopBegin();
+    for (int i = 0; i < 2; ++i) {
+        tracer.loopIteration();
+        tracer.write("ghost", 2.0 + i);
+    }
+    EXPECT_TRUE(findCheckpointLocations(trace).empty());
+}
+
+TEST(Trace, TextRoundTrip)
+{
+    const Trace trace = cgTrace(3);
+    Trace back;
+    ASSERT_TRUE(Trace::fromText(trace.toText(), back));
+    ASSERT_EQ(back.size(), trace.size());
+    EXPECT_EQ(findCheckpointLocations(back),
+              findCheckpointLocations(trace));
+}
+
+TEST(Trace, FileRoundTrip)
+{
+    const fs::path path = fs::temp_directory_path() / "match_trace.txt";
+    const Trace trace = cgTrace(2);
+    ASSERT_TRUE(trace.writeFile(path.string()));
+    Trace back;
+    ASSERT_TRUE(Trace::readFile(path.string(), back));
+    EXPECT_EQ(back.size(), trace.size());
+    fs::remove(path);
+}
+
+TEST(Trace, RejectsMalformedText)
+{
+    Trace out;
+    EXPECT_FALSE(Trace::fromText("bogus x 1 2\n", out));
+    EXPECT_FALSE(Trace::fromText("load onlyname\n", out));
+    EXPECT_TRUE(Trace::fromText("", out));
+    EXPECT_TRUE(Trace::fromText("loop\niter\n", out));
+}
+
+TEST(CkptFinder, DiagnosticsAreSortedByLocation)
+{
+    const auto reports = analyzeLocations(cgTrace(3));
+    for (std::size_t i = 1; i < reports.size(); ++i)
+        EXPECT_LT(reports[i - 1].location, reports[i].location);
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Per-app scaling-shape properties at test-sized process counts: the
+ * virtual-time models must reproduce each app's qualitative scaling
+ * (weak vs strong) and input-size growth — the shapes Figures 5 and 8
+ * are made of.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "src/apps/app.hh"
+#include "src/ft/design.hh"
+
+namespace fs = std::filesystem;
+using namespace match;
+using namespace match::apps;
+
+namespace
+{
+
+/** Application seconds for (app, input, procs) under REINIT-FTI. */
+double
+appSeconds(const std::string &app, InputSize input, int procs)
+{
+    const AppSpec &spec = findApp(app);
+    AppParams params;
+    params.input = input;
+    params.nprocs = procs;
+    ft::DesignRunConfig cfg;
+    cfg.design = ft::Design::ReinitFti;
+    cfg.nprocs = procs;
+    cfg.ftiConfig.ckptDir =
+        (fs::temp_directory_path() / "match-scaling-tests").string();
+    cfg.ftiConfig.execId = app + "-" + inputSizeName(input) + "-" +
+                           std::to_string(procs);
+    const ft::Breakdown bd =
+        ft::runDesign(cfg, [&](simmpi::Proc &proc,
+                               const fti::FtiConfig &fcfg) {
+            spec.main(proc, fcfg, params);
+        });
+    return bd.application;
+}
+
+} // namespace
+
+TEST(AppScaling, ComdIsStrongScaling)
+{
+    // Fixed global problem: more processes => less time.
+    const double p8 = appSeconds("CoMD", InputSize::Small, 8);
+    const double p32 = appSeconds("CoMD", InputSize::Small, 32);
+    EXPECT_LT(p32, p8 * 0.5);
+}
+
+TEST(AppScaling, HpccgIsWeakScaling)
+{
+    // Per-process problem: time roughly flat, growing slightly.
+    const double p8 = appSeconds("HPCCG", InputSize::Small, 8);
+    const double p32 = appSeconds("HPCCG", InputSize::Small, 32);
+    EXPECT_GT(p32, p8);           // jitter term grows with P
+    EXPECT_LT(p32, p8 * 1.5);     // but stays near flat
+}
+
+TEST(AppScaling, AmgCoarseGridTermGrowsWithProcs)
+{
+    const double p8 = appSeconds("AMG", InputSize::Small, 8);
+    const double p32 = appSeconds("AMG", InputSize::Small, 32);
+    // The serialized coarse-grid correction makes AMG grow clearly
+    // faster than HPCCG's mild jitter.
+    EXPECT_GT(p32 / p8, 1.2);
+}
+
+TEST(AppScaling, InputSizeOrderingHoldsForEveryApp)
+{
+    for (const AppSpec &spec : registry()) {
+        const double small =
+            appSeconds(spec.name, InputSize::Small, 8);
+        const double medium =
+            appSeconds(spec.name, InputSize::Medium, 8);
+        const double large =
+            appSeconds(spec.name, InputSize::Large, 8);
+        EXPECT_LT(small, medium) << spec.name;
+        EXPECT_LT(medium, large) << spec.name;
+    }
+}
+
+TEST(AppScaling, LuleshCflIterationsGrowWithMeshSize)
+{
+    // -s 40 prices 932*40/30 physical steps over the same simulated
+    // loop; medium must cost clearly more than small on equal procs.
+    const double small = appSeconds("LULESH", InputSize::Small, 8);
+    const double medium = appSeconds("LULESH", InputSize::Medium, 8);
+    EXPECT_GT(medium / small, 2.0);
+}

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Experiment-runner tests: determinism, the five-run methodology, and
+ * the injected-failure grid behavior.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "src/core/experiment.hh"
+
+namespace fs = std::filesystem;
+using namespace match;
+using namespace match::core;
+using match::apps::InputSize;
+using match::ft::Design;
+
+namespace
+{
+
+ExperimentConfig
+smallConfig(Design design, bool inject)
+{
+    ExperimentConfig config;
+    config.app = "miniVite"; // shortest loop => fastest cell
+    config.input = InputSize::Small;
+    config.nprocs = 8;
+    config.design = design;
+    config.injectFailure = inject;
+    config.runs = 3;
+    config.sandboxDir =
+        (fs::temp_directory_path() / "match-core-tests").string();
+    return config;
+}
+
+} // namespace
+
+TEST(Experiment, DeterministicForSameConfig)
+{
+    const auto config = smallConfig(Design::ReinitFti, true);
+    const auto a = runExperiment(config);
+    const auto b = runExperiment(config);
+    EXPECT_DOUBLE_EQ(a.mean.total(), b.mean.total());
+    ASSERT_EQ(a.perRun.size(), b.perRun.size());
+    for (std::size_t i = 0; i < a.perRun.size(); ++i)
+        EXPECT_DOUBLE_EQ(a.perRun[i].total(), b.perRun[i].total());
+}
+
+TEST(Experiment, SeedChangesInjectionSites)
+{
+    auto config = smallConfig(Design::ReinitFti, true);
+    const auto a = runExperiment(config);
+    config.seed = 12345;
+    const auto b = runExperiment(config);
+    // Different injection iterations change the rework after recovery.
+    EXPECT_NE(a.mean.total(), b.mean.total());
+}
+
+TEST(Experiment, RunsAreAveraged)
+{
+    const auto config = smallConfig(Design::ReinitFti, false);
+    const auto result = runExperiment(config);
+    ASSERT_EQ(result.perRun.size(), 3u);
+    double sum = 0.0;
+    for (const auto &run : result.perRun)
+        sum += run.application;
+    EXPECT_NEAR(result.mean.application, sum / 3.0, 1e-9);
+}
+
+TEST(Experiment, NoiseMakesRunsDifferButStayClose)
+{
+    const auto config = smallConfig(Design::ReinitFti, false);
+    const auto result = runExperiment(config);
+    EXPECT_NE(result.perRun[0].application, result.perRun[1].application);
+    const double rel = std::abs(result.perRun[0].application -
+                                result.perRun[1].application) /
+                       result.mean.application;
+    EXPECT_LT(rel, 0.10); // ~1% noise model
+}
+
+TEST(Experiment, ZeroNoiseGivesIdenticalFailureFreeRuns)
+{
+    auto config = smallConfig(Design::ReinitFti, false);
+    config.noiseSigma = 0.0;
+    const auto result = runExperiment(config);
+    EXPECT_DOUBLE_EQ(result.perRun[0].total(), result.perRun[1].total());
+}
+
+TEST(Experiment, InjectionProducesRecoveryTime)
+{
+    const auto result = runExperiment(smallConfig(Design::ReinitFti, true));
+    EXPECT_TRUE(result.mean.failureFired);
+    EXPECT_GT(result.mean.recovery, 0.0);
+    const auto clean =
+        runExperiment(smallConfig(Design::ReinitFti, false));
+    EXPECT_DOUBLE_EQ(clean.mean.recovery, 0.0);
+}
+
+TEST(Experiment, AllDesignsCompleteOnInjectedFailure)
+{
+    for (Design design : ft::allDesigns) {
+        const auto result = runExperiment(smallConfig(design, true));
+        EXPECT_TRUE(result.mean.failureFired) << ft::designName(design);
+        EXPECT_GT(result.mean.total(), 0.0);
+    }
+}
+
+TEST(Experiment, CkptStrideControlsCheckpointShare)
+{
+    auto dense = smallConfig(Design::RestartFti, false);
+    dense.ckptStride = 2;
+    auto sparse = smallConfig(Design::RestartFti, false);
+    sparse.ckptStride = 8;
+    EXPECT_GT(runExperiment(dense).mean.ckptWrite,
+              runExperiment(sparse).mean.ckptWrite);
+}
+
+TEST(Experiment, ScalingSizesMatchTableI)
+{
+    EXPECT_EQ(scalingSizesFor("LULESH"), (std::vector<int>{64, 512}));
+    EXPECT_EQ(scalingSizesFor("CoMD"),
+              (std::vector<int>{64, 128, 256, 512}));
+}
+
+TEST(Experiment, CacheReplaysExactly)
+{
+    auto config = smallConfig(Design::ReinitFti, true);
+    config.cacheDir =
+        (fs::temp_directory_path() / "match-core-tests/cache").string();
+    fs::remove_all(config.cacheDir);
+    const auto first = runExperiment(config);  // simulates + stores
+    const auto second = runExperiment(config); // cache hit
+    EXPECT_DOUBLE_EQ(first.mean.total(), second.mean.total());
+    ASSERT_EQ(first.perRun.size(), second.perRun.size());
+    for (std::size_t i = 0; i < first.perRun.size(); ++i) {
+        EXPECT_DOUBLE_EQ(first.perRun[i].application,
+                         second.perRun[i].application);
+        EXPECT_DOUBLE_EQ(first.perRun[i].recovery,
+                         second.perRun[i].recovery);
+    }
+    EXPECT_EQ(first.mean.failureFired, second.mean.failureFired);
+    fs::remove_all(config.cacheDir);
+}
+
+TEST(Experiment, CacheKeyDistinguishesConfigs)
+{
+    auto a = smallConfig(Design::ReinitFti, true);
+    a.cacheDir =
+        (fs::temp_directory_path() / "match-core-tests/cache2").string();
+    fs::remove_all(a.cacheDir);
+    const auto ra = runExperiment(a);
+    auto b = a;
+    b.design = Design::UlfmFti; // different design, same cache dir
+    const auto rb = runExperiment(b);
+    EXPECT_NE(ra.mean.recovery, rb.mean.recovery);
+    fs::remove_all(a.cacheDir);
+}

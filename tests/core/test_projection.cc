@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Young/Daly projection tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/projection.hh"
+
+using namespace match::core;
+
+TEST(Projection, DalyIntervalFormula)
+{
+    // tau* = sqrt(2 * delta * M).
+    EXPECT_DOUBLE_EQ(dalyInterval(2.0, 100.0), std::sqrt(400.0));
+    EXPECT_DOUBLE_EQ(dalyInterval(0.5, 7200.0), std::sqrt(7200.0));
+}
+
+TEST(Projection, DalyIntervalGrowsWithMtbfAndCost)
+{
+    EXPECT_GT(dalyInterval(1.0, 10000.0), dalyInterval(1.0, 1000.0));
+    EXPECT_GT(dalyInterval(4.0, 1000.0), dalyInterval(1.0, 1000.0));
+}
+
+TEST(Projection, OptimumIsActuallyOptimal)
+{
+    // Efficiency at the Daly interval beats nearby intervals.
+    const double delta = 1.5, recovery = 10.0, mtbf = 6.7 * 3600.0;
+    const double tau = dalyInterval(delta, mtbf);
+    const double at_opt = efficiency(delta, tau, recovery, mtbf);
+    for (double factor : {0.25, 0.5, 2.0, 4.0}) {
+        EXPECT_GE(at_opt,
+                  efficiency(delta, tau * factor, recovery, mtbf))
+            << factor;
+    }
+}
+
+TEST(Projection, EfficiencyDecreasesWithWorseMtbf)
+{
+    const double delta = 1.0, recovery = 5.0;
+    double last = 1.0;
+    for (const Machine &machine : paperMachines()) {
+        const double e =
+            efficiencyAtOptimum(delta, recovery, machine.mtbfSeconds);
+        EXPECT_LT(e, last) << machine.name;
+        EXPECT_GT(e, 0.9) << machine.name; // hours-scale MTBFs: mild
+        last = e;
+    }
+}
+
+TEST(Projection, RecoveryTimeLowersEfficiencyLinearly)
+{
+    const double mtbf = 3600.0;
+    const double e_fast = efficiency(1.0, 60.0, 1.0, mtbf);
+    const double e_slow = efficiency(1.0, 60.0, 37.0, mtbf);
+    EXPECT_NEAR(e_fast - e_slow, 36.0 / mtbf, 1e-12);
+}
+
+TEST(Projection, EfficiencyClampedToUnitInterval)
+{
+    EXPECT_DOUBLE_EQ(efficiency(100.0, 1.0, 1e9, 10.0), 0.0);
+    EXPECT_LE(efficiency(1e-9, 1.0, 0.0, 1e12), 1.0);
+}
+
+TEST(Projection, PaperMachinesListed)
+{
+    const auto &machines = paperMachines();
+    ASSERT_EQ(machines.size(), 3u);
+    EXPECT_NEAR(machines[0].mtbfSeconds, 19.2 * 3600, 1);
+    EXPECT_NEAR(machines[1].mtbfSeconds, 6.7 * 3600, 1);
+    EXPECT_NEAR(machines[2].mtbfSeconds, 3.65 * 3600, 1);
+}

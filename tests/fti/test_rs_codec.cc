@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Reed-Solomon codec tests: encode/decode round trips over every
+ * erasure pattern up to the tolerance bound (property-style sweep).
+ */
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "src/fti/rs_codec.hh"
+#include "src/util/rng.hh"
+
+using namespace match::fti;
+using match::util::Rng;
+
+namespace
+{
+
+std::vector<std::vector<std::uint8_t>>
+randomShards(int k, std::size_t len, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::vector<std::uint8_t>> shards(k);
+    for (auto &shard : shards) {
+        shard.resize(len);
+        for (auto &byte : shard)
+            byte = static_cast<std::uint8_t>(rng.below(256));
+    }
+    return shards;
+}
+
+} // namespace
+
+TEST(RsCodec, NoLossRoundTrip)
+{
+    const RsCodec codec(4, 2);
+    const auto data = randomShards(4, 1024, 1);
+    const auto parity = codec.encode(data);
+    ASSERT_EQ(parity.size(), 2u);
+
+    std::vector<std::optional<std::vector<std::uint8_t>>> shards(6);
+    for (int i = 0; i < 4; ++i)
+        shards[i] = data[i];
+    for (int p = 0; p < 2; ++p)
+        shards[4 + p] = parity[p];
+    EXPECT_EQ(codec.reconstruct(shards), data);
+}
+
+TEST(RsCodec, ZeroParityGeometryWorks)
+{
+    const RsCodec codec(3, 0);
+    const auto data = randomShards(3, 100, 2);
+    EXPECT_TRUE(codec.encode(data).empty());
+    std::vector<std::optional<std::vector<std::uint8_t>>> shards(3);
+    for (int i = 0; i < 3; ++i)
+        shards[i] = data[i];
+    EXPECT_EQ(codec.reconstruct(shards), data);
+}
+
+class RsErasureSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(RsErasureSweep, RecoversFromEveryErasurePatternUpToM)
+{
+    const auto [k, m] = GetParam();
+    const RsCodec codec(k, m);
+    const std::size_t len = 257; // deliberately not a power of two
+    const auto data = randomShards(k, len, 7 * k + m);
+    const auto parity = codec.encode(data);
+
+    // Enumerate all subsets of up to m lost shards out of k+m.
+    const int total = k + m;
+    for (int mask = 0; mask < (1 << total); ++mask) {
+        if (__builtin_popcount(mask) > m)
+            continue;
+        std::vector<std::optional<std::vector<std::uint8_t>>> shards(
+            total);
+        for (int i = 0; i < total; ++i) {
+            if (mask & (1 << i))
+                continue; // lost
+            shards[i] = (i < k) ? data[i] : parity[i - k];
+        }
+        EXPECT_EQ(codec.reconstruct(shards), data)
+            << "k=" << k << " m=" << m << " lost mask=" << mask;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, RsErasureSweep,
+    ::testing::Values(std::make_tuple(2, 1), std::make_tuple(2, 2),
+                      std::make_tuple(4, 2), std::make_tuple(4, 4),
+                      std::make_tuple(6, 3), std::make_tuple(8, 4)));
+
+TEST(RsCodec, TooManyLossesReturnsEmpty)
+{
+    const RsCodec codec(4, 2);
+    const auto data = randomShards(4, 64, 3);
+    const auto parity = codec.encode(data);
+    std::vector<std::optional<std::vector<std::uint8_t>>> shards(6);
+    // Only 3 survivors < k=4.
+    shards[0] = data[0];
+    shards[2] = data[2];
+    shards[4] = parity[0];
+    EXPECT_TRUE(codec.reconstruct(shards).empty());
+}
+
+TEST(RsCodec, ParityIsDeterministic)
+{
+    const RsCodec a(4, 2), b(4, 2);
+    const auto data = randomShards(4, 512, 9);
+    EXPECT_EQ(a.encode(data), b.encode(data));
+}
+
+TEST(RsCodec, FtiHalfGroupClaimHolds)
+{
+    // FTI's L3 claim: with one data and one parity shard per member
+    // (m = k), the loss of any half of the group's members (each loss
+    // removing both its shards) is recoverable.
+    const int k = 4, m = 4;
+    const RsCodec codec(k, m);
+    const auto data = randomShards(k, 333, 11);
+    const auto parity = codec.encode(data);
+    for (int mask = 0; mask < (1 << k); ++mask) {
+        if (__builtin_popcount(mask) > k / 2)
+            continue;
+        std::vector<std::optional<std::vector<std::uint8_t>>> shards(
+            k + m);
+        for (int member = 0; member < k; ++member) {
+            if (mask & (1 << member))
+                continue; // member lost: drop its data and parity shard
+            shards[member] = data[member];
+            shards[k + member] = parity[member];
+        }
+        EXPECT_EQ(codec.reconstruct(shards), data) << "mask=" << mask;
+    }
+}

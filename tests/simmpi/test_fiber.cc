@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Fiber engine tests: switching, state machine, unwinding.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/simmpi/errors.hh"
+#include "src/simmpi/fiber.hh"
+
+using namespace match::simmpi;
+
+TEST(Fiber, RunsToCompletionWithoutYield)
+{
+    bool ran = false;
+    Fiber fiber([&] { ran = true; });
+    fiber.resume();
+    EXPECT_TRUE(ran);
+    EXPECT_TRUE(fiber.finished());
+}
+
+TEST(Fiber, YieldSuspendsAndResumeContinues)
+{
+    std::vector<int> trace;
+    Fiber fiber([&] {
+        trace.push_back(1);
+        Fiber::current()->yield();
+        trace.push_back(2);
+    });
+    fiber.setState(Fiber::State::Runnable);
+    fiber.resume();
+    EXPECT_EQ(trace, (std::vector<int>{1}));
+    EXPECT_FALSE(fiber.finished());
+    fiber.setState(Fiber::State::Runnable);
+    fiber.resume();
+    EXPECT_EQ(trace, (std::vector<int>{1, 2}));
+    EXPECT_TRUE(fiber.finished());
+}
+
+TEST(Fiber, CurrentIsNullInSchedulerContext)
+{
+    EXPECT_EQ(Fiber::current(), nullptr);
+    Fiber fiber([&] { EXPECT_NE(Fiber::current(), nullptr); });
+    fiber.resume();
+    EXPECT_EQ(Fiber::current(), nullptr);
+}
+
+TEST(Fiber, InterleavesTwoFibers)
+{
+    std::string log;
+    Fiber a([&] {
+        log += "a1";
+        Fiber::current()->yield();
+        log += "a2";
+    });
+    Fiber b([&] {
+        log += "b1";
+        Fiber::current()->yield();
+        log += "b2";
+    });
+    a.resume();
+    b.resume();
+    a.setState(Fiber::State::Runnable);
+    a.resume();
+    b.setState(Fiber::State::Runnable);
+    b.resume();
+    EXPECT_EQ(log, "a1b1a2b2");
+}
+
+TEST(Fiber, FiberUnwindIsSwallowed)
+{
+    Fiber fiber([] { throw ProcessKilled{}; });
+    fiber.resume();
+    EXPECT_TRUE(fiber.finished());
+}
+
+TEST(Fiber, DestructorsRunDuringUnwind)
+{
+    bool destroyed = false;
+    struct Sentinel
+    {
+        bool *flag;
+        ~Sentinel() { *flag = true; }
+    };
+    Fiber fiber([&] {
+        Sentinel sentinel{&destroyed};
+        throw JobAborted(Err::ProcFailed);
+    });
+    fiber.resume();
+    EXPECT_TRUE(destroyed);
+    EXPECT_TRUE(fiber.finished());
+}
+
+TEST(Fiber, DeepStackUsageSurvives)
+{
+    // Recursion touching ~100 KiB of the 512 KiB default stack.
+    std::function<int(int)> burn = [&](int depth) -> int {
+        volatile char pad[1024];
+        pad[0] = static_cast<char>(depth);
+        if (depth == 0)
+            return pad[0];
+        return burn(depth - 1) + (pad[0] ? 1 : 0);
+    };
+    int result = -1;
+    Fiber fiber([&] { result = burn(100); });
+    fiber.resume();
+    EXPECT_EQ(result, 100);
+}
+
+TEST(FiberDeath, EscapingStdExceptionPanics)
+{
+    Fiber fiber([] { throw std::runtime_error("boom"); });
+    EXPECT_DEATH(fiber.resume(), "uncaught exception");
+}

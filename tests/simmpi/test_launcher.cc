@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Launcher model tests: redeployment accounting, attempt limits, and
+ * the single-launch wrappers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/simmpi/launcher.hh"
+#include "src/simmpi/proc.hh"
+
+using namespace match::simmpi;
+
+namespace
+{
+
+std::shared_ptr<InjectionPlan>
+plan(int iteration, Rank rank)
+{
+    auto p = std::make_shared<InjectionPlan>();
+    p->iteration = iteration;
+    p->rank = rank;
+    return p;
+}
+
+void
+loop(Proc &proc, int iters)
+{
+    for (int i = 0; i < iters; ++i) {
+        proc.iterationPoint(i);
+        proc.compute(1e7);
+        proc.allreduce(1.0);
+    }
+}
+
+} // namespace
+
+TEST(Launcher, TotalTimeSumsAttemptsAndRedeploy)
+{
+    JobOptions opts;
+    opts.nprocs = 4;
+    opts.policy = ErrorPolicy::Fatal;
+    opts.injection = plan(3, 2);
+    const LaunchReport report =
+        launchWithRestart(opts, [](Proc &proc) { loop(proc, 8); });
+    ASSERT_EQ(report.attempts, 2);
+    const CostModel model;
+    // Total = aborted attempt + redeploy + clean attempt; the aborted
+    // attempt's makespan must be a positive remainder.
+    EXPECT_GT(report.totalTime, model.restartRecovery(4));
+    EXPECT_GT(report.totalTime, report.finalResult.makespan);
+    const double aborted_makespan = report.totalTime -
+                                    model.restartRecovery(4) -
+                                    report.finalResult.makespan;
+    // The aborted attempt ran part of the loop plus the detection
+    // latency before mpirun tore it down.
+    EXPECT_GT(aborted_makespan, model.detectionLatency());
+    EXPECT_LT(aborted_makespan,
+              report.finalResult.makespan + model.detectionLatency());
+}
+
+TEST(Launcher, BreakdownAggregatesAcrossAttempts)
+{
+    JobOptions opts;
+    opts.nprocs = 4;
+    opts.policy = ErrorPolicy::Fatal;
+    opts.injection = plan(5, 1);
+    const LaunchReport report =
+        launchWithRestart(opts, [](Proc &proc) { loop(proc, 10); });
+    // Application time contains the lost work of attempt 1 plus the
+    // full re-execution, so it exceeds a clean run's application time.
+    Runtime rt;
+    JobOptions clean = opts;
+    clean.injection = nullptr;
+    const JobResult clean_result =
+        rt.run(clean, [](Proc &proc) { loop(proc, 10); });
+    EXPECT_GT(report.breakdown[static_cast<int>(
+                  TimeCategory::Application)],
+              clean_result.breakdown[static_cast<int>(
+                  TimeCategory::Application)]);
+}
+
+TEST(Launcher, LaunchOnceDoesNotRedeploy)
+{
+    JobOptions opts;
+    opts.nprocs = 2;
+    const LaunchReport report =
+        launchOnce(opts, [](Proc &proc) { loop(proc, 3); });
+    EXPECT_EQ(report.attempts, 1);
+    EXPECT_FALSE(report.failureFired);
+    EXPECT_DOUBLE_EQ(report.totalTime, report.finalResult.makespan);
+}
+
+TEST(Launcher, LaunchReinitReportsRecoveries)
+{
+    JobOptions opts;
+    opts.nprocs = 4;
+    opts.policy = ErrorPolicy::Reinit;
+    opts.injection = plan(4, 3);
+    const LaunchReport report = launchReinit(
+        opts, [](Proc &proc, ReinitState) { loop(proc, 8); });
+    EXPECT_EQ(report.attempts, 1); // online recovery, no redeploy
+    EXPECT_EQ(report.finalResult.recoveries, 1);
+    EXPECT_TRUE(report.failureFired);
+    EXPECT_EQ(report.failedRank, 3);
+}
+
+TEST(LauncherDeath, RestartRequiresFatalPolicy)
+{
+    JobOptions opts;
+    opts.nprocs = 2;
+    opts.policy = ErrorPolicy::Return;
+    EXPECT_DEATH(launchWithRestart(opts, [](Proc &) {}),
+                 "MPI_ERRORS_ARE_FATAL");
+}

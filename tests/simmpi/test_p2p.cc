@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Point-to-point semantics of the simulated MPI runtime: matching,
+ * ordering, wildcards, timing, and data integrity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "src/simmpi/launcher.hh"
+#include "src/simmpi/proc.hh"
+#include "src/simmpi/runtime.hh"
+
+using namespace match::simmpi;
+
+namespace
+{
+
+JobOptions
+options(int nprocs)
+{
+    JobOptions opts;
+    opts.nprocs = nprocs;
+    opts.policy = ErrorPolicy::Fatal;
+    return opts;
+}
+
+} // namespace
+
+TEST(SimMpiP2p, PingPongDeliversPayload)
+{
+    Runtime rt;
+    std::vector<int> seen(2, -1);
+    auto result = rt.run(options(2), [&](Proc &proc) {
+        if (proc.rank() == 0) {
+            const int value = 42;
+            proc.send(1, 7, &value, sizeof(value));
+            int back = 0;
+            proc.recv(1, 8, &back, sizeof(back));
+            seen[0] = back;
+        } else {
+            int value = 0;
+            proc.recv(0, 7, &value, sizeof(value));
+            const int doubled = value * 2;
+            proc.send(0, 8, &doubled, sizeof(doubled));
+            seen[1] = value;
+        }
+    });
+    EXPECT_FALSE(result.aborted);
+    EXPECT_EQ(seen[0], 84);
+    EXPECT_EQ(seen[1], 42);
+}
+
+TEST(SimMpiP2p, MessagesMatchByTag)
+{
+    Runtime rt;
+    int got_first = 0, got_second = 0;
+    rt.run(options(2), [&](Proc &proc) {
+        if (proc.rank() == 0) {
+            const int a = 1, b = 2;
+            proc.send(1, 10, &a, sizeof(a));
+            proc.send(1, 20, &b, sizeof(b));
+        } else {
+            // Receive in reverse tag order; matching must be by tag.
+            proc.recv(0, 20, &got_second, sizeof(int));
+            proc.recv(0, 10, &got_first, sizeof(int));
+        }
+    });
+    EXPECT_EQ(got_first, 1);
+    EXPECT_EQ(got_second, 2);
+}
+
+TEST(SimMpiP2p, AnySourceAndAnyTagMatch)
+{
+    Runtime rt;
+    std::vector<int> received;
+    rt.run(options(3), [&](Proc &proc) {
+        if (proc.rank() != 0) {
+            const int value = proc.rank() * 100;
+            proc.send(0, proc.rank(), &value, sizeof(value));
+        } else {
+            for (int i = 0; i < 2; ++i) {
+                int value = 0;
+                auto status = proc.recv(anySource, anyTag, &value,
+                                        sizeof(value));
+                EXPECT_EQ(value, status.source * 100);
+                EXPECT_EQ(status.tag, status.source);
+                received.push_back(value);
+            }
+        }
+    });
+    EXPECT_EQ(received.size(), 2u);
+}
+
+TEST(SimMpiP2p, FifoOrderPerSenderIsPreserved)
+{
+    Runtime rt;
+    std::vector<int> order;
+    rt.run(options(2), [&](Proc &proc) {
+        if (proc.rank() == 0) {
+            for (int i = 0; i < 10; ++i)
+                proc.send(1, 5, &i, sizeof(i));
+        } else {
+            for (int i = 0; i < 10; ++i) {
+                int value = -1;
+                proc.recv(0, 5, &value, sizeof(value));
+                order.push_back(value);
+            }
+        }
+    });
+    std::vector<int> expect(10);
+    std::iota(expect.begin(), expect.end(), 0);
+    EXPECT_EQ(order, expect);
+}
+
+TEST(SimMpiP2p, RecvBlocksUntilSendHappens)
+{
+    // Rank 1 receives before rank 0 sends (rank 0 computes first); the
+    // receive must block and then complete with a clock not earlier than
+    // the sender's send time.
+    Runtime rt;
+    SimTime recv_done = 0.0;
+    SimTime send_time = 0.0;
+    rt.run(options(2), [&](Proc &proc) {
+        if (proc.rank() == 0) {
+            proc.compute(4.0e9); // ~1 s of modelled work
+            send_time = proc.now();
+            const double payload = 3.14;
+            proc.send(1, 0, &payload, sizeof(payload));
+        } else {
+            double payload = 0.0;
+            proc.recv(0, 0, &payload, sizeof(payload));
+            recv_done = proc.now();
+            EXPECT_DOUBLE_EQ(payload, 3.14);
+        }
+    });
+    EXPECT_GT(send_time, 0.9);
+    EXPECT_GE(recv_done, send_time);
+}
+
+TEST(SimMpiP2p, LargeMessageCostsMoreTime)
+{
+    auto timed = [](std::size_t bytes) {
+        Runtime rt;
+        SimTime done = 0.0;
+        JobOptions opts;
+        opts.nprocs = 2;
+        rt.run(opts, [&](Proc &proc) {
+            std::vector<std::uint8_t> buf(bytes, 0xab);
+            if (proc.rank() == 0) {
+                proc.send(1, 0, buf.data(), buf.size());
+            } else {
+                proc.recv(0, 0, buf.data(), buf.size());
+                done = proc.now();
+            }
+        });
+        return done;
+    };
+    EXPECT_GT(timed(1 << 20), timed(1 << 10));
+}
+
+TEST(SimMpiP2p, ScaledSendUsesVirtualBytesForTiming)
+{
+    // A 1 KiB real payload priced as 64 MiB must cost about as much as a
+    // real 64 MiB transfer.
+    auto timed = [](bool scaled) {
+        Runtime rt;
+        SimTime done = 0.0;
+        JobOptions opts;
+        opts.nprocs = 2;
+        rt.run(opts, [&](Proc &proc) {
+            std::vector<std::uint8_t> buf(1024, 1);
+            if (proc.rank() == 0) {
+                if (scaled)
+                    proc.sendScaled(1, 0, buf.data(), buf.size(),
+                                    64ull << 20);
+                else
+                    proc.send(1, 0, buf.data(), buf.size());
+            } else {
+                proc.recv(0, 0, buf.data(), buf.size());
+                done = proc.now();
+            }
+        });
+        return done;
+    };
+    EXPECT_GT(timed(true), timed(false) * 100);
+}
+
+TEST(SimMpiP2p, ProbeSeesQueuedMessage)
+{
+    Runtime rt;
+    bool before = true, after = false;
+    rt.run(options(2), [&](Proc &proc) {
+        if (proc.rank() == 0) {
+            const int v = 9;
+            proc.send(1, 3, &v, sizeof(v));
+            // Give rank 1 a rendezvous so it checks after the send.
+            proc.barrier();
+        } else {
+            before = proc.probe(0, 3);
+            proc.barrier();
+            after = proc.probe(0, 3);
+            int v;
+            proc.recv(0, 3, &v, sizeof(v));
+        }
+    });
+    EXPECT_TRUE(after);
+    (void)before; // may or may not have arrived before the barrier
+}
+
+TEST(SimMpiP2p, ExchangePatternCompletesWithoutDeadlock)
+{
+    // Classic halo-exchange: everyone sends to both neighbours first,
+    // then receives. Buffered sends must make this deadlock-free.
+    Runtime rt;
+    const int procs = 8;
+    std::vector<int> sums(procs, 0);
+    rt.run(options(procs), [&](Proc &proc) {
+        const int r = proc.rank();
+        const int left = (r + procs - 1) % procs;
+        const int right = (r + 1) % procs;
+        proc.send(left, 0, &r, sizeof(r));
+        proc.send(right, 1, &r, sizeof(r));
+        int from_right = 0, from_left = 0;
+        proc.recv(right, 0, &from_right, sizeof(from_right));
+        proc.recv(left, 1, &from_left, sizeof(from_left));
+        sums[r] = from_left + from_right;
+    });
+    for (int r = 0; r < procs; ++r) {
+        const int left = (r + procs - 1) % procs;
+        const int right = (r + 1) % procs;
+        EXPECT_EQ(sums[r], left + right);
+    }
+}

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * GF(2^8) field axioms and matrix algebra tests (property-style sweeps
+ * over the whole field).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/util/gf256.hh"
+#include "src/util/rng.hh"
+
+using namespace match::util;
+
+TEST(Gf256, AdditionIsXor)
+{
+    EXPECT_EQ(gf256::add(0x57, 0x83), 0x57 ^ 0x83);
+    EXPECT_EQ(gf256::add(0xff, 0xff), 0);
+}
+
+TEST(Gf256, MultiplicativeIdentityAndZero)
+{
+    for (int a = 0; a < 256; ++a) {
+        EXPECT_EQ(gf256::mul(static_cast<std::uint8_t>(a), 1), a);
+        EXPECT_EQ(gf256::mul(static_cast<std::uint8_t>(a), 0), 0);
+    }
+}
+
+TEST(Gf256, KnownAesProducts)
+{
+    // Classic AES-field examples (polynomial 0x11b).
+    EXPECT_EQ(gf256::mul(0x57, 0x83), 0xc1);
+    EXPECT_EQ(gf256::mul(0x02, 0x80), 0x1b);
+}
+
+TEST(Gf256, MultiplicationCommutesAndAssociates)
+{
+    Rng rng(1);
+    for (int i = 0; i < 2000; ++i) {
+        const auto a = static_cast<std::uint8_t>(rng.below(256));
+        const auto b = static_cast<std::uint8_t>(rng.below(256));
+        const auto c = static_cast<std::uint8_t>(rng.below(256));
+        EXPECT_EQ(gf256::mul(a, b), gf256::mul(b, a));
+        EXPECT_EQ(gf256::mul(gf256::mul(a, b), c),
+                  gf256::mul(a, gf256::mul(b, c)));
+    }
+}
+
+TEST(Gf256, DistributesOverAddition)
+{
+    Rng rng(2);
+    for (int i = 0; i < 2000; ++i) {
+        const auto a = static_cast<std::uint8_t>(rng.below(256));
+        const auto b = static_cast<std::uint8_t>(rng.below(256));
+        const auto c = static_cast<std::uint8_t>(rng.below(256));
+        EXPECT_EQ(gf256::mul(a, gf256::add(b, c)),
+                  gf256::add(gf256::mul(a, b), gf256::mul(a, c)));
+    }
+}
+
+TEST(Gf256, EveryNonzeroElementHasInverse)
+{
+    for (int a = 1; a < 256; ++a) {
+        const auto inv = gf256::inverse(static_cast<std::uint8_t>(a));
+        EXPECT_EQ(gf256::mul(static_cast<std::uint8_t>(a), inv), 1)
+            << "element " << a;
+    }
+}
+
+TEST(Gf256, DivisionInvertsMultiplication)
+{
+    Rng rng(3);
+    for (int i = 0; i < 2000; ++i) {
+        const auto a = static_cast<std::uint8_t>(rng.below(256));
+        const auto b = static_cast<std::uint8_t>(1 + rng.below(255));
+        EXPECT_EQ(gf256::div(gf256::mul(a, b), b), a);
+    }
+}
+
+TEST(Gf256, PowMatchesRepeatedMultiplication)
+{
+    for (int a = 1; a < 256; a += 17) {
+        std::uint8_t acc = 1;
+        for (unsigned n = 0; n < 16; ++n) {
+            EXPECT_EQ(gf256::pow(static_cast<std::uint8_t>(a), n), acc);
+            acc = gf256::mul(acc, static_cast<std::uint8_t>(a));
+        }
+    }
+}
+
+TEST(Gf256, MulAddAccumulates)
+{
+    std::vector<std::uint8_t> y(64, 0), x(64);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        x[i] = static_cast<std::uint8_t>(i * 7 + 1);
+    gf256::mulAdd(y.data(), x.data(), x.size(), 0x1d);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        EXPECT_EQ(y[i], gf256::mul(x[i], 0x1d));
+    // Adding the same contribution again must cancel (characteristic 2).
+    gf256::mulAdd(y.data(), x.data(), x.size(), 0x1d);
+    for (auto v : y)
+        EXPECT_EQ(v, 0);
+}
+
+TEST(GfMatrix, IdentityInverts)
+{
+    GfMatrix eye(4, 4);
+    for (std::size_t i = 0; i < 4; ++i)
+        eye.at(i, i) = 1;
+    GfMatrix inv(1, 1);
+    ASSERT_TRUE(eye.invert(inv));
+    for (std::size_t r = 0; r < 4; ++r)
+        for (std::size_t c = 0; c < 4; ++c)
+            EXPECT_EQ(inv.at(r, c), r == c ? 1 : 0);
+}
+
+TEST(GfMatrix, RandomMatrixTimesInverseIsIdentity)
+{
+    Rng rng(4);
+    for (int trial = 0; trial < 20; ++trial) {
+        GfMatrix m(5, 5);
+        for (std::size_t r = 0; r < 5; ++r)
+            for (std::size_t c = 0; c < 5; ++c)
+                m.at(r, c) = static_cast<std::uint8_t>(rng.below(256));
+        GfMatrix inv(1, 1);
+        if (!m.invert(inv))
+            continue; // singular draw; skip
+        const GfMatrix prod = m.multiply(inv);
+        for (std::size_t r = 0; r < 5; ++r)
+            for (std::size_t c = 0; c < 5; ++c)
+                EXPECT_EQ(prod.at(r, c), r == c ? 1 : 0);
+    }
+}
+
+TEST(GfMatrix, SingularMatrixReportsFailure)
+{
+    GfMatrix m(3, 3); // all zero
+    GfMatrix inv(1, 1);
+    EXPECT_FALSE(m.invert(inv));
+}
+
+TEST(GfMatrix, SystematicVandermondeTopIsIdentity)
+{
+    const std::size_t k = 6, m = 3;
+    const GfMatrix enc = GfMatrix::systematicVandermonde(k, m);
+    ASSERT_EQ(enc.rows(), k + m);
+    ASSERT_EQ(enc.cols(), k);
+    for (std::size_t r = 0; r < k; ++r)
+        for (std::size_t c = 0; c < k; ++c)
+            EXPECT_EQ(enc.at(r, c), r == c ? 1 : 0);
+}
+
+TEST(GfMatrix, AnyKRowsOfEncodingMatrixInvertible)
+{
+    const std::size_t k = 4, m = 3;
+    const GfMatrix enc = GfMatrix::systematicVandermonde(k, m);
+    // Enumerate all (k+m choose k) row subsets and require invertibility.
+    std::vector<std::size_t> rows(k);
+    std::function<bool(std::size_t, std::size_t)> pick =
+        [&](std::size_t start, std::size_t depth) -> bool {
+        if (depth == k) {
+            GfMatrix sub(k, k);
+            for (std::size_t r = 0; r < k; ++r)
+                for (std::size_t c = 0; c < k; ++c)
+                    sub.at(r, c) = enc.at(rows[r], c);
+            GfMatrix inv(1, 1);
+            return sub.invert(inv);
+        }
+        for (std::size_t r = start; r < k + m; ++r) {
+            rows[depth] = r;
+            if (!pick(r + 1, depth + 1))
+                return false;
+        }
+        return true;
+    };
+    EXPECT_TRUE(pick(0, 0));
+}

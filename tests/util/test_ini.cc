@@ -1,0 +1,117 @@
+/**
+ * @file
+ * INI parser unit tests (FTI-style configuration files).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "src/util/ini.hh"
+
+using namespace match::util;
+
+TEST(Ini, ParsesSectionsAndKeys)
+{
+    IniFile ini;
+    ASSERT_TRUE(ini.parseString("[basic]\n"
+                                "ckpt_dir = /tmp/fti\n"
+                                "ckpt_l1 = 10\n"
+                                "\n"
+                                "[advanced]\n"
+                                "block_size = 1024\n"));
+    EXPECT_EQ(ini.getString("basic", "ckpt_dir", ""), "/tmp/fti");
+    EXPECT_EQ(ini.getInt("basic", "ckpt_l1", -1), 10);
+    EXPECT_EQ(ini.getInt("advanced", "block_size", -1), 1024);
+}
+
+TEST(Ini, CommentsAndBlankLinesIgnored)
+{
+    IniFile ini;
+    ASSERT_TRUE(ini.parseString("# full comment\n"
+                                "[s] ; trailing\n"
+                                "\n"
+                                "k = v # comment after value\n"));
+    EXPECT_EQ(ini.getString("s", "k", ""), "v");
+}
+
+TEST(Ini, DefaultsWhenMissing)
+{
+    IniFile ini;
+    ASSERT_TRUE(ini.parseString("[a]\nx = 1\n"));
+    EXPECT_EQ(ini.getInt("a", "missing", 7), 7);
+    EXPECT_EQ(ini.getInt("missing", "x", 9), 9);
+    EXPECT_DOUBLE_EQ(ini.getDouble("a", "nope", 2.5), 2.5);
+    EXPECT_EQ(ini.getString("a", "nada", "dflt"), "dflt");
+}
+
+TEST(Ini, TypedGetters)
+{
+    IniFile ini;
+    ASSERT_TRUE(ini.parseString("[t]\n"
+                                "i = -42\n"
+                                "d = 3.25\n"
+                                "b1 = true\n"
+                                "b0 = no\n"
+                                "junk = 12abc\n"));
+    EXPECT_EQ(ini.getInt("t", "i", 0), -42);
+    EXPECT_DOUBLE_EQ(ini.getDouble("t", "d", 0.0), 3.25);
+    EXPECT_TRUE(ini.getBool("t", "b1", false));
+    EXPECT_FALSE(ini.getBool("t", "b0", true));
+    // Malformed integers fall back to the default.
+    EXPECT_EQ(ini.getInt("t", "junk", 5), 5);
+}
+
+TEST(Ini, RejectsMalformedInput)
+{
+    IniFile ini;
+    EXPECT_FALSE(ini.parseString("[unterminated\n"));
+    EXPECT_FALSE(ini.parseString("keywithoutvalue\n"));
+    EXPECT_FALSE(ini.parseString("= value\n"));
+    EXPECT_FALSE(ini.parseString("[]\n"));
+}
+
+TEST(Ini, FailedParseKeepsOldContent)
+{
+    IniFile ini;
+    ASSERT_TRUE(ini.parseString("[a]\nx = 1\n"));
+    EXPECT_FALSE(ini.parseString("bogus line\n"));
+    EXPECT_EQ(ini.getInt("a", "x", -1), 1);
+}
+
+TEST(Ini, SetAndRoundTrip)
+{
+    IniFile ini;
+    ini.set("sec", "key", "value");
+    ini.setInt("sec", "num", 17);
+    ini.setDouble("sec", "f", 0.5);
+    IniFile again;
+    ASSERT_TRUE(again.parseString(ini.toString()));
+    EXPECT_EQ(again.getString("sec", "key", ""), "value");
+    EXPECT_EQ(again.getInt("sec", "num", 0), 17);
+    EXPECT_DOUBLE_EQ(again.getDouble("sec", "f", 0.0), 0.5);
+    EXPECT_EQ(again.size(), 3u);
+}
+
+TEST(Ini, FileRoundTrip)
+{
+    namespace fs = std::filesystem;
+    const fs::path path = fs::temp_directory_path() / "match_ini_test.ini";
+    IniFile ini;
+    ini.set("io", "path", "/dev/shm");
+    ASSERT_TRUE(ini.writeFile(path.string()));
+    IniFile back;
+    ASSERT_TRUE(back.parseFile(path.string()));
+    EXPECT_EQ(back.getString("io", "path", ""), "/dev/shm");
+    fs::remove(path);
+}
+
+TEST(Ini, HasSection)
+{
+    IniFile ini;
+    ASSERT_TRUE(ini.parseString("[present]\nk = 1\n[empty]\n"));
+    EXPECT_TRUE(ini.hasSection("present"));
+    EXPECT_TRUE(ini.hasSection("empty"));
+    EXPECT_FALSE(ini.hasSection("absent"));
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Log-level plumbing tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/util/logging.hh"
+
+using namespace match::util;
+
+TEST(Logging, LevelRoundTrips)
+{
+    const LogLevel saved = logLevel();
+    setLogLevel(LogLevel::Debug);
+    EXPECT_EQ(logLevel(), LogLevel::Debug);
+    setLogLevel(LogLevel::Quiet);
+    EXPECT_EQ(logLevel(), LogLevel::Quiet);
+    setLogLevel(saved);
+}
+
+TEST(Logging, InformAndWarnDoNotCrash)
+{
+    const LogLevel saved = logLevel();
+    setLogLevel(LogLevel::Debug);
+    inform("test inform %d", 1);
+    warn("test warn %s", "x");
+    debug("test debug %f", 2.0);
+    setLogLevel(saved);
+}
+
+TEST(Logging, AssertMacroPassesOnTrue)
+{
+    MATCH_ASSERT(1 + 1 == 2, "arithmetic holds");
+    SUCCEED();
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(panic("intentional panic"), "panic");
+}
+
+TEST(LoggingDeath, FatalExitsWithOne)
+{
+    EXPECT_EXIT(fatal("intentional fatal"),
+                ::testing::ExitedWithCode(1), "fatal");
+}
+
+TEST(LoggingDeath, AssertMacroPanicsOnFalse)
+{
+    EXPECT_DEATH(MATCH_ASSERT(false, "must fire"), "assertion failed");
+}

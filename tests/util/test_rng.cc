@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Determinism and distribution sanity of the xoshiro256** generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "src/util/rng.hh"
+
+using namespace match::util;
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(12345), b(12345);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, DifferentStreamsDiffer)
+{
+    Rng a(7, 0), b(7, 1);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(99);
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = rng.below(37);
+        EXPECT_LT(v, 37u);
+    }
+}
+
+TEST(Rng, BelowCoversRange)
+{
+    Rng rng(4);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 2000; ++i)
+        seen.insert(rng.below(10));
+    EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, BetweenInclusiveBounds)
+{
+    Rng rng(5);
+    bool lo_seen = false, hi_seen = false;
+    for (int i = 0; i < 5000; ++i) {
+        const auto v = rng.between(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        lo_seen |= (v == -3);
+        hi_seen |= (v == 3);
+    }
+    EXPECT_TRUE(lo_seen);
+    EXPECT_TRUE(hi_seen);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(6);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(8);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(2.5, 7.5);
+        EXPECT_GE(u, 2.5);
+        EXPECT_LT(u, 7.5);
+    }
+}
+
+TEST(Rng, SplitMixIsDeterministic)
+{
+    std::uint64_t s1 = 42, s2 = 42;
+    EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+    EXPECT_EQ(s1, s2);
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Running-statistics tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/util/stats.hh"
+
+using namespace match::util;
+
+TEST(Stats, EmptyAccumulatorIsZero)
+{
+    RunningStat stat;
+    EXPECT_EQ(stat.count(), 0u);
+    EXPECT_DOUBLE_EQ(stat.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(stat.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(stat.min(), 0.0);
+    EXPECT_DOUBLE_EQ(stat.max(), 0.0);
+}
+
+TEST(Stats, SingleSample)
+{
+    RunningStat stat;
+    stat.add(5.0);
+    EXPECT_EQ(stat.count(), 1u);
+    EXPECT_DOUBLE_EQ(stat.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(stat.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(stat.min(), 5.0);
+    EXPECT_DOUBLE_EQ(stat.max(), 5.0);
+}
+
+TEST(Stats, KnownMeanAndVariance)
+{
+    RunningStat stat;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        stat.add(v);
+    EXPECT_DOUBLE_EQ(stat.mean(), 5.0);
+    // Sample variance with n-1 = 7: sum of squares = 32 => 32/7.
+    EXPECT_NEAR(stat.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_NEAR(stat.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+    EXPECT_DOUBLE_EQ(stat.min(), 2.0);
+    EXPECT_DOUBLE_EQ(stat.max(), 9.0);
+}
+
+TEST(Stats, MeanHelper)
+{
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(Stats, GeomeanHelper)
+{
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(Stats, WelfordMatchesNaiveOnManySamples)
+{
+    RunningStat stat;
+    double sum = 0.0, sum_sq = 0.0;
+    const int n = 1000;
+    for (int i = 0; i < n; ++i) {
+        const double v = 0.001 * i * i - 3.0 * i + 7.0;
+        stat.add(v);
+        sum += v;
+        sum_sq += v * v;
+    }
+    const double naive_mean = sum / n;
+    const double naive_var = (sum_sq - n * naive_mean * naive_mean) /
+                             (n - 1);
+    EXPECT_NEAR(stat.mean(), naive_mean, 1e-6);
+    EXPECT_NEAR(stat.variance(), naive_var, naive_var * 1e-9);
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Table/CSV reporter tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/util/table.hh"
+
+using namespace match::util;
+
+TEST(Table, RendersHeaderAndRows)
+{
+    Table table({"app", "procs", "time"});
+    table.addRow({"AMG", "64", "45.10"});
+    table.addRow({"CoMD", "128", "21.00"});
+    const std::string text = table.toString();
+    EXPECT_NE(text.find("app"), std::string::npos);
+    EXPECT_NE(text.find("AMG"), std::string::npos);
+    EXPECT_NE(text.find("21.00"), std::string::npos);
+    EXPECT_EQ(table.rows(), 2u);
+    EXPECT_EQ(table.columns(), 3u);
+}
+
+TEST(Table, CsvIsCommaSeparatedWithHeader)
+{
+    Table table({"a", "b"});
+    table.addRow({"1", "2"});
+    EXPECT_EQ(table.toCsv(), "a,b\n1,2\n");
+}
+
+TEST(Table, CellFormatsFixedPrecision)
+{
+    EXPECT_EQ(Table::cell(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::cell(2.0, 0), "2");
+    EXPECT_EQ(Table::cell(0.5, 3), "0.500");
+}
+
+TEST(Table, ColumnsAlignToWidestCell)
+{
+    Table table({"x", "yyyy"});
+    table.addRow({"longvalue", "1"});
+    std::istringstream lines(table.toString());
+    std::string header, rule, row;
+    std::getline(lines, header);
+    std::getline(lines, rule);
+    std::getline(lines, row);
+    // The second column must start at the same offset in both lines.
+    EXPECT_EQ(header.find("yyyy"), row.find("1"));
+}
+
+TEST(Table, WriteCsvCreatesFile)
+{
+    namespace fs = std::filesystem;
+    const fs::path path = fs::temp_directory_path() / "match_table.csv";
+    Table table({"h"});
+    table.addRow({"v"});
+    ASSERT_TRUE(table.writeCsv(path.string()));
+    std::ifstream in(path);
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "h");
+    fs::remove(path);
+}
+
+TEST(TableDeath, RowWidthMismatchPanics)
+{
+    Table table({"one", "two"});
+    EXPECT_DEATH(table.addRow({"only-one"}), "row width");
+}
