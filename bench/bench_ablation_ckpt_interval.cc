@@ -21,24 +21,24 @@ main(int argc, char **argv)
 
     std::printf("=== Ablation: checkpoint interval (HPCCG, small, 64 "
                 "processes, REINIT-FTI, one failure) ===\n\n");
+    core::GridSpec spec = options.baseSpec();
+    spec.apps = {"HPCCG"};
+    spec.scales = {64};
+    spec.designs = {ft::Design::ReinitFti};
+    spec.injectFailure = true;
+    spec.ckptStrides = {2, 5, 10, 20, 40, 80};
+    const auto cells = spec.enumerate();
+    const auto results = core::GridRunner(options.jobs).run(cells);
+
     util::Table table({"Stride(iters)", "WriteCkpt(s)", "Application(s)",
                        "Recovery(s)", "Total(s)"});
-    for (int stride : {2, 5, 10, 20, 40, 80}) {
-        core::ExperimentConfig config;
-        config.app = "HPCCG";
-        config.nprocs = 64;
-        config.design = ft::Design::ReinitFti;
-        config.injectFailure = true;
-        config.runs = options.runs;
-        config.seed = options.seed;
-        config.ckptStride = stride;
-        config.sandboxDir = options.sandboxDir;
-        const auto result = core::runExperiment(config);
-        table.addRow({std::to_string(stride),
-                      util::Table::cell(result.mean.ckptWrite),
-                      util::Table::cell(result.mean.application),
-                      util::Table::cell(result.mean.recovery),
-                      util::Table::cell(result.mean.total())});
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const ft::Breakdown &mean = results[i].mean;
+        table.addRow({std::to_string(cells[i].ckptStride),
+                      util::Table::cell(mean.ckptWrite),
+                      util::Table::cell(mean.application),
+                      util::Table::cell(mean.recovery),
+                      util::Table::cell(mean.total())});
     }
     std::printf("%s\n", table.toString().c_str());
     std::printf("Note: application time includes the work re-executed "

@@ -23,25 +23,26 @@ main(int argc, char **argv)
 
     std::printf("=== Ablation: FTI checkpoint levels (HPCCG, small, 64 "
                 "processes, REINIT-FTI) ===\n\n");
+    core::GridSpec spec = options.baseSpec();
+    spec.apps = {"HPCCG"};
+    spec.scales = {64};
+    spec.designs = {ft::Design::ReinitFti};
+    spec.ckptLevels = {1, 2, 3, 4};
+    const auto cells = spec.enumerate();
+    const auto results = core::GridRunner(options.jobs).run(cells);
+
     util::Table table({"Level", "Storage path", "WriteCkpt(s)",
                        "Application(s)", "Total(s)"});
     const char *paths[] = {
         "", "node-local ramfs", "local + partner copy",
         "local + Reed-Solomon group", "parallel FS (differential)"};
-    for (int level = 1; level <= 4; ++level) {
-        core::ExperimentConfig config;
-        config.app = "HPCCG";
-        config.nprocs = 64;
-        config.design = ft::Design::ReinitFti;
-        config.runs = options.runs;
-        config.seed = options.seed;
-        config.ckptLevel = level;
-        config.sandboxDir = options.sandboxDir;
-        const auto result = core::runExperiment(config);
-        table.addRow({"L" + std::to_string(level), paths[level],
-                      util::Table::cell(result.mean.ckptWrite),
-                      util::Table::cell(result.mean.application),
-                      util::Table::cell(result.mean.total())});
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const ft::Breakdown &mean = results[i].mean;
+        table.addRow({"L" + std::to_string(cells[i].ckptLevel),
+                      paths[cells[i].ckptLevel],
+                      util::Table::cell(mean.ckptWrite),
+                      util::Table::cell(mean.application),
+                      util::Table::cell(mean.total())});
     }
     std::printf("%s\n", table.toString().c_str());
     return 0;

@@ -12,6 +12,7 @@
  */
 
 #include <cstdio>
+#include <unistd.h>
 #include <vector>
 
 #include "bench/common.hh"
@@ -135,7 +136,8 @@ runLocalForward(int procs, int tasks, int fail_task, Rank fail_rank)
 
 /** The same farm under global-restart recovery (Reinit + FTI). */
 double
-runGlobalRestart(int procs, int tasks, int fail_task, Rank fail_rank)
+runGlobalRestart(const std::string &sandbox_dir, int procs, int tasks,
+                 int fail_task, Rank fail_rank)
 {
     auto plan = std::make_shared<InjectionPlan>();
     plan->iteration = fail_task;
@@ -146,8 +148,14 @@ runGlobalRestart(int procs, int tasks, int fail_task, Rank fail_rank)
     opts.injection = plan;
 
     fti::FtiConfig fcfg;
-    fcfg.ckptDir = "/dev/shm/match-localfwd";
-    fcfg.execId = "global-" + std::to_string(procs);
+    fcfg.ckptDir = sandbox_dir;
+    // Pid-qualified like core::execId: two processes sharing the
+    // sandbox root must never purge each other's checkpoints.
+    fcfg.execId = "localfwd-global-p" + std::to_string(procs) + "-t" +
+                  std::to_string(tasks) + "-f" +
+                  std::to_string(fail_task) + "r" +
+                  std::to_string(fail_rank) + "-" +
+                  std::to_string(::getpid());
     fti::Fti::purge(fcfg);
 
     Runtime runtime;
@@ -180,7 +188,6 @@ int
 main(int argc, char **argv)
 {
     const auto options = match::bench::BenchOptions::parse(argc, argv);
-    (void)options;
 
     std::printf("=== Ablation: ULFM local-forward vs global-restart "
                 "recovery (task farm, one worker failure) ===\n\n");
@@ -192,8 +199,8 @@ main(int argc, char **argv)
         const Rank fail_rank = procs / 2;
         const double fwd =
             runLocalForward(procs, tasks, fail_task, fail_rank);
-        const double global =
-            runGlobalRestart(procs, tasks, fail_task, fail_rank);
+        const double global = runGlobalRestart(
+            options.sandboxDir, procs, tasks, fail_task, fail_rank);
         table.addRow({std::to_string(procs), std::to_string(tasks),
                       util::Table::cell(fwd),
                       util::Table::cell(global),

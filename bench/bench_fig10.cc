@@ -13,8 +13,7 @@ int
 main(int argc, char **argv)
 {
     using namespace match::bench;
-    const auto options = BenchOptions::parse(argc, argv);
-    runFigure(options, "Figure 10", Sweep::InputSizes,
-              /*inject=*/true, Report::Recovery);
-    return 0;
+    return figureMain({"Figure 10", Sweep::InputSizes,
+                       /*inject=*/true, Report::Recovery},
+                      argc, argv);
 }

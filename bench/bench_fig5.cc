@@ -15,8 +15,7 @@ int
 main(int argc, char **argv)
 {
     using namespace match::bench;
-    const auto options = BenchOptions::parse(argc, argv);
-    runFigure(options, "Figure 5", Sweep::ScalingSizes,
-              /*inject=*/false, Report::Breakdown);
-    return 0;
+    return figureMain({"Figure 5", Sweep::ScalingSizes,
+                       /*inject=*/false, Report::Breakdown},
+                      argc, argv);
 }

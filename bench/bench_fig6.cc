@@ -16,8 +16,7 @@ int
 main(int argc, char **argv)
 {
     using namespace match::bench;
-    const auto options = BenchOptions::parse(argc, argv);
-    runFigure(options, "Figure 6", Sweep::ScalingSizes,
-              /*inject=*/true, Report::Breakdown);
-    return 0;
+    return figureMain({"Figure 6", Sweep::ScalingSizes,
+                       /*inject=*/true, Report::Breakdown},
+                      argc, argv);
 }

@@ -14,8 +14,7 @@ int
 main(int argc, char **argv)
 {
     using namespace match::bench;
-    const auto options = BenchOptions::parse(argc, argv);
-    runFigure(options, "Figure 7", Sweep::ScalingSizes,
-              /*inject=*/true, Report::Recovery);
-    return 0;
+    return figureMain({"Figure 7", Sweep::ScalingSizes,
+                       /*inject=*/true, Report::Recovery},
+                      argc, argv);
 }

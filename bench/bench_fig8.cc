@@ -14,8 +14,7 @@ int
 main(int argc, char **argv)
 {
     using namespace match::bench;
-    const auto options = BenchOptions::parse(argc, argv);
-    runFigure(options, "Figure 8", Sweep::InputSizes,
-              /*inject=*/false, Report::Breakdown);
-    return 0;
+    return figureMain({"Figure 8", Sweep::InputSizes,
+                       /*inject=*/false, Report::Breakdown},
+                      argc, argv);
 }

@@ -11,8 +11,7 @@ int
 main(int argc, char **argv)
 {
     using namespace match::bench;
-    const auto options = BenchOptions::parse(argc, argv);
-    runFigure(options, "Figure 9", Sweep::InputSizes,
-              /*inject=*/true, Report::Breakdown);
-    return 0;
+    return figureMain({"Figure 9", Sweep::InputSizes,
+                       /*inject=*/true, Report::Breakdown},
+                      argc, argv);
 }

@@ -27,6 +27,13 @@ main(int argc, char **argv)
     std::printf("=== Projection: measured MATCH quantities x Young/Daly "
                 "model (HPCCG, small, 512 processes) ===\n\n");
 
+    core::GridSpec spec = options.baseSpec();
+    spec.apps = {"HPCCG"};
+    spec.scales = {512};
+    spec.injectFailure = true;
+    const auto cells = spec.enumerate();
+    const auto results = core::GridRunner(options.jobs).run(cells);
+
     struct Measured
     {
         ft::Design design;
@@ -34,19 +41,11 @@ main(int argc, char **argv)
         double recovery;  // seconds per failure
     };
     std::vector<Measured> designs;
-    for (ft::Design design : ft::allDesigns) {
-        core::ExperimentConfig config;
-        config.app = "HPCCG";
-        config.nprocs = 512;
-        config.design = design;
-        config.injectFailure = true;
-        config.runs = options.runs;
-        config.seed = options.seed;
-        config.sandboxDir = options.sandboxDir;
-        const auto result = core::runExperiment(config);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
         // 149 iterations, stride 10 => 14 checkpoints per run.
-        const double per_ckpt = result.mean.ckptWrite / 14.0;
-        designs.push_back({design, per_ckpt, result.mean.recovery});
+        const double per_ckpt = results[i].mean.ckptWrite / 14.0;
+        designs.push_back(
+            {cells[i].design, per_ckpt, results[i].mean.recovery});
     }
 
     util::Table table({"Machine", "MTBF", "Design", "Ckpt(s)",

@@ -12,7 +12,9 @@
  *
  * The statistics are computed over the same grid the paper uses: all
  * apps across the four scaling sizes (small input) and the three input
- * sizes (64 processes), with one injected failure per run.
+ * sizes (64 processes), with one injected failure per run. The whole
+ * grid (four design/injection variants per cell) executes on the
+ * GridRunner worker pool before any statistic is reduced.
  */
 
 #include <algorithm>
@@ -39,9 +41,12 @@ struct Cell
     int procs;
 };
 
-ft::Breakdown
-run(const BenchOptions &options, const Cell &cell, Design design,
-    bool inject)
+/** One concrete cell on top of the shared base spec, so this bench
+ *  maps runs/seed/sandbox/cache exactly like the figure benches (and
+ *  shares their disk-cached cells). */
+ExperimentConfig
+makeConfig(const core::GridSpec &base, const Cell &cell, Design design,
+           bool inject)
 {
     ExperimentConfig config;
     config.app = cell.app;
@@ -49,11 +54,13 @@ run(const BenchOptions &options, const Cell &cell, Design design,
     config.nprocs = cell.procs;
     config.design = design;
     config.injectFailure = inject;
-    config.runs = options.runs;
-    config.seed = options.seed;
-    config.sandboxDir = options.sandboxDir;
-    config.cacheDir = options.sandboxDir + "/cell-cache";
-    return core::runExperiment(config).mean;
+    config.runs = base.runs;
+    config.seed = base.seed;
+    config.sandboxDir = base.sandboxDir;
+    config.cacheDir = base.cacheDir;
+    config.costParams = base.costParams;
+    config.noiseSigma = base.noiseSigma;
+    return config;
 }
 
 } // namespace
@@ -77,13 +84,28 @@ main(int argc, char **argv)
         cells.push_back({app, InputSize::Large, 64});
     }
 
+    // Four variants per cell, executed in one parallel grid pass:
+    // the three designs with an injected failure plus a clean Restart
+    // run for the checkpoint-write share.
+    const core::GridSpec base = options.baseSpec();
+    std::vector<ExperimentConfig> grid;
+    grid.reserve(cells.size() * 4);
+    for (const Cell &cell : cells) {
+        grid.push_back(makeConfig(base, cell, Design::RestartFti, true));
+        grid.push_back(makeConfig(base, cell, Design::ReinitFti, true));
+        grid.push_back(makeConfig(base, cell, Design::UlfmFti, true));
+        grid.push_back(makeConfig(base, cell, Design::RestartFti, false));
+    }
+    const auto results = core::GridRunner(options.jobs).run(grid);
+
     std::vector<double> ulfm_vs_reinit, restart_vs_reinit,
         restart_vs_ulfm, ckpt_fraction, read_seconds;
 
-    for (const Cell &cell : cells) {
-        const auto restart = run(options, cell, Design::RestartFti, true);
-        const auto reinit = run(options, cell, Design::ReinitFti, true);
-        const auto ulfm = run(options, cell, Design::UlfmFti, true);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const ft::Breakdown &restart = results[4 * i + 0].mean;
+        const ft::Breakdown &reinit = results[4 * i + 1].mean;
+        const ft::Breakdown &ulfm = results[4 * i + 2].mean;
+        const ft::Breakdown &clean = results[4 * i + 3].mean;
         if (reinit.recovery > 0.0) {
             ulfm_vs_reinit.push_back(ulfm.recovery / reinit.recovery);
             restart_vs_reinit.push_back(restart.recovery /
@@ -93,7 +115,6 @@ main(int argc, char **argv)
             restart_vs_ulfm.push_back(restart.recovery / ulfm.recovery);
         read_seconds.push_back(reinit.ckptRead);
 
-        const auto clean = run(options, cell, Design::RestartFti, false);
         if (clean.total() > 0.0)
             ckpt_fraction.push_back(clean.ckptWrite / clean.total());
     }

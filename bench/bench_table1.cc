@@ -2,19 +2,24 @@
  * @file
  * Reproduces Table I: the experimentation configuration for the six
  * proxy applications (arguments per input class and process counts).
+ *
+ * Shares the figure benches' CLI (--apps restricts the rows); there is
+ * no grid to execute, so --jobs is accepted but has no effect.
  */
 
 #include <cstdio>
 #include <sstream>
 
-#include "src/apps/app.hh"
+#include "bench/common.hh"
 #include "src/util/table.hh"
 
 using namespace match;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto options = bench::BenchOptions::parse(argc, argv);
+
     std::printf("=== Table I: Experimentation configuration for proxy "
                 "applications ===\n");
     std::printf("(default scaling size: 64 processes; default input "
@@ -22,7 +27,8 @@ main()
 
     util::Table table({"Application", "Small Input", "Medium Input",
                        "Large Input", "Number of processes"});
-    for (const auto &spec : apps::registry()) {
+    for (const std::string &app : options.apps) {
+        const auto &spec = apps::findApp(app);
         std::ostringstream procs;
         for (std::size_t i = 0; i < spec.scalingSizes.size(); ++i) {
             if (i)

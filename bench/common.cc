@@ -14,7 +14,8 @@ namespace match::bench
 
 using apps::InputSize;
 using core::ExperimentConfig;
-using core::runExperiment;
+using core::GridRunner;
+using core::GridSpec;
 using ft::Design;
 
 BenchOptions
@@ -34,6 +35,8 @@ BenchOptions::parse(int argc, char **argv)
             options.csvDir = argv[++i];
         } else if (arg == "--sandbox" && i + 1 < argc) {
             options.sandboxDir = argv[++i];
+        } else if (arg == "--jobs" && i + 1 < argc) {
+            options.jobs = std::atoi(argv[++i]);
         } else if (arg == "--apps" && i + 1 < argc) {
             std::istringstream list(argv[++i]);
             std::string name;
@@ -42,7 +45,11 @@ BenchOptions::parse(int argc, char **argv)
         } else if (arg == "--help" || arg == "-h") {
             std::printf(
                 "options: [--quick] [--runs N] [--seed S] [--csv DIR] "
-                "[--apps A,B] [--sandbox DIR]\n");
+                "[--apps A,B] [--sandbox DIR] [--jobs N]\n"
+                "  --jobs N  grid worker threads (default: hardware "
+                "concurrency; output is identical for any N)\n"
+                "  valid apps: %s\n",
+                apps::registryNames().c_str());
             std::exit(0);
         } else {
             util::fatal("unknown option: %s", arg.c_str());
@@ -51,8 +58,23 @@ BenchOptions::parse(int argc, char **argv)
     if (options.apps.empty()) {
         for (const auto &spec : apps::registry())
             options.apps.push_back(spec.name);
+    } else {
+        for (const std::string &name : options.apps)
+            apps::findApp(name); // fail fast with the valid-name list
     }
     return options;
+}
+
+core::GridSpec
+BenchOptions::baseSpec() const
+{
+    GridSpec spec;
+    spec.apps = apps;
+    spec.runs = runs;
+    spec.seed = seed;
+    spec.sandboxDir = sandboxDir;
+    spec.cacheDir = sandboxDir + "/cell-cache";
+    return spec;
 }
 
 namespace
@@ -68,40 +90,42 @@ sanitize(std::string name)
 } // anonymous namespace
 
 void
-runFigure(const BenchOptions &options, const std::string &figure,
-          Sweep sweep, bool inject, Report report)
+runFigure(const BenchOptions &options, const FigureDef &def)
 {
-    std::printf("=== %s: %s, %s ===\n", figure.c_str(),
-                sweep == Sweep::ScalingSizes
+    std::printf("=== %s: %s, %s ===\n", def.figure,
+                def.sweep == Sweep::ScalingSizes
                     ? "scaling sizes (small input)"
                     : "input sizes (64 processes)",
-                inject ? "one injected process failure"
-                       : "no process failures");
+                def.inject ? "one injected process failure"
+                           : "no process failures");
     std::printf("(methodology: %d runs averaged per configuration)\n\n",
                 options.runs);
 
+    GridSpec spec = options.baseSpec();
+    spec.injectFailure = def.inject;
+    if (def.sweep == Sweep::ScalingSizes) {
+        spec.inputs = {InputSize::Small};
+        spec.endpointsOnly = options.quick;
+    } else {
+        spec.scales = {64};
+        spec.inputs = {InputSize::Small, InputSize::Medium,
+                       InputSize::Large};
+    }
+
+    // Parallel phase: all apps' cells at once, so the pool stays busy
+    // across app boundaries. Rendering below follows enumeration order.
+    const std::vector<ExperimentConfig> cells = spec.enumerate();
+    const std::vector<core::ExperimentResult> results =
+        GridRunner(options.jobs).run(cells);
+
+    std::size_t at = 0;
     for (const std::string &app : options.apps) {
-        const auto &spec = apps::findApp(app);
-
-        std::vector<std::pair<int, InputSize>> cells;
-        if (sweep == Sweep::ScalingSizes) {
-            for (int procs : spec.scalingSizes) {
-                if (options.quick && procs != spec.scalingSizes.front() &&
-                    procs != spec.scalingSizes.back())
-                    continue;
-                cells.emplace_back(procs, InputSize::Small);
-            }
-        } else {
-            for (InputSize input : core::allInputs)
-                cells.emplace_back(64, input);
-        }
-
         std::vector<std::string> headers;
-        if (sweep == Sweep::ScalingSizes)
+        if (def.sweep == Sweep::ScalingSizes)
             headers = {"#Processes", "Design"};
         else
             headers = {"Input", "Design"};
-        if (report == Report::Breakdown) {
+        if (def.report == Report::Breakdown) {
             headers.insert(headers.end(),
                            {"Application(s)", "WriteCkpt(s)",
                             "Recovery(s)", "Total(s)"});
@@ -110,36 +134,24 @@ runFigure(const BenchOptions &options, const std::string &figure,
         }
         util::Table table(headers);
 
-        for (const auto &[procs, input] : cells) {
-            for (Design design : ft::allDesigns) {
-                ExperimentConfig config;
-                config.app = app;
-                config.input = input;
-                config.nprocs = procs;
-                config.design = design;
-                config.injectFailure = inject;
-                config.runs = options.runs;
-                config.seed = options.seed;
-                config.sandboxDir = options.sandboxDir;
-                config.cacheDir = options.sandboxDir + "/cell-cache";
-                const auto result = runExperiment(config);
-                const ft::Breakdown &bd = result.mean;
+        for (; at < cells.size() && cells[at].app == app; ++at) {
+            const ExperimentConfig &cell = cells[at];
+            const ft::Breakdown &bd = results[at].mean;
 
-                std::vector<std::string> row;
-                row.push_back(sweep == Sweep::ScalingSizes
-                                  ? std::to_string(procs)
-                                  : apps::inputSizeName(input));
-                row.push_back(ft::designName(design));
-                if (report == Report::Breakdown) {
-                    row.push_back(util::Table::cell(bd.application));
-                    row.push_back(util::Table::cell(bd.ckptWrite));
-                    row.push_back(util::Table::cell(bd.recovery));
-                    row.push_back(util::Table::cell(bd.total()));
-                } else {
-                    row.push_back(util::Table::cell(bd.recovery));
-                }
-                table.addRow(std::move(row));
+            std::vector<std::string> row;
+            row.push_back(def.sweep == Sweep::ScalingSizes
+                              ? std::to_string(cell.nprocs)
+                              : apps::inputSizeName(cell.input));
+            row.push_back(ft::designName(cell.design));
+            if (def.report == Report::Breakdown) {
+                row.push_back(util::Table::cell(bd.application));
+                row.push_back(util::Table::cell(bd.ckptWrite));
+                row.push_back(util::Table::cell(bd.recovery));
+                row.push_back(util::Table::cell(bd.total()));
+            } else {
+                row.push_back(util::Table::cell(bd.recovery));
             }
+            table.addRow(std::move(row));
         }
 
         std::printf("--- %s ---\n%s\n", app.c_str(),
@@ -147,12 +159,19 @@ runFigure(const BenchOptions &options, const std::string &figure,
         if (!options.csvDir.empty()) {
             std::filesystem::create_directories(options.csvDir);
             const std::string path = options.csvDir + "/" +
-                                     sanitize(figure) + "-" + app +
+                                     sanitize(def.figure) + "-" + app +
                                      ".csv";
             if (!table.writeCsv(path))
                 util::warn("cannot write %s", path.c_str());
         }
     }
+}
+
+int
+figureMain(const FigureDef &def, int argc, char **argv)
+{
+    runFigure(BenchOptions::parse(argc, argv), def);
+    return 0;
 }
 
 } // namespace match::bench

@@ -1,11 +1,15 @@
 /**
  * @file
  * Shared driver for the figure-reproduction benchmarks: option parsing,
- * grid execution, and paper-style table rendering.
+ * declarative grid specification, thread-parallel grid execution, and
+ * paper-style table rendering.
  *
  * Every bench binary prints, for each proxy application, the same
  * series the corresponding paper figure plots: one row per
- * (configuration, design) with the stacked-bar components.
+ * (configuration, design) with the stacked-bar components. Cells run on
+ * a GridRunner worker pool; output is bit-identical for any --jobs
+ * value because cells are deterministic and rendered in enumeration
+ * order after the parallel phase completes.
  */
 
 #ifndef MATCH_BENCH_COMMON_HH
@@ -14,7 +18,7 @@
 #include <string>
 #include <vector>
 
-#include "src/core/experiment.hh"
+#include "src/core/grid.hh"
 
 namespace match::bench
 {
@@ -22,7 +26,7 @@ namespace match::bench
 /** Command-line options shared by the figure benches. */
 struct BenchOptions
 {
-    /** Paper methodology: five runs averaged per configuration. */
+    /** --runs N: runs averaged per configuration (paper: 5). */
     int runs = 5;
     /** --quick: 2 runs, endpoints-only scaling sweep (64 and 512). */
     bool quick = false;
@@ -30,10 +34,21 @@ struct BenchOptions
     std::string csvDir;
     /** --apps A,B,...: restrict to a subset of the six apps. */
     std::vector<std::string> apps;
+    /** --seed S: base RNG seed for the failure sites and noise. */
     std::uint64_t seed = 42;
+    /** --sandbox DIR: checkpoint sandbox root; each cell derives a
+     *  unique subdirectory from its execution id. */
     std::string sandboxDir = "/dev/shm/match-fti-bench";
+    /** --jobs N: grid worker threads (default 0 = hardware
+     *  concurrency). Results and printed output are byte-identical
+     *  for every value of N; only wall time changes. */
+    int jobs = 0;
 
     static BenchOptions parse(int argc, char **argv);
+
+    /** A GridSpec carrying these options' shared fields (apps, runs,
+     *  seed, sandbox, cache). Benches set the axes on top of it. */
+    core::GridSpec baseSpec() const;
 };
 
 /** Which axis the figure sweeps. */
@@ -50,17 +65,23 @@ enum class Report
     Recovery,  ///< recovery time only (Figures 7 and 10)
 };
 
+/** Declarative description of one figure bench. */
+struct FigureDef
+{
+    const char *figure; ///< label printed in the header ("Figure 5")
+    Sweep sweep;        ///< scaling-size or input-size sweep
+    bool inject;        ///< whether a process failure is injected
+    Report report;      ///< breakdown or recovery-only rows
+};
+
 /**
- * Run one figure's whole grid and print per-app tables.
- *
- * @param options parsed CLI options
- * @param figure label printed in the header (e.g. "Figure 5")
- * @param sweep scaling-size or input-size sweep
- * @param inject whether a process failure is injected
- * @param report breakdown or recovery-only rows
+ * Run one figure's whole grid on a worker pool and print per-app
+ * tables (and CSVs when requested).
  */
-void runFigure(const BenchOptions &options, const std::string &figure,
-               Sweep sweep, bool inject, Report report);
+void runFigure(const BenchOptions &options, const FigureDef &def);
+
+/** Parse options and run the figure: the figure benches' whole main. */
+int figureMain(const FigureDef &def, int argc, char **argv);
 
 } // namespace match::bench
 

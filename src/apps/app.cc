@@ -18,13 +18,35 @@ inputSizeName(InputSize input)
     return "Unknown";
 }
 
-const AppSpec &
-findApp(const std::string &name)
+const AppSpec *
+tryFindApp(const std::string &name)
 {
     for (const AppSpec &spec : registry())
         if (spec.name == name)
-            return spec;
-    util::fatal("unknown proxy application: %s", name.c_str());
+            return &spec;
+    return nullptr;
+}
+
+std::string
+registryNames()
+{
+    std::string names;
+    for (const AppSpec &spec : registry()) {
+        if (!names.empty())
+            names += ", ";
+        names += spec.name;
+    }
+    return names;
+}
+
+const AppSpec &
+findApp(const std::string &name)
+{
+    if (const AppSpec *spec = tryFindApp(name))
+        return *spec;
+    util::fatal("unknown proxy application \"%s\" (valid applications: "
+                "%s; names are case-sensitive)",
+                name.c_str(), registryNames().c_str());
 }
 
 std::vector<std::string>

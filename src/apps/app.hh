@@ -70,8 +70,16 @@ struct AppSpec
 /** All six registered proxy applications, in the paper's order. */
 const std::vector<AppSpec> &registry();
 
-/** Look up an app by (case-sensitive) name; fatal when unknown. */
+/** Look up an app by (case-sensitive) name; nullptr when unknown. */
+const AppSpec *tryFindApp(const std::string &name);
+
+/** Look up an app by (case-sensitive) name; fatal when unknown, with
+ *  an error naming every valid application. */
 const AppSpec &findApp(const std::string &name);
+
+/** Comma-separated valid app names ("AMG, CoMD, ..."), for errors and
+ *  usage text. */
+std::string registryNames();
 
 /** Split a Table-I argument string on whitespace. */
 std::vector<std::string> splitArgs(const std::string &args);

@@ -4,15 +4,14 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <thread>
+#include <unistd.h>
 
 #include "src/fti/fti.hh"
 #include "src/util/logging.hh"
 #include "src/util/rng.hh"
 
 namespace match::core
-{
-
-namespace
 {
 
 std::uint64_t
@@ -31,12 +30,19 @@ cellSeed(const ExperimentConfig &config, int run)
 std::string
 execId(const ExperimentConfig &config, int run)
 {
+    // The config-key component separates different cells; the pid
+    // separates identical cells computed by two concurrent processes
+    // (two figure benches share grid cells by default), so one
+    // process's end-of-run purge can never hit the other's sandbox.
     std::ostringstream id;
     id << config.app << "-" << apps::inputSizeName(config.input) << "-p"
        << config.nprocs << "-" << ft::designName(config.design) << "-r"
-       << run;
+       << run << "-k" << configKey(config) << "-" << ::getpid();
     return id.str();
 }
+
+namespace
+{
 
 /** Triangular-ish noise in [1-2s, 1+2s] (sum of two uniforms). */
 double
@@ -45,9 +51,10 @@ noiseFactor(util::Rng &rng, double sigma)
     return 1.0 + sigma * (rng.uniform(-1.0, 1.0) + rng.uniform(-1.0, 1.0));
 }
 
-/** Exact cache key: every field that influences the result. */
+} // anonymous namespace
+
 std::string
-cacheKey(const ExperimentConfig &config)
+configKey(const ExperimentConfig &config)
 {
     std::uint64_t h = 0xcbf29ce484222325ULL;
     auto mix = [&h](const void *data, std::size_t bytes) {
@@ -73,6 +80,9 @@ cacheKey(const ExperimentConfig &config)
                   static_cast<unsigned long long>(h));
     return buf;
 }
+
+namespace
+{
 
 bool
 loadCached(const std::string &path, ExperimentResult &out)
@@ -100,22 +110,40 @@ loadCached(const std::string &path, ExperimentResult &out)
     return true;
 }
 
+/** Atomic store (tmp + rename): concurrent grid workers and bench
+ *  processes share the cache directory, and a reader must never see a
+ *  half-written cell file. */
 void
 storeCached(const std::string &path, const ExperimentResult &result)
 {
-    std::ofstream out(path);
-    if (!out)
-        return;
-    out.precision(17);
-    out << result.perRun.size() << '\n';
-    auto writeBd = [&out](const ft::Breakdown &bd) {
-        out << bd.application << ' ' << bd.ckptWrite << ' '
-            << bd.ckptRead << ' ' << bd.recovery << ' ' << bd.attempts
-            << ' ' << bd.recoveries << ' ' << bd.failureFired << '\n';
-    };
-    writeBd(result.mean);
-    for (const auto &bd : result.perRun)
-        writeBd(bd);
+    // Pid + thread id: unique across the worker threads of every
+    // process sharing the cache directory.
+    std::ostringstream suffix;
+    suffix << ".tmp." << ::getpid() << "." << std::this_thread::get_id();
+    const std::string tmp = path + suffix.str();
+    bool complete = false;
+    {
+        std::ofstream out(tmp);
+        if (!out)
+            return;
+        out.precision(17);
+        out << result.perRun.size() << '\n';
+        auto writeBd = [&out](const ft::Breakdown &bd) {
+            out << bd.application << ' ' << bd.ckptWrite << ' '
+                << bd.ckptRead << ' ' << bd.recovery << ' ' << bd.attempts
+                << ' ' << bd.recoveries << ' ' << bd.failureFired << '\n';
+        };
+        writeBd(result.mean);
+        for (const auto &bd : result.perRun)
+            writeBd(bd);
+        out.flush(); // surface close-time write errors before judging
+        complete = static_cast<bool>(out);
+    }
+    std::error_code ec;
+    if (complete)
+        std::filesystem::rename(tmp, path, ec);
+    if (!complete || ec)
+        std::filesystem::remove(tmp, ec);
 }
 
 } // anonymous namespace
@@ -134,7 +162,7 @@ runExperiment(const ExperimentConfig &config)
     std::string cache_path;
     if (!config.cacheDir.empty()) {
         std::filesystem::create_directories(config.cacheDir);
-        cache_path = config.cacheDir + "/" + cacheKey(config) + ".cell";
+        cache_path = config.cacheDir + "/" + configKey(config) + ".cell";
         ExperimentResult cached;
         if (loadCached(cache_path, cached))
             return cached;

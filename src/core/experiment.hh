@@ -62,6 +62,26 @@ struct ExperimentResult
 ExperimentResult runExperiment(const ExperimentConfig &config);
 
 /**
+ * Deterministic per-(cell, run) RNG seed: a hash of every grid axis plus
+ * the run index. The grid scheduler reuses it so a cell's randomness is
+ * independent of which worker thread executes it.
+ */
+std::uint64_t cellSeed(const ExperimentConfig &config, int run);
+
+/**
+ * Unique execution id for one run of one cell. Includes a hash of the
+ * full configuration plus the process id, so the FTI sandbox
+ * (`ckptDir/execId`) of two concurrently executing cells can never
+ * collide — not even when two bench processes sharing a sandbox root
+ * compute the identical cell at the same time.
+ */
+std::string execId(const ExperimentConfig &config, int run);
+
+/** Exact result-cache key: hashes every field that influences the
+ *  result (and nothing else — sandbox/cache paths are excluded). */
+std::string configKey(const ExperimentConfig &config);
+
+/**
  * Scaling sizes of an app restricted by Table I (LULESH runs on cube
  * process counts only).
  */

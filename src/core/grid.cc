@@ -1,0 +1,122 @@
+#include "src/core/grid.hh"
+
+#include <atomic>
+#include <map>
+#include <thread>
+
+#include "src/util/logging.hh"
+
+namespace match::core
+{
+
+std::vector<ExperimentConfig>
+GridSpec::enumerate() const
+{
+    std::vector<std::string> app_names = apps;
+    if (app_names.empty()) {
+        for (const auto &spec : match::apps::registry())
+            app_names.push_back(spec.name);
+    }
+
+    std::vector<ExperimentConfig> cells;
+    for (const std::string &app : app_names) {
+        const auto &spec = match::apps::findApp(app);
+        std::vector<int> app_scales = scales;
+        if (app_scales.empty()) {
+            app_scales = spec.scalingSizes;
+            if (endpointsOnly && app_scales.size() > 2)
+                app_scales = {app_scales.front(), app_scales.back()};
+        }
+        for (int nprocs : app_scales) {
+            for (apps::InputSize input : inputs) {
+                for (ft::Design design : designs) {
+                    for (int stride : ckptStrides) {
+                        for (int level : ckptLevels) {
+                            ExperimentConfig config;
+                            config.app = app;
+                            config.input = input;
+                            config.nprocs = nprocs;
+                            config.design = design;
+                            config.injectFailure = injectFailure;
+                            config.runs = runs;
+                            config.seed = seed;
+                            config.ckptLevel = level;
+                            config.ckptStride = stride;
+                            config.sandboxDir = sandboxDir;
+                            config.cacheDir = cacheDir;
+                            config.costParams = costParams;
+                            config.noiseSigma = noiseSigma;
+                            cells.push_back(std::move(config));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return cells;
+}
+
+GridRunner::GridRunner(int jobs)
+    : jobs_(jobs > 0 ? jobs : hardwareJobs())
+{}
+
+int
+GridRunner::hardwareJobs()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+std::vector<ExperimentResult>
+GridRunner::run(const std::vector<ExperimentConfig> &cells) const
+{
+    std::vector<ExperimentResult> results(cells.size());
+    if (cells.empty())
+        return results;
+
+    // Deduplicate: figure grids share cells (and a spec may enumerate
+    // duplicates). Each distinct configuration is computed exactly once,
+    // which also guarantees two workers never touch the same sandbox.
+    std::map<std::string, std::size_t> first_index;
+    std::vector<std::size_t> unique;            // indices to compute
+    std::vector<std::size_t> duplicate_of(cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const auto [it, inserted] =
+            first_index.try_emplace(configKey(cells[i]), i);
+        duplicate_of[i] = it->second;
+        if (inserted)
+            unique.push_back(i);
+    }
+
+    const int workers = std::min<int>(
+        jobs_, static_cast<int>(unique.size()));
+    std::atomic<std::size_t> next{0};
+    auto drain = [&] {
+        for (;;) {
+            const std::size_t u = next.fetch_add(1);
+            if (u >= unique.size())
+                return;
+            const std::size_t i = unique[u];
+            results[i] = runExperiment(cells[i]);
+        }
+    };
+
+    if (workers <= 1) {
+        drain();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(static_cast<std::size_t>(workers));
+        for (int w = 0; w < workers; ++w)
+            pool.emplace_back(drain);
+        for (auto &t : pool)
+            t.join();
+    }
+
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (duplicate_of[i] != i)
+            results[i] = results[duplicate_of[i]];
+    }
+    return results;
+}
+
+} // namespace match::core

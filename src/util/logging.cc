@@ -1,5 +1,6 @@
 #include "src/util/logging.hh"
 
+#include <atomic>
 #include <cstdlib>
 
 namespace match::util
@@ -21,14 +22,18 @@ initialLevel()
     return LogLevel::Warn;
 }
 
-LogLevel globalLevel = initialLevel();
+/** Atomic: grid worker threads read the level while the main thread
+ *  may adjust it (e.g. a bench quieting warnings before a sweep). */
+std::atomic<LogLevel> globalLevel{initialLevel()};
 
 void
 emit(const char *prefix, const char *fmt, va_list args)
 {
-    std::fprintf(stderr, "%s", prefix);
-    std::vfprintf(stderr, fmt, args);
-    std::fprintf(stderr, "\n");
+    // Single write per line: grid worker threads log concurrently, and
+    // separate fprintf calls would interleave mid-line.
+    char message[1024];
+    std::vsnprintf(message, sizeof(message), fmt, args);
+    std::fprintf(stderr, "%s%s\n", prefix, message);
 }
 
 } // anonymous namespace

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Registry-lookup tests: the six-app registry, the nullptr-returning
+ * lookup, and the fatal path's error message naming every valid app.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/apps/app.hh"
+
+using namespace match;
+using namespace match::apps;
+
+TEST(Registry, HoldsTheSixPaperApps)
+{
+    const auto &apps = registry();
+    ASSERT_EQ(apps.size(), 6u);
+    for (const char *name :
+         {"AMG", "CoMD", "HPCCG", "LULESH", "miniFE", "miniVite"}) {
+        EXPECT_NE(tryFindApp(name), nullptr) << name;
+    }
+}
+
+TEST(Registry, TryFindReturnsNullForUnknownNames)
+{
+    EXPECT_EQ(tryFindApp("no-such-app"), nullptr);
+    EXPECT_EQ(tryFindApp(""), nullptr);
+    // Lookups are case-sensitive (Table I spells "miniVite").
+    EXPECT_EQ(tryFindApp("minivite"), nullptr);
+    EXPECT_NE(tryFindApp("miniVite"), nullptr);
+}
+
+TEST(Registry, NamesListsEveryAppForErrorMessages)
+{
+    const std::string names = registryNames();
+    for (const auto &spec : registry())
+        EXPECT_NE(names.find(spec.name), std::string::npos) << spec.name;
+}
+
+TEST(RegistryDeathTest, FindAppFatalNamesTheValidApps)
+{
+    // The fatal path must exit(1) and tell the user what IS valid.
+    EXPECT_EXIT(findApp("HPCG"), testing::ExitedWithCode(1),
+                "unknown proxy application \"HPCG\".*HPCCG.*miniVite");
+}
+
+TEST(Registry, FindAppReturnsTheNamedSpec)
+{
+    const AppSpec &spec = findApp("LULESH");
+    EXPECT_EQ(spec.name, "LULESH");
+    EXPECT_FALSE(spec.scalingSizes.empty());
+}
