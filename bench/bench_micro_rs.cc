@@ -1,7 +1,10 @@
 /**
  * @file
  * Micro-benchmarks of the Reed-Solomon codec backing FTI L3: encode and
- * reconstruct throughput across group geometries.
+ * reconstruct throughput across group geometries, plus the raw GF(256)
+ * mulAdd kernel they are built from. Every bench reports an explicit
+ * MB/s counter (per data byte processed) so the table-driven kernel's
+ * trajectory is tracked in BENCH_micro_rs.json by CI.
  */
 
 #include <benchmark/benchmark.h>
@@ -10,12 +13,21 @@
 #include <vector>
 
 #include "src/fti/rs_codec.hh"
+#include "src/util/gf256.hh"
 #include "src/util/rng.hh"
 
 using match::fti::RsCodec;
 
 namespace
 {
+
+/** Rate counter in decimal megabytes per second of data processed. */
+benchmark::Counter
+mbPerSec(double bytes_per_iteration)
+{
+    return benchmark::Counter(bytes_per_iteration / 1e6,
+                              benchmark::Counter::kIsIterationInvariantRate);
+}
 
 std::vector<std::vector<std::uint8_t>>
 makeShards(int k, std::size_t bytes)
@@ -31,6 +43,24 @@ makeShards(int k, std::size_t bytes)
 }
 
 void
+BM_GfMulAdd(benchmark::State &state)
+{
+    const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+    const auto shards = makeShards(2, bytes);
+    std::vector<std::uint8_t> y = shards[0];
+    std::uint8_t c = 2; // never the XOR fast path
+    for (auto _ : state) {
+        match::util::gf256::mulAdd(y.data(), shards[1].data(), bytes, c);
+        benchmark::DoNotOptimize(y.data());
+        c = static_cast<std::uint8_t>(c == 255 ? 2 : c + 1);
+    }
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<std::int64_t>(bytes));
+    state.counters["MB/s"] = mbPerSec(static_cast<double>(bytes));
+}
+BENCHMARK(BM_GfMulAdd)->Arg(64 << 10)->Arg(1 << 20);
+
+void
 BM_RsEncode(benchmark::State &state)
 {
     const int k = static_cast<int>(state.range(0));
@@ -43,6 +73,7 @@ BM_RsEncode(benchmark::State &state)
     }
     state.SetBytesProcessed(state.iterations() *
                             static_cast<std::int64_t>(k) * bytes);
+    state.counters["MB/s"] = mbPerSec(static_cast<double>(k) * bytes);
 }
 BENCHMARK(BM_RsEncode)
     ->Args({4, 64 << 10})
@@ -71,6 +102,7 @@ BM_RsReconstruct(benchmark::State &state)
     }
     state.SetBytesProcessed(state.iterations() *
                             static_cast<std::int64_t>(k) * bytes);
+    state.counters["MB/s"] = mbPerSec(static_cast<double>(k) * bytes);
 }
 BENCHMARK(BM_RsReconstruct)->Arg(4)->Arg(8);
 

@@ -37,6 +37,19 @@ BenchOptions::parse(int argc, char **argv)
             options.sandboxDir = argv[++i];
         } else if (arg == "--jobs" && i + 1 < argc) {
             options.jobs = std::atoi(argv[++i]);
+        } else if (arg == "--storage" && i + 1 < argc) {
+            const std::string kind = argv[++i];
+            if (kind == "mem")
+                options.storage = storage::Kind::Mem;
+            else if (kind == "disk")
+                options.storage = storage::Kind::Disk;
+            else
+                util::fatal("--storage expects mem or disk, got %s",
+                            kind.c_str());
+        } else if (arg == "--perf") {
+            options.perf = true;
+        } else if (arg == "--perf-dir" && i + 1 < argc) {
+            options.perfDir = argv[++i];
         } else if (arg == "--apps" && i + 1 < argc) {
             std::istringstream list(argv[++i]);
             std::string name;
@@ -45,9 +58,14 @@ BenchOptions::parse(int argc, char **argv)
         } else if (arg == "--help" || arg == "-h") {
             std::printf(
                 "options: [--quick] [--runs N] [--seed S] [--csv DIR] "
-                "[--apps A,B] [--sandbox DIR] [--jobs N]\n"
+                "[--apps A,B] [--sandbox DIR] [--jobs N] "
+                "[--storage mem|disk] [--perf] [--perf-dir DIR]\n"
                 "  --jobs N  grid worker threads (default: hardware "
                 "concurrency; output is identical for any N)\n"
+                "  --storage mem|disk  checkpoint sandbox backend "
+                "(default mem: zero-syscall hot path)\n"
+                "  --perf    time the grid under both backends and "
+                "write BENCH_<name>.json\n"
                 "  valid apps: %s\n",
                 apps::registryNames().c_str());
             std::exit(0);
@@ -74,6 +92,7 @@ BenchOptions::baseSpec() const
     spec.seed = seed;
     spec.sandboxDir = sandboxDir;
     spec.cacheDir = sandboxDir + "/cell-cache";
+    spec.storage = storage;
     return spec;
 }
 
@@ -85,6 +104,90 @@ sanitize(std::string name)
 {
     std::replace(name.begin(), name.end(), ' ', '_');
     return name;
+}
+
+/** Sorted-copy percentile (nearest rank); q in [0, 1]. */
+double
+percentile(std::vector<double> samples, double q)
+{
+    if (samples.empty())
+        return 0.0;
+    std::sort(samples.begin(), samples.end());
+    const auto rank = static_cast<std::size_t>(
+        q * static_cast<double>(samples.size() - 1) + 0.5);
+    return samples[std::min(rank, samples.size() - 1)];
+}
+
+/** One backend's measurement in a perf record. */
+struct PerfSample
+{
+    storage::Kind kind;
+    core::GridTiming timing;
+};
+
+void
+writeJsonBackend(std::FILE *out, const PerfSample &sample, bool last)
+{
+    const auto &t = sample.timing;
+    const double cells = static_cast<double>(t.cellSeconds.size());
+    std::fprintf(
+        out,
+        "    {\"storage\": \"%s\", \"totalSeconds\": %.6f, "
+        "\"cellP50Seconds\": %.6f, \"cellP99Seconds\": %.6f, "
+        "\"cellsPerSecond\": %.3f}%s\n",
+        storage::kindName(sample.kind), t.totalSeconds,
+        percentile(t.cellSeconds, 0.50), percentile(t.cellSeconds, 0.99),
+        t.totalSeconds > 0.0 ? cells / t.totalSeconds : 0.0,
+        last ? "" : ",");
+}
+
+/**
+ * Emit BENCH_<slug>.json: the per-bench perf record CI uploads as an
+ * artifact, accumulating the repo's wall-clock trajectory PR by PR.
+ */
+void
+writePerfRecord(const BenchOptions &options, const FigureDef &def,
+                int jobs, std::size_t cells,
+                const std::vector<PerfSample> &samples)
+{
+    std::filesystem::create_directories(options.perfDir);
+    const std::string path =
+        options.perfDir + "/BENCH_" + def.slug + ".json";
+    std::FILE *out = std::fopen(path.c_str(), "w");
+    if (!out) {
+        util::warn("cannot write %s", path.c_str());
+        return;
+    }
+    // GridRunner dedups identical cells: the per-cell stats cover the
+    // computed (unique) cells, reported separately from the enumerated
+    // grid size so the record stays internally consistent.
+    const std::size_t computed =
+        samples.empty() ? 0 : samples.front().timing.cellSeconds.size();
+    std::fprintf(out,
+                 "{\n"
+                 "  \"bench\": \"%s\",\n"
+                 "  \"figure\": \"%s\",\n"
+                 "  \"quick\": %s,\n"
+                 "  \"runsPerCell\": %d,\n"
+                 "  \"jobs\": %d,\n"
+                 "  \"cells\": %zu,\n"
+                 "  \"computedCells\": %zu,\n"
+                 "  \"backends\": [\n",
+                 def.slug, def.figure, options.quick ? "true" : "false",
+                 options.runs, jobs, cells, computed);
+    for (std::size_t i = 0; i < samples.size(); ++i)
+        writeJsonBackend(out, samples[i], i + 1 == samples.size());
+    double disk_total = 0.0, mem_total = 0.0;
+    for (const PerfSample &sample : samples) {
+        (sample.kind == storage::Kind::Disk ? disk_total : mem_total) =
+            sample.timing.totalSeconds;
+    }
+    std::fprintf(out, "  ],\n  \"memSpeedupOverDisk\": %.3f\n}\n",
+                 mem_total > 0.0 ? disk_total / mem_total : 0.0);
+    std::fclose(out);
+    std::printf("perf: wrote %s (mem %.2fs vs disk %.2fs, %.2fx)\n",
+                path.c_str(), mem_total, disk_total,
+                mem_total > 0.0 ? disk_total / mem_total : 0.0);
 }
 
 } // anonymous namespace
@@ -115,8 +218,32 @@ runFigure(const BenchOptions &options, const FigureDef &def)
     // Parallel phase: all apps' cells at once, so the pool stays busy
     // across app boundaries. Rendering below follows enumeration order.
     const std::vector<ExperimentConfig> cells = spec.enumerate();
-    const std::vector<core::ExperimentResult> results =
-        GridRunner(options.jobs).run(cells);
+    const GridRunner runner(options.jobs);
+    std::vector<core::ExperimentResult> results;
+    if (!options.perf) {
+        results = runner.run(cells);
+    } else {
+        // Perf mode measures real simulation + storage work under both
+        // backends: the result cache is bypassed (a replayed cell
+        // measures nothing) and the disk baseline runs first so its
+        // sandbox traffic cannot warm anything for the mem run.
+        GridSpec timed = spec;
+        timed.cacheDir.clear();
+        std::vector<PerfSample> samples;
+        for (const storage::Kind kind :
+             {storage::Kind::Disk, storage::Kind::Mem}) {
+            timed.storage = kind;
+            PerfSample sample{kind, {}};
+            auto timed_results = runner.run(timed.enumerate(),
+                                            &sample.timing);
+            samples.push_back(std::move(sample));
+            // Results are backend-invariant; render from the mem run.
+            if (kind == storage::Kind::Mem)
+                results = std::move(timed_results);
+        }
+        writePerfRecord(options, def, runner.jobs(), cells.size(),
+                        samples);
+    }
 
     std::size_t at = 0;
     for (const std::string &app : options.apps) {

@@ -43,6 +43,14 @@ struct BenchOptions
      *  concurrency). Results and printed output are byte-identical
      *  for every value of N; only wall time changes. */
     int jobs = 0;
+    /** --storage mem|disk: checkpoint sandbox backend. Results are
+     *  identical for either; disk leaves an inspectable sandbox. */
+    storage::Kind storage = storage::Kind::Mem;
+    /** --perf: measure grid wall-clock under both backends (cache
+     *  bypassed) and write BENCH_<name>.json into perfDir. */
+    bool perf = false;
+    /** --perf-dir DIR: where BENCH_<name>.json lands (default "."). */
+    std::string perfDir = ".";
 
     static BenchOptions parse(int argc, char **argv);
 
@@ -69,6 +77,7 @@ enum class Report
 struct FigureDef
 {
     const char *figure; ///< label printed in the header ("Figure 5")
+    const char *slug;   ///< perf-record name ("fig5" -> BENCH_fig5.json)
     Sweep sweep;        ///< scaling-size or input-size sweep
     bool inject;        ///< whether a process failure is injected
     Report report;      ///< breakdown or recovery-only rows

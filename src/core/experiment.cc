@@ -191,6 +191,11 @@ runExperiment(const ExperimentConfig &config)
             drc.ftiConfig.ckptDir = config.sandboxDir;
             drc.ftiConfig.execId = execId(config, run);
             drc.ftiConfig.defaultLevel = config.ckptLevel;
+            // A fresh backend per run: restarts within the run share
+            // it (recovery must see the checkpoints), runs never share
+            // state, and a MemBackend dies with this scope instead of
+            // leaving sandbox files behind.
+            drc.ftiConfig.backend = storage::makeBackend(config.storage);
             drc.purgeCheckpoints = true;
             if (config.injectFailure) {
                 const int iters = spec.loopIterations(params);

@@ -16,6 +16,7 @@
 
 #include "src/apps/app.hh"
 #include "src/ft/design.hh"
+#include "src/storage/backend.hh"
 
 namespace match::core
 {
@@ -38,6 +39,13 @@ struct ExperimentConfig
     /** Checkpoint every N main-loop iterations (paper: 10). */
     int ckptStride = 10;
     std::string sandboxDir = "/tmp/match-fti";
+
+    /** Where each run's checkpoint sandbox lives. Mem (the default)
+     *  keeps the whole checkpoint/restart cycle in process memory —
+     *  the hot path makes zero syscalls; Disk writes real files under
+     *  sandboxDir. Results are bit-identical either way (locked in by
+     *  tests), so the kind is excluded from configKey(). */
+    storage::Kind storage = storage::Kind::Mem;
 
     simmpi::CostParams costParams{};
 

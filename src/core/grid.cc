@@ -1,6 +1,7 @@
 #include "src/core/grid.hh"
 
 #include <atomic>
+#include <chrono>
 #include <map>
 #include <thread>
 
@@ -46,6 +47,7 @@ GridSpec::enumerate() const
                             config.cacheDir = cacheDir;
                             config.costParams = costParams;
                             config.noiseSigma = noiseSigma;
+                            config.storage = storage;
                             cells.push_back(std::move(config));
                         }
                     }
@@ -68,11 +70,22 @@ GridRunner::hardwareJobs()
 }
 
 std::vector<ExperimentResult>
-GridRunner::run(const std::vector<ExperimentConfig> &cells) const
+GridRunner::run(const std::vector<ExperimentConfig> &cells,
+                GridTiming *timing) const
 {
+    using Clock = std::chrono::steady_clock;
+    const auto wallSince = [](Clock::time_point start) {
+        return std::chrono::duration<double>(Clock::now() - start)
+            .count();
+    };
+    const auto grid_start = Clock::now();
+
     std::vector<ExperimentResult> results(cells.size());
-    if (cells.empty())
+    if (cells.empty()) {
+        if (timing)
+            *timing = GridTiming{};
         return results;
+    }
 
     // Deduplicate: figure grids share cells (and a spec may enumerate
     // duplicates). Each distinct configuration is computed exactly once,
@@ -90,6 +103,7 @@ GridRunner::run(const std::vector<ExperimentConfig> &cells) const
 
     const int workers = std::min<int>(
         jobs_, static_cast<int>(unique.size()));
+    std::vector<double> cell_seconds(unique.size(), 0.0);
     std::atomic<std::size_t> next{0};
     auto drain = [&] {
         for (;;) {
@@ -97,7 +111,9 @@ GridRunner::run(const std::vector<ExperimentConfig> &cells) const
             if (u >= unique.size())
                 return;
             const std::size_t i = unique[u];
+            const auto cell_start = Clock::now();
             results[i] = runExperiment(cells[i]);
+            cell_seconds[u] = wallSince(cell_start);
         }
     };
 
@@ -115,6 +131,10 @@ GridRunner::run(const std::vector<ExperimentConfig> &cells) const
     for (std::size_t i = 0; i < cells.size(); ++i) {
         if (duplicate_of[i] != i)
             results[i] = results[duplicate_of[i]];
+    }
+    if (timing) {
+        timing->totalSeconds = wallSince(grid_start);
+        timing->cellSeconds = std::move(cell_seconds);
     }
     return results;
 }

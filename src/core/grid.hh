@@ -85,9 +85,26 @@ struct GridSpec
     std::string cacheDir;
     simmpi::CostParams costParams{};
     double noiseSigma = 0.01;
+    /** Checkpoint sandbox storage (results are identical for any
+     *  kind; only wall time changes). */
+    storage::Kind storage = storage::Kind::Mem;
 
     /** Expand the axes into concrete cells (deterministic order). */
     std::vector<ExperimentConfig> enumerate() const;
+};
+
+/**
+ * Wall-clock record of one grid execution, for perf tracking: the
+ * figure benches' --perf mode aggregates it into BENCH_<name>.json so
+ * the repo accumulates a performance trajectory per PR.
+ */
+struct GridTiming
+{
+    /** Wall seconds for the whole grid (workers included). */
+    double totalSeconds = 0.0;
+    /** Wall seconds per computed cell (deduplicated cells only), in
+     *  unique-cell order. */
+    std::vector<double> cellSeconds;
 };
 
 /**
@@ -109,14 +126,19 @@ class GridRunner
     /** std::thread::hardware_concurrency with a floor of 1. */
     static int hardwareJobs();
 
-    /** Run every cell; result i corresponds to cells[i]. */
+    /**
+     * Run every cell; result i corresponds to cells[i]. When `timing`
+     * is non-null it receives the grid's wall-clock record.
+     */
     std::vector<ExperimentResult>
-    run(const std::vector<ExperimentConfig> &cells) const;
+    run(const std::vector<ExperimentConfig> &cells,
+        GridTiming *timing = nullptr) const;
 
     /** Enumerate and run a declarative spec. */
-    std::vector<ExperimentResult> run(const GridSpec &spec) const
+    std::vector<ExperimentResult>
+    run(const GridSpec &spec, GridTiming *timing = nullptr) const
     {
-        return run(spec.enumerate());
+        return run(spec.enumerate(), timing);
     }
 
   private:

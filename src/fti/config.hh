@@ -7,8 +7,10 @@
 #ifndef MATCH_FTI_CONFIG_HH
 #define MATCH_FTI_CONFIG_HH
 
+#include <memory>
 #include <string>
 
+#include "src/storage/backend.hh"
 #include "src/util/ini.hh"
 
 namespace match::fti
@@ -45,6 +47,12 @@ struct FtiConfig
      *  checkpoint time (scaled-down arrays standing in for paper-scale
      *  ones). */
     double virtualFactor = 1.0;
+
+    /** Storage backend the sandbox lives in. Null selects the shared
+     *  DiskBackend (the historical on-disk semantics); experiment runs
+     *  install a per-run MemBackend here so the checkpoint hot path
+     *  makes zero syscalls. Not part of the INI round trip. */
+    std::shared_ptr<storage::Backend> backend;
 
     /** Load from an INI file; missing keys keep their defaults. */
     static FtiConfig fromFile(const std::string &path);

@@ -2,13 +2,10 @@
 
 #include <algorithm>
 #include <cstring>
-#include <filesystem>
-#include <fstream>
+#include <utility>
 
 #include "src/fti/rs_codec.hh"
 #include "src/util/logging.hh"
-
-namespace fs = std::filesystem;
 
 namespace match::fti
 {
@@ -27,52 +24,6 @@ fnv1a(const void *data, std::size_t bytes, std::uint64_t seed)
     }
     return hash;
 }
-
-namespace
-{
-
-/**
- * Plain data-file write. Atomicity of a checkpoint is provided by the
- * metadata commit (written last, via rename), so data files need no
- * tmp+rename dance — this halves the filesystem traffic of a run.
- */
-void
-writeFilePlain(const std::string &path, const void *data,
-               std::size_t bytes)
-{
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    if (!out)
-        util::fatal("cannot open checkpoint file %s", path.c_str());
-    out.write(static_cast<const char *>(data),
-              static_cast<std::streamsize>(bytes));
-    if (!out)
-        util::fatal("short write to checkpoint file %s", path.c_str());
-}
-
-/** Atomic write for commit records (tmp + rename). */
-void
-writeFileAtomic(const std::string &path, const void *data,
-                std::size_t bytes)
-{
-    const std::string tmp = path + ".tmp";
-    writeFilePlain(tmp, data, bytes);
-    fs::rename(tmp, path);
-}
-
-bool
-readFile(const std::string &path, std::vector<std::uint8_t> &out)
-{
-    std::ifstream in(path, std::ios::binary | std::ios::ate);
-    if (!in)
-        return false;
-    const auto size = in.tellg();
-    in.seekg(0);
-    out.resize(static_cast<std::size_t>(size));
-    in.read(reinterpret_cast<char *>(out.data()), size);
-    return static_cast<bool>(in);
-}
-
-} // anonymous namespace
 
 // ---------------------------------------------------------------------------
 // Path helpers
@@ -129,8 +80,7 @@ Fti::metaFile(const FtiConfig &config, int ckpt_id)
 void
 Fti::purge(const FtiConfig &config)
 {
-    std::error_code ec;
-    fs::remove_all(execDir(config), ec);
+    storage::resolve(config.backend).removeTree(execDir(config));
 }
 
 // ---------------------------------------------------------------------------
@@ -139,13 +89,14 @@ Fti::purge(const FtiConfig &config)
 
 Fti::Fti(simmpi::Proc &proc, FtiConfig config, simmpi::CommId comm)
     : proc_(proc), config_(std::move(config)),
-      comm_(comm == simmpi::commNull ? proc.world() : comm)
+      comm_(comm == simmpi::commNull ? proc.world() : comm),
+      store_(storage::resolve(config_.backend))
 {
-    fs::create_directories(localDir(config_, proc_.runtime().commRank(
-                                                 proc_.globalIndex(),
-                                                 comm_)));
-    fs::create_directories(execDir(config_) + "/meta");
-    fs::create_directories(execDir(config_) + "/pfs/diff");
+    store_.createDirectories(localDir(config_, proc_.runtime().commRank(
+                                                   proc_.globalIndex(),
+                                                   comm_)));
+    store_.createDirectories(execDir(config_) + "/meta");
+    store_.createDirectories(execDir(config_) + "/pfs/diff");
     recoveryCkptId_ = newestCommittedCkpt();
     if (recoveryCkptId_ > 0) {
         MetaInfo meta;
@@ -257,14 +208,19 @@ Fti::commitMeta(const MetaInfo &meta)
     }
     const std::string path = metaFile(config_, meta.ckptId);
     const std::string text = ini.toString();
-    writeFileAtomic(path, text.data(), text.size());
+    store_.writeAtomic(path, text.data(), text.size());
 }
 
 bool
 Fti::loadMeta(int ckpt_id, MetaInfo &meta) const
 {
+    std::vector<std::uint8_t> text;
+    if (!store_.read(metaFile(config_, ckpt_id), text))
+        return false;
     util::IniFile ini;
-    if (!ini.parseFile(metaFile(config_, ckpt_id)))
+    if (!ini.parseString(
+            std::string(reinterpret_cast<const char *>(text.data()),
+                        text.size())))
         return false;
     meta.ckptId = static_cast<int>(ini.getInt("ckpt", "id", 0));
     meta.level = static_cast<int>(ini.getInt("ckpt", "level", 0));
@@ -288,11 +244,9 @@ Fti::loadMeta(int ckpt_id, MetaInfo &meta) const
 int
 Fti::newestCommittedCkpt() const
 {
-    const fs::path dir = execDir(config_) + "/meta";
     int newest = 0;
-    std::error_code ec;
-    for (const auto &entry : fs::directory_iterator(dir, ec)) {
-        const std::string name = entry.path().filename().string();
+    for (const std::string &name :
+         store_.listDir(execDir(config_) + "/meta")) {
         if (name.rfind("ckpt", 0) != 0)
             continue;
         const int id = std::atoi(name.c_str() + 4);
@@ -318,18 +272,17 @@ Fti::cleanupOlderCheckpoints(int keep_id)
     const int rank = proc_.runtime().commRank(proc_.globalIndex(), comm_);
     const int size = proc_.runtime().commSize(comm_);
     const int owner = (rank + size - 1) % size; // whose L2 copy I hold
-    std::error_code ec;
     const int id = prevCkptId_;
     if (prevLevel_ <= 3)
-        fs::remove(ckptFile(config_, rank, id), ec);
+        store_.remove(ckptFile(config_, rank, id));
     if (prevLevel_ == 2)
-        fs::remove(partnerFile(config_, rank, owner, id), ec);
+        store_.remove(partnerFile(config_, rank, owner, id));
     if (prevLevel_ == 3)
-        fs::remove(parityFile(config_, rank, id), ec);
+        store_.remove(parityFile(config_, rank, id));
     if (prevLevel_ == 4)
-        fs::remove(pfsFile(config_, rank, id), ec);
+        store_.remove(pfsFile(config_, rank, id));
     if (rank == 0)
-        fs::remove(metaFile(config_, id), ec);
+        store_.remove(metaFile(config_, id));
 }
 
 // ---------------------------------------------------------------------------
@@ -351,8 +304,8 @@ Fti::writeLocal(int ckpt_id, const std::vector<std::uint8_t> &blob)
 {
     // The constructor created this rank's local directory.
     const int rank = proc_.runtime().commRank(proc_.globalIndex(), comm_);
-    writeFilePlain(ckptFile(config_, rank, ckpt_id), blob.data(),
-                   blob.size());
+    store_.write(ckptFile(config_, rank, ckpt_id), blob.data(),
+                 blob.size());
 }
 
 void
@@ -363,11 +316,11 @@ Fti::writePartnerCopy(int ckpt_id, const std::vector<std::uint8_t> &blob)
     const int rank = proc_.runtime().commRank(proc_.globalIndex(), comm_);
     const int holder = (rank + 1) % size;
     if (!auxDirsCreated_) {
-        fs::create_directories(localDir(config_, holder));
+        store_.createDirectories(localDir(config_, holder));
         auxDirsCreated_ = true;
     }
-    writeFilePlain(partnerFile(config_, holder, rank, ckpt_id),
-                   blob.data(), blob.size());
+    store_.write(partnerFile(config_, holder, rank, ckpt_id), blob.data(),
+                 blob.size());
 }
 
 void
@@ -389,24 +342,37 @@ Fti::encodeGroupParity(int ckpt_id, const MetaInfo &meta)
     if (m == 0)
         return;
 
-    std::vector<std::vector<std::uint8_t>> data(k);
+    // Pass the members' blobs to the encoder as views: the backend's
+    // zero-copy view() serves MemBackend (the leader never re-reads
+    // bytes it just wrote through a filesystem round trip), and a read
+    // into scratch storage covers DiskBackend. Shards shorter than the
+    // stripe are zero-padded implicitly by the span encoder.
     std::size_t stripe = 0;
     for (int i = 0; i < k; ++i)
         stripe = std::max(stripe, meta.bytesPerRank[group_lo + i]);
+    std::vector<RsCodec::ShardView> data(k);
+    std::vector<std::vector<std::uint8_t>> scratch;
+    scratch.reserve(k);
     for (int i = 0; i < k; ++i) {
-        if (!readFile(ckptFile(config_, group_lo + i, ckpt_id), data[i]))
+        const std::string path = ckptFile(config_, group_lo + i, ckpt_id);
+        if (const auto *blob = store_.view(path)) {
+            data[i] = {blob->data(), blob->size()};
+            continue;
+        }
+        scratch.emplace_back();
+        if (!store_.read(path, scratch.back()))
             util::fatal("L3 encode: missing data file for rank %d",
                         group_lo + i);
-        data[i].resize(stripe, 0);
+        data[i] = {scratch.back().data(), scratch.back().size()};
     }
     const RsCodec codec(k, m);
-    const auto parity = codec.encode(data);
+    const auto parity = codec.encode(data, stripe);
     for (int p = 0; p < m; ++p) {
         const int holder = group_lo + p;
         if (!auxDirsCreated_)
-            fs::create_directories(localDir(config_, holder));
-        writeFilePlain(parityFile(config_, holder, ckpt_id),
-                       parity[p].data(), parity[p].size());
+            store_.createDirectories(localDir(config_, holder));
+        store_.write(parityFile(config_, holder, ckpt_id),
+                     parity[p].data(), parity[p].size());
     }
     auxDirsCreated_ = true;
 }
@@ -420,16 +386,19 @@ Fti::writePfs(int ckpt_id, const std::vector<std::uint8_t> &blob)
     const std::string dir =
         execDir(config_) + "/pfs/diff/rank" + std::to_string(rank);
     if (!pfsDirCreated_) {
-        fs::create_directories(dir);
+        store_.createDirectories(dir);
         pfsDirCreated_ = true;
     }
     const std::string base = dir + "/base.fti";
-    std::vector<std::uint8_t> base_blob;
-    if (!readFile(base, base_blob)) {
-        writeFilePlain(base, blob.data(), blob.size());
+    std::vector<std::uint8_t> base_owned;
+    const std::vector<std::uint8_t> *base_blob = store_.view(base);
+    if (!base_blob && store_.read(base, base_owned))
+        base_blob = &base_owned;
+    if (!base_blob) {
+        store_.write(base, blob.data(), blob.size());
         // The base image also serves as this checkpoint's PFS copy.
-        writeFilePlain(pfsFile(config_, rank, ckpt_id), blob.data(),
-                       blob.size());
+        store_.write(pfsFile(config_, rank, ckpt_id), blob.data(),
+                     blob.size());
         return blob.size();
     }
     // Delta vs base: [u64 offset][u64 len][payload] per changed block.
@@ -439,9 +408,9 @@ Fti::writePfs(int ckpt_id, const std::vector<std::uint8_t> &blob)
     for (std::size_t off = 0; off < blob.size(); off += bs) {
         const std::size_t len = std::min(bs, blob.size() - off);
         const bool same =
-            off + len <= base_blob.size() &&
-            std::memcmp(blob.data() + off, base_blob.data() + off, len) ==
-                0;
+            off + len <= base_blob->size() &&
+            std::memcmp(blob.data() + off, base_blob->data() + off,
+                        len) == 0;
         if (same)
             continue;
         const std::uint64_t off64 = off, len64 = len;
@@ -461,7 +430,7 @@ Fti::writePfs(int ckpt_id, const std::vector<std::uint8_t> &blob)
     const std::uint64_t full = blob.size();
     std::memcpy(payload.data(), &full, sizeof(full));
     std::memcpy(payload.data() + sizeof(full), delta.data(), delta.size());
-    writeFilePlain(delta_path, payload.data(), payload.size());
+    store_.write(delta_path, payload.data(), payload.size());
     return changed;
 }
 
@@ -580,15 +549,16 @@ Fti::reconstructFromGroup(const MetaInfo &meta)
         static_cast<std::size_t>(k + m));
     for (int i = 0; i < k; ++i) {
         std::vector<std::uint8_t> buf;
-        if (readFile(ckptFile(config_, group_lo + i, meta.ckptId), buf)) {
+        if (store_.read(ckptFile(config_, group_lo + i, meta.ckptId),
+                        buf)) {
             buf.resize(stripe, 0);
             shards[i] = std::move(buf);
         }
     }
     for (int p = 0; p < m; ++p) {
         std::vector<std::uint8_t> buf;
-        if (readFile(parityFile(config_, group_lo + p, meta.ckptId),
-                     buf)) {
+        if (store_.read(parityFile(config_, group_lo + p, meta.ckptId),
+                        buf)) {
             if (buf.size() == stripe)
                 shards[k + p] = std::move(buf);
         }
@@ -609,17 +579,18 @@ Fti::readPfsBlob(const MetaInfo &meta)
 {
     const int rank = proc_.runtime().commRank(proc_.globalIndex(), comm_);
     std::vector<std::uint8_t> blob;
-    if (readFile(pfsFile(config_, rank, meta.ckptId), blob))
+    if (store_.read(pfsFile(config_, rank, meta.ckptId), blob))
         return blob;
     // Differential path: base + the delta for this checkpoint.
     const std::string dir =
         execDir(config_) + "/pfs/diff/rank" + std::to_string(rank);
     std::vector<std::uint8_t> base;
-    if (!readFile(dir + "/base.fti", base))
+    if (!store_.read(dir + "/base.fti", base))
         util::fatal("L4 recovery: no base image for rank %d", rank);
     std::vector<std::uint8_t> payload;
-    if (!readFile(dir + "/delta" + std::to_string(meta.ckptId) + ".fti",
-                  payload)) {
+    if (!store_.read(dir + "/delta" + std::to_string(meta.ckptId) +
+                         ".fti",
+                     payload)) {
         return base; // checkpoint was the base itself
     }
     MATCH_ASSERT(payload.size() >= sizeof(std::uint64_t),
@@ -653,7 +624,7 @@ Fti::readBlobForRecovery(const MetaInfo &meta)
 
     if (meta.level <= 3) {
         std::vector<std::uint8_t> blob;
-        if (readFile(ckptFile(config_, rank, meta.ckptId), blob) &&
+        if (store_.read(ckptFile(config_, rank, meta.ckptId), blob) &&
             blob.size() == want_bytes &&
             fnv1a(blob.data(), blob.size()) == want_crc) {
             return blob;
@@ -661,8 +632,9 @@ Fti::readBlobForRecovery(const MetaInfo &meta)
         // Local copy lost or corrupt: escalate by level.
         if (meta.level == 2) {
             const int holder = (rank + 1) % meta.nprocs;
-            if (readFile(partnerFile(config_, holder, rank, meta.ckptId),
-                         blob) &&
+            if (store_.read(partnerFile(config_, holder, rank,
+                                        meta.ckptId),
+                            blob) &&
                 blob.size() == want_bytes &&
                 fnv1a(blob.data(), blob.size()) == want_crc) {
                 return blob;

@@ -22,7 +22,9 @@
  *  - L4: flush to the parallel file system, with differential
  *        checkpointing (only changed blocks are written after the base).
  *
- * Checkpoints are real files under a sandbox directory; recovery really
+ * Checkpoints are real objects under a sandbox directory in the
+ * configured storage backend (MemBackend for simulation runs,
+ * DiskBackend for inspectable on-disk sandboxes); recovery really
  * restores the protected buffers (bit-for-bit, verified by checksums).
  * Virtual time is charged through the runtime's cost model.
  */
@@ -167,6 +169,8 @@ class Fti
     simmpi::Proc &proc_;
     FtiConfig config_;
     simmpi::CommId comm_;
+    /** Sandbox storage (config's backend, or the shared DiskBackend). */
+    storage::Backend &store_;
     std::map<int, ProtectedRegion> regions_;
     int recoveryCkptId_ = 0;
     int lastCkptId_ = 0;

@@ -34,15 +34,33 @@ RsCodec::encode(const std::vector<std::vector<std::uint8_t>> &data) const
     MATCH_ASSERT(static_cast<int>(data.size()) == k_,
                  "encode expects exactly k data shards");
     const std::size_t len = data.empty() ? 0 : data[0].size();
-    for (const auto &shard : data)
-        MATCH_ASSERT(shard.size() == len, "data shards must be equal size");
+    std::vector<ShardView> views(data.size());
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        MATCH_ASSERT(data[i].size() == len,
+                     "data shards must be equal size");
+        views[i] = {data[i].data(), data[i].size()};
+    }
+    return encode(views, len);
+}
+
+std::vector<std::vector<std::uint8_t>>
+RsCodec::encode(const std::vector<ShardView> &data,
+                std::size_t stripe) const
+{
+    MATCH_ASSERT(static_cast<int>(data.size()) == k_,
+                 "encode expects exactly k data shards");
+    for (const auto &[ptr, len] : data)
+        MATCH_ASSERT(len <= stripe && (ptr != nullptr || len == 0),
+                     "shard views must fit the stripe");
 
     std::vector<std::vector<std::uint8_t>> parity(
         static_cast<std::size_t>(m_));
     for (int p = 0; p < m_; ++p) {
-        parity[p].assign(len, 0);
+        parity[p].assign(stripe, 0);
         for (int c = 0; c < k_; ++c) {
-            gf::mulAdd(parity[p].data(), data[c].data(), len,
+            // Only the view's real bytes contribute: the implicit zero
+            // padding up to the stripe multiplies to zero.
+            gf::mulAdd(parity[p].data(), data[c].first, data[c].second,
                        enc(k_ + p, c));
         }
     }
@@ -65,13 +83,16 @@ RsCodec::reconstruct(
     if (static_cast<int>(rows.size()) < k_)
         return {}; // unrecoverable
 
+    // The stripe length comes from the rows actually used for decode,
+    // not from every present shard: a longer parity shard lying next
+    // to unpadded data shards must not poison a recoverable stripe
+    // (the unused survivor never enters the linear system).
     std::size_t len = 0;
-    for (const auto &shard : shards)
-        if (shard)
-            len = std::max(len, shard->size());
+    for (int row : rows)
+        len = std::max(len, shards[row]->size());
     for (int row : rows)
         MATCH_ASSERT(shards[row]->size() == len,
-                     "surviving shards must be equal size");
+                     "shards used for decoding must be equal size");
 
     // Fast path: all data shards survive.
     bool all_data = true;

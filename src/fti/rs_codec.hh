@@ -32,6 +32,9 @@ class RsCodec
     int dataShards() const { return k_; }
     int parityShards() const { return m_; }
 
+    /** A borrowed, possibly short, data shard (pointer + length). */
+    using ShardView = std::pair<const std::uint8_t *, std::size_t>;
+
     /**
      * Encode parity shards from k equal-length data shards.
      * @param data k shards, all the same size
@@ -39,6 +42,17 @@ class RsCodec
      */
     std::vector<std::vector<std::uint8_t>>
     encode(const std::vector<std::vector<std::uint8_t>> &data) const;
+
+    /**
+     * Encode from borrowed shard views without copying or padding:
+     * each view shorter than `stripe` is treated as zero-padded to it
+     * (zero bytes contribute nothing to parity, so the padding is
+     * never materialized).
+     * @param data k views, none longer than stripe
+     * @return m parity shards of `stripe` bytes
+     */
+    std::vector<std::vector<std::uint8_t>>
+    encode(const std::vector<ShardView> &data, std::size_t stripe) const;
 
     /**
      * Reconstruct the full set of k data shards from any k survivors.

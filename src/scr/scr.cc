@@ -1,12 +1,8 @@
 #include "src/scr/scr.hh"
 
 #include <algorithm>
-#include <filesystem>
-#include <fstream>
 
 #include "src/util/logging.hh"
-
-namespace fs = std::filesystem;
 
 namespace match::scr
 {
@@ -32,29 +28,6 @@ std::string
 jobDir(const ScrConfig &config)
 {
     return config.cacheDir + "/" + config.jobId;
-}
-
-bool
-readWhole(const std::string &path, std::vector<std::uint8_t> &out)
-{
-    std::ifstream in(path, std::ios::binary | std::ios::ate);
-    if (!in)
-        return false;
-    const auto size = in.tellg();
-    in.seekg(0);
-    out.resize(static_cast<std::size_t>(size));
-    in.read(reinterpret_cast<char *>(out.data()), size);
-    return static_cast<bool>(in);
-}
-
-void
-writeWhole(const std::string &path, const std::vector<std::uint8_t> &data)
-{
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    if (!out)
-        util::fatal("SCR: cannot write %s", path.c_str());
-    out.write(reinterpret_cast<const char *>(data.data()),
-              static_cast<std::streamsize>(data.size()));
 }
 
 } // anonymous namespace
@@ -83,15 +56,16 @@ Scr::parityFile(const ScrConfig &config, int dataset, int group)
 void
 Scr::purge(const ScrConfig &config)
 {
-    std::error_code ec;
-    fs::remove_all(jobDir(config), ec);
-    fs::remove_all(config.prefixDir + "/" + config.jobId, ec);
+    storage::Backend &store = storage::resolve(config.backend);
+    store.removeTree(jobDir(config));
+    store.removeTree(config.prefixDir + "/" + config.jobId);
 }
 
 Scr::Scr(simmpi::Proc &proc, ScrConfig config)
-    : proc_(proc), config_(std::move(config))
+    : proc_(proc), config_(std::move(config)),
+      store_(storage::resolve(config_.backend))
 {
-    fs::create_directories(jobDir(config_));
+    store_.createDirectories(jobDir(config_));
     lastCommitted_ = newestCommittedDataset();
     restartDataset_ = lastCommitted_;
 }
@@ -112,13 +86,11 @@ int
 Scr::newestCommittedDataset() const
 {
     int newest = 0;
-    std::error_code ec;
-    for (const auto &entry : fs::directory_iterator(jobDir(config_), ec)) {
-        const std::string name = entry.path().filename().string();
+    for (const std::string &name : store_.listDir(jobDir(config_))) {
         if (name.rfind("dataset", 0) != 0)
             continue;
         const int id = std::atoi(name.c_str() + 7);
-        if (id > newest && fs::exists(markerFile(config_, id)))
+        if (id > newest && store_.exists(markerFile(config_, id)))
             newest = id;
     }
     return newest;
@@ -139,7 +111,7 @@ Scr::startCheckpoint()
                  "SCR_Start_checkpoint while a checkpoint is open");
     writingDataset_ = lastCommitted_ + 1;
     routedFiles_.clear();
-    fs::create_directories(
+    store_.createDirectories(
         datasetDir(config_, writingDataset_, rank()));
 }
 
@@ -168,12 +140,13 @@ Scr::applyRedundancy()
         const std::string dst =
             datasetDir(config_, writingDataset_, holder) + "-partner" +
             std::to_string(r);
-        fs::create_directories(dst);
+        store_.createDirectories(dst);
         for (const std::string &name : routedFiles_) {
-            fs::copy_file(datasetDir(config_, writingDataset_, r) + "/" +
-                              name,
-                          dst + "/" + name,
-                          fs::copy_options::overwrite_existing);
+            if (!store_.copy(datasetDir(config_, writingDataset_, r) +
+                                 "/" + name,
+                             dst + "/" + name))
+                util::fatal("SCR PARTNER: missing routed file %s "
+                            "(rank %d)", name.c_str(), r);
         }
         return;
       }
@@ -190,9 +163,10 @@ Scr::applyRedundancy()
         for (int m = lo; m < hi; ++m) {
             for (const std::string &name : routedFiles_) {
                 std::vector<std::uint8_t> file;
-                if (!readWhole(datasetDir(config_, writingDataset_, m) +
-                                   "/" + name,
-                               file))
+                if (!store_.read(datasetDir(config_, writingDataset_,
+                                            m) +
+                                     "/" + name,
+                                 file))
                     util::fatal("SCR XOR: missing member file (rank %d)",
                                 m);
                 auto &blob = blobs[m - lo];
@@ -206,7 +180,8 @@ Scr::applyRedundancy()
             for (std::size_t i = 0; i < stripe; ++i)
                 parity[i] ^= blob[i];
         }
-        writeWhole(parityFile(config_, writingDataset_, lo / gs), parity);
+        store_.write(parityFile(config_, writingDataset_, lo / gs),
+                     parity.data(), parity.size());
         return;
       }
     }
@@ -225,11 +200,11 @@ Scr::completeCheckpoint(bool valid)
 
     std::size_t bytes = 0;
     for (const std::string &name : routedFiles_) {
-        std::error_code ec;
-        bytes += fs::file_size(datasetDir(config_, writingDataset_,
-                                          rank()) +
-                                   "/" + name,
-                               ec);
+        std::size_t file_bytes = 0;
+        if (store_.size(datasetDir(config_, writingDataset_, rank()) +
+                            "/" + name,
+                        file_bytes))
+            bytes += file_bytes;
     }
 
     if (all_valid) {
@@ -239,10 +214,9 @@ Scr::completeCheckpoint(bool valid)
         if (config_.scheme != Redundancy::Single)
             proc_.barrier();
         if (rank() == 0) {
-            const std::string marker =
-                markerFile(config_, writingDataset_);
-            std::ofstream out(marker);
-            out << "committed\n";
+            static const char text[] = "committed\n";
+            store_.writeAtomic(markerFile(config_, writingDataset_),
+                               text, sizeof(text) - 1);
         }
         int committed = 1;
         proc_.bcast(0, &committed, sizeof(committed));
@@ -255,13 +229,14 @@ Scr::completeCheckpoint(bool valid)
                                     config_.jobId + "/dataset" +
                                     std::to_string(lastCommitted_) +
                                     "/rank" + std::to_string(rank());
-            fs::create_directories(dst);
+            store_.createDirectories(dst);
             for (const std::string &name : routedFiles_) {
-                fs::copy_file(
-                    datasetDir(config_, lastCommitted_, rank()) + "/" +
-                        name,
-                    dst + "/" + name,
-                    fs::copy_options::overwrite_existing);
+                if (!store_.copy(datasetDir(config_, lastCommitted_,
+                                            rank()) +
+                                     "/" + name,
+                                 dst + "/" + name))
+                    util::fatal("SCR flush: missing routed file %s "
+                                "(rank %d)", name.c_str(), rank());
             }
         }
     }
@@ -275,12 +250,10 @@ Scr::completeCheckpoint(bool valid)
 
     // Drop the previous dataset (SCR keeps a bounded cache).
     if (all_valid && lastCommitted_ >= 2) {
-        std::error_code ec;
-        fs::remove_all(datasetDir(config_, lastCommitted_ - 1, rank()),
-                       ec);
-        if (rank() == 0) {
-            fs::remove(markerFile(config_, lastCommitted_ - 1), ec);
-        }
+        store_.removeTree(datasetDir(config_, lastCommitted_ - 1,
+                                     rank()));
+        if (rank() == 0)
+            store_.remove(markerFile(config_, lastCommitted_ - 1));
     }
     writingDataset_ = 0;
     routedFiles_.clear();
@@ -300,14 +273,13 @@ Scr::rebuildFromPartner(const std::string &name)
     const std::string src = datasetDir(config_, restartDataset_, holder) +
                             "-partner" + std::to_string(rank()) + "/" +
                             name;
-    if (!fs::exists(src))
+    store_.createDirectories(datasetDir(config_, restartDataset_,
+                                        rank()));
+    if (!store_.copy(src,
+                     datasetDir(config_, restartDataset_, rank()) + "/" +
+                         name))
         util::fatal("SCR PARTNER rebuild failed for rank %d: partner "
                     "copy lost too", rank());
-    fs::create_directories(datasetDir(config_, restartDataset_, rank()));
-    fs::copy_file(src,
-                  datasetDir(config_, restartDataset_, rank()) + "/" +
-                      name,
-                  fs::copy_options::overwrite_existing);
 }
 
 void
@@ -320,16 +292,16 @@ Scr::rebuildFromXor(const std::string &name)
     const int lo = (rank() / gs) * gs;
     const int hi = std::min(lo + gs, size());
     std::vector<std::uint8_t> acc;
-    if (!readWhole(parityFile(config_, restartDataset_, lo / gs), acc))
+    if (!store_.read(parityFile(config_, restartDataset_, lo / gs), acc))
         util::fatal("SCR XOR rebuild: parity lost for group %d", lo / gs);
     std::size_t my_size = 0;
     for (int m = lo; m < hi; ++m) {
         if (m == rank())
             continue;
         std::vector<std::uint8_t> blob;
-        if (!readWhole(datasetDir(config_, restartDataset_, m) + "/" +
-                           name,
-                       blob))
+        if (!store_.read(datasetDir(config_, restartDataset_, m) + "/" +
+                             name,
+                         blob))
             util::fatal("SCR XOR rebuild: two losses in group %d",
                         lo / gs);
         my_size = std::max(my_size, blob.size());
@@ -339,9 +311,11 @@ Scr::rebuildFromXor(const std::string &name)
     }
     // The recovered blob is padded to the stripe; the application reads
     // the bytes it wrote (sizes are application knowledge under SCR).
-    fs::create_directories(datasetDir(config_, restartDataset_, rank()));
-    writeWhole(datasetDir(config_, restartDataset_, rank()) + "/" + name,
-               acc);
+    store_.createDirectories(datasetDir(config_, restartDataset_,
+                                        rank()));
+    store_.write(datasetDir(config_, restartDataset_, rank()) + "/" +
+                     name,
+                 acc.data(), acc.size());
 }
 
 std::string
@@ -352,7 +326,7 @@ Scr::routeRestartFile(const std::string &name)
     CategoryScope scope(proc_, TimeCategory::CkptRead);
     const std::string path =
         datasetDir(config_, restartDataset_, rank()) + "/" + name;
-    if (!fs::exists(path)) {
+    if (!store_.exists(path)) {
         switch (config_.scheme) {
           case Redundancy::Single:
             util::fatal("SCR SINGLE cannot rebuild lost file %s",
@@ -365,11 +339,10 @@ Scr::routeRestartFile(const std::string &name)
             break;
         }
     }
-    std::error_code ec;
-    const auto bytes = fs::file_size(path, ec);
+    std::size_t bytes = 0;
+    store_.size(path, bytes);
     proc_.sleepFor(proc_.runtime().costModel().checkpointRead(
-        config_.scheme == Redundancy::Xor ? 3 : 1,
-        ec ? 0 : static_cast<std::size_t>(bytes), size()));
+        config_.scheme == Redundancy::Xor ? 3 : 1, bytes, size()));
     return path;
 }
 

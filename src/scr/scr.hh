@@ -33,11 +33,13 @@
 #define MATCH_SCR_SCR_HH
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "src/simmpi/proc.hh"
+#include "src/storage/backend.hh"
 
 namespace match::scr
 {
@@ -69,6 +71,13 @@ struct ScrConfig
     /** Flush every Nth checkpoint to the prefix directory (0 = never);
      *  SCR drains the cache asynchronously in the real library. */
     int flushEvery = 0;
+
+    /** Storage backend for SCR's own traffic (markers, redundancy
+     *  copies, parity, flushes). Null selects the shared DiskBackend.
+     *  Applications write routed files themselves, so under a
+     *  MemBackend they must write through the same backend for the
+     *  redundancy encoder to see their data. */
+    std::shared_ptr<storage::Backend> backend;
 };
 
 /** Per-rank SCR instance. */
@@ -148,6 +157,8 @@ class Scr
 
     simmpi::Proc &proc_;
     ScrConfig config_;
+    /** Cache storage (config's backend, or the shared DiskBackend). */
+    storage::Backend &store_;
     int writingDataset_ = 0;
     int restartDataset_ = 0;
     int lastCommitted_ = 0;

@@ -1,0 +1,284 @@
+#include "src/storage/backend.hh"
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <set>
+
+#include "src/util/logging.hh"
+
+namespace fs = std::filesystem;
+
+namespace match::storage
+{
+
+const char *
+kindName(Kind kind)
+{
+    switch (kind) {
+      case Kind::Mem: return "mem";
+      case Kind::Disk: return "disk";
+    }
+    return "unknown";
+}
+
+namespace
+{
+
+/**
+ * In-process object store. Objects live in an ordered map keyed by
+ * path, so every prefix operation (removeTree, listDir) is a range
+ * scan instead of a full-table walk. std::map nodes are stable, which
+ * gives view() its pointer-stability guarantee for free.
+ */
+class MemBackend final : public Backend
+{
+  public:
+    Kind kind() const override { return Kind::Mem; }
+
+    bool
+    read(const std::string &path,
+         std::vector<std::uint8_t> &out) const override
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = objects_.find(path);
+        if (it == objects_.end())
+            return false;
+        out = it->second;
+        return true;
+    }
+
+    const std::vector<std::uint8_t> *
+    view(const std::string &path) const override
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = objects_.find(path);
+        return it == objects_.end() ? nullptr : &it->second;
+    }
+
+    void
+    write(const std::string &path, const void *data,
+          std::size_t bytes) override
+    {
+        const auto *p = static_cast<const std::uint8_t *>(data);
+        std::lock_guard<std::mutex> lock(mutex_);
+        objects_[path].assign(p, p + bytes);
+    }
+
+    void
+    writeAtomic(const std::string &path, const void *data,
+                std::size_t bytes) override
+    {
+        write(path, data, bytes); // map writes are already atomic
+    }
+
+    bool
+    exists(const std::string &path) const override
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return objects_.count(path) != 0;
+    }
+
+    bool
+    size(const std::string &path, std::size_t &bytes) const override
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = objects_.find(path);
+        if (it == objects_.end())
+            return false;
+        bytes = it->second.size();
+        return true;
+    }
+
+    bool
+    copy(const std::string &src, const std::string &dst) override
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = objects_.find(src);
+        if (it == objects_.end())
+            return false;
+        // Self-copy must not alias through the operator[] insertion.
+        const std::vector<std::uint8_t> blob = it->second;
+        objects_[dst] = blob;
+        return true;
+    }
+
+    void
+    remove(const std::string &path) override
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        objects_.erase(path);
+    }
+
+    void
+    removeTree(const std::string &dir) override
+    {
+        const std::string prefix = dir + "/";
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = objects_.lower_bound(prefix);
+        while (it != objects_.end() &&
+               it->first.compare(0, prefix.size(), prefix) == 0)
+            it = objects_.erase(it);
+        objects_.erase(dir); // a plain object at the exact path
+    }
+
+    void
+    createDirectories(const std::string &) override
+    {
+        // Directories are implicit in object names.
+    }
+
+    std::vector<std::string>
+    listDir(const std::string &dir) const override
+    {
+        const std::string prefix = dir + "/";
+        std::set<std::string> names;
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (auto it = objects_.lower_bound(prefix);
+             it != objects_.end() &&
+             it->first.compare(0, prefix.size(), prefix) == 0;
+             ++it) {
+            const std::string rest = it->first.substr(prefix.size());
+            names.insert(rest.substr(0, rest.find('/')));
+        }
+        return {names.begin(), names.end()};
+    }
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::vector<std::uint8_t>> objects_;
+};
+
+/**
+ * The original filesystem semantics: plain writes for data files (a
+ * checkpoint's atomicity comes from its metadata commit), tmp+rename
+ * for commit records.
+ */
+class DiskBackend final : public Backend
+{
+  public:
+    Kind kind() const override { return Kind::Disk; }
+
+    bool
+    read(const std::string &path,
+         std::vector<std::uint8_t> &out) const override
+    {
+        std::ifstream in(path, std::ios::binary | std::ios::ate);
+        if (!in)
+            return false;
+        const std::streamoff bytes = in.tellg();
+        if (bytes < 0)
+            return false;
+        in.seekg(0);
+        out.resize(static_cast<std::size_t>(bytes));
+        in.read(reinterpret_cast<char *>(out.data()), bytes);
+        return !in.bad() && in.gcount() == bytes;
+    }
+
+    const std::vector<std::uint8_t> *
+    view(const std::string &) const override
+    {
+        return nullptr; // no stable in-memory image of a file
+    }
+
+    void
+    write(const std::string &path, const void *data,
+          std::size_t bytes) override
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        if (!out)
+            util::fatal("cannot open %s for writing", path.c_str());
+        out.write(static_cast<const char *>(data),
+                  static_cast<std::streamsize>(bytes));
+        if (!out)
+            util::fatal("short write to %s", path.c_str());
+    }
+
+    void
+    writeAtomic(const std::string &path, const void *data,
+                std::size_t bytes) override
+    {
+        const std::string tmp = path + ".tmp";
+        write(tmp, data, bytes);
+        fs::rename(tmp, path);
+    }
+
+    bool
+    exists(const std::string &path) const override
+    {
+        std::error_code ec;
+        return fs::exists(path, ec);
+    }
+
+    bool
+    size(const std::string &path, std::size_t &bytes) const override
+    {
+        std::error_code ec;
+        const auto n = fs::file_size(path, ec);
+        if (ec)
+            return false;
+        bytes = static_cast<std::size_t>(n);
+        return true;
+    }
+
+    bool
+    copy(const std::string &src, const std::string &dst) override
+    {
+        std::error_code ec;
+        fs::copy_file(src, dst, fs::copy_options::overwrite_existing,
+                      ec);
+        return !ec;
+    }
+
+    void
+    remove(const std::string &path) override
+    {
+        std::error_code ec;
+        fs::remove(path, ec);
+    }
+
+    void
+    removeTree(const std::string &dir) override
+    {
+        std::error_code ec;
+        fs::remove_all(dir, ec);
+    }
+
+    void
+    createDirectories(const std::string &dir) override
+    {
+        fs::create_directories(dir);
+    }
+
+    std::vector<std::string>
+    listDir(const std::string &dir) const override
+    {
+        std::vector<std::string> names;
+        std::error_code ec;
+        for (const auto &entry : fs::directory_iterator(dir, ec))
+            names.push_back(entry.path().filename().string());
+        return names;
+    }
+};
+
+} // anonymous namespace
+
+std::shared_ptr<Backend>
+makeBackend(Kind kind)
+{
+    switch (kind) {
+      case Kind::Mem: return std::make_shared<MemBackend>();
+      case Kind::Disk: return std::make_shared<DiskBackend>();
+    }
+    util::panic("unknown storage backend kind");
+}
+
+Backend &
+sharedDiskBackend()
+{
+    static DiskBackend backend;
+    return backend;
+}
+
+} // namespace match::storage

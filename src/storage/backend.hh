@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Pluggable storage backend for the checkpoint libraries (FTI, SCR).
+ *
+ * The simulated checkpoint/restart stack originally spoke to the real
+ * filesystem for every operation — directory creation, per-rank blob
+ * writes, read-backs to feed the Reed-Solomon encoder — so syscalls,
+ * not simulation, dominated the wall-clock of a grid sweep. The
+ * Backend interface routes all of that traffic through one seam:
+ *
+ *  - MemBackend: a thread-safe in-process object store keyed by path.
+ *    The default for simulation runs; the hot checkpoint path makes
+ *    zero syscalls.
+ *  - DiskBackend: the original `<filesystem>`/fstream semantics
+ *    (plain writes, tmp+rename atomic commits). Use it when the
+ *    sandbox must be inspectable on disk, e.g. by external tools or
+ *    the FTI/SCR unit tests that simulate storage loss by deleting
+ *    files.
+ *
+ * Paths keep their meaning in both backends: "directories" are just
+ * the '/'-separated prefix structure of object names, so the FTI and
+ * SCR path helpers work unchanged. Objects written under one backend
+ * are invisible to the other.
+ *
+ * Thread-safety: every method is safe to call concurrently on one
+ * instance. The pointer returned by view() stays valid until the
+ * object is overwritten or removed; callers that share one object
+ * across threads must not race a view against an overwrite of the
+ * same path (grid cells never do — each job owns a private sandbox).
+ */
+
+#ifndef MATCH_STORAGE_BACKEND_HH
+#define MATCH_STORAGE_BACKEND_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace match::storage
+{
+
+/** Selectable backend implementations. */
+enum class Kind
+{
+    Mem,  ///< in-process object store (simulation default)
+    Disk, ///< real filesystem (inspectable sandboxes)
+};
+
+/** Lower-case label ("mem", "disk") for logs and perf records. */
+const char *kindName(Kind kind);
+
+/** Abstract object store addressed by filesystem-style paths. */
+class Backend
+{
+  public:
+    virtual ~Backend() = default;
+
+    virtual Kind kind() const = 0;
+
+    /** Read a whole object. @retval false when it does not exist. */
+    virtual bool read(const std::string &path,
+                      std::vector<std::uint8_t> &out) const = 0;
+
+    /**
+     * Zero-copy read: a stable pointer to the stored bytes when the
+     * backend can provide one (MemBackend), nullptr otherwise. The
+     * pointer is valid until the object is overwritten or removed.
+     */
+    virtual const std::vector<std::uint8_t> *
+    view(const std::string &path) const = 0;
+
+    /** Create or replace an object. Fatal on I/O failure. */
+    virtual void write(const std::string &path, const void *data,
+                       std::size_t bytes) = 0;
+
+    /**
+     * Atomically create or replace an object: a reader never observes
+     * a partial write (DiskBackend: tmp + rename; MemBackend: writes
+     * are atomic by construction).
+     */
+    virtual void writeAtomic(const std::string &path, const void *data,
+                             std::size_t bytes) = 0;
+
+    /** Whether an object exists at `path`. */
+    virtual bool exists(const std::string &path) const = 0;
+
+    /** Object size. @retval false when it does not exist. */
+    virtual bool size(const std::string &path,
+                      std::size_t &bytes) const = 0;
+
+    /** Copy one object. @retval false when the source is missing. */
+    virtual bool copy(const std::string &src, const std::string &dst) = 0;
+
+    /** Remove one object (no-op when absent). */
+    virtual void remove(const std::string &path) = 0;
+
+    /** Remove every object under `dir` (recursive; no-op when empty). */
+    virtual void removeTree(const std::string &dir) = 0;
+
+    /** Ensure `dir` exists (no-op for MemBackend: directories are
+     *  implicit in object names). */
+    virtual void createDirectories(const std::string &dir) = 0;
+
+    /** Names of the immediate children of `dir` (files and
+     *  subdirectories), in unspecified order. */
+    virtual std::vector<std::string>
+    listDir(const std::string &dir) const = 0;
+};
+
+/** Create a fresh backend of the given kind. */
+std::shared_ptr<Backend> makeBackend(Kind kind);
+
+/** Process-wide shared DiskBackend (stateless, always available). */
+Backend &sharedDiskBackend();
+
+/** The backend a config carries, or the shared DiskBackend when the
+ *  config predates the storage layer (null pointer). */
+inline Backend &
+resolve(const std::shared_ptr<Backend> &backend)
+{
+    return backend ? *backend : sharedDiskBackend();
+}
+
+} // namespace match::storage
+
+#endif // MATCH_STORAGE_BACKEND_HH

@@ -1,5 +1,7 @@
 #include "src/util/gf256.hh"
 
+#include <algorithm>
+
 #include "src/util/logging.hh"
 
 namespace match::util
@@ -35,6 +37,39 @@ struct Tables
 };
 
 const Tables tables;
+
+/**
+ * Full 256x256 row-product table: row[c][x] = c*x in the field. 64 KiB,
+ * so it is built lazily on the first bulk operation (a process that
+ * never touches the RS codec pays nothing) and shared read-only
+ * afterwards. It turns the mulAdd/scale inner loops into branch-free
+ * single-lookup-per-byte kernels: the old log/exp form needed two
+ * table reads, an add, and an x==0 branch per byte.
+ */
+struct MulTable
+{
+    std::uint8_t row[256][256];
+
+    MulTable()
+    {
+        for (unsigned c = 0; c < 256; ++c) {
+            row[c][0] = 0;
+            if (c == 0) {
+                std::fill(std::begin(row[0]), std::end(row[0]), 0);
+                continue;
+            }
+            for (unsigned x = 1; x < 256; ++x)
+                row[c][x] = tables.exp[tables.log[c] + tables.log[x]];
+        }
+    }
+};
+
+const MulTable &
+mulTable()
+{
+    static const MulTable table; // thread-safe lazy build
+    return table;
+}
 
 } // anonymous namespace
 
@@ -82,16 +117,28 @@ mulAdd(std::uint8_t *y, const std::uint8_t *x, std::size_t len,
 {
     if (c == 0)
         return;
-    if (c == 1) {
+    if (c == 1) { // XOR fast path: multiplying by one is the identity
         for (std::size_t i = 0; i < len; ++i)
             y[i] ^= x[i];
         return;
     }
-    const unsigned logc = tables.log[c];
-    for (std::size_t i = 0; i < len; ++i) {
-        if (x[i])
-            y[i] ^= tables.exp[logc + tables.log[x[i]]];
+    const std::uint8_t *row = mulTable().row[c];
+    for (std::size_t i = 0; i < len; ++i)
+        y[i] ^= row[x[i]];
+}
+
+void
+scale(std::uint8_t *y, std::size_t len, std::uint8_t c)
+{
+    if (c == 1)
+        return;
+    if (c == 0) {
+        std::fill(y, y + len, static_cast<std::uint8_t>(0));
+        return;
     }
+    const std::uint8_t *row = mulTable().row[c];
+    for (std::size_t i = 0; i < len; ++i)
+        y[i] = row[y[i]];
 }
 
 } // namespace gf256
@@ -121,17 +168,12 @@ GfMatrix::multiply(const GfMatrix &other) const
 {
     MATCH_ASSERT(cols_ == other.rows_, "dimension mismatch in multiply");
     GfMatrix out(rows_, other.cols_);
-    for (std::size_t r = 0; r < rows_; ++r) {
-        for (std::size_t k = 0; k < cols_; ++k) {
-            const std::uint8_t a = at(r, k);
-            if (!a)
-                continue;
-            for (std::size_t c = 0; c < other.cols_; ++c) {
-                out.at(r, c) = gf256::add(
-                    out.at(r, c), gf256::mul(a, other.at(k, c)));
-            }
-        }
-    }
+    // out.row(r) accumulates a * other.row(k): rows are contiguous, so
+    // the whole inner dimension is one table-driven mulAdd sweep.
+    for (std::size_t r = 0; r < rows_; ++r)
+        for (std::size_t k = 0; k < cols_; ++k)
+            gf256::mulAdd(out.rowPtr(r), other.rowPtr(k), other.cols_,
+                          at(r, k));
     return out;
 }
 
@@ -154,30 +196,25 @@ GfMatrix::invert(GfMatrix &out) const
         if (pivot == n)
             return false;
         if (pivot != col) {
-            for (std::size_t c = 0; c < n; ++c) {
-                std::swap(work.at(pivot, c), work.at(col, c));
-                std::swap(out.at(pivot, c), out.at(col, c));
-            }
+            std::swap_ranges(work.rowPtr(pivot), work.rowPtr(pivot) + n,
+                             work.rowPtr(col));
+            std::swap_ranges(out.rowPtr(pivot), out.rowPtr(pivot) + n,
+                             out.rowPtr(col));
         }
         // Scale pivot row to 1.
         const std::uint8_t inv = gf256::inverse(work.at(col, col));
-        for (std::size_t c = 0; c < n; ++c) {
-            work.at(col, c) = gf256::mul(work.at(col, c), inv);
-            out.at(col, c) = gf256::mul(out.at(col, c), inv);
-        }
-        // Eliminate the column everywhere else.
+        gf256::scale(work.rowPtr(col), n, inv);
+        gf256::scale(out.rowPtr(col), n, inv);
+        // Eliminate the column everywhere else: row(r) += factor *
+        // row(col), one table-driven sweep per row.
         for (std::size_t r = 0; r < n; ++r) {
             if (r == col)
                 continue;
             const std::uint8_t factor = work.at(r, col);
             if (!factor)
                 continue;
-            for (std::size_t c = 0; c < n; ++c) {
-                work.at(r, c) = gf256::add(
-                    work.at(r, c), gf256::mul(factor, work.at(col, c)));
-                out.at(r, c) = gf256::add(
-                    out.at(r, c), gf256::mul(factor, out.at(col, c)));
-            }
+            gf256::mulAdd(work.rowPtr(r), work.rowPtr(col), n, factor);
+            gf256::mulAdd(out.rowPtr(r), out.rowPtr(col), n, factor);
         }
     }
     return true;

@@ -39,9 +39,16 @@ std::uint8_t inverse(std::uint8_t a);
 /** a raised to the n-th power (n >= 0). */
 std::uint8_t pow(std::uint8_t a, unsigned n);
 
-/** y += c * x over byte spans (the codec's inner loop). */
+/**
+ * y += c * x over byte spans (the codec's inner loop). Branch-free
+ * single-lookup-per-byte against a lazily built 256x256 product table,
+ * with a plain-XOR fast path for c == 1.
+ */
 void mulAdd(std::uint8_t *y, const std::uint8_t *x, std::size_t len,
             std::uint8_t c);
+
+/** y *= c in place over a byte span (Gauss-Jordan row scaling). */
+void scale(std::uint8_t *y, std::size_t len, std::uint8_t c);
 
 } // namespace gf256
 
@@ -56,6 +63,14 @@ class GfMatrix
 
     std::uint8_t &at(std::size_t r, std::size_t c);
     std::uint8_t at(std::size_t r, std::size_t c) const;
+
+    /** Contiguous row storage (rows are the mulAdd/scale unit). */
+    std::uint8_t *rowPtr(std::size_t r) { return data_.data() + r * cols_; }
+    const std::uint8_t *
+    rowPtr(std::size_t r) const
+    {
+        return data_.data() + r * cols_;
+    }
 
     /** this * other; inner dimensions must agree. */
     GfMatrix multiply(const GfMatrix &other) const;

@@ -144,6 +144,56 @@ TEST(Experiment, CacheReplaysExactly)
     fs::remove_all(config.cacheDir);
 }
 
+/** Compare two results field by field, bit for bit. */
+void
+expectIdenticalResults(const ExperimentResult &a,
+                       const ExperimentResult &b)
+{
+    auto expectIdentical = [](const ft::Breakdown &x,
+                              const ft::Breakdown &y) {
+        EXPECT_DOUBLE_EQ(x.application, y.application);
+        EXPECT_DOUBLE_EQ(x.ckptWrite, y.ckptWrite);
+        EXPECT_DOUBLE_EQ(x.ckptRead, y.ckptRead);
+        EXPECT_DOUBLE_EQ(x.recovery, y.recovery);
+        EXPECT_EQ(x.attempts, y.attempts);
+        EXPECT_EQ(x.recoveries, y.recoveries);
+        EXPECT_EQ(x.failureFired, y.failureFired);
+    };
+    expectIdentical(a.mean, b.mean);
+    ASSERT_EQ(a.perRun.size(), b.perRun.size());
+    for (std::size_t i = 0; i < a.perRun.size(); ++i)
+        expectIdentical(a.perRun[i], b.perRun[i]);
+}
+
+TEST(Experiment, StorageBackendsProduceIdenticalResults)
+{
+    // The storage backend is a wall-clock optimization: the same grid
+    // cell must produce bit-identical results whether its checkpoint
+    // sandbox lives in memory or on disk. Injected failures exercise
+    // the full checkpoint + recovery read-back path on both.
+    for (const bool inject : {false, true}) {
+        auto config = smallConfig(Design::ReinitFti, inject);
+        config.storage = match::storage::Kind::Mem;
+        const auto mem = runExperiment(config);
+        config.storage = match::storage::Kind::Disk;
+        const auto disk = runExperiment(config);
+        expectIdenticalResults(mem, disk);
+    }
+}
+
+TEST(Experiment, L3CellsAgreeAcrossBackends)
+{
+    // L3 exercises the RS encoder's zero-copy view path (MemBackend)
+    // against the read-into-scratch path (DiskBackend).
+    auto config = smallConfig(Design::RestartFti, true);
+    config.ckptLevel = 3;
+    config.storage = match::storage::Kind::Mem;
+    const auto mem = runExperiment(config);
+    config.storage = match::storage::Kind::Disk;
+    const auto disk = runExperiment(config);
+    expectIdenticalResults(mem, disk);
+}
+
 TEST(Experiment, CacheKeyDistinguishesConfigs)
 {
     auto a = smallConfig(Design::ReinitFti, true);

@@ -95,6 +95,49 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_tuple(4, 2), std::make_tuple(4, 4),
                       std::make_tuple(6, 3), std::make_tuple(8, 4)));
 
+TEST(RsCodec, ReconstructIgnoresLongerUnusedParityShard)
+{
+    // Regression: the stripe length must come from the rows actually
+    // used for decoding. All data shards survive at their true
+    // (unpadded) size here, while a longer zero-padded parity shard is
+    // also present; the old max-over-all-present-shards length tripped
+    // the equal-size assertion on this perfectly recoverable input.
+    const RsCodec codec(3, 2);
+    const auto data = randomShards(3, 64, 21);
+    std::vector<RsCodec::ShardView> views;
+    for (const auto &shard : data)
+        views.emplace_back(shard.data(), shard.size());
+    const auto parity = codec.encode(views, 128); // padded stripe
+
+    std::vector<std::optional<std::vector<std::uint8_t>>> shards(5);
+    for (int i = 0; i < 3; ++i)
+        shards[i] = data[i];
+    shards[3] = parity[0]; // 128 bytes, longer than the data shards
+    EXPECT_EQ(codec.reconstruct(shards), data);
+}
+
+TEST(RsCodec, SpanEncodeMatchesPaddedEncode)
+{
+    // Encoding views of unequal length against a stripe must equal
+    // encoding explicitly zero-padded shards (the implicit padding the
+    // FTI L3 path relies on to skip its copy-and-pad step).
+    const RsCodec codec(3, 2);
+    const std::size_t stripe = 96;
+    auto data = randomShards(3, stripe, 13);
+    data[0].resize(17);
+    data[2].resize(50);
+
+    std::vector<RsCodec::ShardView> views;
+    for (const auto &shard : data)
+        views.emplace_back(shard.data(), shard.size());
+    const auto from_views = codec.encode(views, stripe);
+
+    auto padded = data;
+    for (auto &shard : padded)
+        shard.resize(stripe, 0);
+    EXPECT_EQ(from_views, codec.encode(padded));
+}
+
 TEST(RsCodec, TooManyLossesReturnsEmpty)
 {
     const RsCodec codec(4, 2);

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Storage backend contract tests: MemBackend and DiskBackend must agree
+ * on every operation's observable behaviour (the FTI/SCR stacks switch
+ * between them expecting identical semantics), and MemBackend must
+ * additionally honour its zero-copy view() guarantee.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "src/storage/backend.hh"
+
+namespace fs = std::filesystem;
+using namespace match;
+using match::storage::Backend;
+using match::storage::Kind;
+
+namespace
+{
+
+std::vector<std::uint8_t>
+bytes(const std::string &text)
+{
+    return {text.begin(), text.end()};
+}
+
+} // namespace
+
+class BackendContract : public ::testing::TestWithParam<Kind>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        backend_ = storage::makeBackend(GetParam());
+        root_ = (fs::temp_directory_path() / "match-storage-tests" /
+                 storage::kindName(GetParam()))
+                    .string();
+        backend_->removeTree(root_);
+        backend_->createDirectories(root_);
+    }
+
+    void
+    TearDown() override
+    {
+        backend_->removeTree(root_);
+    }
+
+    void
+    put(const std::string &path, const std::string &text)
+    {
+        backend_->write(path, text.data(), text.size());
+    }
+
+    std::shared_ptr<Backend> backend_;
+    std::string root_;
+};
+
+TEST_P(BackendContract, ReadBackWhatWasWritten)
+{
+    const std::string path = root_ + "/blob.bin";
+    put(path, "hello backend");
+    std::vector<std::uint8_t> out;
+    ASSERT_TRUE(backend_->read(path, out));
+    EXPECT_EQ(out, bytes("hello backend"));
+}
+
+TEST_P(BackendContract, MissingObjectReadsFalse)
+{
+    std::vector<std::uint8_t> out;
+    EXPECT_FALSE(backend_->read(root_ + "/absent", out));
+    EXPECT_FALSE(backend_->exists(root_ + "/absent"));
+    std::size_t n = 0;
+    EXPECT_FALSE(backend_->size(root_ + "/absent", n));
+}
+
+TEST_P(BackendContract, OverwriteReplacesContent)
+{
+    const std::string path = root_ + "/blob.bin";
+    put(path, "first version, long");
+    put(path, "second");
+    std::vector<std::uint8_t> out;
+    ASSERT_TRUE(backend_->read(path, out));
+    EXPECT_EQ(out, bytes("second"));
+}
+
+TEST_P(BackendContract, AtomicWriteIsVisibleAndSized)
+{
+    const std::string path = root_ + "/commit.meta";
+    const std::string text = "committed";
+    backend_->writeAtomic(path, text.data(), text.size());
+    EXPECT_TRUE(backend_->exists(path));
+    std::size_t n = 0;
+    ASSERT_TRUE(backend_->size(path, n));
+    EXPECT_EQ(n, text.size());
+}
+
+TEST_P(BackendContract, CopyDuplicatesAndReportsMissingSource)
+{
+    put(root_ + "/src", "payload");
+    EXPECT_TRUE(backend_->copy(root_ + "/src", root_ + "/dst"));
+    std::vector<std::uint8_t> out;
+    ASSERT_TRUE(backend_->read(root_ + "/dst", out));
+    EXPECT_EQ(out, bytes("payload"));
+    EXPECT_FALSE(backend_->copy(root_ + "/absent", root_ + "/dst2"));
+}
+
+TEST_P(BackendContract, RemoveDropsOneObject)
+{
+    put(root_ + "/a", "a");
+    put(root_ + "/b", "b");
+    backend_->remove(root_ + "/a");
+    backend_->remove(root_ + "/a"); // absent: no-op
+    EXPECT_FALSE(backend_->exists(root_ + "/a"));
+    EXPECT_TRUE(backend_->exists(root_ + "/b"));
+}
+
+TEST_P(BackendContract, ListDirReturnsImmediateChildren)
+{
+    backend_->createDirectories(root_ + "/meta");
+    backend_->createDirectories(root_ + "/local/rank0");
+    put(root_ + "/meta/ckpt1.meta", "1");
+    put(root_ + "/meta/ckpt2.meta", "2");
+    put(root_ + "/local/rank0/ckpt1.fti", "x");
+
+    auto names = backend_->listDir(root_ + "/meta");
+    std::sort(names.begin(), names.end());
+    EXPECT_EQ(names, (std::vector<std::string>{"ckpt1.meta",
+                                               "ckpt2.meta"}));
+
+    // Subdirectories appear as children of their parent, exactly once.
+    auto top = backend_->listDir(root_);
+    std::sort(top.begin(), top.end());
+    EXPECT_EQ(top, (std::vector<std::string>{"local", "meta"}));
+
+    EXPECT_TRUE(backend_->listDir(root_ + "/nonexistent").empty());
+}
+
+TEST_P(BackendContract, RemoveTreeIsRecursiveAndScoped)
+{
+    backend_->createDirectories(root_ + "/job1/rank0");
+    backend_->createDirectories(root_ + "/job1/meta");
+    backend_->createDirectories(root_ + "/job10/rank0");
+    put(root_ + "/job1/rank0/ckpt.fti", "a");
+    put(root_ + "/job1/meta/ckpt1.meta", "b");
+    put(root_ + "/job10/rank0/ckpt.fti", "c"); // sibling, shares prefix
+    backend_->removeTree(root_ + "/job1");
+    EXPECT_FALSE(backend_->exists(root_ + "/job1/rank0/ckpt.fti"));
+    EXPECT_FALSE(backend_->exists(root_ + "/job1/meta/ckpt1.meta"));
+    EXPECT_TRUE(backend_->exists(root_ + "/job10/rank0/ckpt.fti"));
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, BackendContract,
+                         ::testing::Values(Kind::Mem, Kind::Disk),
+                         [](const auto &info) {
+                             return std::string(
+                                 storage::kindName(info.param));
+                         });
+
+TEST(MemBackend, ViewIsZeroCopyAndTracksOverwrite)
+{
+    const auto backend = storage::makeBackend(Kind::Mem);
+    const std::string text = "view me";
+    backend->write("/sandbox/blob", text.data(), text.size());
+    const auto *view = backend->view("/sandbox/blob");
+    ASSERT_NE(view, nullptr);
+    EXPECT_EQ(*view, bytes("view me"));
+    // A second read must not copy through the view (same storage).
+    EXPECT_EQ(view, backend->view("/sandbox/blob"));
+    EXPECT_EQ(backend->view("/sandbox/absent"), nullptr);
+}
+
+TEST(MemBackend, InstancesAreIsolated)
+{
+    const auto a = storage::makeBackend(Kind::Mem);
+    const auto b = storage::makeBackend(Kind::Mem);
+    a->write("/x", "a", 1);
+    EXPECT_FALSE(b->exists("/x"));
+}
+
+TEST(DiskBackend, ViewDeclinesAndSharedInstanceIsDisk)
+{
+    EXPECT_EQ(storage::sharedDiskBackend().kind(), Kind::Disk);
+    const auto backend = storage::makeBackend(Kind::Disk);
+    EXPECT_EQ(backend->view("/etc/hostname"), nullptr);
+}

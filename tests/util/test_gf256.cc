@@ -89,6 +89,49 @@ TEST(Gf256, PowMatchesRepeatedMultiplication)
     }
 }
 
+TEST(Gf256, MulAddMatchesLogExpReferenceExhaustively)
+{
+    // The bulk kernel is table-driven (one 256x256 lookup per byte);
+    // the scalar mul() is the independent log/exp implementation. Check
+    // every coefficient against it over a randomized buffer that
+    // contains every byte value.
+    std::vector<std::uint8_t> x(4096), y0(x.size());
+    for (std::size_t i = 0; i < 256; ++i)
+        x[i] = static_cast<std::uint8_t>(i); // all field elements
+    Rng rng(0xfeed);
+    for (std::size_t i = 256; i < x.size(); ++i)
+        x[i] = static_cast<std::uint8_t>(rng.below(256));
+    for (auto &b : y0)
+        b = static_cast<std::uint8_t>(rng.below(256));
+
+    for (int c = 0; c < 256; ++c) {
+        std::vector<std::uint8_t> y = y0;
+        gf256::mulAdd(y.data(), x.data(), x.size(),
+                      static_cast<std::uint8_t>(c));
+        std::vector<std::uint8_t> want(x.size());
+        for (std::size_t i = 0; i < x.size(); ++i)
+            want[i] = gf256::add(
+                y0[i], gf256::mul(static_cast<std::uint8_t>(c), x[i]));
+        ASSERT_EQ(y, want) << "coefficient " << c;
+    }
+}
+
+TEST(Gf256, ScaleMatchesScalarMultiplication)
+{
+    std::vector<std::uint8_t> y0(512);
+    Rng rng(0xbeef);
+    for (auto &b : y0)
+        b = static_cast<std::uint8_t>(rng.below(256));
+    for (int c = 0; c < 256; ++c) {
+        std::vector<std::uint8_t> y = y0;
+        gf256::scale(y.data(), y.size(), static_cast<std::uint8_t>(c));
+        for (std::size_t i = 0; i < y.size(); ++i)
+            ASSERT_EQ(y[i],
+                      gf256::mul(static_cast<std::uint8_t>(c), y0[i]))
+                << "coefficient " << c << " index " << i;
+    }
+}
+
 TEST(Gf256, MulAddAccumulates)
 {
     std::vector<std::uint8_t> y(64, 0), x(64);
