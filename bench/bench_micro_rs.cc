@@ -1,10 +1,14 @@
 /**
  * @file
  * Micro-benchmarks of the Reed-Solomon codec backing FTI L3: encode and
- * reconstruct throughput across group geometries, plus the raw GF(256)
- * mulAdd kernel they are built from. Every bench reports an explicit
- * MB/s counter (per data byte processed) so the table-driven kernel's
- * trajectory is tracked in BENCH_micro_rs.json by CI.
+ * reconstruct throughput across group geometries and stripe sizes, plus
+ * the raw GF(256) mulAdd kernel they are built from. Every benchmark
+ * runs as two rows — "scalar" (the portable table kernel, forced) and
+ * "dispatch" (whatever the runtime CPU dispatch selected, named in the
+ * row's label) — so the BENCH_micro_rs JSONs record the SIMD speedup
+ * and, via the 4 KiB–4 MiB stripe sweep, the cache cliff per host.
+ * Every bench reports an explicit MB/s counter (per data byte
+ * processed).
  */
 
 #include <benchmark/benchmark.h>
@@ -17,9 +21,36 @@
 #include "src/util/rng.hh"
 
 using match::fti::RsCodec;
+namespace gf = match::util::gf256;
 
 namespace
 {
+
+/** Which kernel row a benchmark instance measures. */
+enum class Row
+{
+    Scalar,   ///< forced portable table kernel
+    Dispatch, ///< startup CPU dispatch (SIMD when the host supports it)
+};
+
+/**
+ * Pin the GF(256) kernel for one benchmark run and label the row with
+ * the kernel that actually executed (so a JSON from a non-SIMD host is
+ * self-describing). Restores startup dispatch on destruction.
+ */
+class KernelRow
+{
+  public:
+    KernelRow(benchmark::State &state, Row row)
+    {
+        gf::detail::forceKernels(row == Row::Scalar
+                                     ? &gf::detail::scalarKernels()
+                                     : nullptr);
+        state.SetLabel(gf::kernelName());
+    }
+
+    ~KernelRow() { gf::detail::forceKernels(nullptr); }
+};
 
 /** Rate counter in decimal megabytes per second of data processed. */
 benchmark::Counter
@@ -43,14 +74,15 @@ makeShards(int k, std::size_t bytes)
 }
 
 void
-BM_GfMulAdd(benchmark::State &state)
+BM_GfMulAdd(benchmark::State &state, Row row)
 {
+    const KernelRow kernel(state, row);
     const std::size_t bytes = static_cast<std::size_t>(state.range(0));
     const auto shards = makeShards(2, bytes);
     std::vector<std::uint8_t> y = shards[0];
     std::uint8_t c = 2; // never the XOR fast path
     for (auto _ : state) {
-        match::util::gf256::mulAdd(y.data(), shards[1].data(), bytes, c);
+        gf::mulAdd(y.data(), shards[1].data(), bytes, c);
         benchmark::DoNotOptimize(y.data());
         c = static_cast<std::uint8_t>(c == 255 ? 2 : c + 1);
     }
@@ -58,11 +90,17 @@ BM_GfMulAdd(benchmark::State &state)
                             static_cast<std::int64_t>(bytes));
     state.counters["MB/s"] = mbPerSec(static_cast<double>(bytes));
 }
-BENCHMARK(BM_GfMulAdd)->Arg(64 << 10)->Arg(1 << 20);
+BENCHMARK_CAPTURE(BM_GfMulAdd, scalar, Row::Scalar)
+    ->Arg(64 << 10)
+    ->Arg(1 << 20);
+BENCHMARK_CAPTURE(BM_GfMulAdd, dispatch, Row::Dispatch)
+    ->Arg(64 << 10)
+    ->Arg(1 << 20);
 
 void
-BM_RsEncode(benchmark::State &state)
+BM_RsEncode(benchmark::State &state, Row row)
 {
+    const KernelRow kernel(state, row);
     const int k = static_cast<int>(state.range(0));
     const std::size_t bytes = static_cast<std::size_t>(state.range(1));
     const RsCodec codec(k, k);
@@ -75,14 +113,28 @@ BM_RsEncode(benchmark::State &state)
                             static_cast<std::int64_t>(k) * bytes);
     state.counters["MB/s"] = mbPerSec(static_cast<double>(k) * bytes);
 }
-BENCHMARK(BM_RsEncode)
-    ->Args({4, 64 << 10})
-    ->Args({8, 64 << 10})
-    ->Args({4, 1 << 20});
+
+/** Stripe sweep 4 KiB–4 MiB at the FTI default geometry (k=m=4): the
+ *  small sizes sit in L1/L2, the large ones stream from DRAM, so the
+ *  per-host cache cliff is visible in the JSON; k=8 probes the wider
+ *  geometry at one mid size. */
+void
+rsEncodeArgs(benchmark::internal::Benchmark *bench)
+{
+    for (const std::int64_t bytes :
+         {4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20})
+        bench->Args({4, bytes});
+    bench->Args({8, 64 << 10});
+}
+BENCHMARK_CAPTURE(BM_RsEncode, scalar, Row::Scalar)
+    ->Apply(rsEncodeArgs);
+BENCHMARK_CAPTURE(BM_RsEncode, dispatch, Row::Dispatch)
+    ->Apply(rsEncodeArgs);
 
 void
-BM_RsReconstruct(benchmark::State &state)
+BM_RsReconstruct(benchmark::State &state, Row row)
 {
+    const KernelRow kernel(state, row);
     const int k = static_cast<int>(state.range(0));
     const std::size_t bytes = 64 << 10;
     const RsCodec codec(k, k);
@@ -104,7 +156,12 @@ BM_RsReconstruct(benchmark::State &state)
                             static_cast<std::int64_t>(k) * bytes);
     state.counters["MB/s"] = mbPerSec(static_cast<double>(k) * bytes);
 }
-BENCHMARK(BM_RsReconstruct)->Arg(4)->Arg(8);
+BENCHMARK_CAPTURE(BM_RsReconstruct, scalar, Row::Scalar)
+    ->Arg(4)
+    ->Arg(8);
+BENCHMARK_CAPTURE(BM_RsReconstruct, dispatch, Row::Dispatch)
+    ->Arg(4)
+    ->Arg(8);
 
 } // namespace
 

@@ -55,13 +55,47 @@ RsCodec::encode(const std::vector<ShardView> &data,
 
     std::vector<std::vector<std::uint8_t>> parity(
         static_cast<std::size_t>(m_));
-    for (int p = 0; p < m_; ++p) {
-        parity[p].assign(stripe, 0);
+    for (int p = 0; p < m_; ++p)
+        parity[p].resize(stripe); // zero-filled; only short-view tails rely on it
+    if (m_ == 0 || stripe == 0)
+        return parity;
+
+    // Fused, cache-blocked pass. The naive loop (for each parity, sweep
+    // all k data shards) streams every data shard m times and every
+    // parity row k times through memory; here each block of each data
+    // shard is read once and applied to all m parity rows while it is
+    // hot in cache, so large stripes move ~(k + m) blocks of traffic
+    // instead of ~2*k*m. Within a block the first contributing shard
+    // seeds the parity rows with mulCopy: the zero-filled allocation is
+    // never read back. Shards shorter than the stripe simply stop
+    // contributing (their implicit zero padding multiplies to zero);
+    // parity bytes no shard reaches keep their zero fill.
+    constexpr std::size_t kBlock = 16 * 1024; // source block stays in L1d
+    std::vector<std::uint8_t *> rows(static_cast<std::size_t>(m_));
+    std::vector<std::uint8_t> coeffs(static_cast<std::size_t>(m_));
+    for (std::size_t off = 0; off < stripe; off += kBlock) {
+        const std::size_t blk = std::min(kBlock, stripe - off);
+        bool first = true;
         for (int c = 0; c < k_; ++c) {
-            // Only the view's real bytes contribute: the implicit zero
-            // padding up to the stripe multiplies to zero.
-            gf::mulAdd(parity[p].data(), data[c].first, data[c].second,
-                       enc(k_ + p, c));
+            const auto &[ptr, len] = data[c];
+            if (len <= off)
+                continue;
+            const std::size_t n = std::min(blk, len - off);
+            if (first) {
+                // Overwrite [off, off+n); any tail of the block stays
+                // zero-filled, which is exactly this shard's padding.
+                for (int p = 0; p < m_; ++p)
+                    gf::mulCopy(parity[p].data() + off, ptr + off, n,
+                                enc(k_ + p, c));
+                first = false;
+                continue;
+            }
+            for (int p = 0; p < m_; ++p) {
+                rows[p] = parity[p].data() + off;
+                coeffs[p] = enc(k_ + p, c);
+            }
+            gf::mulAddMulti(rows.data(), coeffs.data(),
+                            static_cast<std::size_t>(m_), ptr + off, n);
         }
     }
     return parity;
@@ -120,8 +154,12 @@ RsCodec::reconstruct(
     std::vector<std::vector<std::uint8_t>> out(
         static_cast<std::size_t>(k_));
     for (int d = 0; d < k_; ++d) {
-        out[d].assign(len, 0);
-        for (int r = 0; r < k_; ++r) {
+        out[d].resize(len);
+        // Seed from the first survivor, accumulate the rest: the
+        // buffer's zero fill is never read back.
+        gf::mulCopy(out[d].data(), shards[rows[0]]->data(), len,
+                    inv.at(d, 0));
+        for (int r = 1; r < k_; ++r) {
             gf::mulAdd(out[d].data(), shards[rows[r]]->data(), len,
                        inv.at(d, r));
         }

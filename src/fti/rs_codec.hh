@@ -48,6 +48,13 @@ class RsCodec
      * each view shorter than `stripe` is treated as zero-padded to it
      * (zero bytes contribute nothing to parity, so the padding is
      * never materialized).
+     *
+     * The pass is fused and cache-blocked: each data shard block is
+     * streamed once while all m parity rows are updated (the first
+     * contribution per block seeds the row via gf256::mulCopy), on top
+     * of whatever GF(256) kernel the runtime dispatch selected.
+     * Results are bit-identical for every kernel and any block size.
+     *
      * @param data k views, none longer than stripe
      * @return m parity shards of `stripe` bytes
      */

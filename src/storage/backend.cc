@@ -1,7 +1,9 @@
 #include "src/storage/backend.hh"
 
+#include <array>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <set>
@@ -27,10 +29,15 @@ namespace
 {
 
 /**
- * In-process object store. Objects live in an ordered map keyed by
- * path, so every prefix operation (removeTree, listDir) is a range
- * scan instead of a full-table walk. std::map nodes are stable, which
- * gives view() its pointer-stability guarantee for free.
+ * In-process object store, sharded into lock-striped buckets: a path
+ * hashes to one of kBuckets (mutex, ordered map) pairs, so concurrent
+ * grid workers hammering checkpoint traffic contend only when their
+ * paths collide in a bucket — a single global mutex serialized every
+ * worker above ~8 jobs. Per-object operations touch exactly one
+ * bucket; prefix operations (removeTree, listDir) visit each bucket's
+ * map with the same ordered range scan as before, since a bucket's
+ * map is keyed by full path. std::map nodes are stable, which gives
+ * view() its pointer-stability guarantee for free.
  */
 class MemBackend final : public Backend
 {
@@ -41,9 +48,10 @@ class MemBackend final : public Backend
     read(const std::string &path,
          std::vector<std::uint8_t> &out) const override
     {
-        std::lock_guard<std::mutex> lock(mutex_);
-        const auto it = objects_.find(path);
-        if (it == objects_.end())
+        const Bucket &bucket = bucketFor(path);
+        std::lock_guard<std::mutex> lock(bucket.mutex);
+        const auto it = bucket.objects.find(path);
+        if (it == bucket.objects.end())
             return false;
         out = it->second;
         return true;
@@ -52,9 +60,10 @@ class MemBackend final : public Backend
     const std::vector<std::uint8_t> *
     view(const std::string &path) const override
     {
-        std::lock_guard<std::mutex> lock(mutex_);
-        const auto it = objects_.find(path);
-        return it == objects_.end() ? nullptr : &it->second;
+        const Bucket &bucket = bucketFor(path);
+        std::lock_guard<std::mutex> lock(bucket.mutex);
+        const auto it = bucket.objects.find(path);
+        return it == bucket.objects.end() ? nullptr : &it->second;
     }
 
     void
@@ -62,30 +71,33 @@ class MemBackend final : public Backend
           std::size_t bytes) override
     {
         const auto *p = static_cast<const std::uint8_t *>(data);
-        std::lock_guard<std::mutex> lock(mutex_);
-        objects_[path].assign(p, p + bytes);
+        Bucket &bucket = bucketFor(path);
+        std::lock_guard<std::mutex> lock(bucket.mutex);
+        bucket.objects[path].assign(p, p + bytes);
     }
 
     void
     writeAtomic(const std::string &path, const void *data,
                 std::size_t bytes) override
     {
-        write(path, data, bytes); // map writes are already atomic
+        write(path, data, bytes); // bucket writes are already atomic
     }
 
     bool
     exists(const std::string &path) const override
     {
-        std::lock_guard<std::mutex> lock(mutex_);
-        return objects_.count(path) != 0;
+        const Bucket &bucket = bucketFor(path);
+        std::lock_guard<std::mutex> lock(bucket.mutex);
+        return bucket.objects.count(path) != 0;
     }
 
     bool
     size(const std::string &path, std::size_t &bytes) const override
     {
-        std::lock_guard<std::mutex> lock(mutex_);
-        const auto it = objects_.find(path);
-        if (it == objects_.end())
+        const Bucket &bucket = bucketFor(path);
+        std::lock_guard<std::mutex> lock(bucket.mutex);
+        const auto it = bucket.objects.find(path);
+        if (it == bucket.objects.end())
             return false;
         bytes = it->second.size();
         return true;
@@ -94,33 +106,52 @@ class MemBackend final : public Backend
     bool
     copy(const std::string &src, const std::string &dst) override
     {
-        std::lock_guard<std::mutex> lock(mutex_);
-        const auto it = objects_.find(src);
-        if (it == objects_.end())
-            return false;
-        // Self-copy must not alias through the operator[] insertion.
-        const std::vector<std::uint8_t> blob = it->second;
-        objects_[dst] = blob;
+        // Copy out under the source lock, insert under the destination
+        // lock: no two buckets are ever held at once (src and dst may
+        // share one), so bucket locks need no global ordering.
+        std::vector<std::uint8_t> blob;
+        {
+            const Bucket &bucket = bucketFor(src);
+            std::lock_guard<std::mutex> lock(bucket.mutex);
+            const auto it = bucket.objects.find(src);
+            if (it == bucket.objects.end())
+                return false;
+            blob = it->second;
+        }
+        Bucket &bucket = bucketFor(dst);
+        std::lock_guard<std::mutex> lock(bucket.mutex);
+        bucket.objects[dst] = std::move(blob);
         return true;
     }
 
     void
     remove(const std::string &path) override
     {
-        std::lock_guard<std::mutex> lock(mutex_);
-        objects_.erase(path);
+        Bucket &bucket = bucketFor(path);
+        std::lock_guard<std::mutex> lock(bucket.mutex);
+        bucket.objects.erase(path);
     }
 
     void
     removeTree(const std::string &dir) override
     {
+        // Objects under a prefix are scattered across buckets by hash;
+        // sweep each bucket's ordered range. Buckets are locked one at
+        // a time: concurrent writers to other paths proceed, and the
+        // FTI/SCR stacks never race a removeTree against writes into
+        // the same tree (a sandbox has one owner).
         const std::string prefix = dir + "/";
-        std::lock_guard<std::mutex> lock(mutex_);
-        auto it = objects_.lower_bound(prefix);
-        while (it != objects_.end() &&
-               it->first.compare(0, prefix.size(), prefix) == 0)
-            it = objects_.erase(it);
-        objects_.erase(dir); // a plain object at the exact path
+        for (Bucket &bucket : buckets_) {
+            std::lock_guard<std::mutex> lock(bucket.mutex);
+            auto it = bucket.objects.lower_bound(prefix);
+            while (it != bucket.objects.end() &&
+                   it->first.compare(0, prefix.size(), prefix) == 0)
+                it = bucket.objects.erase(it);
+        }
+        // A plain object at the exact path lives in one known bucket.
+        Bucket &bucket = bucketFor(dir);
+        std::lock_guard<std::mutex> lock(bucket.mutex);
+        bucket.objects.erase(dir);
     }
 
     void
@@ -134,20 +165,37 @@ class MemBackend final : public Backend
     {
         const std::string prefix = dir + "/";
         std::set<std::string> names;
-        std::lock_guard<std::mutex> lock(mutex_);
-        for (auto it = objects_.lower_bound(prefix);
-             it != objects_.end() &&
-             it->first.compare(0, prefix.size(), prefix) == 0;
-             ++it) {
-            const std::string rest = it->first.substr(prefix.size());
-            names.insert(rest.substr(0, rest.find('/')));
+        for (const Bucket &bucket : buckets_) {
+            std::lock_guard<std::mutex> lock(bucket.mutex);
+            for (auto it = bucket.objects.lower_bound(prefix);
+                 it != bucket.objects.end() &&
+                 it->first.compare(0, prefix.size(), prefix) == 0;
+                 ++it) {
+                const std::string rest =
+                    it->first.substr(prefix.size());
+                names.insert(rest.substr(0, rest.find('/')));
+            }
         }
         return {names.begin(), names.end()};
     }
 
   private:
-    mutable std::mutex mutex_;
-    std::map<std::string, std::vector<std::uint8_t>> objects_;
+    struct Bucket
+    {
+        mutable std::mutex mutex;
+        std::map<std::string, std::vector<std::uint8_t>> objects;
+    };
+
+    /** Power of two so the hash mixes down to a cheap mask. */
+    static constexpr std::size_t kBuckets = 16;
+
+    Bucket &
+    bucketFor(const std::string &path) const
+    {
+        return buckets_[std::hash<std::string>{}(path) & (kBuckets - 1)];
+    }
+
+    mutable std::array<Bucket, kBuckets> buckets_;
 };
 
 /**

@@ -1,0 +1,104 @@
+#include "src/util/cpu.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "src/util/logging.hh"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#endif
+
+namespace match::util::cpu
+{
+
+namespace
+{
+
+#if defined(__x86_64__) || defined(__i386__)
+
+/** XCR0 via xgetbv: bits 1|2 mean the OS saves xmm and ymm state, a
+ *  prerequisite for running AVX2 code regardless of what cpuid says
+ *  the silicon can do. */
+bool
+osSavesYmm()
+{
+    unsigned eax, ebx, ecx, edx;
+    if (!__get_cpuid(1, &eax, &ebx, &ecx, &edx))
+        return false;
+    if (!(ecx & bit_OSXSAVE))
+        return false;
+    unsigned lo, hi;
+    __asm__("xgetbv" : "=a"(lo), "=d"(hi) : "c"(0));
+    return (lo & 0x6) == 0x6;
+}
+
+Features
+detect()
+{
+    Features f;
+    unsigned eax, ebx, ecx, edx;
+    if (__get_cpuid(1, &eax, &ebx, &ecx, &edx))
+        f.ssse3 = (ecx & bit_SSSE3) != 0;
+    if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx))
+        f.avx2 = (ebx & bit_AVX2) != 0 && osSavesYmm();
+    return f;
+}
+
+#elif defined(__aarch64__)
+
+// AArch64 only: the NEON kernels use vqtbl1q_u8, which 32-bit ARM
+// lacks, so reporting neon=true there would promise kernels that were
+// never compiled.
+Features
+detect()
+{
+    Features f;
+    f.neon = true; // AdvSIMD is architectural on AArch64
+    return f;
+}
+
+#else
+
+Features
+detect()
+{
+    return {};
+}
+
+#endif
+
+} // anonymous namespace
+
+const Features &
+features()
+{
+    static const Features f = detect();
+    return f;
+}
+
+GfKernelChoice
+parseGfKernelChoice(const char *value)
+{
+    if (value == nullptr || value[0] == '\0' ||
+        std::strcmp(value, "auto") == 0)
+        return GfKernelChoice::Auto;
+    if (std::strcmp(value, "scalar") == 0)
+        return GfKernelChoice::Scalar;
+    static bool warned = false;
+    if (!warned) {
+        warned = true;
+        warn("MATCH_GF_KERNEL=%s not recognized (want scalar|auto); "
+             "using auto",
+             value);
+    }
+    return GfKernelChoice::Auto;
+}
+
+GfKernelChoice
+gfKernelChoice()
+{
+    return parseGfKernelChoice(std::getenv("MATCH_GF_KERNEL"));
+}
+
+} // namespace match::util::cpu

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Host CPU feature detection and kernel-selection policy.
+ *
+ * The GF(256) bulk kernels (src/util/gf256_simd.cc) pick their
+ * implementation once at startup from two inputs exposed here:
+ *
+ *  - features(): which vector ISAs the running CPU (and OS) support,
+ *    probed via cpuid/xgetbv on x86 and compile-time macros on ARM.
+ *  - gfKernelChoice(): the MATCH_GF_KERNEL environment override
+ *    ("scalar" forces the portable table kernel, "auto"/unset picks
+ *    the best available SIMD implementation).
+ *
+ * Detection runs once per process; both calls are cheap afterwards.
+ */
+
+#ifndef MATCH_UTIL_CPU_HH
+#define MATCH_UTIL_CPU_HH
+
+namespace match::util::cpu
+{
+
+/** Vector ISAs usable by this process (CPU and OS both willing). */
+struct Features
+{
+    bool ssse3 = false; ///< x86 SSSE3 (pshufb)
+    bool avx2 = false;  ///< x86 AVX2 (vpshufb, requires OS ymm save)
+    bool neon = false;  ///< ARM NEON/AdvSIMD (vtbl)
+};
+
+/** Detected features of the running CPU (probed once, then cached). */
+const Features &features();
+
+/** Kernel-selection policy for the GF(256) bulk operations. */
+enum class GfKernelChoice
+{
+    Scalar, ///< force the portable table-driven kernel
+    Auto,   ///< best SIMD implementation the CPU supports
+};
+
+/**
+ * Parse a MATCH_GF_KERNEL value; nullptr/"" and "auto" mean Auto,
+ * "scalar" means Scalar. Anything else warns once and falls back to
+ * Auto (a typo must never silently change which results ship).
+ */
+GfKernelChoice parseGfKernelChoice(const char *value);
+
+/** The policy from the MATCH_GF_KERNEL environment variable, re-read
+ *  on every call (kernel selection caches the result, tests re-run
+ *  selection after changing the environment). */
+GfKernelChoice gfKernelChoice();
+
+} // namespace match::util::cpu
+
+#endif // MATCH_UTIL_CPU_HH

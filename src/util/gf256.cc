@@ -1,7 +1,10 @@
 #include "src/util/gf256.hh"
 
 #include <algorithm>
+#include <atomic>
+#include <cstring>
 
+#include "src/util/cpu.hh"
 #include "src/util/logging.hh"
 
 namespace match::util
@@ -71,10 +74,111 @@ mulTable()
     return table;
 }
 
+/**
+ * Portable reference kernels: one product-table lookup per byte. Every
+ * SIMD implementation must match these bit-for-bit (the equivalence
+ * tests sweep all coefficients against them), and they serve every
+ * host whose ISA has no dedicated backend.
+ */
+
+void
+scalarMulAdd(std::uint8_t *y, const std::uint8_t *x, std::size_t len,
+             std::uint8_t c)
+{
+    if (c == 0)
+        return;
+    if (c == 1) { // XOR fast path: multiplying by one is the identity
+        for (std::size_t i = 0; i < len; ++i)
+            y[i] ^= x[i];
+        return;
+    }
+    const std::uint8_t *row = mulTable().row[c];
+    for (std::size_t i = 0; i < len; ++i)
+        y[i] ^= row[x[i]];
+}
+
+void
+scalarMulCopy(std::uint8_t *y, const std::uint8_t *x, std::size_t len,
+              std::uint8_t c)
+{
+    if (len == 0)
+        return;
+    if (c == 0) {
+        std::memset(y, 0, len);
+        return;
+    }
+    if (c == 1) {
+        std::memmove(y, x, len);
+        return;
+    }
+    const std::uint8_t *row = mulTable().row[c];
+    for (std::size_t i = 0; i < len; ++i)
+        y[i] = row[x[i]];
+}
+
+void
+scalarScale(std::uint8_t *y, std::size_t len, std::uint8_t c)
+{
+    if (c == 1)
+        return;
+    if (c == 0) {
+        std::fill(y, y + len, static_cast<std::uint8_t>(0));
+        return;
+    }
+    const std::uint8_t *row = mulTable().row[c];
+    for (std::size_t i = 0; i < len; ++i)
+        y[i] = row[y[i]];
+}
+
 } // anonymous namespace
 
 namespace gf256
 {
+
+namespace detail
+{
+
+namespace
+{
+
+/** The kernels the public entry points jump through. Selected on the
+ *  first bulk operation; forceKernels() swaps it for tests/benches. */
+std::atomic<const Kernels *> activeKernels_{nullptr};
+
+} // anonymous namespace
+
+const Kernels &
+scalarKernels()
+{
+    static const Kernels kernels = {"scalar", &scalarMulAdd,
+                                    &scalarMulCopy, &scalarScale};
+    return kernels;
+}
+
+const Kernels &
+activeKernels()
+{
+    const Kernels *kernels =
+        activeKernels_.load(std::memory_order_acquire);
+    if (kernels == nullptr) {
+        if (cpu::gfKernelChoice() == cpu::GfKernelChoice::Scalar)
+            kernels = &scalarKernels();
+        else if (const Kernels *simd = simdKernels())
+            kernels = simd;
+        else
+            kernels = &scalarKernels();
+        activeKernels_.store(kernels, std::memory_order_release);
+    }
+    return *kernels;
+}
+
+void
+forceKernels(const Kernels *kernels)
+{
+    activeKernels_.store(kernels, std::memory_order_release);
+}
+
+} // namespace detail
 
 std::uint8_t
 mul(std::uint8_t a, std::uint8_t b)
@@ -115,30 +219,45 @@ void
 mulAdd(std::uint8_t *y, const std::uint8_t *x, std::size_t len,
        std::uint8_t c)
 {
-    if (c == 0)
+    if (len == 0 || c == 0)
         return;
-    if (c == 1) { // XOR fast path: multiplying by one is the identity
-        for (std::size_t i = 0; i < len; ++i)
-            y[i] ^= x[i];
+    detail::activeKernels().mulAdd(y, x, len, c);
+}
+
+void
+mulCopy(std::uint8_t *y, const std::uint8_t *x, std::size_t len,
+        std::uint8_t c)
+{
+    if (len == 0)
         return;
+    detail::activeKernels().mulCopy(y, x, len, c);
+}
+
+void
+mulAddMulti(std::uint8_t *const *ys, const std::uint8_t *coeffs,
+            std::size_t m, const std::uint8_t *x, std::size_t len)
+{
+    if (len == 0)
+        return;
+    const detail::Kernels &kernels = detail::activeKernels();
+    for (std::size_t i = 0; i < m; ++i) {
+        if (coeffs[i] != 0)
+            kernels.mulAdd(ys[i], x, len, coeffs[i]);
     }
-    const std::uint8_t *row = mulTable().row[c];
-    for (std::size_t i = 0; i < len; ++i)
-        y[i] ^= row[x[i]];
 }
 
 void
 scale(std::uint8_t *y, std::size_t len, std::uint8_t c)
 {
-    if (c == 1)
+    if (len == 0 || c == 1)
         return;
-    if (c == 0) {
-        std::fill(y, y + len, static_cast<std::uint8_t>(0));
-        return;
-    }
-    const std::uint8_t *row = mulTable().row[c];
-    for (std::size_t i = 0; i < len; ++i)
-        y[i] = row[y[i]];
+    detail::activeKernels().scale(y, len, c);
+}
+
+const char *
+kernelName()
+{
+    return detail::activeKernels().name;
 }
 
 } // namespace gf256

@@ -40,15 +40,79 @@ std::uint8_t inverse(std::uint8_t a);
 std::uint8_t pow(std::uint8_t a, unsigned n);
 
 /**
- * y += c * x over byte spans (the codec's inner loop). Branch-free
- * single-lookup-per-byte against a lazily built 256x256 product table,
- * with a plain-XOR fast path for c == 1.
+ * y += c * x over byte spans (the codec's inner loop). Dispatched once
+ * at startup to the best kernel the CPU supports: split-nibble shuffle
+ * tables (SSSE3/AVX2/NEON) when available, otherwise the portable
+ * branch-free single-lookup kernel over a lazily built 256x256 product
+ * table. MATCH_GF_KERNEL=scalar forces the portable kernel; outputs
+ * are bit-identical either way.
  */
 void mulAdd(std::uint8_t *y, const std::uint8_t *x, std::size_t len,
             std::uint8_t c);
 
+/**
+ * y = c * x over byte spans (overwrite, no read of y). Lets the RS
+ * encoder seed a parity row from its first contribution instead of
+ * zero-filling it and re-reading the zeros through mulAdd.
+ */
+void mulCopy(std::uint8_t *y, const std::uint8_t *x, std::size_t len,
+             std::uint8_t c);
+
+/**
+ * ys[i] += coeffs[i] * x for i in [0, m): one pass that applies m
+ * coefficients of a single source span to m destinations while x is
+ * hot in cache (the fused RS encode's inner step). Zero coefficients
+ * are skipped.
+ */
+void mulAddMulti(std::uint8_t *const *ys, const std::uint8_t *coeffs,
+                 std::size_t m, const std::uint8_t *x, std::size_t len);
+
 /** y *= c in place over a byte span (Gauss-Jordan row scaling). */
 void scale(std::uint8_t *y, std::size_t len, std::uint8_t c);
+
+/** Name of the bulk-kernel implementation in use ("scalar", "ssse3",
+ *  "avx2", "neon") for logs and perf records. */
+const char *kernelName();
+
+/**
+ * Internals exposed for the kernel-equivalence tests and per-kernel
+ * benchmark rows. Regular callers use the dispatching free functions
+ * above.
+ */
+namespace detail
+{
+
+/** One bulk-kernel implementation. All three entry points must accept
+ *  any coefficient (including 0 and 1), any alignment, and any length
+ *  (including 0), and produce bit-identical results to the scalar
+ *  kernel. */
+struct Kernels
+{
+    const char *name;
+    void (*mulAdd)(std::uint8_t *y, const std::uint8_t *x,
+                   std::size_t len, std::uint8_t c);
+    void (*mulCopy)(std::uint8_t *y, const std::uint8_t *x,
+                    std::size_t len, std::uint8_t c);
+    void (*scale)(std::uint8_t *y, std::size_t len, std::uint8_t c);
+};
+
+/** The portable table-driven reference kernels. */
+const Kernels &scalarKernels();
+
+/** The best SIMD kernels this CPU supports, or nullptr when none
+ *  (non-SIMD build or MATCH lacks an implementation for the ISA). */
+const Kernels *simdKernels();
+
+/** The kernels the public mulAdd/mulCopy/scale dispatch to. Selected
+ *  on first use from cpu::gfKernelChoice() and cpu::features(). */
+const Kernels &activeKernels();
+
+/** Test/bench hook: make the public entry points dispatch to
+ *  `kernels`; nullptr re-runs selection (re-reading MATCH_GF_KERNEL).
+ *  Not for use while other threads run bulk operations. */
+void forceKernels(const Kernels *kernels);
+
+} // namespace detail
 
 } // namespace gf256
 

@@ -1,0 +1,287 @@
+/**
+ * @file
+ * SIMD GF(256) bulk kernels: split-nibble shuffle tables.
+ *
+ * The classic production erasure-coding trick (ISA-L, Jerasure's SIMD
+ * branch, klauspost/reedsolomon): a product c*x in GF(2^8) is linear
+ * over GF(2), so it splits into the two 4-bit halves of x,
+ *
+ *     c * x = c * (x & 0x0f)  ^  c * (x & 0xf0),
+ *
+ * and each half has only 16 possible values. Two 16-byte lookup tables
+ * per coefficient therefore cover the whole field, and a byte-shuffle
+ * instruction (SSSE3 `pshufb`, AVX2 `vpshufb`, NEON `tbl`) performs 16,
+ * 32 or 64 of those lookups per cycle — versus one byte per load for
+ * the scalar 256x256 product table.
+ *
+ * Every kernel here accepts any coefficient (0 and 1 included), any
+ * alignment and any length, and matches the scalar reference kernel
+ * bit-for-bit; tests/util/test_gf256.cc sweeps all 256 coefficients
+ * with randomized unaligned pointers and tails to lock that in.
+ *
+ * To add an ISA backend: implement the three entry points with the
+ * nibble tables below, add a `Kernels` instance, and return it from
+ * simdKernels() when cpu::features() says the host supports it. See
+ * ROADMAP.md ("GF(256) kernel layer").
+ */
+
+#include "src/util/gf256.hh"
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/util/cpu.hh"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define MATCH_GF256_X86 1
+#endif
+
+#if defined(__aarch64__)
+#include <arm_neon.h>
+#define MATCH_GF256_NEON 1
+#endif
+
+namespace match::util::gf256::detail
+{
+
+namespace
+{
+
+#if defined(MATCH_GF256_X86) || defined(MATCH_GF256_NEON)
+
+/** Per-coefficient 16-entry tables: lo[c][n] = c*n, hi[c][n] = c*(n<<4).
+ *  8 KiB total, built lazily from the scalar mul() on first SIMD use. */
+struct NibbleTables
+{
+    alignas(64) std::uint8_t lo[256][16];
+    alignas(64) std::uint8_t hi[256][16];
+
+    NibbleTables()
+    {
+        for (unsigned c = 0; c < 256; ++c) {
+            for (unsigned n = 0; n < 16; ++n) {
+                lo[c][n] = mul(static_cast<std::uint8_t>(c),
+                               static_cast<std::uint8_t>(n));
+                hi[c][n] = mul(static_cast<std::uint8_t>(c),
+                               static_cast<std::uint8_t>(n << 4));
+            }
+        }
+    }
+};
+
+const NibbleTables &
+nibbleTables()
+{
+    static const NibbleTables tables; // thread-safe lazy build
+    return tables;
+}
+
+/** Scalar epilogue over the same nibble tables, for the < one-vector
+ *  tail (shares tables with the vector body so results are identical
+ *  by construction). */
+inline std::uint8_t
+nibbleMul(const std::uint8_t *lo, const std::uint8_t *hi, std::uint8_t x)
+{
+    return static_cast<std::uint8_t>(lo[x & 0x0f] ^ hi[x >> 4]);
+}
+
+#endif // MATCH_GF256_X86 || MATCH_GF256_NEON
+
+#if defined(MATCH_GF256_X86)
+
+__attribute__((target("ssse3"))) void
+ssse3MulAdd(std::uint8_t *y, const std::uint8_t *x, std::size_t len,
+            std::uint8_t c)
+{
+    const NibbleTables &t = nibbleTables();
+    const __m128i lo =
+        _mm_load_si128(reinterpret_cast<const __m128i *>(t.lo[c]));
+    const __m128i hi =
+        _mm_load_si128(reinterpret_cast<const __m128i *>(t.hi[c]));
+    const __m128i mask = _mm_set1_epi8(0x0f);
+    std::size_t i = 0;
+    for (; i + 16 <= len; i += 16) {
+        const __m128i v =
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(x + i));
+        const __m128i prod = _mm_xor_si128(
+            _mm_shuffle_epi8(lo, _mm_and_si128(v, mask)),
+            _mm_shuffle_epi8(
+                hi, _mm_and_si128(_mm_srli_epi64(v, 4), mask)));
+        __m128i *yp = reinterpret_cast<__m128i *>(y + i);
+        _mm_storeu_si128(yp, _mm_xor_si128(_mm_loadu_si128(yp), prod));
+    }
+    for (; i < len; ++i)
+        y[i] ^= nibbleMul(t.lo[c], t.hi[c], x[i]);
+}
+
+__attribute__((target("ssse3"))) void
+ssse3MulCopy(std::uint8_t *y, const std::uint8_t *x, std::size_t len,
+             std::uint8_t c)
+{
+    const NibbleTables &t = nibbleTables();
+    const __m128i lo =
+        _mm_load_si128(reinterpret_cast<const __m128i *>(t.lo[c]));
+    const __m128i hi =
+        _mm_load_si128(reinterpret_cast<const __m128i *>(t.hi[c]));
+    const __m128i mask = _mm_set1_epi8(0x0f);
+    std::size_t i = 0;
+    for (; i + 16 <= len; i += 16) {
+        const __m128i v =
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(x + i));
+        const __m128i prod = _mm_xor_si128(
+            _mm_shuffle_epi8(lo, _mm_and_si128(v, mask)),
+            _mm_shuffle_epi8(
+                hi, _mm_and_si128(_mm_srli_epi64(v, 4), mask)));
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(y + i), prod);
+    }
+    for (; i < len; ++i)
+        y[i] = nibbleMul(t.lo[c], t.hi[c], x[i]);
+}
+
+__attribute__((target("ssse3"))) void
+ssse3Scale(std::uint8_t *y, std::size_t len, std::uint8_t c)
+{
+    ssse3MulCopy(y, y, len, c); // in-place: each vector loads before it stores
+}
+
+__attribute__((target("avx2"))) void
+avx2MulAdd(std::uint8_t *y, const std::uint8_t *x, std::size_t len,
+           std::uint8_t c)
+{
+    const NibbleTables &t = nibbleTables();
+    // vpshufb shuffles within each 128-bit lane, so the 16-byte table
+    // is broadcast into both lanes.
+    const __m256i lo = _mm256_broadcastsi128_si256(
+        _mm_load_si128(reinterpret_cast<const __m128i *>(t.lo[c])));
+    const __m256i hi = _mm256_broadcastsi128_si256(
+        _mm_load_si128(reinterpret_cast<const __m128i *>(t.hi[c])));
+    const __m256i mask = _mm256_set1_epi8(0x0f);
+    std::size_t i = 0;
+    for (; i + 32 <= len; i += 32) {
+        const __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(x + i));
+        const __m256i prod = _mm256_xor_si256(
+            _mm256_shuffle_epi8(lo, _mm256_and_si256(v, mask)),
+            _mm256_shuffle_epi8(
+                hi, _mm256_and_si256(_mm256_srli_epi64(v, 4), mask)));
+        __m256i *yp = reinterpret_cast<__m256i *>(y + i);
+        _mm256_storeu_si256(yp,
+                            _mm256_xor_si256(_mm256_loadu_si256(yp),
+                                             prod));
+    }
+    if (i < len)
+        ssse3MulAdd(y + i, x + i, len - i, c);
+}
+
+__attribute__((target("avx2"))) void
+avx2MulCopy(std::uint8_t *y, const std::uint8_t *x, std::size_t len,
+            std::uint8_t c)
+{
+    const NibbleTables &t = nibbleTables();
+    const __m256i lo = _mm256_broadcastsi128_si256(
+        _mm_load_si128(reinterpret_cast<const __m128i *>(t.lo[c])));
+    const __m256i hi = _mm256_broadcastsi128_si256(
+        _mm_load_si128(reinterpret_cast<const __m128i *>(t.hi[c])));
+    const __m256i mask = _mm256_set1_epi8(0x0f);
+    std::size_t i = 0;
+    for (; i + 32 <= len; i += 32) {
+        const __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(x + i));
+        const __m256i prod = _mm256_xor_si256(
+            _mm256_shuffle_epi8(lo, _mm256_and_si256(v, mask)),
+            _mm256_shuffle_epi8(
+                hi, _mm256_and_si256(_mm256_srli_epi64(v, 4), mask)));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(y + i), prod);
+    }
+    if (i < len)
+        ssse3MulCopy(y + i, x + i, len - i, c);
+}
+
+__attribute__((target("avx2"))) void
+avx2Scale(std::uint8_t *y, std::size_t len, std::uint8_t c)
+{
+    avx2MulCopy(y, y, len, c);
+}
+
+const Kernels ssse3Kernels = {"ssse3", &ssse3MulAdd, &ssse3MulCopy,
+                              &ssse3Scale};
+const Kernels avx2Kernels = {"avx2", &avx2MulAdd, &avx2MulCopy,
+                             &avx2Scale};
+
+#endif // MATCH_GF256_X86
+
+#if defined(MATCH_GF256_NEON)
+
+void
+neonMulAdd(std::uint8_t *y, const std::uint8_t *x, std::size_t len,
+           std::uint8_t c)
+{
+    const NibbleTables &t = nibbleTables();
+    const uint8x16_t lo = vld1q_u8(t.lo[c]);
+    const uint8x16_t hi = vld1q_u8(t.hi[c]);
+    const uint8x16_t mask = vdupq_n_u8(0x0f);
+    std::size_t i = 0;
+    for (; i + 16 <= len; i += 16) {
+        const uint8x16_t v = vld1q_u8(x + i);
+        const uint8x16_t prod =
+            veorq_u8(vqtbl1q_u8(lo, vandq_u8(v, mask)),
+                     vqtbl1q_u8(hi, vshrq_n_u8(v, 4)));
+        vst1q_u8(y + i, veorq_u8(vld1q_u8(y + i), prod));
+    }
+    for (; i < len; ++i)
+        y[i] ^= nibbleMul(t.lo[c], t.hi[c], x[i]);
+}
+
+void
+neonMulCopy(std::uint8_t *y, const std::uint8_t *x, std::size_t len,
+            std::uint8_t c)
+{
+    const NibbleTables &t = nibbleTables();
+    const uint8x16_t lo = vld1q_u8(t.lo[c]);
+    const uint8x16_t hi = vld1q_u8(t.hi[c]);
+    const uint8x16_t mask = vdupq_n_u8(0x0f);
+    std::size_t i = 0;
+    for (; i + 16 <= len; i += 16) {
+        const uint8x16_t v = vld1q_u8(x + i);
+        const uint8x16_t prod =
+            veorq_u8(vqtbl1q_u8(lo, vandq_u8(v, mask)),
+                     vqtbl1q_u8(hi, vshrq_n_u8(v, 4)));
+        vst1q_u8(y + i, prod);
+    }
+    for (; i < len; ++i)
+        y[i] = nibbleMul(t.lo[c], t.hi[c], x[i]);
+}
+
+void
+neonScale(std::uint8_t *y, std::size_t len, std::uint8_t c)
+{
+    neonMulCopy(y, y, len, c);
+}
+
+const Kernels neonKernels = {"neon", &neonMulAdd, &neonMulCopy,
+                             &neonScale};
+
+#endif // MATCH_GF256_NEON
+
+} // anonymous namespace
+
+const Kernels *
+simdKernels()
+{
+    const cpu::Features &f = cpu::features();
+#if defined(MATCH_GF256_X86)
+    if (f.avx2)
+        return &avx2Kernels;
+    if (f.ssse3)
+        return &ssse3Kernels;
+#endif
+#if defined(MATCH_GF256_NEON)
+    if (f.neon)
+        return &neonKernels;
+#endif
+    (void)f;
+    return nullptr;
+}
+
+} // namespace match::util::gf256::detail

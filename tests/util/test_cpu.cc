@@ -1,0 +1,54 @@
+/**
+ * @file
+ * CPU feature detection and GF-kernel selection policy tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/util/cpu.hh"
+#include "src/util/gf256.hh"
+
+using namespace match::util;
+
+TEST(Cpu, FeaturesAreStableAcrossCalls)
+{
+    const cpu::Features &a = cpu::features();
+    const cpu::Features &b = cpu::features();
+    EXPECT_EQ(&a, &b); // detected once, then cached
+    EXPECT_EQ(a.ssse3, b.ssse3);
+    EXPECT_EQ(a.avx2, b.avx2);
+    EXPECT_EQ(a.neon, b.neon);
+}
+
+TEST(Cpu, ParseGfKernelChoice)
+{
+    using cpu::GfKernelChoice;
+    EXPECT_EQ(cpu::parseGfKernelChoice(nullptr), GfKernelChoice::Auto);
+    EXPECT_EQ(cpu::parseGfKernelChoice(""), GfKernelChoice::Auto);
+    EXPECT_EQ(cpu::parseGfKernelChoice("auto"), GfKernelChoice::Auto);
+    EXPECT_EQ(cpu::parseGfKernelChoice("scalar"),
+              GfKernelChoice::Scalar);
+    // Unknown values warn and fall back to Auto rather than silently
+    // changing behaviour or aborting a long sweep.
+    EXPECT_EQ(cpu::parseGfKernelChoice("avx512"), GfKernelChoice::Auto);
+    EXPECT_EQ(cpu::parseGfKernelChoice("Scalar"), GfKernelChoice::Auto);
+}
+
+TEST(Cpu, SimdKernelsMatchDetectedFeatures)
+{
+    const cpu::Features &f = cpu::features();
+    const gf256::detail::Kernels *simd = gf256::detail::simdKernels();
+    if (!f.ssse3 && !f.avx2 && !f.neon) {
+        EXPECT_EQ(simd, nullptr);
+        return;
+    }
+    ASSERT_NE(simd, nullptr);
+    // The strongest supported ISA wins.
+    if (f.avx2) {
+        EXPECT_STREQ(simd->name, "avx2");
+    } else if (f.ssse3) {
+        EXPECT_STREQ(simd->name, "ssse3");
+    } else if (f.neon) {
+        EXPECT_STREQ(simd->name, "neon");
+    }
+}

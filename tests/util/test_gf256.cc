@@ -1,13 +1,20 @@
 /**
  * @file
- * GF(2^8) field axioms and matrix algebra tests (property-style sweeps
- * over the whole field).
+ * GF(2^8) field axioms, matrix algebra, and bulk-kernel tests. The
+ * kernel-equivalence suites sweep every coefficient with randomized
+ * unaligned pointers and tail lengths, so any SIMD implementation the
+ * dispatch layer may select is pinned bit-for-bit to the portable
+ * scalar kernel. CI runs this binary under both MATCH_GF_KERNEL
+ * settings; the suites additionally compare the kernels in-process so
+ * a SIMD regression cannot hide behind the environment.
  */
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <vector>
 
+#include "src/util/cpu.hh"
 #include "src/util/gf256.hh"
 #include "src/util/rng.hh"
 
@@ -144,6 +151,189 @@ TEST(Gf256, MulAddAccumulates)
     gf256::mulAdd(y.data(), x.data(), x.size(), 0x1d);
     for (auto v : y)
         EXPECT_EQ(v, 0);
+}
+
+TEST(Gf256, MulCopyMatchesScalarMultiplication)
+{
+    std::vector<std::uint8_t> x(512);
+    Rng rng(0xc0de);
+    for (auto &b : x)
+        b = static_cast<std::uint8_t>(rng.below(256));
+    for (int c = 0; c < 256; ++c) {
+        // Poison the destination: mulCopy must overwrite, not accumulate.
+        std::vector<std::uint8_t> y(x.size(), 0xa5);
+        gf256::mulCopy(y.data(), x.data(), y.size(),
+                       static_cast<std::uint8_t>(c));
+        for (std::size_t i = 0; i < y.size(); ++i)
+            ASSERT_EQ(y[i],
+                      gf256::mul(static_cast<std::uint8_t>(c), x[i]))
+                << "coefficient " << c << " index " << i;
+    }
+}
+
+TEST(Gf256, MulAddMultiMatchesSequentialMulAdd)
+{
+    const std::size_t m = 5, len = 777;
+    std::vector<std::uint8_t> x(len);
+    Rng rng(0xd00d);
+    for (auto &b : x)
+        b = static_cast<std::uint8_t>(rng.below(256));
+    const std::uint8_t coeffs[m] = {0, 1, 2, 0x8e, 0xff};
+
+    std::vector<std::vector<std::uint8_t>> want(m), got(m);
+    std::vector<std::uint8_t *> rows(m);
+    for (std::size_t i = 0; i < m; ++i) {
+        want[i].resize(len);
+        for (auto &b : want[i])
+            b = static_cast<std::uint8_t>(rng.below(256));
+        got[i] = want[i];
+        rows[i] = got[i].data();
+        gf256::mulAdd(want[i].data(), x.data(), len, coeffs[i]);
+    }
+    gf256::mulAddMulti(rows.data(), coeffs, m, x.data(), len);
+    EXPECT_EQ(got, want);
+}
+
+// ---------------------------------------------------------------------------
+// Kernel equivalence: whatever SIMD implementation this host dispatches
+// to must agree with the portable scalar kernel everywhere.
+// ---------------------------------------------------------------------------
+
+TEST(Gf256Kernels, SimdAgreesWithScalarForEveryCoefficient)
+{
+    const gf256::detail::Kernels *simd = gf256::detail::simdKernels();
+    if (simd == nullptr)
+        GTEST_SKIP() << "no SIMD kernels on this host";
+    const gf256::detail::Kernels &scalar = gf256::detail::scalarKernels();
+
+    std::vector<std::uint8_t> x(4096), y0(x.size());
+    for (std::size_t i = 0; i < 256; ++i)
+        x[i] = static_cast<std::uint8_t>(i); // all field elements
+    Rng rng(0x513d);
+    for (std::size_t i = 256; i < x.size(); ++i)
+        x[i] = static_cast<std::uint8_t>(rng.below(256));
+    for (auto &b : y0)
+        b = static_cast<std::uint8_t>(rng.below(256));
+
+    for (int c = 0; c < 256; ++c) {
+        const auto coeff = static_cast<std::uint8_t>(c);
+        std::vector<std::uint8_t> ys = y0, yv = y0;
+        scalar.mulAdd(ys.data(), x.data(), x.size(), coeff);
+        simd->mulAdd(yv.data(), x.data(), x.size(), coeff);
+        ASSERT_EQ(yv, ys) << simd->name << " mulAdd, coefficient " << c;
+
+        ys = y0;
+        yv = y0;
+        scalar.mulCopy(ys.data(), x.data(), x.size(), coeff);
+        simd->mulCopy(yv.data(), x.data(), x.size(), coeff);
+        ASSERT_EQ(yv, ys) << simd->name << " mulCopy, coefficient " << c;
+
+        ys = y0;
+        yv = y0;
+        scalar.scale(ys.data(), ys.size(), coeff);
+        simd->scale(yv.data(), yv.size(), coeff);
+        ASSERT_EQ(yv, ys) << simd->name << " scale, coefficient " << c;
+    }
+}
+
+TEST(Gf256Kernels, SimdHandlesUnalignedPointersAndShortTails)
+{
+    const gf256::detail::Kernels *simd = gf256::detail::simdKernels();
+    if (simd == nullptr)
+        GTEST_SKIP() << "no SIMD kernels on this host";
+    const gf256::detail::Kernels &scalar = gf256::detail::scalarKernels();
+
+    // Arena large enough for a 64-byte span at any misalignment, plus
+    // guard bytes that must never be touched.
+    constexpr std::size_t kMaxLen = 64, kAlign = 16, kGuard = 32;
+    constexpr std::size_t arena = kGuard + kAlign + kMaxLen + kGuard;
+    Rng rng(0x0ddb);
+    for (std::size_t len = 0; len <= kMaxLen; ++len) {
+        for (int trial = 0; trial < 8; ++trial) {
+            const std::size_t xOff = kGuard + rng.below(kAlign);
+            const std::size_t yOff = kGuard + rng.below(kAlign);
+            const auto coeff = static_cast<std::uint8_t>(
+                trial < 2 ? trial : rng.below(256)); // force 0 and 1 too
+            std::vector<std::uint8_t> xBuf(arena), yBuf(arena);
+            for (auto &b : xBuf)
+                b = static_cast<std::uint8_t>(rng.below(256));
+            for (auto &b : yBuf)
+                b = static_cast<std::uint8_t>(rng.below(256));
+            std::vector<std::uint8_t> yScalar = yBuf, ySimd = yBuf;
+
+            scalar.mulAdd(yScalar.data() + yOff, xBuf.data() + xOff,
+                          len, coeff);
+            simd->mulAdd(ySimd.data() + yOff, xBuf.data() + xOff, len,
+                         coeff);
+            ASSERT_EQ(ySimd, yScalar)
+                << simd->name << " mulAdd len=" << len
+                << " xOff=" << xOff << " yOff=" << yOff << " c="
+                << int(coeff);
+
+            yScalar = yBuf;
+            ySimd = yBuf;
+            scalar.mulCopy(yScalar.data() + yOff, xBuf.data() + xOff,
+                           len, coeff);
+            simd->mulCopy(ySimd.data() + yOff, xBuf.data() + xOff, len,
+                          coeff);
+            ASSERT_EQ(ySimd, yScalar)
+                << simd->name << " mulCopy len=" << len
+                << " xOff=" << xOff << " yOff=" << yOff << " c="
+                << int(coeff);
+
+            yScalar = yBuf;
+            ySimd = yBuf;
+            scalar.scale(yScalar.data() + yOff, len, coeff);
+            simd->scale(ySimd.data() + yOff, len, coeff);
+            ASSERT_EQ(ySimd, yScalar)
+                << simd->name << " scale len=" << len << " yOff="
+                << yOff << " c=" << int(coeff);
+        }
+    }
+}
+
+TEST(Gf256Kernels, DispatchHonorsEnvironmentOverride)
+{
+    // Save whatever the harness set (CI runs this binary under both
+    // MATCH_GF_KERNEL values) and restore it afterwards.
+    const char *saved = std::getenv("MATCH_GF_KERNEL");
+    const std::string savedValue = saved ? saved : "";
+
+    setenv("MATCH_GF_KERNEL", "scalar", 1);
+    gf256::detail::forceKernels(nullptr); // re-select from env
+    EXPECT_STREQ(gf256::kernelName(), "scalar");
+
+    setenv("MATCH_GF_KERNEL", "auto", 1);
+    gf256::detail::forceKernels(nullptr);
+    const gf256::detail::Kernels *simd = gf256::detail::simdKernels();
+    if (simd != nullptr)
+        EXPECT_STREQ(gf256::kernelName(), simd->name);
+    else
+        EXPECT_STREQ(gf256::kernelName(), "scalar");
+
+    if (saved)
+        setenv("MATCH_GF_KERNEL", savedValue.c_str(), 1);
+    else
+        unsetenv("MATCH_GF_KERNEL");
+    gf256::detail::forceKernels(nullptr);
+}
+
+TEST(Gf256Kernels, ForcedKernelsDriveThePublicEntryPoints)
+{
+    std::vector<std::uint8_t> x(300), y(x.size(), 0);
+    Rng rng(0xf0ca);
+    for (auto &b : x)
+        b = static_cast<std::uint8_t>(rng.below(256));
+
+    gf256::detail::forceKernels(&gf256::detail::scalarKernels());
+    EXPECT_STREQ(gf256::kernelName(), "scalar");
+    std::vector<std::uint8_t> yScalar = y;
+    gf256::mulAdd(yScalar.data(), x.data(), x.size(), 0x53);
+
+    gf256::detail::forceKernels(nullptr); // back to startup selection
+    std::vector<std::uint8_t> yAuto = y;
+    gf256::mulAdd(yAuto.data(), x.data(), x.size(), 0x53);
+    EXPECT_EQ(yAuto, yScalar);
 }
 
 TEST(GfMatrix, IdentityInverts)
