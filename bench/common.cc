@@ -46,6 +46,17 @@ BenchOptions::parse(int argc, char **argv)
             else
                 util::fatal("--storage expects mem or disk, got %s",
                             kind.c_str());
+        } else if (arg == "--drain" && i + 1 < argc) {
+            const std::string mode = argv[++i];
+            if (mode == "sync")
+                options.drain = storage::DrainMode::Sync;
+            else if (mode == "async")
+                options.drain = storage::DrainMode::Async;
+            else
+                util::fatal("--drain expects sync or async, got %s",
+                            mode.c_str());
+        } else if (arg == "--drain-depth" && i + 1 < argc) {
+            options.drainDepth = std::atoi(argv[++i]);
         } else if (arg == "--perf") {
             options.perf = true;
         } else if (arg == "--perf-dir" && i + 1 < argc) {
@@ -59,13 +70,18 @@ BenchOptions::parse(int argc, char **argv)
             std::printf(
                 "options: [--quick] [--runs N] [--seed S] [--csv DIR] "
                 "[--apps A,B] [--sandbox DIR] [--jobs N] "
-                "[--storage mem|disk] [--perf] [--perf-dir DIR]\n"
+                "[--storage mem|disk] [--drain sync|async] "
+                "[--drain-depth N] [--perf] [--perf-dir DIR]\n"
                 "  --jobs N  grid worker threads (default: hardware "
                 "concurrency; output is identical for any N)\n"
                 "  --storage mem|disk  checkpoint sandbox backend "
                 "(default mem: zero-syscall hot path)\n"
+                "  --drain sync|async  PFS drain execution (default "
+                "async: flush I/O overlaps compute; output identical)\n"
+                "  --drain-depth N  burst-buffer queue bound, 0 = "
+                "unbounded (wall-clock only)\n"
                 "  --perf    time the grid under both backends and "
-                "write BENCH_<name>.json\n"
+                "both drain modes, write BENCH_<name>.json\n"
                 "  valid apps: %s\n",
                 apps::registryNames().c_str());
             std::exit(0);
@@ -93,6 +109,8 @@ BenchOptions::baseSpec() const
     spec.sandboxDir = sandboxDir;
     spec.cacheDir = sandboxDir + "/cell-cache";
     spec.storage = storage;
+    spec.drain = drain;
+    spec.drainDepth = drainDepth;
     return spec;
 }
 
@@ -125,18 +143,25 @@ struct PerfSample
     core::GridTiming timing;
 };
 
-void
-writeJsonBackend(std::FILE *out, const PerfSample &sample, bool last)
+/** One drain mode's measurement (L4 grid) in a perf record. */
+struct DrainSample
 {
-    const auto &t = sample.timing;
+    storage::DrainMode mode;
+    core::GridTiming timing;
+};
+
+void
+writeJsonTiming(std::FILE *out, const char *key, const char *label,
+                const core::GridTiming &t, bool last)
+{
     const double cells = static_cast<double>(t.cellSeconds.size());
     std::fprintf(
         out,
-        "    {\"storage\": \"%s\", \"totalSeconds\": %.6f, "
+        "    {\"%s\": \"%s\", \"totalSeconds\": %.6f, "
         "\"cellP50Seconds\": %.6f, \"cellP99Seconds\": %.6f, "
         "\"cellsPerSecond\": %.3f}%s\n",
-        storage::kindName(sample.kind), t.totalSeconds,
-        percentile(t.cellSeconds, 0.50), percentile(t.cellSeconds, 0.99),
+        key, label, t.totalSeconds, percentile(t.cellSeconds, 0.50),
+        percentile(t.cellSeconds, 0.99),
         t.totalSeconds > 0.0 ? cells / t.totalSeconds : 0.0,
         last ? "" : ",");
 }
@@ -148,7 +173,8 @@ writeJsonBackend(std::FILE *out, const PerfSample &sample, bool last)
 void
 writePerfRecord(const BenchOptions &options, const FigureDef &def,
                 int jobs, std::size_t cells,
-                const std::vector<PerfSample> &samples)
+                const std::vector<PerfSample> &samples,
+                const std::vector<DrainSample> &drain_samples)
 {
     std::filesystem::create_directories(options.perfDir);
     const std::string path =
@@ -176,18 +202,42 @@ writePerfRecord(const BenchOptions &options, const FigureDef &def,
                  def.slug, def.figure, options.quick ? "true" : "false",
                  options.runs, jobs, cells, computed);
     for (std::size_t i = 0; i < samples.size(); ++i)
-        writeJsonBackend(out, samples[i], i + 1 == samples.size());
+        writeJsonTiming(out, "storage",
+                        storage::kindName(samples[i].kind),
+                        samples[i].timing, i + 1 == samples.size());
     double disk_total = 0.0, mem_total = 0.0;
     for (const PerfSample &sample : samples) {
         (sample.kind == storage::Kind::Disk ? disk_total : mem_total) =
             sample.timing.totalSeconds;
     }
-    std::fprintf(out, "  ],\n  \"memSpeedupOverDisk\": %.3f\n}\n",
+    std::fprintf(out, "  ],\n  \"memSpeedupOverDisk\": %.3f,\n",
                  mem_total > 0.0 ? disk_total / mem_total : 0.0);
+    // The drain axis: the same grid forced to L4 checkpoints at a
+    // dense stride (so every cell carries PFS flush traffic), sync vs
+    // async execution.
+    double sync_total = 0.0, async_total = 0.0;
+    std::fprintf(out, "  \"drainCkptLevel\": 4,\n"
+                      "  \"drainCkptStride\": 2,\n"
+                      "  \"drain\": [\n");
+    for (std::size_t i = 0; i < drain_samples.size(); ++i) {
+        writeJsonTiming(out, "mode",
+                        storage::drainModeName(drain_samples[i].mode),
+                        drain_samples[i].timing,
+                        i + 1 == drain_samples.size());
+        (drain_samples[i].mode == storage::DrainMode::Sync
+             ? sync_total
+             : async_total) = drain_samples[i].timing.totalSeconds;
+    }
+    std::fprintf(out,
+                 "  ],\n  \"asyncDrainSpeedupOverSync\": %.3f\n}\n",
+                 async_total > 0.0 ? sync_total / async_total : 0.0);
     std::fclose(out);
-    std::printf("perf: wrote %s (mem %.2fs vs disk %.2fs, %.2fx)\n",
+    std::printf("perf: wrote %s (mem %.2fs vs disk %.2fs, %.2fx; "
+                "L4 drain async %.2fs vs sync %.2fs, %.2fx)\n",
                 path.c_str(), mem_total, disk_total,
-                mem_total > 0.0 ? disk_total / mem_total : 0.0);
+                mem_total > 0.0 ? disk_total / mem_total : 0.0,
+                async_total, sync_total,
+                async_total > 0.0 ? sync_total / async_total : 0.0);
 }
 
 } // anonymous namespace
@@ -241,8 +291,26 @@ runFigure(const BenchOptions &options, const FigureDef &def)
             if (kind == storage::Kind::Mem)
                 results = std::move(timed_results);
         }
+        // Drain axis: force L4 at a dense stride so every cell carries
+        // substantial PFS flush traffic (the overlap win is bounded by
+        // the flush share), then time sync (inline replay) vs async
+        // (overlap). The sync baseline runs first, mirroring the
+        // disk-first rule. Note the win needs spare cores: a
+        // single-core host measures ~parity by construction.
+        GridSpec drained = timed;
+        drained.storage = storage::Kind::Mem;
+        drained.ckptLevels = {4};
+        drained.ckptStrides = {2};
+        std::vector<DrainSample> drain_samples;
+        for (const storage::DrainMode mode :
+             {storage::DrainMode::Sync, storage::DrainMode::Async}) {
+            drained.drain = mode;
+            DrainSample sample{mode, {}};
+            runner.run(drained.enumerate(), &sample.timing);
+            drain_samples.push_back(std::move(sample));
+        }
         writePerfRecord(options, def, runner.jobs(), cells.size(),
-                        samples);
+                        samples, drain_samples);
     }
 
     std::size_t at = 0;

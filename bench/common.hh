@@ -46,8 +46,15 @@ struct BenchOptions
     /** --storage mem|disk: checkpoint sandbox backend. Results are
      *  identical for either; disk leaves an inspectable sandbox. */
     storage::Kind storage = storage::Kind::Mem;
-    /** --perf: measure grid wall-clock under both backends (cache
-     *  bypassed) and write BENCH_<name>.json into perfDir. */
+    /** --drain sync|async: PFS drain execution mode. Results are
+     *  identical for either; async overlaps flush I/O with compute. */
+    storage::DrainMode drain = storage::DrainMode::Async;
+    /** --drain-depth N: flush jobs admitted but not yet drained
+     *  (burst-buffer bound); 0 = unbounded. Wall-clock only. */
+    int drainDepth = 4;
+    /** --perf: measure grid wall-clock under both backends and under
+     *  both drain modes at L4 (cache bypassed) and write
+     *  BENCH_<name>.json into perfDir. */
     bool perf = false;
     /** --perf-dir DIR: where BENCH_<name>.json lands (default "."). */
     std::string perfDir = ".";

@@ -1,5 +1,6 @@
 #include "src/core/experiment.hh"
 
+#include <algorithm>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -194,8 +195,14 @@ runExperiment(const ExperimentConfig &config)
             // A fresh backend per run: restarts within the run share
             // it (recovery must see the checkpoints), runs never share
             // state, and a MemBackend dies with this scope instead of
-            // leaving sandbox files behind.
+            // leaving sandbox files behind. The drain worker is scoped
+            // the same way — it models the run's burst-buffer agent,
+            // surviving in-run process failures but never crossing
+            // runs.
             drc.ftiConfig.backend = storage::makeBackend(config.storage);
+            drc.ftiConfig.drain = std::make_shared<storage::DrainWorker>(
+                config.drain,
+                static_cast<std::size_t>(std::max(config.drainDepth, 0)));
             drc.purgeCheckpoints = true;
             if (config.injectFailure) {
                 const int iters = spec.loopIterations(params);

@@ -17,6 +17,7 @@
 #include "src/apps/app.hh"
 #include "src/ft/design.hh"
 #include "src/storage/backend.hh"
+#include "src/storage/drain.hh"
 
 namespace match::core
 {
@@ -46,6 +47,20 @@ struct ExperimentConfig
      *  sandboxDir. Results are bit-identical either way (locked in by
      *  tests), so the kind is excluded from configKey(). */
     storage::Kind storage = storage::Kind::Mem;
+
+    /** Wall-clock execution mode of the PFS drain (L4 flushes, SCR
+     *  flush-to-prefix). Async (the default) overlaps the flush I/O
+     *  with the simulation on a background worker; Sync replays every
+     *  flush inline at enqueue. Results are bit-identical either way
+     *  and for any queue depth (locked in by tests) — virtual-time
+     *  drain accounting is deterministic — so, like the storage kind,
+     *  both fields are excluded from configKey(). */
+    storage::DrainMode drain = storage::DrainMode::Async;
+
+    /** Drain queue depth: flush jobs admitted but not yet executed
+     *  (bounds burst-buffer memory holding staged blobs); 0 means
+     *  unbounded. Wall-clock backpressure only. */
+    int drainDepth = 4;
 
     simmpi::CostParams costParams{};
 

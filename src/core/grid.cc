@@ -48,6 +48,8 @@ GridSpec::enumerate() const
                             config.costParams = costParams;
                             config.noiseSigma = noiseSigma;
                             config.storage = storage;
+                            config.drain = drain;
+                            config.drainDepth = drainDepth;
                             cells.push_back(std::move(config));
                         }
                     }

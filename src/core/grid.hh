@@ -88,6 +88,10 @@ struct GridSpec
     /** Checkpoint sandbox storage (results are identical for any
      *  kind; only wall time changes). */
     storage::Kind storage = storage::Kind::Mem;
+    /** PFS drain execution mode and queue depth (results are identical
+     *  for any combination; only wall time changes). */
+    storage::DrainMode drain = storage::DrainMode::Async;
+    int drainDepth = 4;
 
     /** Expand the axes into concrete cells (deterministic order). */
     std::vector<ExperimentConfig> enumerate() const;

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "src/storage/backend.hh"
+#include "src/storage/drain.hh"
 #include "src/util/ini.hh"
 
 namespace match::fti
@@ -53,6 +54,16 @@ struct FtiConfig
      *  install a per-run MemBackend here so the checkpoint hot path
      *  makes zero syscalls. Not part of the INI round trip. */
     std::shared_ptr<storage::Backend> backend;
+
+    /** Drain worker executing L4 PFS flushes. Shared by every FTI
+     *  incarnation of one run (the drain outlives a failed process,
+     *  like a real burst buffer's I/O agent). Null makes the instance
+     *  create a private sync worker — flushes then run inline at
+     *  enqueue, which is what the unit tests that inspect the sandbox
+     *  between phases rely on. Simulated results are bit-identical for
+     *  any worker mode or queue depth; only wall-clock changes. Not
+     *  part of the INI round trip. */
+    std::shared_ptr<storage::DrainWorker> drain;
 
     /** Load from an INI file; missing keys keep their defaults. */
     static FtiConfig fromFile(const std::string &path);

@@ -80,6 +80,10 @@ Fti::metaFile(const FtiConfig &config, int ckpt_id)
 void
 Fti::purge(const FtiConfig &config)
 {
+    // Let in-flight flush jobs finish before sweeping the sandbox, or
+    // a drained object could land after (and survive) the purge.
+    if (config.drain)
+        config.drain->quiesce();
     storage::resolve(config.backend).removeTree(execDir(config));
 }
 
@@ -92,6 +96,11 @@ Fti::Fti(simmpi::Proc &proc, FtiConfig config, simmpi::CommId comm)
       comm_(comm == simmpi::commNull ? proc.world() : comm),
       store_(storage::resolve(config_.backend))
 {
+    // A config without a drain gets a private sync worker: flushes run
+    // inline at enqueue, preserving the historical "PFS files exist
+    // when checkpoint() returns" behaviour standalone users expect.
+    if (!config_.drain)
+        config_.drain = std::make_shared<storage::DrainWorker>();
     store_.createDirectories(localDir(config_, proc_.runtime().commRank(
                                                    proc_.globalIndex(),
                                                    comm_)));
@@ -279,8 +288,19 @@ Fti::cleanupOlderCheckpoints(int keep_id)
         store_.remove(partnerFile(config_, rank, owner, id));
     if (prevLevel_ == 3)
         store_.remove(parityFile(config_, rank, id));
-    if (prevLevel_ == 4)
-        store_.remove(pfsFile(config_, rank, id));
+    if (prevLevel_ == 4) {
+        // The previous flush may still be draining; route the removal
+        // through the same FIFO queue so it deterministically lands
+        // after the write it deletes, for any drain scheduling.
+        FtiConfig job_config = config_;
+        job_config.drain.reset();
+        drain().enqueue([job_config = std::move(job_config), rank,
+                         id]() -> std::uint64_t {
+            storage::resolve(job_config.backend)
+                .remove(pfsFile(job_config, rank, id));
+            return 0;
+        });
+    }
     if (rank == 0)
         store_.remove(metaFile(config_, id));
 }
@@ -377,34 +397,45 @@ Fti::encodeGroupParity(int ckpt_id, const MetaInfo &meta)
     auxDirsCreated_ = true;
 }
 
-std::size_t
-Fti::writePfs(int ckpt_id, const std::vector<std::uint8_t> &blob)
+namespace
 {
-    // Differential checkpointing: the first L4 checkpoint writes a base
-    // image; later ones write only the blocks that differ from the base.
-    const int rank = proc_.runtime().commRank(proc_.globalIndex(), comm_);
-    const std::string dir =
-        execDir(config_) + "/pfs/diff/rank" + std::to_string(rank);
-    if (!pfsDirCreated_) {
-        store_.createDirectories(dir);
-        pfsDirCreated_ = true;
-    }
+
+/**
+ * The L4 flush body, run by the drain worker: differential
+ * checkpointing against the rank's base image. The first flush writes
+ * the base; later ones write only the blocks that differ from it.
+ * Deliberately a free function over an owned blob and a config copy —
+ * it runs on the drain thread, possibly after the enqueuing Fti
+ * incarnation died, so it must touch no Fti state.
+ *
+ * @return bytes actually shipped to the PFS (differential writes less);
+ *         a pure function of the flushes drained before this one, so
+ *         the virtual drain accounting is schedule-independent.
+ */
+std::uint64_t
+pfsFlushJob(const FtiConfig &config, int rank, int ckpt_id,
+            const std::vector<std::uint8_t> &blob)
+{
+    storage::Backend &store = storage::resolve(config.backend);
+    const std::string dir = Fti::execDir(config) + "/pfs/diff/rank" +
+                            std::to_string(rank);
+    store.createDirectories(dir);
     const std::string base = dir + "/base.fti";
     std::vector<std::uint8_t> base_owned;
-    const std::vector<std::uint8_t> *base_blob = store_.view(base);
-    if (!base_blob && store_.read(base, base_owned))
+    const std::vector<std::uint8_t> *base_blob = store.view(base);
+    if (!base_blob && store.read(base, base_owned))
         base_blob = &base_owned;
     if (!base_blob) {
-        store_.write(base, blob.data(), blob.size());
+        store.write(base, blob.data(), blob.size());
         // The base image also serves as this checkpoint's PFS copy.
-        store_.write(pfsFile(config_, rank, ckpt_id), blob.data(),
-                     blob.size());
+        store.write(Fti::pfsFile(config, rank, ckpt_id), blob.data(),
+                    blob.size());
         return blob.size();
     }
     // Delta vs base: [u64 offset][u64 len][payload] per changed block.
-    const std::size_t bs = config_.diffBlockSize;
+    const std::size_t bs = config.diffBlockSize;
     std::vector<std::uint8_t> delta;
-    std::size_t changed = 0;
+    std::uint64_t changed = 0;
     for (std::size_t off = 0; off < blob.size(); off += bs) {
         const std::size_t len = std::min(bs, blob.size() - off);
         const bool same =
@@ -426,12 +457,53 @@ Fti::writePfs(int ckpt_id, const std::vector<std::uint8_t> &blob)
     // Record the full size so recovery can handle growth/shrink.
     const std::string delta_path =
         dir + "/delta" + std::to_string(ckpt_id) + ".fti";
-    std::vector<std::uint8_t> payload(sizeof(std::uint64_t) + delta.size());
+    std::vector<std::uint8_t> payload(sizeof(std::uint64_t) +
+                                      delta.size());
     const std::uint64_t full = blob.size();
     std::memcpy(payload.data(), &full, sizeof(full));
-    std::memcpy(payload.data() + sizeof(full), delta.data(), delta.size());
-    store_.write(delta_path, payload.data(), payload.size());
+    std::memcpy(payload.data() + sizeof(full), delta.data(),
+                delta.size());
+    store.write(delta_path, payload.data(), payload.size());
     return changed;
+}
+
+} // anonymous namespace
+
+void
+Fti::enqueuePfsFlush(int ckpt_id, std::vector<std::uint8_t> blob)
+{
+    // The job owns a config copy (keeping the backend alive) and the
+    // staged blob (moved in, never copied again). Clearing the drain
+    // handle in the copy avoids the worker's queue holding a reference
+    // to the worker itself.
+    FtiConfig job_config = config_;
+    job_config.drain.reset();
+    const int rank = proc_.runtime().commRank(proc_.globalIndex(), comm_);
+    const auto ticket = drain().enqueue(
+        [job_config = std::move(job_config), rank, ckpt_id,
+         blob = std::move(blob)]() -> std::uint64_t {
+            return pfsFlushJob(job_config, rank, ckpt_id, blob);
+        });
+    // The virtual enqueue instant is stamped later, once checkpoint()
+    // has charged the staging cost.
+    drainChannel_.admit(ticket, proc_.runtime().commSize(comm_),
+                        ckptFactor());
+}
+
+void
+Fti::drainBarrier()
+{
+    const double wait = drainChannel_.resolve(
+        drain(), proc_.now(),
+        [this](std::uint64_t shipped, int procs, double factor) {
+            const double virt_bytes =
+                static_cast<double>(shipped) * config_.virtualFactor;
+            return proc_.runtime().costModel().drainFlush(
+                       static_cast<std::size_t>(virt_bytes), procs) *
+                   factor;
+        });
+    if (wait > 0.0)
+        proc_.sleepFor(wait);
 }
 
 void
@@ -446,22 +518,26 @@ Fti::checkpoint(int ckpt_id, int level)
     CategoryScope scope(proc_, TimeCategory::CkptWrite);
     const double t0 = proc_.now();
 
-    const std::vector<std::uint8_t> blob = serializeRegions();
-    const std::uint64_t crc = fnv1a(blob.data(), blob.size());
+    std::vector<std::uint8_t> blob = serializeRegions();
+    const std::size_t blob_bytes = blob.size();
+    const std::uint64_t crc = fnv1a(blob.data(), blob_bytes);
     util::debug("FTI checkpoint: g=%d comm=%d id=%d bytes=%zu crc=%llu",
-                proc_.globalIndex(), comm_, ckpt_id, blob.size(),
+                proc_.globalIndex(), comm_, ckpt_id, blob_bytes,
                 static_cast<unsigned long long>(crc));
 
-    // Data path: every level keeps a local copy except L4, which streams
-    // to the parallel file system. Differential L4 checkpoints are
-    // priced by the bytes actually shipped.
-    std::size_t priced_bytes = blob.size();
+    // Data path: every level keeps a local copy except L4, which is
+    // staged to the drain and streamed to the parallel file system in
+    // the background. Differential L4 checkpoints are priced (on the
+    // drain channel) by the bytes actually shipped. The wall-clock
+    // enqueue happens here, before the consistency protocol, so an
+    // async worker overlaps the diff + PFS writes with the collectives
+    // and the following compute phase.
     if (level <= 3)
         writeLocal(ckpt_id, blob);
     if (level == 2)
         writePartnerCopy(ckpt_id, blob);
     if (level == 4)
-        priced_bytes = writePfs(ckpt_id, blob);
+        enqueuePfsFlush(ckpt_id, std::move(blob)); // staged, not copied
 
     // Consistency protocol: gather sizes/checksums at rank 0, which
     // commits the metadata record; everyone waits for the commit.
@@ -472,7 +548,7 @@ Fti::checkpoint(int ckpt_id, int level)
     };
     const int size = proc_.runtime().commSize(comm_);
     const int rank = proc_.runtime().commRank(proc_.globalIndex(), comm_);
-    Entry mine{blob.size(), crc};
+    Entry mine{blob_bytes, crc};
     std::vector<Entry> entries(static_cast<std::size_t>(size));
     proc_.gather(0, &mine, sizeof(mine), entries.data(), comm_);
 
@@ -495,7 +571,7 @@ Fti::checkpoint(int ckpt_id, int level)
         proc_.barrier(comm_);
         // Distribute sizes so every leader can pad its stripe.
         std::vector<std::uint64_t> sizes(static_cast<std::size_t>(size));
-        std::uint64_t my_size = blob.size();
+        std::uint64_t my_size = blob_bytes;
         proc_.allgather(&my_size, sizeof(my_size), sizes.data(), comm_);
         MetaInfo enc_meta = meta;
         enc_meta.bytesPerRank.resize(size);
@@ -512,12 +588,26 @@ Fti::checkpoint(int ckpt_id, int level)
     proc_.bcast(0, &committed, sizeof(committed), comm_);
 
     // Virtual cost of the data path (the real file I/O above happens in
-    // wall time, not simulated time).
+    // wall time, not simulated time). A drained L4 checkpoint charges
+    // the rank only the consistency protocol + burst-buffer staging;
+    // the PFS streaming lands on the virtual drain channel, where it
+    // overlaps compute until a quiesce point catches up with it.
     const double virt_bytes =
-        static_cast<double>(priced_bytes) * config_.virtualFactor;
-    proc_.sleepFor(proc_.runtime().costModel().checkpointWrite(
-                       level, static_cast<std::size_t>(virt_bytes), size) *
-                   ckptFactor());
+        static_cast<double>(blob_bytes) * config_.virtualFactor;
+    if (level == 4) {
+        proc_.sleepFor(
+            proc_.runtime().costModel().drainStage(
+                static_cast<std::size_t>(virt_bytes), size) *
+            ckptFactor());
+        // Stamp the flush's virtual enqueue instant: the drain channel
+        // may start streaming once the blob is staged.
+        drainChannel_.stamp(proc_.now());
+    } else {
+        proc_.sleepFor(
+            proc_.runtime().costModel().checkpointWrite(
+                level, static_cast<std::size_t>(virt_bytes), size) *
+            ckptFactor());
+    }
 
     if (config_.keepOnlyLatest)
         cleanupOlderCheckpoints(ckpt_id);
@@ -672,6 +762,10 @@ Fti::recover()
     MetaInfo meta;
     const bool ok = loadMeta(newest, meta);
     MATCH_ASSERT(ok, "committed checkpoint lost its metadata");
+    // An L4 restore reads objects the drain may still be streaming:
+    // wait out the channel (virtually and in wall-clock) first.
+    if (meta.level == 4)
+        drainBarrier();
     const auto blob = readBlobForRecovery(meta);
     util::debug("FTI recover: g=%d comm=%d rank=%d ckpt=%d bytes=%zu",
                 proc_.globalIndex(), comm_,
@@ -693,6 +787,16 @@ Fti::recover()
 void
 Fti::finalize()
 {
+    if (!finalized_) {
+        // scr_postrun-style drain: the job cannot release its nodes
+        // while the burst buffer still holds undrained checkpoints.
+        // The residual wait is checkpoint-write time the overlap could
+        // not hide.
+        CategoryScope scope(proc_, TimeCategory::CkptWrite);
+        const double t0 = proc_.now();
+        drainBarrier();
+        writeSeconds_ += proc_.now() - t0;
+    }
     finalized_ = true;
 }
 

@@ -21,6 +21,11 @@
  *        the loss of up to `parityShards` members per group.
  *  - L4: flush to the parallel file system, with differential
  *        checkpointing (only changed blocks are written after the base).
+ *        The flush is *drained*: the rank stages the blob into the
+ *        burst buffer (config.drain) and resumes compute; the PFS
+ *        streaming overlaps on a per-rank virtual drain channel and is
+ *        only waited for at a quiesce point (recovery, finalize).
+ *        Results are bit-identical for any drain scheduling.
  *
  * Checkpoints are real objects under a sandbox directory in the
  * configured storage backend (MemBackend for simulation runs,
@@ -101,7 +106,9 @@ class Fti
      */
     void recover();
 
-    /** FTI_Finalize. */
+    /** FTI_Finalize: waits (in virtual and wall-clock time) for this
+     *  rank's pending PFS drains — a job cannot release its nodes while
+     *  its burst buffer still holds undrained checkpoints. */
     void finalize();
 
     /** Re-bind to a repaired world communicator (paper Fig. 3 note:
@@ -154,9 +161,15 @@ class Fti
     void writePartnerCopy(int ckpt_id,
                           const std::vector<std::uint8_t> &blob);
     void encodeGroupParity(int ckpt_id, const MetaInfo &meta);
-    /** @return bytes actually shipped (differential L4 writes less). */
-    std::size_t writePfs(int ckpt_id,
-                         const std::vector<std::uint8_t> &blob);
+    /** Stage the blob and admit its PFS flush job to the drain. */
+    void enqueuePfsFlush(int ckpt_id, std::vector<std::uint8_t> blob);
+    /**
+     * Quiesce point: wall-block until the drain ran every admitted job,
+     * resolve this rank's pending flushes into the virtual drain
+     * channel, and sleep until the channel's virtual completion.
+     */
+    void drainBarrier();
+    storage::DrainWorker &drain() { return *config_.drain; }
     void commitMeta(const MetaInfo &meta);
     bool loadMeta(int ckpt_id, MetaInfo &meta) const;
     int newestCommittedCkpt() const;
@@ -178,10 +191,12 @@ class Fti
     double readSeconds_ = 0.0;
     bool finalized_ = false;
     bool auxDirsCreated_ = false;
-    bool pfsDirCreated_ = false;
     /** Previous committed checkpoint (for precise cleanup). */
     int prevCkptId_ = 0;
     int prevLevel_ = 0;
+    /** Virtual-time accounting of this rank's L4 flushes (the factor
+     *  is the ULFM checkpoint slowdown at enqueue). */
+    storage::DrainChannel drainChannel_;
 };
 
 } // namespace match::fti

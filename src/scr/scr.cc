@@ -53,9 +53,28 @@ Scr::parityFile(const ScrConfig &config, int dataset, int group)
            "/xor-group" + std::to_string(group) + ".parity";
 }
 
+std::string
+Scr::prefixDatasetDir(const ScrConfig &config, int dataset, int rank)
+{
+    return config.prefixDir + "/" + config.jobId + "/dataset" +
+           std::to_string(dataset) + "/rank" + std::to_string(rank);
+}
+
+std::string
+Scr::flushedMarkerFile(const ScrConfig &config, int dataset, int rank)
+{
+    return config.prefixDir + "/" + config.jobId + "/dataset" +
+           std::to_string(dataset) + "/flushed-rank" +
+           std::to_string(rank);
+}
+
 void
 Scr::purge(const ScrConfig &config)
 {
+    // Let in-flight flush jobs finish before sweeping, or a drained
+    // object could land after (and survive) the purge.
+    if (config.drain)
+        config.drain->quiesce();
     storage::Backend &store = storage::resolve(config.backend);
     store.removeTree(jobDir(config));
     store.removeTree(config.prefixDir + "/" + config.jobId);
@@ -65,6 +84,12 @@ Scr::Scr(simmpi::Proc &proc, ScrConfig config)
     : proc_(proc), config_(std::move(config)),
       store_(storage::resolve(config_.backend))
 {
+    if (!config_.drain)
+        config_.drain = std::make_shared<storage::DrainWorker>();
+    // Restart detection reads flushed markers the drain writes: wait
+    // out in-flight jobs so the decision depends only on what was
+    // admitted (deterministic), never on the worker's wall schedule.
+    drain().quiesce();
     store_.createDirectories(jobDir(config_));
     lastCommitted_ = newestCommittedDataset();
     restartDataset_ = lastCommitted_;
@@ -91,6 +116,23 @@ Scr::newestCommittedDataset() const
             continue;
         const int id = std::atoi(name.c_str() + 7);
         if (id > newest && store_.exists(markerFile(config_, id)))
+            newest = id;
+    }
+    // A dataset whose cache was lost is still restartable from its
+    // flushed prefix copy — but only when every rank's flush drained
+    // (a crash mid-drain leaves the dataset unfetchable, falling back
+    // to the newest fully flushed one).
+    for (const std::string &name :
+         store_.listDir(config_.prefixDir + "/" + config_.jobId)) {
+        if (name.rfind("dataset", 0) != 0)
+            continue;
+        const int id = std::atoi(name.c_str() + 7);
+        if (id <= newest)
+            continue;
+        bool complete = true;
+        for (int r = 0; r < size() && complete; ++r)
+            complete = store_.exists(flushedMarkerFile(config_, id, r));
+        if (complete)
             newest = id;
     }
     return newest;
@@ -187,6 +229,83 @@ Scr::applyRedundancy()
     }
 }
 
+namespace
+{
+
+/**
+ * The flush body, run by the drain worker: copy the rank's routed
+ * files from the cache to the prefix directory, then commit the rank's
+ * flushed marker. A free function over owned copies — it runs on the
+ * drain thread, possibly after the enqueuing incarnation died.
+ *
+ * A missing source file fails the flush *softly*: the cache was lost
+ * while the flush waited in the queue. No marker is written, so the
+ * dataset never becomes fetchable and restart falls back to the newest
+ * fully drained one — the async drain loses exactly the undrained
+ * datasets, it never aborts the survivors.
+ *
+ * @return bytes shipped to the PFS (0 when the flush failed).
+ */
+std::uint64_t
+scrFlushJob(const ScrConfig &config, int dataset, int rank,
+            const std::vector<std::string> &files)
+{
+    storage::Backend &store = storage::resolve(config.backend);
+    const std::string src_dir = Scr::datasetDir(config, dataset, rank);
+    const std::string dst_dir =
+        Scr::prefixDatasetDir(config, dataset, rank);
+    store.createDirectories(dst_dir);
+    std::uint64_t shipped = 0;
+    for (const std::string &name : files) {
+        if (!store.copy(src_dir + "/" + name, dst_dir + "/" + name)) {
+            util::debug("SCR flush: lost routed file %s (rank %d); "
+                        "dataset %d stays unflushed",
+                        name.c_str(), rank, dataset);
+            return 0;
+        }
+        std::size_t bytes = 0;
+        store.size(dst_dir + "/" + name, bytes);
+        shipped += bytes;
+    }
+    static const char text[] = "flushed\n";
+    store.writeAtomic(Scr::flushedMarkerFile(config, dataset, rank),
+                      text, sizeof(text) - 1);
+    return shipped;
+}
+
+} // anonymous namespace
+
+void
+Scr::enqueueFlush(int dataset, std::size_t bytes)
+{
+    ScrConfig job_config = config_;
+    job_config.drain.reset(); // the queue must not own its worker
+    const auto ticket = drain().enqueue(
+        [job_config = std::move(job_config), dataset, r = rank(),
+         files = routedFiles_]() -> std::uint64_t {
+            return scrFlushJob(job_config, dataset, r, files);
+        });
+    drainChannel_.admit(ticket, size());
+    // Staging the dataset into the burst buffer serializes the rank;
+    // the PFS streaming overlaps on the virtual drain channel.
+    proc_.sleepFor(proc_.runtime().costModel().drainStage(bytes, size()));
+    drainChannel_.stamp(proc_.now());
+}
+
+void
+Scr::drainBarrier()
+{
+    const double wait = drainChannel_.resolve(
+        drain(), proc_.now(),
+        [this](std::uint64_t shipped, int procs, double factor) {
+            return proc_.runtime().costModel().drainFlush(
+                       static_cast<std::size_t>(shipped), procs) *
+                   factor;
+        });
+    if (wait > 0.0)
+        proc_.sleepFor(wait);
+}
+
 void
 Scr::completeCheckpoint(bool valid)
 {
@@ -222,23 +341,6 @@ Scr::completeCheckpoint(bool valid)
         proc_.bcast(0, &committed, sizeof(committed));
         lastCommitted_ = writingDataset_;
 
-        // Optional flush of every Nth dataset to the prefix directory.
-        if (config_.flushEvery > 0 &&
-            lastCommitted_ % config_.flushEvery == 0) {
-            const std::string dst = config_.prefixDir + "/" +
-                                    config_.jobId + "/dataset" +
-                                    std::to_string(lastCommitted_) +
-                                    "/rank" + std::to_string(rank());
-            store_.createDirectories(dst);
-            for (const std::string &name : routedFiles_) {
-                if (!store_.copy(datasetDir(config_, lastCommitted_,
-                                            rank()) +
-                                     "/" + name,
-                                 dst + "/" + name))
-                    util::fatal("SCR flush: missing routed file %s "
-                                "(rank %d)", name.c_str(), rank());
-            }
-        }
     }
 
     // Modelled cost: map the scheme onto the storage-tier model.
@@ -248,12 +350,31 @@ Scr::completeCheckpoint(bool valid)
     proc_.sleepFor(proc_.runtime().costModel().checkpointWrite(
         level, bytes, size()));
 
-    // Drop the previous dataset (SCR keeps a bounded cache).
+    // Optional flush of every Nth dataset to the prefix directory:
+    // admitted to the drain (after the cache write is priced, so the
+    // flush's virtual enqueue instant is the staged dataset's commit).
+    if (all_valid && config_.flushEvery > 0 &&
+        lastCommitted_ % config_.flushEvery == 0) {
+        enqueueFlush(lastCommitted_, bytes);
+    }
+
+    // Drop the previous dataset (SCR keeps a bounded cache). Routed
+    // through the drain queue: a pending flush of that dataset must
+    // copy its files out before the prune deletes them, for any drain
+    // scheduling.
     if (all_valid && lastCommitted_ >= 2) {
-        store_.removeTree(datasetDir(config_, lastCommitted_ - 1,
-                                     rank()));
-        if (rank() == 0)
-            store_.remove(markerFile(config_, lastCommitted_ - 1));
+        ScrConfig job_config = config_;
+        job_config.drain.reset();
+        drain().enqueue([job_config = std::move(job_config),
+                         prev = lastCommitted_ - 1,
+                         r = rank()]() -> std::uint64_t {
+            storage::Backend &store =
+                storage::resolve(job_config.backend);
+            store.removeTree(Scr::datasetDir(job_config, prev, r));
+            if (r == 0)
+                store.remove(Scr::markerFile(job_config, prev));
+            return 0;
+        });
     }
     writingDataset_ = 0;
     routedFiles_.clear();
@@ -266,24 +387,24 @@ Scr::startRestart()
     routedFiles_.clear();
 }
 
-void
-Scr::rebuildFromPartner(const std::string &name)
+bool
+Scr::tryRebuildFromPartner(const std::string &name)
 {
     const int holder = (rank() + 1) % size();
     const std::string src = datasetDir(config_, restartDataset_, holder) +
                             "-partner" + std::to_string(rank()) + "/" +
                             name;
+    if (!store_.exists(src))
+        return false;
     store_.createDirectories(datasetDir(config_, restartDataset_,
                                         rank()));
-    if (!store_.copy(src,
-                     datasetDir(config_, restartDataset_, rank()) + "/" +
-                         name))
-        util::fatal("SCR PARTNER rebuild failed for rank %d: partner "
-                    "copy lost too", rank());
+    return store_.copy(src, datasetDir(config_, restartDataset_,
+                                       rank()) +
+                                "/" + name);
 }
 
-void
-Scr::rebuildFromXor(const std::string &name)
+bool
+Scr::tryRebuildFromXor(const std::string &name)
 {
     // XOR the surviving members' blobs with the parity to recover this
     // rank's blob; only single-file datasets are rebuildable this way
@@ -293,8 +414,7 @@ Scr::rebuildFromXor(const std::string &name)
     const int hi = std::min(lo + gs, size());
     std::vector<std::uint8_t> acc;
     if (!store_.read(parityFile(config_, restartDataset_, lo / gs), acc))
-        util::fatal("SCR XOR rebuild: parity lost for group %d", lo / gs);
-    std::size_t my_size = 0;
+        return false; // parity lost
     for (int m = lo; m < hi; ++m) {
         if (m == rank())
             continue;
@@ -302,9 +422,7 @@ Scr::rebuildFromXor(const std::string &name)
         if (!store_.read(datasetDir(config_, restartDataset_, m) + "/" +
                              name,
                          blob))
-            util::fatal("SCR XOR rebuild: two losses in group %d",
-                        lo / gs);
-        my_size = std::max(my_size, blob.size());
+            return false; // two losses in the group
         blob.resize(acc.size(), 0);
         for (std::size_t i = 0; i < acc.size(); ++i)
             acc[i] ^= blob[i];
@@ -316,6 +434,25 @@ Scr::rebuildFromXor(const std::string &name)
     store_.write(datasetDir(config_, restartDataset_, rank()) + "/" +
                      name,
                  acc.data(), acc.size());
+    return true;
+}
+
+bool
+Scr::tryFetchFromPrefix(const std::string &name)
+{
+    // SCR_Fetch: pull the flushed copy back into the cache. The flush
+    // may still be draining — wait it out (virtually and in wall-clock)
+    // before looking.
+    drainBarrier();
+    const std::string src =
+        prefixDatasetDir(config_, restartDataset_, rank()) + "/" + name;
+    if (!store_.exists(src))
+        return false;
+    store_.createDirectories(datasetDir(config_, restartDataset_,
+                                        rank()));
+    return store_.copy(src, datasetDir(config_, restartDataset_,
+                                       rank()) +
+                                "/" + name);
 }
 
 std::string
@@ -326,23 +463,47 @@ Scr::routeRestartFile(const std::string &name)
     CategoryScope scope(proc_, TimeCategory::CkptRead);
     const std::string path =
         datasetDir(config_, restartDataset_, rank()) + "/" + name;
+    fetchedFromPrefix_ = false;
     if (!store_.exists(path)) {
+        bool rebuilt = false;
         switch (config_.scheme) {
           case Redundancy::Single:
-            util::fatal("SCR SINGLE cannot rebuild lost file %s",
-                        path.c_str());
+            break; // no redundancy tier; straight to the PFS copy
           case Redundancy::Partner:
-            rebuildFromPartner(name);
+            rebuilt = tryRebuildFromPartner(name);
             break;
           case Redundancy::Xor:
-            rebuildFromXor(name);
+            rebuilt = tryRebuildFromXor(name);
             break;
+        }
+        if (!rebuilt) {
+            fetchedFromPrefix_ = tryFetchFromPrefix(name);
+            if (!fetchedFromPrefix_) {
+                switch (config_.scheme) {
+                  case Redundancy::Single:
+                    util::fatal("SCR SINGLE cannot rebuild lost file %s "
+                                "(no flushed PFS copy)", path.c_str());
+                  case Redundancy::Partner:
+                    util::fatal("SCR PARTNER rebuild failed for rank "
+                                "%d: partner copy lost too and no "
+                                "flushed PFS copy", rank());
+                  case Redundancy::Xor:
+                    util::fatal("SCR XOR rebuild failed: two losses in "
+                                "rank %d's group and no flushed PFS "
+                                "copy", rank());
+                }
+            }
         }
     }
     std::size_t bytes = 0;
     store_.size(path, bytes);
+    // A prefix fetch is a PFS read; rebuilt/cached copies read at the
+    // redundancy tier's speed.
+    const int level = fetchedFromPrefix_
+                          ? 4
+                          : (config_.scheme == Redundancy::Xor ? 3 : 1);
     proc_.sleepFor(proc_.runtime().costModel().checkpointRead(
-        config_.scheme == Redundancy::Xor ? 3 : 1, bytes, size()));
+        level, bytes, size()));
     return path;
 }
 
@@ -358,6 +519,13 @@ Scr::completeRestart(bool valid)
 void
 Scr::finalize()
 {
+    if (!finalized_) {
+        // scr_postrun: the job drains its pending flushes before
+        // releasing the allocation; the residual wait is flush time
+        // the overlap could not hide.
+        CategoryScope scope(proc_, TimeCategory::CkptWrite);
+        drainBarrier();
+    }
     finalized_ = true;
 }
 

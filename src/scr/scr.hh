@@ -40,6 +40,7 @@
 
 #include "src/simmpi/proc.hh"
 #include "src/storage/backend.hh"
+#include "src/storage/drain.hh"
 
 namespace match::scr
 {
@@ -68,8 +69,10 @@ struct ScrConfig
     int groupSize = 4;
     /** SCR_Need_checkpoint: checkpoint every N loop iterations. */
     int checkpointInterval = 10;
-    /** Flush every Nth checkpoint to the prefix directory (0 = never);
-     *  SCR drains the cache asynchronously in the real library. */
+    /** Flush every Nth checkpoint to the prefix directory (0 = never).
+     *  Like the real library, the flush is asynchronous: it is admitted
+     *  to the drain worker and overlaps compute; restarts that need the
+     *  prefix copy quiesce the drain first. */
     int flushEvery = 0;
 
     /** Storage backend for SCR's own traffic (markers, redundancy
@@ -78,6 +81,13 @@ struct ScrConfig
      *  MemBackend they must write through the same backend for the
      *  redundancy encoder to see their data. */
     std::shared_ptr<storage::Backend> backend;
+
+    /** Drain worker executing flush-to-prefix jobs. Shared by every
+     *  SCR incarnation of one run. Null makes the instance create a
+     *  private sync worker (flushes complete inline at enqueue).
+     *  Simulated results are bit-identical for any worker mode or
+     *  queue depth; only wall-clock changes. */
+    std::shared_ptr<storage::DrainWorker> drain;
 };
 
 /** Per-rank SCR instance. */
@@ -120,8 +130,9 @@ class Scr
 
     /**
      * Route a file for reading; when the rank's cache copy is missing,
-     * the redundancy scheme rebuilds it (partner fetch or XOR rebuild)
-     * before returning the path.
+     * the redundancy scheme rebuilds it (partner fetch or XOR rebuild),
+     * falling back to the dataset's flushed prefix copy (SCR_Fetch,
+     * waiting out a pending drain) before returning the path.
      */
     std::string routeRestartFile(const std::string &name);
 
@@ -142,6 +153,14 @@ class Scr
     static std::string markerFile(const ScrConfig &config, int dataset);
     static std::string parityFile(const ScrConfig &config, int dataset,
                                   int group);
+    static std::string prefixDatasetDir(const ScrConfig &config,
+                                        int dataset, int rank);
+    /** Marker committed on the PFS once `rank`'s part of a dataset's
+     *  flush has drained. A dataset is fetchable on restart only when
+     *  every rank's marker exists — a crash mid-drain must not present
+     *  a half-flushed dataset as restartable. */
+    static std::string flushedMarkerFile(const ScrConfig &config,
+                                         int dataset, int rank);
     /// @}
 
     /** Remove a job's whole sandbox. */
@@ -150,8 +169,12 @@ class Scr
   private:
     int newestCommittedDataset() const;
     void applyRedundancy();
-    void rebuildFromPartner(const std::string &name);
-    void rebuildFromXor(const std::string &name);
+    bool tryRebuildFromPartner(const std::string &name);
+    bool tryRebuildFromXor(const std::string &name);
+    bool tryFetchFromPrefix(const std::string &name);
+    void enqueueFlush(int dataset, std::size_t bytes);
+    void drainBarrier();
+    storage::DrainWorker &drain() { return *config_.drain; }
     int rank() const;
     int size() const;
 
@@ -164,6 +187,11 @@ class Scr
     int lastCommitted_ = 0;
     std::vector<std::string> routedFiles_;
     bool finalized_ = false;
+    /** This rank's last restart read came from the prefix (priced as a
+     *  PFS read instead of a cache-tier read). */
+    bool fetchedFromPrefix_ = false;
+    /** Virtual-time accounting of this rank's flush-to-prefix jobs. */
+    storage::DrainChannel drainChannel_;
 };
 
 } // namespace match::scr

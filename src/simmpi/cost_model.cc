@@ -119,6 +119,27 @@ CostModel::checkpointRead(int level, std::size_t bytes, int procs) const
 }
 
 SimTime
+CostModel::drainStage(std::size_t bytes, int procs) const
+{
+    // The rank still runs the FTI bookkeeping + consistency collectives
+    // (same sync term as every checkpoint level), then copies the blob
+    // into the burst buffer at node-local speed.
+    return params_.ckptBaseCost +
+           treeLevels(procs) * params_.ckptSyncPerLevel +
+           static_cast<double>(bytes) / params_.drainStageBw;
+}
+
+SimTime
+CostModel::drainFlush(std::size_t bytes, int procs) const
+{
+    // Identical data-path pricing to the blocking L4 write: all ranks
+    // share the PFS pipe. Only *where* the time lands differs — on the
+    // drain channel, overlapping compute, instead of the rank.
+    return static_cast<double>(bytes) * procs /
+           params_.ckptL4AggregateBw;
+}
+
+SimTime
 CostModel::restartRecovery(int procs) const
 {
     return params_.restartBaseCost + params_.restartPerProcCost * procs;

@@ -94,6 +94,14 @@ struct CostParams
      *  term that makes checkpoint time grow modestly with P. */
     double ckptSyncPerLevel = 5.0e-3;
 
+    // --- Async PFS drain ----------------------------------------------
+    /** Burst-buffer staging bandwidth per process: the rate at which a
+     *  rank hands an L4 checkpoint (or SCR flush dataset) to the drain
+     *  agent before resuming compute. Ramfs-class, like L1: the stage
+     *  is a node-local copy. The PFS streaming itself then overlaps
+     *  compute on the drain channel (see drainStage/drainFlush). */
+    double drainStageBw = 2.0e9;
+
     // --- Failure detection ---------------------------------------------
     /** Heartbeat period of the ULFM failure detector (Bosilca et al.). */
     double heartbeatPeriod = 0.1;
@@ -182,6 +190,24 @@ class CostModel
 
     /** FTI recovery (read) cost; the paper reports milliseconds. */
     SimTime checkpointRead(int level, std::size_t bytes, int procs) const;
+
+    /**
+     * Rank-serializing part of a drained PFS flush: the consistency
+     * protocol plus staging `bytes` into the burst buffer. This is all
+     * the rank pays at checkpoint time; the streaming itself is priced
+     * by drainFlush() on the background drain channel.
+     */
+    SimTime drainStage(std::size_t bytes, int procs) const;
+
+    /**
+     * Overlapped part of a drained PFS flush: streaming `bytes` from
+     * the burst buffer to the PFS (all ranks share the PFS pipe, like
+     * checkpointWrite level 4). Charged against the virtual drain
+     * channel, so it serializes the rank only when a quiesce point
+     * (recovery, finalize, a dependent read) arrives before the
+     * channel's virtual completion.
+     */
+    SimTime drainFlush(std::size_t bytes, int procs) const;
 
     /** Restart-design recovery: teardown + job redeployment. */
     SimTime restartRecovery(int procs) const;

@@ -5,6 +5,33 @@
 #include "src/simmpi/errors.hh"
 #include "src/util/logging.hh"
 
+// ThreadSanitizer cannot follow a raw stack switch on its own: it keeps
+// a shadow stack and a per-"fiber" happens-before clock, both keyed to
+// what it believes is the current stack. Every switch is therefore
+// announced through the TSAN fiber API, compiled in only under
+// -fsanitize=thread (the CI TSAN lane); the plain build keeps the
+// annotations compiled out entirely.
+#if defined(__SANITIZE_THREAD__)
+#define MATCH_TSAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define MATCH_TSAN_FIBERS 1
+#endif
+#endif
+
+#ifdef MATCH_TSAN_FIBERS
+#include <sanitizer/tsan_interface.h>
+#define MATCH_TSAN_CREATE_FIBER() __tsan_create_fiber(0)
+#define MATCH_TSAN_DESTROY_FIBER(f) __tsan_destroy_fiber(f)
+#define MATCH_TSAN_CURRENT_FIBER() __tsan_get_current_fiber()
+#define MATCH_TSAN_SWITCH_TO_FIBER(f) __tsan_switch_to_fiber(f, 0)
+#else
+#define MATCH_TSAN_CREATE_FIBER() nullptr
+#define MATCH_TSAN_DESTROY_FIBER(f) (void)(f)
+#define MATCH_TSAN_CURRENT_FIBER() nullptr
+#define MATCH_TSAN_SWITCH_TO_FIBER(f) (void)(f)
+#endif
+
 namespace match::simmpi
 {
 
@@ -88,6 +115,7 @@ Fiber::Fiber(std::function<void()> body, std::size_t stack_bytes)
     MATCH_ASSERT(body_ != nullptr, "fiber needs a body");
     MATCH_ASSERT(stack_bytes >= 64 * 1024, "fiber stack too small");
     state_ = State::Runnable;
+    tsanFiber_ = MATCH_TSAN_CREATE_FIBER();
 }
 
 Fiber::~Fiber()
@@ -97,6 +125,7 @@ Fiber::~Fiber()
     // before dropping them; warn loudly if that contract is broken.
     if (started_ && state_ != State::Finished)
         util::warn("destroying unfinished fiber; stack objects leak");
+    MATCH_TSAN_DESTROY_FIBER(tsanFiber_);
 }
 
 void
@@ -113,6 +142,7 @@ Fiber::trampoline()
         util::panic("uncaught non-standard exception on rank fiber");
     }
     state_ = State::Finished;
+    MATCH_TSAN_SWITCH_TO_FIBER(tsanParent_);
     matchCtxSwap(&sp_, schedulerSp_);
     util::panic("resumed a finished fiber");
 }
@@ -128,6 +158,8 @@ Fiber::resume()
         started_ = true;
         initStack();
     }
+    tsanParent_ = MATCH_TSAN_CURRENT_FIBER();
+    MATCH_TSAN_SWITCH_TO_FIBER(tsanFiber_);
     matchCtxSwap(&schedulerSp_, sp_);
     currentFiber = nullptr;
 }
@@ -137,6 +169,7 @@ Fiber::yield()
 {
     MATCH_ASSERT(currentFiber == this,
                  "yield() must be called from inside the fiber");
+    MATCH_TSAN_SWITCH_TO_FIBER(tsanParent_);
     matchCtxSwap(&sp_, schedulerSp_);
 }
 

@@ -88,6 +88,11 @@ class Fiber
     State state_ = State::Runnable;
     bool started_ = false;
     void *userData_ = nullptr;    ///< fiber-local storage
+    /** ThreadSanitizer fiber contexts (null without TSAN): the raw
+     *  stack switch must be announced to TSAN or its shadow-stack and
+     *  happens-before machinery misfire on every yield. */
+    void *tsanFiber_ = nullptr;
+    void *tsanParent_ = nullptr;
 };
 
 } // namespace match::simmpi

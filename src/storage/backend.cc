@@ -29,6 +29,23 @@ namespace
 {
 
 /**
+ * Canonical form of a prefix-operation argument (removeTree, listDir):
+ * trailing slashes are ignored, so "dir/" names the same tree as
+ * "dir". An empty result (empty input, or only slashes — i.e. the
+ * filesystem root) makes the operation a no-op: no caller legitimately
+ * sweeps the whole store, and on DiskBackend the whole store is the
+ * host filesystem.
+ */
+std::string
+normalizeTree(const std::string &dir)
+{
+    std::size_t end = dir.size();
+    while (end > 0 && dir[end - 1] == '/')
+        --end;
+    return dir.substr(0, end);
+}
+
+/**
  * In-process object store, sharded into lock-striped buckets: a path
  * hashes to one of kBuckets (mutex, ordered map) pairs, so concurrent
  * grid workers hammering checkpoint traffic contend only when their
@@ -133,8 +150,11 @@ class MemBackend final : public Backend
     }
 
     void
-    removeTree(const std::string &dir) override
+    removeTree(const std::string &dir_in) override
     {
+        const std::string dir = normalizeTree(dir_in);
+        if (dir.empty())
+            return;
         // Objects under a prefix are scattered across buckets by hash;
         // sweep each bucket's ordered range. Buckets are locked one at
         // a time: concurrent writers to other paths proceed, and the
@@ -161,8 +181,11 @@ class MemBackend final : public Backend
     }
 
     std::vector<std::string>
-    listDir(const std::string &dir) const override
+    listDir(const std::string &dir_in) const override
     {
+        const std::string dir = normalizeTree(dir_in);
+        if (dir.empty())
+            return {};
         const std::string prefix = dir + "/";
         std::set<std::string> names;
         for (const Bucket &bucket : buckets_) {
@@ -287,8 +310,11 @@ class DiskBackend final : public Backend
     }
 
     void
-    removeTree(const std::string &dir) override
+    removeTree(const std::string &dir_in) override
     {
+        const std::string dir = normalizeTree(dir_in);
+        if (dir.empty())
+            return;
         std::error_code ec;
         fs::remove_all(dir, ec);
     }
@@ -300,8 +326,11 @@ class DiskBackend final : public Backend
     }
 
     std::vector<std::string>
-    listDir(const std::string &dir) const override
+    listDir(const std::string &dir_in) const override
     {
+        const std::string dir = normalizeTree(dir_in);
+        if (dir.empty())
+            return {};
         std::vector<std::string> names;
         std::error_code ec;
         for (const auto &entry : fs::directory_iterator(dir, ec))

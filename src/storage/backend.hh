@@ -95,7 +95,12 @@ class Backend
     /** Remove one object (no-op when absent). */
     virtual void remove(const std::string &path) = 0;
 
-    /** Remove every object under `dir` (recursive; no-op when empty). */
+    /**
+     * Remove every object under `dir` (recursive), plus a plain object
+     * stored at exactly `dir`. No-op when nothing matches. Trailing
+     * slashes on `dir` are ignored; an empty (or root) prefix is a
+     * no-op — no caller legitimately sweeps the whole store.
+     */
     virtual void removeTree(const std::string &dir) = 0;
 
     /** Ensure `dir` exists (no-op for MemBackend: directories are
@@ -103,7 +108,9 @@ class Backend
     virtual void createDirectories(const std::string &dir) = 0;
 
     /** Names of the immediate children of `dir` (files and
-     *  subdirectories), in unspecified order. */
+     *  subdirectories), in unspecified order. Empty when `dir` is
+     *  missing or names a plain object. Trailing slashes are ignored;
+     *  an empty (or root) prefix yields an empty list. */
     virtual std::vector<std::string>
     listDir(const std::string &dir) const = 0;
 };

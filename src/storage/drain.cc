@@ -1,0 +1,144 @@
+#include "src/storage/drain.hh"
+
+#include <utility>
+
+#include "src/util/logging.hh"
+
+namespace match::storage
+{
+
+const char *
+drainModeName(DrainMode mode)
+{
+    switch (mode) {
+      case DrainMode::Sync: return "sync";
+      case DrainMode::Async: return "async";
+    }
+    return "unknown";
+}
+
+DrainWorker::DrainWorker(DrainMode mode, std::size_t queueDepth)
+    : mode_(mode), depth_(queueDepth)
+{}
+
+DrainWorker::~DrainWorker()
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        stopping_ = true;
+        workCv_.notify_all();
+    }
+    if (worker_.joinable())
+        worker_.join();
+}
+
+DrainWorker::Ticket
+DrainWorker::enqueue(Job job)
+{
+    MATCH_ASSERT(job != nullptr, "drain job must be callable");
+    if (mode_ == DrainMode::Sync) {
+        // Deterministic replay: the job runs right here, on the
+        // enqueuing thread, before control returns to the caller.
+        const std::uint64_t value = job();
+        std::lock_guard<std::mutex> lock(mutex_);
+        const Ticket ticket = nextTicket_++;
+        results_.emplace(ticket, value);
+        ++completed_;
+        return ticket;
+    }
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (depth_ > 0) {
+        // Burst-buffer backpressure: wall-clock only, never virtual.
+        doneCv_.wait(lock, [this] {
+            return queue_.size() + (running_ ? 1u : 0u) < depth_;
+        });
+    }
+    const Ticket ticket = nextTicket_++;
+    queue_.emplace_back(ticket, std::move(job));
+    if (!workerStarted_) {
+        // Lazy spawn: runs with no flush traffic never pay a thread.
+        workerStarted_ = true;
+        worker_ = std::thread([this] { workerLoop(); });
+    }
+    workCv_.notify_one();
+    return ticket;
+}
+
+std::uint64_t
+DrainWorker::wait(Ticket ticket)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    doneCv_.wait(lock, [this, ticket] {
+        return results_.count(ticket) != 0 ||
+               discardedTickets_.count(ticket) != 0;
+    });
+    const auto it = results_.find(ticket);
+    return it == results_.end() ? 0 : it->second;
+}
+
+void
+DrainWorker::quiesce()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    doneCv_.wait(lock, [this] { return queue_.empty() && !running_; });
+}
+
+void
+DrainWorker::crash()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &[ticket, job] : queue_)
+        discardedTickets_.insert(ticket);
+    discarded_ += queue_.size();
+    queue_.clear();
+    doneCv_.notify_all();
+}
+
+std::size_t
+DrainWorker::pendingJobs() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size() + (running_ ? 1u : 0u);
+}
+
+std::uint64_t
+DrainWorker::completedJobs() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return completed_;
+}
+
+std::uint64_t
+DrainWorker::discardedJobs() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return discarded_;
+}
+
+void
+DrainWorker::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        workCv_.wait(lock, [this] {
+            return stopping_ || !queue_.empty();
+        });
+        if (queue_.empty()) {
+            if (stopping_)
+                return;
+            continue;
+        }
+        auto [ticket, job] = std::move(queue_.front());
+        queue_.pop_front();
+        running_ = true;
+        lock.unlock();
+        const std::uint64_t value = job();
+        lock.lock();
+        running_ = false;
+        results_.emplace(ticket, value);
+        ++completed_;
+        doneCv_.notify_all();
+    }
+}
+
+} // namespace match::storage

@@ -142,6 +142,52 @@ TEST_P(BackendContract, ListDirReturnsImmediateChildren)
     EXPECT_TRUE(backend_->listDir(root_ + "/nonexistent").empty());
 }
 
+TEST_P(BackendContract, PrefixOpsIgnoreTrailingSlashes)
+{
+    // "dir/" and "dir" name the same tree in both backends — the FTI
+    // and SCR path helpers occasionally join with a trailing slash.
+    backend_->createDirectories(root_ + "/job/meta");
+    put(root_ + "/job/meta/ckpt1.meta", "1");
+    put(root_ + "/job/data.bin", "payload");
+
+    auto names = backend_->listDir(root_ + "/job/");
+    std::sort(names.begin(), names.end());
+    EXPECT_EQ(names, (std::vector<std::string>{"data.bin", "meta"}));
+    EXPECT_EQ(backend_->listDir(root_ + "/job//"), names);
+
+    backend_->removeTree(root_ + "/job/");
+    EXPECT_FALSE(backend_->exists(root_ + "/job/meta/ckpt1.meta"));
+    EXPECT_FALSE(backend_->exists(root_ + "/job/data.bin"));
+}
+
+TEST_P(BackendContract, EmptyAndRootPrefixOpsAreNoOps)
+{
+    // Nobody legitimately sweeps the whole store: an empty (or
+    // all-slashes, i.e. filesystem-root) prefix must not remove
+    // anything — on DiskBackend "everything" is the host filesystem.
+    put(root_ + "/keep.bin", "survives");
+    backend_->removeTree("");
+    backend_->removeTree("/");
+    EXPECT_TRUE(backend_->exists(root_ + "/keep.bin"));
+    EXPECT_TRUE(backend_->listDir("").empty());
+}
+
+TEST_P(BackendContract, RemoveTreeOnObjectPathRemovesTheObject)
+{
+    put(root_ + "/job1", "plain object, not a directory");
+    backend_->createDirectories(root_ + "/job10");
+    put(root_ + "/job10/ckpt.fti", "sibling sharing the name prefix");
+    backend_->removeTree(root_ + "/job1");
+    EXPECT_FALSE(backend_->exists(root_ + "/job1"));
+    EXPECT_TRUE(backend_->exists(root_ + "/job10/ckpt.fti"));
+}
+
+TEST_P(BackendContract, ListDirOnObjectPathIsEmpty)
+{
+    put(root_ + "/blob.bin", "not a directory");
+    EXPECT_TRUE(backend_->listDir(root_ + "/blob.bin").empty());
+}
+
 TEST_P(BackendContract, RemoveTreeIsRecursiveAndScoped)
 {
     backend_->createDirectories(root_ + "/job1/rank0");
