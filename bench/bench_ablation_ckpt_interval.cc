@@ -28,7 +28,8 @@ main(int argc, char **argv)
     spec.injectFailure = true;
     spec.ckptStrides = {2, 5, 10, 20, 40, 80};
     const auto cells = spec.enumerate();
-    const auto results = core::GridRunner(options.jobs).run(cells);
+    const auto results =
+        core::GridRunner(options.jobs, options.pin).run(cells);
 
     util::Table table({"Stride(iters)", "WriteCkpt(s)", "Application(s)",
                        "Recovery(s)", "Total(s)"});

@@ -32,7 +32,8 @@ main(int argc, char **argv)
     spec.designs = {ft::Design::ReinitFti};
     spec.ckptLevels = {1, 2, 3, 4};
     const auto cells = spec.enumerate();
-    const auto results = core::GridRunner(options.jobs).run(cells);
+    const auto results =
+        core::GridRunner(options.jobs, options.pin).run(cells);
 
     util::Table table({"Level", "Storage path", "WriteCkpt(s)",
                        "Application(s)", "Total(s)"});

@@ -32,7 +32,8 @@ main(int argc, char **argv)
     spec.scales = {512};
     spec.injectFailure = true;
     const auto cells = spec.enumerate();
-    const auto results = core::GridRunner(options.jobs).run(cells);
+    const auto results =
+        core::GridRunner(options.jobs, options.pin).run(cells);
 
     struct Measured
     {

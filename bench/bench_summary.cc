@@ -96,7 +96,8 @@ main(int argc, char **argv)
         grid.push_back(makeConfig(base, cell, Design::UlfmFti, true));
         grid.push_back(makeConfig(base, cell, Design::RestartFti, false));
     }
-    const auto results = core::GridRunner(options.jobs).run(grid);
+    const auto results =
+        core::GridRunner(options.jobs, options.pin).run(grid);
 
     std::vector<double> ulfm_vs_reinit, restart_vs_reinit,
         restart_vs_ulfm, ckpt_fraction, read_seconds;

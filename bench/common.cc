@@ -57,6 +57,17 @@ BenchOptions::parse(int argc, char **argv)
                             mode.c_str());
         } else if (arg == "--drain-depth" && i + 1 < argc) {
             options.drainDepth = std::atoi(argv[++i]);
+        } else if (arg == "--pin" && i + 1 < argc) {
+            const std::string mode = argv[++i];
+            if (mode == "none")
+                options.pin = core::PinMode::None;
+            else if (mode == "auto")
+                options.pin = core::PinMode::Auto;
+            else if (mode == "cores")
+                options.pin = core::PinMode::Cores;
+            else
+                util::fatal("--pin expects none, auto or cores, got %s",
+                            mode.c_str());
         } else if (arg == "--perf") {
             options.perf = true;
         } else if (arg == "--perf-dir" && i + 1 < argc) {
@@ -71,7 +82,8 @@ BenchOptions::parse(int argc, char **argv)
                 "options: [--quick] [--runs N] [--seed S] [--csv DIR] "
                 "[--apps A,B] [--sandbox DIR] [--jobs N] "
                 "[--storage mem|disk] [--drain sync|async] "
-                "[--drain-depth N] [--perf] [--perf-dir DIR]\n"
+                "[--drain-depth N] [--pin none|auto|cores] [--perf] "
+                "[--perf-dir DIR]\n"
                 "  --jobs N  grid worker threads (default: hardware "
                 "concurrency; output is identical for any N)\n"
                 "  --storage mem|disk  checkpoint sandbox backend "
@@ -80,6 +92,10 @@ BenchOptions::parse(int argc, char **argv)
                 "async: flush I/O overlaps compute; output identical)\n"
                 "  --drain-depth N  burst-buffer queue bound, 0 = "
                 "unbounded (wall-clock only)\n"
+                "  --pin none|auto|cores  pin grid workers across "
+                "NUMA nodes/cores (auto: only when every worker can "
+                "own a core; workers' blob pools stay node-local; "
+                "output identical for every mode)\n"
                 "  --perf    time the grid under both backends and "
                 "both drain modes, write BENCH_<name>.json\n"
                 "  valid apps: %s\n",
@@ -174,7 +190,8 @@ void
 writePerfRecord(const BenchOptions &options, const FigureDef &def,
                 int jobs, std::size_t cells,
                 const std::vector<PerfSample> &samples,
-                const std::vector<DrainSample> &drain_samples)
+                const std::vector<DrainSample> &drain_samples,
+                const storage::BlobStats &mem_blob)
 {
     std::filesystem::create_directories(options.perfDir);
     const std::string path =
@@ -196,11 +213,13 @@ writePerfRecord(const BenchOptions &options, const FigureDef &def,
                  "  \"quick\": %s,\n"
                  "  \"runsPerCell\": %d,\n"
                  "  \"jobs\": %d,\n"
+                 "  \"pin\": \"%s\",\n"
                  "  \"cells\": %zu,\n"
                  "  \"computedCells\": %zu,\n"
                  "  \"backends\": [\n",
                  def.slug, def.figure, options.quick ? "true" : "false",
-                 options.runs, jobs, cells, computed);
+                 options.runs, jobs, core::pinModeName(options.pin),
+                 cells, computed);
     for (std::size_t i = 0; i < samples.size(); ++i)
         writeJsonTiming(out, "storage",
                         storage::kindName(samples[i].kind),
@@ -212,6 +231,24 @@ writePerfRecord(const BenchOptions &options, const FigureDef &def,
     }
     std::fprintf(out, "  ],\n  \"memSpeedupOverDisk\": %.3f,\n",
                  mem_total > 0.0 ? disk_total / mem_total : 0.0);
+    // Blob data-plane counters over the mem-backend run: the zero-copy
+    // claim as numbers. bytesCopied counts payload memcpy'd between
+    // staging buffers and the object store; bytesStored counts payload
+    // admitted (copied or ownership-transferred), so copied/stored is
+    // the fraction of checkpoint traffic that still moves bytes.
+    std::fprintf(
+        out,
+        "  \"blob\": {\"allocs\": %llu, \"poolHits\": %llu, "
+        "\"bytesCopied\": %llu, \"bytesStored\": %llu, "
+        "\"copiedPerStored\": %.4f},\n",
+        static_cast<unsigned long long>(mem_blob.allocs),
+        static_cast<unsigned long long>(mem_blob.poolHits),
+        static_cast<unsigned long long>(mem_blob.bytesCopied),
+        static_cast<unsigned long long>(mem_blob.bytesStored),
+        mem_blob.bytesStored > 0
+            ? static_cast<double>(mem_blob.bytesCopied) /
+                  static_cast<double>(mem_blob.bytesStored)
+            : 0.0);
     // The drain axis: the same grid forced to L4 checkpoints at a
     // dense stride (so every cell carries PFS flush traffic), sync vs
     // async execution.
@@ -268,7 +305,7 @@ runFigure(const BenchOptions &options, const FigureDef &def)
     // Parallel phase: all apps' cells at once, so the pool stays busy
     // across app boundaries. Rendering below follows enumeration order.
     const std::vector<ExperimentConfig> cells = spec.enumerate();
-    const GridRunner runner(options.jobs);
+    const GridRunner runner(options.jobs, options.pin);
     std::vector<core::ExperimentResult> results;
     if (!options.perf) {
         results = runner.run(cells);
@@ -280,16 +317,29 @@ runFigure(const BenchOptions &options, const FigureDef &def)
         GridSpec timed = spec;
         timed.cacheDir.clear();
         std::vector<PerfSample> samples;
+        storage::BlobStats mem_blob;
         for (const storage::Kind kind :
              {storage::Kind::Disk, storage::Kind::Mem}) {
             timed.storage = kind;
             PerfSample sample{kind, {}};
+            const storage::BlobStats before =
+                storage::BlobPool::globalStats();
             auto timed_results = runner.run(timed.enumerate(),
                                             &sample.timing);
+            const storage::BlobStats after =
+                storage::BlobPool::globalStats();
             samples.push_back(std::move(sample));
-            // Results are backend-invariant; render from the mem run.
-            if (kind == storage::Kind::Mem)
+            // Results are backend-invariant; render from the mem run,
+            // whose data-plane counters also land in the perf record.
+            if (kind == storage::Kind::Mem) {
                 results = std::move(timed_results);
+                mem_blob.allocs = after.allocs - before.allocs;
+                mem_blob.poolHits = after.poolHits - before.poolHits;
+                mem_blob.bytesCopied =
+                    after.bytesCopied - before.bytesCopied;
+                mem_blob.bytesStored =
+                    after.bytesStored - before.bytesStored;
+            }
         }
         // Drain axis: force L4 at a dense stride so every cell carries
         // substantial PFS flush traffic (the overlap win is bounded by
@@ -310,7 +360,7 @@ runFigure(const BenchOptions &options, const FigureDef &def)
             drain_samples.push_back(std::move(sample));
         }
         writePerfRecord(options, def, runner.jobs(), cells.size(),
-                        samples, drain_samples);
+                        samples, drain_samples, mem_blob);
     }
 
     std::size_t at = 0;

@@ -52,6 +52,11 @@ struct BenchOptions
     /** --drain-depth N: flush jobs admitted but not yet drained
      *  (burst-buffer bound); 0 = unbounded. Wall-clock only. */
     int drainDepth = 4;
+    /** --pin none|auto|cores: grid worker placement. `auto` pins
+     *  workers round-robin across NUMA nodes/cores when every worker
+     *  can own one (each worker's blob pool then stays node-local);
+     *  results are identical for every mode. */
+    core::PinMode pin = core::PinMode::None;
     /** --perf: measure grid wall-clock under both backends and under
      *  both drain modes at L4 (cache bypassed) and write
      *  BENCH_<name>.json into perfDir. */

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""CI perf guard: fail on >30% regression vs the committed baseline.
+
+Compares freshly produced BENCH_*.json records against the snapshots
+under bench/baseline/:
+
+ - BENCH_fig5.json (figure-bench perf record): cells/sec per storage
+   backend row, and per drain-mode row.
+ - BENCH_micro_rs_*.json (google-benchmark format): bytes_per_second of
+   every BM_RsEncode row (the encode MB/s trajectory).
+
+A metric passes when current >= min_ratio * baseline (one-sided: being
+faster than the baseline is always fine). Metrics present only in the
+baseline or only in the current record are reported but never fail the
+guard, so adding or renaming benches stays painless. Refresh the
+baseline (copy a CI artifact over bench/baseline/) whenever the runner
+hardware generation changes; a stale baseline from slower hardware only
+loosens the guard, never breaks it.
+
+Usage:
+    perf_guard.py [--baseline DIR] [--current DIR] [--min-ratio R]
+
+The ratio can also come from MATCH_PERF_GUARD_RATIO (flag wins).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load(path):
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def figure_metrics(record):
+    """(name, value) metrics of a figure-bench perf record."""
+    metrics = {}
+    for row in record.get("backends", []):
+        name = "cellsPerSecond[storage=%s]" % row.get("storage")
+        metrics[name] = row.get("cellsPerSecond", 0.0)
+    for row in record.get("drain", []):
+        name = "cellsPerSecond[drain=%s]" % row.get("mode")
+        metrics[name] = row.get("cellsPerSecond", 0.0)
+    return metrics
+
+
+def micro_metrics(record):
+    """(name, bytes_per_second) of every RS-encode micro-bench row."""
+    metrics = {}
+    for bench in record.get("benchmarks", []):
+        name = bench.get("name", "")
+        if "BM_RsEncode" not in name:
+            continue
+        if bench.get("run_type") == "aggregate":
+            continue
+        bps = bench.get("bytes_per_second")
+        if bps:
+            metrics["encodeBps[%s]" % name] = bps
+    return metrics
+
+
+def compare(label, baseline, current, min_ratio):
+    failures = []
+    for name in sorted(baseline):
+        base = baseline[name]
+        cur = current.get(name)
+        if cur is None:
+            print("  ~ %-55s only in baseline (skipped)" % name)
+            continue
+        if base <= 0:
+            continue
+        ratio = cur / base
+        status = "ok" if ratio >= min_ratio else "REGRESSION"
+        print("  %s %-55s %.3fx (%.3g -> %.3g)"
+              % ("+" if status == "ok" else "!", name, ratio, base, cur))
+        if status != "ok":
+            failures.append("%s: %s at %.2fx < %.2fx"
+                            % (label, name, ratio, min_ratio))
+    for name in sorted(set(current) - set(baseline)):
+        print("  ~ %-55s new metric (no baseline)" % name)
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", default="bench/baseline")
+    parser.add_argument("--current", default=".")
+    parser.add_argument("--min-ratio", type=float,
+                        default=float(os.environ.get(
+                            "MATCH_PERF_GUARD_RATIO", "0.7")))
+    args = parser.parse_args()
+
+    extractors = {
+        "BENCH_fig5.json": figure_metrics,
+        "BENCH_micro_rs_auto.json": micro_metrics,
+        "BENCH_micro_rs_scalar.json": micro_metrics,
+    }
+
+    failures = []
+    compared = 0
+    for name, extract in extractors.items():
+        base_path = os.path.join(args.baseline, name)
+        cur_path = os.path.join(args.current, name)
+        if not os.path.exists(base_path):
+            print("~ %s: no baseline snapshot (skipped)" % name)
+            continue
+        if not os.path.exists(cur_path):
+            failures.append("%s: baseline exists but no current record "
+                            "was produced" % name)
+            continue
+        print("%s (min ratio %.2f):" % (name, args.min_ratio))
+        failures += compare(name, extract(load(base_path)),
+                            extract(load(cur_path)), args.min_ratio)
+        compared += 1
+
+    if compared == 0:
+        print("perf guard: nothing to compare — commit baselines under "
+              "%s" % args.baseline)
+        return 1
+    if failures:
+        print("\nperf guard FAILED:")
+        for failure in failures:
+            print("  " + failure)
+        return 1
+    print("\nperf guard passed (%d record(s))" % compared)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -98,6 +98,29 @@ struct GridSpec
 };
 
 /**
+ * Worker-thread placement policy. Pinning is wall-clock only: results
+ * are bit-identical for every mode (cells are deterministic in their
+ * configuration, never in their scheduling).
+ *
+ * Workers are distributed round-robin across NUMA nodes and then
+ * across the cores of each node (hwloc-free: the topology comes from
+ * /sys/devices/system/node, with a single-node fallback), using
+ * sched_setaffinity. Because each worker allocates its checkpoint
+ * buffers from its own thread-local BlobPool, pinning also keeps hot
+ * buffers node-local by first touch — above ~16 workers the shared
+ * allocator otherwise shows up in the cell p99.
+ */
+enum class PinMode
+{
+    None,  ///< let the OS scheduler float workers (historical default)
+    Auto,  ///< pin when it can help: >1 worker and workers <= cores
+    Cores, ///< always pin, round-robin over nodes then cores
+};
+
+/** Lower-case label ("none", "auto", "cores") for flags and logs. */
+const char *pinModeName(PinMode mode);
+
+/**
  * Wall-clock record of one grid execution, for perf tracking: the
  * figure benches' --perf mode aggregates it into BENCH_<name>.json so
  * the repo accumulates a performance trajectory per PR.
@@ -121,11 +144,15 @@ struct GridTiming
 class GridRunner
 {
   public:
-    /** @param jobs worker threads; <= 0 selects hardwareJobs(). */
-    explicit GridRunner(int jobs = 0);
+    /** @param jobs worker threads; <= 0 selects hardwareJobs().
+     *  @param pin worker placement policy (wall-clock only). */
+    explicit GridRunner(int jobs = 0, PinMode pin = PinMode::None);
 
     /** Worker threads this runner will use. */
     int jobs() const { return jobs_; }
+
+    /** Worker placement policy. */
+    PinMode pin() const { return pin_; }
 
     /** std::thread::hardware_concurrency with a floor of 1. */
     static int hardwareJobs();
@@ -147,6 +174,7 @@ class GridRunner
 
   private:
     int jobs_ = 1;
+    PinMode pin_ = PinMode::None;
 };
 
 } // namespace match::core

@@ -143,15 +143,20 @@ Fti::protectedBytes() const
 // Serialization
 // ---------------------------------------------------------------------------
 
-std::vector<std::uint8_t>
+storage::Blob
 Fti::serializeRegions() const
 {
-    // [u32 id][u64 bytes][raw payload] per region, in id order.
+    // [u32 id][u64 bytes][raw payload] per region, in id order. The
+    // snapshot lands directly in a pooled buffer: sealing it makes it
+    // the very object the backend stores, the partner copy shares and
+    // the drain job captures — this one staging pass is the only
+    // payload copy the checkpoint hot path performs.
     std::size_t total = 0;
     for (const auto &[id, region] : regions_)
         total += sizeof(std::uint32_t) + sizeof(std::uint64_t) +
                  region.bytes;
-    std::vector<std::uint8_t> blob(total);
+    storage::MutableBlob blob =
+        storage::BlobPool::local().acquire(total);
     std::size_t off = 0;
     for (const auto &[id, region] : regions_) {
         const auto id32 = static_cast<std::uint32_t>(id);
@@ -163,21 +168,21 @@ Fti::serializeRegions() const
         std::memcpy(blob.data() + off, region.ptr, region.bytes);
         off += region.bytes;
     }
-    return blob;
+    return std::move(blob).seal();
 }
 
 void
-Fti::deserializeRegions(const std::vector<std::uint8_t> &blob)
+Fti::deserializeRegions(const std::uint8_t *data, std::size_t bytes)
 {
     std::size_t off = 0;
-    while (off < blob.size()) {
+    while (off < bytes) {
         std::uint32_t id32;
         std::uint64_t len64;
-        MATCH_ASSERT(off + sizeof(id32) + sizeof(len64) <= blob.size(),
+        MATCH_ASSERT(off + sizeof(id32) + sizeof(len64) <= bytes,
                      "truncated checkpoint blob");
-        std::memcpy(&id32, blob.data() + off, sizeof(id32));
+        std::memcpy(&id32, data + off, sizeof(id32));
         off += sizeof(id32);
-        std::memcpy(&len64, blob.data() + off, sizeof(len64));
+        std::memcpy(&len64, data + off, sizeof(len64));
         off += sizeof(len64);
         auto it = regions_.find(static_cast<int>(id32));
         if (it == regions_.end()) {
@@ -190,12 +195,12 @@ Fti::deserializeRegions(const std::vector<std::uint8_t> &blob)
                         id32, it->second.bytes,
                         static_cast<unsigned long long>(len64));
         }
-        MATCH_ASSERT(off + len64 <= blob.size(),
+        MATCH_ASSERT(off + len64 <= bytes,
                      "truncated checkpoint payload");
-        std::memcpy(it->second.ptr, blob.data() + off, len64);
+        std::memcpy(it->second.ptr, data + off, len64);
         off += len64;
     }
-    MATCH_ASSERT(off == blob.size(), "trailing bytes in checkpoint blob");
+    MATCH_ASSERT(off == bytes, "trailing bytes in checkpoint blob");
 }
 
 // ---------------------------------------------------------------------------
@@ -223,8 +228,9 @@ Fti::commitMeta(const MetaInfo &meta)
 bool
 Fti::loadMeta(int ckpt_id, MetaInfo &meta) const
 {
-    std::vector<std::uint8_t> text;
-    if (!store_.read(metaFile(config_, ckpt_id), text))
+    const storage::Blob text =
+        storage::fetch(store_, metaFile(config_, ckpt_id));
+    if (!text)
         return false;
     util::IniFile ini;
     if (!ini.parseString(
@@ -320,18 +326,20 @@ Fti::ckptFactor() const
 }
 
 void
-Fti::writeLocal(int ckpt_id, const std::vector<std::uint8_t> &blob)
+Fti::writeLocal(int ckpt_id, const storage::Blob &blob)
 {
-    // The constructor created this rank's local directory.
+    // The constructor created this rank's local directory. The store
+    // takes a handle to the sealed snapshot — no payload copy.
     const int rank = proc_.runtime().commRank(proc_.globalIndex(), comm_);
-    store_.write(ckptFile(config_, rank, ckpt_id), blob.data(),
-                 blob.size());
+    store_.write(ckptFile(config_, rank, ckpt_id), storage::Blob(blob));
 }
 
 void
-Fti::writePartnerCopy(int ckpt_id, const std::vector<std::uint8_t> &blob)
+Fti::writePartnerCopy(int ckpt_id, const storage::Blob &blob)
 {
     // Rank r's copy lives on the "next node": holder = (r+1) mod P.
+    // Under MemBackend the partner path shares the local copy's buffer
+    // (immutable, refcounted) — the L2 duplicate costs no memory move.
     const int size = proc_.runtime().commSize(comm_);
     const int rank = proc_.runtime().commRank(proc_.globalIndex(), comm_);
     const int holder = (rank + 1) % size;
@@ -339,8 +347,8 @@ Fti::writePartnerCopy(int ckpt_id, const std::vector<std::uint8_t> &blob)
         store_.createDirectories(localDir(config_, holder));
         auxDirsCreated_ = true;
     }
-    store_.write(partnerFile(config_, holder, rank, ckpt_id), blob.data(),
-                 blob.size());
+    store_.write(partnerFile(config_, holder, rank, ckpt_id),
+                 storage::Blob(blob));
 }
 
 void
@@ -362,37 +370,34 @@ Fti::encodeGroupParity(int ckpt_id, const MetaInfo &meta)
     if (m == 0)
         return;
 
-    // Pass the members' blobs to the encoder as views: the backend's
-    // zero-copy view() serves MemBackend (the leader never re-reads
-    // bytes it just wrote through a filesystem round trip), and a read
-    // into scratch storage covers DiskBackend. Shards shorter than the
-    // stripe are zero-padded implicitly by the span encoder.
+    // Fetch the members' blobs for the encoder: a refcounted view
+    // under MemBackend (the leader never re-reads bytes it just
+    // wrote), exactly one copy under DiskBackend. Shards shorter than
+    // the stripe are zero-padded implicitly by the span encoder, and
+    // the parity rows are built directly in pooled buffers that the
+    // store then takes by ownership transfer.
     std::size_t stripe = 0;
     for (int i = 0; i < k; ++i)
         stripe = std::max(stripe, meta.bytesPerRank[group_lo + i]);
     std::vector<RsCodec::ShardView> data(k);
-    std::vector<std::vector<std::uint8_t>> scratch;
-    scratch.reserve(k);
+    std::vector<storage::Blob> members(k);
     for (int i = 0; i < k; ++i) {
-        const std::string path = ckptFile(config_, group_lo + i, ckpt_id);
-        if (const auto *blob = store_.view(path)) {
-            data[i] = {blob->data(), blob->size()};
-            continue;
-        }
-        scratch.emplace_back();
-        if (!store_.read(path, scratch.back()))
+        members[i] = storage::fetch(
+            store_, ckptFile(config_, group_lo + i, ckpt_id));
+        if (!members[i])
             util::fatal("L3 encode: missing data file for rank %d",
                         group_lo + i);
-        data[i] = {scratch.back().data(), scratch.back().size()};
+        data[i] = {members[i].data(), members[i].size()};
     }
     const RsCodec codec(k, m);
-    const auto parity = codec.encode(data, stripe);
+    auto parity =
+        codec.encode(data, stripe, storage::BlobPool::local());
     for (int p = 0; p < m; ++p) {
         const int holder = group_lo + p;
         if (!auxDirsCreated_)
             store_.createDirectories(localDir(config_, holder));
         store_.write(parityFile(config_, holder, ckpt_id),
-                     parity[p].data(), parity[p].size());
+                     std::move(parity[p]));
     }
     auxDirsCreated_ = true;
 }
@@ -404,8 +409,8 @@ namespace
  * The L4 flush body, run by the drain worker: differential
  * checkpointing against the rank's base image. The first flush writes
  * the base; later ones write only the blocks that differ from it.
- * Deliberately a free function over an owned blob and a config copy —
- * it runs on the drain thread, possibly after the enqueuing Fti
+ * Deliberately a free function over a refcounted blob and a config
+ * copy — it runs on the drain thread, possibly after the enqueuing Fti
  * incarnation died, so it must touch no Fti state.
  *
  * @return bytes actually shipped to the PFS (differential writes less);
@@ -414,68 +419,65 @@ namespace
  */
 std::uint64_t
 pfsFlushJob(const FtiConfig &config, int rank, int ckpt_id,
-            const std::vector<std::uint8_t> &blob)
+            const storage::Blob &blob)
 {
     storage::Backend &store = storage::resolve(config.backend);
     const std::string dir = Fti::execDir(config) + "/pfs/diff/rank" +
                             std::to_string(rank);
     store.createDirectories(dir);
     const std::string base = dir + "/base.fti";
-    std::vector<std::uint8_t> base_owned;
-    const std::vector<std::uint8_t> *base_blob = store.view(base);
-    if (!base_blob && store.read(base, base_owned))
-        base_blob = &base_owned;
+    const storage::Blob base_blob = storage::fetch(store, base);
     if (!base_blob) {
-        store.write(base, blob.data(), blob.size());
-        // The base image also serves as this checkpoint's PFS copy.
-        store.write(Fti::pfsFile(config, rank, ckpt_id), blob.data(),
-                    blob.size());
+        // The base image also serves as this checkpoint's PFS copy;
+        // both paths share the staged buffer by refcount.
+        store.write(base, storage::Blob(blob));
+        store.write(Fti::pfsFile(config, rank, ckpt_id),
+                    storage::Blob(blob));
         return blob.size();
     }
-    // Delta vs base: [u64 offset][u64 len][payload] per changed block.
+    // Delta vs base, built straight into the stored payload:
+    // [u64 full size] then [u64 offset][u64 len][bytes] per changed
+    // block (the full size lets recovery handle growth/shrink).
     const std::size_t bs = config.diffBlockSize;
-    std::vector<std::uint8_t> delta;
+    std::vector<std::uint8_t> payload(sizeof(std::uint64_t));
+    const std::uint64_t full = blob.size();
+    std::memcpy(payload.data(), &full, sizeof(full));
     std::uint64_t changed = 0;
     for (std::size_t off = 0; off < blob.size(); off += bs) {
         const std::size_t len = std::min(bs, blob.size() - off);
         const bool same =
-            off + len <= base_blob->size() &&
-            std::memcmp(blob.data() + off, base_blob->data() + off,
+            off + len <= base_blob.size() &&
+            std::memcmp(blob.data() + off, base_blob.data() + off,
                         len) == 0;
         if (same)
             continue;
         const std::uint64_t off64 = off, len64 = len;
-        const std::size_t pos = delta.size();
-        delta.resize(pos + sizeof(off64) + sizeof(len64) + len);
-        std::memcpy(delta.data() + pos, &off64, sizeof(off64));
-        std::memcpy(delta.data() + pos + sizeof(off64), &len64,
+        const std::size_t pos = payload.size();
+        payload.resize(pos + sizeof(off64) + sizeof(len64) + len);
+        std::memcpy(payload.data() + pos, &off64, sizeof(off64));
+        std::memcpy(payload.data() + pos + sizeof(off64), &len64,
                     sizeof(len64));
-        std::memcpy(delta.data() + pos + sizeof(off64) + sizeof(len64),
+        std::memcpy(payload.data() + pos + sizeof(off64) + sizeof(len64),
                     blob.data() + off, len);
         changed += len;
     }
-    // Record the full size so recovery can handle growth/shrink.
     const std::string delta_path =
         dir + "/delta" + std::to_string(ckpt_id) + ".fti";
-    std::vector<std::uint8_t> payload(sizeof(std::uint64_t) +
-                                      delta.size());
-    const std::uint64_t full = blob.size();
-    std::memcpy(payload.data(), &full, sizeof(full));
-    std::memcpy(payload.data() + sizeof(full), delta.data(),
-                delta.size());
-    store.write(delta_path, payload.data(), payload.size());
+    store.write(delta_path,
+                storage::Blob::fromVector(std::move(payload)));
     return changed;
 }
 
 } // anonymous namespace
 
 void
-Fti::enqueuePfsFlush(int ckpt_id, std::vector<std::uint8_t> blob)
+Fti::enqueuePfsFlush(int ckpt_id, storage::Blob blob)
 {
-    // The job owns a config copy (keeping the backend alive) and the
-    // staged blob (moved in, never copied again). Clearing the drain
-    // handle in the copy avoids the worker's queue holding a reference
-    // to the worker itself.
+    // The job owns a config copy (keeping the backend alive) and a
+    // refcounted handle to the staged blob — the burst buffer holds a
+    // reference, never a deep copy. Clearing the drain handle in the
+    // copy avoids the worker's queue holding a reference to the worker
+    // itself.
     FtiConfig job_config = config_;
     job_config.drain.reset();
     const int rank = proc_.runtime().commRank(proc_.globalIndex(), comm_);
@@ -518,7 +520,7 @@ Fti::checkpoint(int ckpt_id, int level)
     CategoryScope scope(proc_, TimeCategory::CkptWrite);
     const double t0 = proc_.now();
 
-    std::vector<std::uint8_t> blob = serializeRegions();
+    storage::Blob blob = serializeRegions();
     const std::size_t blob_bytes = blob.size();
     const std::uint64_t crc = fnv1a(blob.data(), blob_bytes);
     util::debug("FTI checkpoint: g=%d comm=%d id=%d bytes=%zu crc=%llu",
@@ -531,7 +533,9 @@ Fti::checkpoint(int ckpt_id, int level)
     // drain channel) by the bytes actually shipped. The wall-clock
     // enqueue happens here, before the consistency protocol, so an
     // async worker overlaps the diff + PFS writes with the collectives
-    // and the following compute phase.
+    // and the following compute phase. Every consumer — local store,
+    // partner store, drain job — shares the one sealed snapshot by
+    // refcount; no path deep-copies the payload.
     if (level <= 3)
         writeLocal(ckpt_id, blob);
     if (level == 2)
@@ -664,30 +668,34 @@ Fti::reconstructFromGroup(const MetaInfo &meta)
     return blob;
 }
 
-std::vector<std::uint8_t>
+storage::Blob
 Fti::readPfsBlob(const MetaInfo &meta)
 {
     const int rank = proc_.runtime().commRank(proc_.globalIndex(), comm_);
-    std::vector<std::uint8_t> blob;
-    if (store_.read(pfsFile(config_, rank, meta.ckptId), blob))
-        return blob;
-    // Differential path: base + the delta for this checkpoint.
+    if (storage::Blob whole =
+            storage::fetch(store_, pfsFile(config_, rank, meta.ckptId)))
+        return whole;
+    // Differential path: base + the delta for this checkpoint. The
+    // base and delta are immutable fetched views; the restored image
+    // is materialized once into a fresh buffer.
     const std::string dir =
         execDir(config_) + "/pfs/diff/rank" + std::to_string(rank);
-    std::vector<std::uint8_t> base;
-    if (!store_.read(dir + "/base.fti", base))
+    const storage::Blob base = storage::fetch(store_, dir + "/base.fti");
+    if (!base)
         util::fatal("L4 recovery: no base image for rank %d", rank);
-    std::vector<std::uint8_t> payload;
-    if (!store_.read(dir + "/delta" + std::to_string(meta.ckptId) +
-                         ".fti",
-                     payload)) {
+    const storage::Blob payload = storage::fetch(
+        store_, dir + "/delta" + std::to_string(meta.ckptId) + ".fti");
+    if (!payload)
         return base; // checkpoint was the base itself
-    }
     MATCH_ASSERT(payload.size() >= sizeof(std::uint64_t),
                  "truncated delta file");
     std::uint64_t full;
     std::memcpy(&full, payload.data(), sizeof(full));
-    base.resize(full, 0);
+    std::vector<std::uint8_t> out(full, 0);
+    const std::size_t keep =
+        std::min(static_cast<std::size_t>(full), base.size());
+    std::memcpy(out.data(), base.data(), keep);
+    storage::noteBlobCopy(keep);
     std::size_t off = sizeof(full);
     while (off < payload.size()) {
         std::uint64_t at, len;
@@ -696,54 +704,54 @@ Fti::readPfsBlob(const MetaInfo &meta)
         std::memcpy(&at, payload.data() + off, sizeof(at));
         std::memcpy(&len, payload.data() + off + sizeof(at), sizeof(len));
         off += 2 * sizeof(std::uint64_t);
-        MATCH_ASSERT(off + len <= payload.size() &&
-                         at + len <= base.size(),
+        MATCH_ASSERT(off + len <= payload.size() && at + len <= out.size(),
                      "delta record out of range");
-        std::memcpy(base.data() + at, payload.data() + off, len);
+        std::memcpy(out.data() + at, payload.data() + off, len);
         off += len;
     }
-    return base;
+    return storage::Blob::fromVector(std::move(out));
 }
 
-std::vector<std::uint8_t>
+storage::Blob
 Fti::readBlobForRecovery(const MetaInfo &meta)
 {
     const int rank = proc_.runtime().commRank(proc_.globalIndex(), comm_);
     const std::uint64_t want_crc = meta.checksumPerRank[rank];
     const std::size_t want_bytes = meta.bytesPerRank[rank];
+    const auto intact = [&](const storage::Blob &blob) {
+        return blob && blob.size() == want_bytes &&
+               fnv1a(blob.data(), blob.size()) == want_crc;
+    };
 
     if (meta.level <= 3) {
-        std::vector<std::uint8_t> blob;
-        if (store_.read(ckptFile(config_, rank, meta.ckptId), blob) &&
-            blob.size() == want_bytes &&
-            fnv1a(blob.data(), blob.size()) == want_crc) {
+        if (storage::Blob blob = storage::fetch(
+                store_, ckptFile(config_, rank, meta.ckptId));
+            intact(blob)) {
             return blob;
         }
         // Local copy lost or corrupt: escalate by level.
         if (meta.level == 2) {
             const int holder = (rank + 1) % meta.nprocs;
-            if (store_.read(partnerFile(config_, holder, rank,
-                                        meta.ckptId),
-                            blob) &&
-                blob.size() == want_bytes &&
-                fnv1a(blob.data(), blob.size()) == want_crc) {
+            if (storage::Blob blob = storage::fetch(
+                    store_,
+                    partnerFile(config_, holder, rank, meta.ckptId));
+                intact(blob)) {
                 return blob;
             }
             util::fatal("L2 recovery failed for rank %d: local and "
                         "partner copies both lost", rank);
         }
         if (meta.level == 3) {
-            blob = reconstructFromGroup(meta);
-            if (fnv1a(blob.data(), blob.size()) == want_crc)
-                return blob;
+            auto data = reconstructFromGroup(meta);
+            if (fnv1a(data.data(), data.size()) == want_crc)
+                return storage::Blob::fromVector(std::move(data));
             util::fatal("L3 recovery failed checksum for rank %d", rank);
         }
         util::fatal("L1 recovery failed for rank %d: checkpoint lost "
                     "(L1 cannot survive node-storage loss)", rank);
     }
-    auto blob = readPfsBlob(meta);
-    if (blob.size() == want_bytes &&
-        fnv1a(blob.data(), blob.size()) == want_crc)
+    const storage::Blob blob = readPfsBlob(meta);
+    if (intact(blob))
         return blob;
     util::fatal("L4 recovery failed checksum for rank %d", rank);
 }
@@ -766,12 +774,12 @@ Fti::recover()
     // wait out the channel (virtually and in wall-clock) first.
     if (meta.level == 4)
         drainBarrier();
-    const auto blob = readBlobForRecovery(meta);
+    const storage::Blob blob = readBlobForRecovery(meta);
     util::debug("FTI recover: g=%d comm=%d rank=%d ckpt=%d bytes=%zu",
                 proc_.globalIndex(), comm_,
                 proc_.runtime().commRank(proc_.globalIndex(), comm_),
                 newest, blob.size());
-    deserializeRegions(blob);
+    deserializeRegions(blob.data(), blob.size());
 
     const int size = proc_.runtime().commSize(comm_);
     const double virt_bytes =

@@ -155,14 +155,16 @@ class Fti
         std::vector<std::uint64_t> checksumPerRank;
     };
 
-    std::vector<std::uint8_t> serializeRegions() const;
-    void deserializeRegions(const std::vector<std::uint8_t> &blob);
-    void writeLocal(int ckpt_id, const std::vector<std::uint8_t> &blob);
-    void writePartnerCopy(int ckpt_id,
-                          const std::vector<std::uint8_t> &blob);
+    /** Snapshot every protected region into one pooled, sealed blob
+     *  (the only payload copy on the checkpoint hot path). */
+    storage::Blob serializeRegions() const;
+    void deserializeRegions(const std::uint8_t *data, std::size_t bytes);
+    void writeLocal(int ckpt_id, const storage::Blob &blob);
+    void writePartnerCopy(int ckpt_id, const storage::Blob &blob);
     void encodeGroupParity(int ckpt_id, const MetaInfo &meta);
-    /** Stage the blob and admit its PFS flush job to the drain. */
-    void enqueuePfsFlush(int ckpt_id, std::vector<std::uint8_t> blob);
+    /** Stage the blob (a refcount, not a copy) and admit its PFS flush
+     *  job to the drain. */
+    void enqueuePfsFlush(int ckpt_id, storage::Blob blob);
     /**
      * Quiesce point: wall-block until the drain ran every admitted job,
      * resolve this rank's pending flushes into the virtual drain
@@ -174,9 +176,9 @@ class Fti
     bool loadMeta(int ckpt_id, MetaInfo &meta) const;
     int newestCommittedCkpt() const;
     void cleanupOlderCheckpoints(int keep_id);
-    std::vector<std::uint8_t> readBlobForRecovery(const MetaInfo &meta);
+    storage::Blob readBlobForRecovery(const MetaInfo &meta);
     std::vector<std::uint8_t> reconstructFromGroup(const MetaInfo &meta);
-    std::vector<std::uint8_t> readPfsBlob(const MetaInfo &meta);
+    storage::Blob readPfsBlob(const MetaInfo &meta);
     double ckptFactor() const;
 
     simmpi::Proc &proc_;

@@ -47,18 +47,50 @@ std::vector<std::vector<std::uint8_t>>
 RsCodec::encode(const std::vector<ShardView> &data,
                 std::size_t stripe) const
 {
+    std::vector<std::vector<std::uint8_t>> parity(
+        static_cast<std::size_t>(m_));
+    std::vector<std::uint8_t *> rows(static_cast<std::size_t>(m_));
+    for (int p = 0; p < m_; ++p) {
+        parity[p].resize(stripe); // zero-filled; short-view tails rely on it
+        rows[p] = parity[p].data();
+    }
+    encodeInto(data, stripe, rows.data());
+    return parity;
+}
+
+std::vector<storage::Blob>
+RsCodec::encode(const std::vector<ShardView> &data, std::size_t stripe,
+                storage::BlobPool &pool) const
+{
+    std::vector<storage::MutableBlob> staging;
+    staging.reserve(static_cast<std::size_t>(m_));
+    std::vector<std::uint8_t *> rows(static_cast<std::size_t>(m_));
+    for (int p = 0; p < m_; ++p) {
+        // Pooled rows must be zeroed explicitly: the encoder relies on
+        // a zero seed for stripe bytes no shard reaches.
+        staging.push_back(pool.acquireZeroed(stripe));
+        rows[p] = staging.back().data();
+    }
+    encodeInto(data, stripe, rows.data());
+    std::vector<storage::Blob> parity;
+    parity.reserve(staging.size());
+    for (auto &row : staging)
+        parity.push_back(std::move(row).seal());
+    return parity;
+}
+
+void
+RsCodec::encodeInto(const std::vector<ShardView> &data,
+                    std::size_t stripe,
+                    std::uint8_t *const *parity) const
+{
     MATCH_ASSERT(static_cast<int>(data.size()) == k_,
                  "encode expects exactly k data shards");
     for (const auto &[ptr, len] : data)
         MATCH_ASSERT(len <= stripe && (ptr != nullptr || len == 0),
                      "shard views must fit the stripe");
-
-    std::vector<std::vector<std::uint8_t>> parity(
-        static_cast<std::size_t>(m_));
-    for (int p = 0; p < m_; ++p)
-        parity[p].resize(stripe); // zero-filled; only short-view tails rely on it
     if (m_ == 0 || stripe == 0)
-        return parity;
+        return;
 
     // Fused, cache-blocked pass. The naive loop (for each parity, sweep
     // all k data shards) streams every data shard m times and every
@@ -66,8 +98,8 @@ RsCodec::encode(const std::vector<ShardView> &data,
     // shard is read once and applied to all m parity rows while it is
     // hot in cache, so large stripes move ~(k + m) blocks of traffic
     // instead of ~2*k*m. Within a block the first contributing shard
-    // seeds the parity rows with mulCopy: the zero-filled allocation is
-    // never read back. Shards shorter than the stripe simply stop
+    // seeds the parity rows with mulCopy: the zeroed buffer is never
+    // read back. Shards shorter than the stripe simply stop
     // contributing (their implicit zero padding multiplies to zero);
     // parity bytes no shard reaches keep their zero fill.
     constexpr std::size_t kBlock = 16 * 1024; // source block stays in L1d
@@ -85,20 +117,19 @@ RsCodec::encode(const std::vector<ShardView> &data,
                 // Overwrite [off, off+n); any tail of the block stays
                 // zero-filled, which is exactly this shard's padding.
                 for (int p = 0; p < m_; ++p)
-                    gf::mulCopy(parity[p].data() + off, ptr + off, n,
+                    gf::mulCopy(parity[p] + off, ptr + off, n,
                                 enc(k_ + p, c));
                 first = false;
                 continue;
             }
             for (int p = 0; p < m_; ++p) {
-                rows[p] = parity[p].data() + off;
+                rows[p] = parity[p] + off;
                 coeffs[p] = enc(k_ + p, c);
             }
             gf::mulAddMulti(rows.data(), coeffs.data(),
                             static_cast<std::size_t>(m_), ptr + off, n);
         }
     }
-    return parity;
 }
 
 std::vector<std::vector<std::uint8_t>>

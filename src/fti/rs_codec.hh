@@ -16,6 +16,8 @@
 #include <optional>
 #include <vector>
 
+#include "src/storage/blob.hh"
+
 namespace match::fti
 {
 
@@ -62,6 +64,16 @@ class RsCodec
     encode(const std::vector<ShardView> &data, std::size_t stripe) const;
 
     /**
+     * Same fused pass, but the m parity rows are built directly in
+     * pooled buffers and returned as sealed blobs, ready for a
+     * zero-copy ownership-transfer write into the storage backend.
+     * Bit-identical to the vector overloads for every kernel.
+     */
+    std::vector<storage::Blob>
+    encode(const std::vector<ShardView> &data, std::size_t stripe,
+           storage::BlobPool &pool) const;
+
+    /**
      * Reconstruct the full set of k data shards from any k survivors.
      *
      * @param shards k+m entries indexed by shard id (0..k-1 data,
@@ -79,6 +91,12 @@ class RsCodec
     std::vector<std::uint8_t> encodeMatrix_;
 
     std::uint8_t enc(int row, int col) const;
+
+    /** The fused cache-blocked pass shared by the encode overloads;
+     *  `rows` are m pre-zeroed parity buffers of `stripe` bytes. */
+    void encodeInto(const std::vector<ShardView> &data,
+                    std::size_t stripe,
+                    std::uint8_t *const *rows) const;
 };
 
 } // namespace match::fti

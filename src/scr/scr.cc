@@ -1,6 +1,7 @@
 #include "src/scr/scr.hh"
 
 #include <algorithm>
+#include <cstring>
 
 #include "src/util/logging.hh"
 
@@ -195,35 +196,48 @@ Scr::applyRedundancy()
       case Redundancy::Xor: {
         // RAID-5-style: the group leader XORs the members' files
         // (concatenated, zero-padded) into one parity blob per group.
+        // The parity accumulates directly in a pooled buffer over
+        // fetched member views — the member blobs are never
+        // concatenated or padded in memory (a zero pad XORs to a
+        // no-op, so short members simply stop contributing).
         const int gs = config_.groupSize;
         if (r % gs != 0)
             return;
         const int lo = r;
         const int hi = std::min(lo + gs, n);
         std::size_t stripe = 0;
-        std::vector<std::vector<std::uint8_t>> blobs(hi - lo);
         for (int m = lo; m < hi; ++m) {
+            std::size_t total = 0;
             for (const std::string &name : routedFiles_) {
-                std::vector<std::uint8_t> file;
-                if (!store_.read(datasetDir(config_, writingDataset_,
+                std::size_t bytes = 0;
+                if (!store_.size(datasetDir(config_, writingDataset_,
                                             m) +
                                      "/" + name,
-                                 file))
+                                 bytes))
                     util::fatal("SCR XOR: missing member file (rank %d)",
                                 m);
-                auto &blob = blobs[m - lo];
-                blob.insert(blob.end(), file.begin(), file.end());
+                total += bytes;
             }
-            stripe = std::max(stripe, blobs[m - lo].size());
+            stripe = std::max(stripe, total);
         }
-        std::vector<std::uint8_t> parity(stripe, 0);
-        for (auto &blob : blobs) {
-            blob.resize(stripe, 0);
-            for (std::size_t i = 0; i < stripe; ++i)
-                parity[i] ^= blob[i];
+        storage::MutableBlob parity =
+            storage::BlobPool::local().acquireZeroed(stripe);
+        for (int m = lo; m < hi; ++m) {
+            std::size_t off = 0;
+            for (const std::string &name : routedFiles_) {
+                const storage::Blob file = storage::fetch(
+                    store_, datasetDir(config_, writingDataset_, m) +
+                                "/" + name);
+                if (!file)
+                    util::fatal("SCR XOR: missing member file (rank %d)",
+                                m);
+                for (std::size_t i = 0; i < file.size(); ++i)
+                    parity.data()[off + i] ^= file.data()[i];
+                off += file.size();
+            }
         }
         store_.write(parityFile(config_, writingDataset_, lo / gs),
-                     parity.data(), parity.size());
+                     std::move(parity).seal());
         return;
       }
     }
@@ -409,23 +423,30 @@ Scr::tryRebuildFromXor(const std::string &name)
     // XOR the surviving members' blobs with the parity to recover this
     // rank's blob; only single-file datasets are rebuildable this way
     // (the benchmark writes one file per rank, like most SCR users).
+    // The parity seeds a pooled accumulator; survivors are fetched
+    // views XOR'd in place (a short survivor's zero pad is a no-op).
     const int gs = config_.groupSize;
     const int lo = (rank() / gs) * gs;
     const int hi = std::min(lo + gs, size());
-    std::vector<std::uint8_t> acc;
-    if (!store_.read(parityFile(config_, restartDataset_, lo / gs), acc))
+    const storage::Blob parity = storage::fetch(
+        store_, parityFile(config_, restartDataset_, lo / gs));
+    if (!parity)
         return false; // parity lost
+    storage::MutableBlob acc =
+        storage::BlobPool::local().acquire(parity.size());
+    std::memcpy(acc.data(), parity.data(), parity.size());
+    storage::noteBlobCopy(parity.size());
     for (int m = lo; m < hi; ++m) {
         if (m == rank())
             continue;
-        std::vector<std::uint8_t> blob;
-        if (!store_.read(datasetDir(config_, restartDataset_, m) + "/" +
-                             name,
-                         blob))
+        const storage::Blob blob = storage::fetch(
+            store_, datasetDir(config_, restartDataset_, m) + "/" +
+                        name);
+        if (!blob)
             return false; // two losses in the group
-        blob.resize(acc.size(), 0);
-        for (std::size_t i = 0; i < acc.size(); ++i)
-            acc[i] ^= blob[i];
+        const std::size_t n = std::min(blob.size(), acc.size());
+        for (std::size_t i = 0; i < n; ++i)
+            acc.data()[i] ^= blob.data()[i];
     }
     // The recovered blob is padded to the stripe; the application reads
     // the bytes it wrote (sizes are application knowledge under SCR).
@@ -433,7 +454,7 @@ Scr::tryRebuildFromXor(const std::string &name)
                                         rank()));
     store_.write(datasetDir(config_, restartDataset_, rank()) + "/" +
                      name,
-                 acc.data(), acc.size());
+                 std::move(acc).seal());
     return true;
 }
 

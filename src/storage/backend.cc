@@ -53,8 +53,12 @@ normalizeTree(const std::string &dir)
  * worker above ~8 jobs. Per-object operations touch exactly one
  * bucket; prefix operations (removeTree, listDir) visit each bucket's
  * map with the same ordered range scan as before, since a bucket's
- * map is keyed by full path. std::map nodes are stable, which gives
- * view() its pointer-stability guarantee for free.
+ * map is keyed by full path.
+ *
+ * Objects are refcounted Blobs: the ownership-transfer write stores
+ * the caller's sealed buffer (zero memcpy), view() hands out handle
+ * copies that outlive overwrite/remove, and copy() is a refcount bump
+ * (blobs are immutable, so two paths can share one buffer safely).
  */
 class MemBackend final : public Backend
 {
@@ -65,32 +69,52 @@ class MemBackend final : public Backend
     read(const std::string &path,
          std::vector<std::uint8_t> &out) const override
     {
-        const Bucket &bucket = bucketFor(path);
-        std::lock_guard<std::mutex> lock(bucket.mutex);
-        const auto it = bucket.objects.find(path);
-        if (it == bucket.objects.end())
-            return false;
-        out = it->second;
+        // Take a handle under the lock, copy outside it: a multi-MB
+        // copy-out must not stall every other thread whose paths hash
+        // to this bucket (the refcount keeps the bytes alive).
+        Blob blob;
+        {
+            const Bucket &bucket = bucketFor(path);
+            std::lock_guard<std::mutex> lock(bucket.mutex);
+            const auto it = bucket.objects.find(path);
+            if (it == bucket.objects.end())
+                return false;
+            blob = it->second;
+        }
+        out.assign(blob.data(), blob.data() + blob.size());
+        noteBlobCopy(blob.size());
         return true;
     }
 
-    const std::vector<std::uint8_t> *
+    Blob
     view(const std::string &path) const override
     {
         const Bucket &bucket = bucketFor(path);
         std::lock_guard<std::mutex> lock(bucket.mutex);
         const auto it = bucket.objects.find(path);
-        return it == bucket.objects.end() ? nullptr : &it->second;
+        return it == bucket.objects.end() ? Blob() : it->second;
     }
 
     void
     write(const std::string &path, const void *data,
           std::size_t bytes) override
     {
-        const auto *p = static_cast<const std::uint8_t *>(data);
+        // Raw writes must copy once into a pooled buffer; callers on
+        // the hot path hand over a sealed Blob instead (no copy).
+        Blob blob = BlobPool::local().copyOf(data, bytes);
+        noteBlobStore(bytes);
         Bucket &bucket = bucketFor(path);
         std::lock_guard<std::mutex> lock(bucket.mutex);
-        bucket.objects[path].assign(p, p + bytes);
+        bucket.objects[path] = std::move(blob);
+    }
+
+    void
+    write(const std::string &path, Blob &&blob) override
+    {
+        noteBlobStore(blob.size());
+        Bucket &bucket = bucketFor(path);
+        std::lock_guard<std::mutex> lock(bucket.mutex);
+        bucket.objects[path] = std::move(blob);
     }
 
     void
@@ -98,6 +122,12 @@ class MemBackend final : public Backend
                 std::size_t bytes) override
     {
         write(path, data, bytes); // bucket writes are already atomic
+    }
+
+    void
+    writeAtomic(const std::string &path, Blob &&blob) override
+    {
+        write(path, std::move(blob));
     }
 
     bool
@@ -123,10 +153,11 @@ class MemBackend final : public Backend
     bool
     copy(const std::string &src, const std::string &dst) override
     {
-        // Copy out under the source lock, insert under the destination
-        // lock: no two buckets are ever held at once (src and dst may
-        // share one), so bucket locks need no global ordering.
-        std::vector<std::uint8_t> blob;
+        // Grab a handle under the source lock, insert under the
+        // destination lock: no two buckets are ever held at once (src
+        // and dst may share one), so bucket locks need no global
+        // ordering. Blobs are immutable, so "copy" is a refcount bump.
+        Blob blob;
         {
             const Bucket &bucket = bucketFor(src);
             std::lock_guard<std::mutex> lock(bucket.mutex);
@@ -135,6 +166,7 @@ class MemBackend final : public Backend
                 return false;
             blob = it->second;
         }
+        noteBlobStore(blob.size());
         Bucket &bucket = bucketFor(dst);
         std::lock_guard<std::mutex> lock(bucket.mutex);
         bucket.objects[dst] = std::move(blob);
@@ -206,7 +238,7 @@ class MemBackend final : public Backend
     struct Bucket
     {
         mutable std::mutex mutex;
-        std::map<std::string, std::vector<std::uint8_t>> objects;
+        std::map<std::string, Blob> objects;
     };
 
     /** Power of two so the hash mixes down to a cheap mask. */
@@ -247,10 +279,10 @@ class DiskBackend final : public Backend
         return !in.bad() && in.gcount() == bytes;
     }
 
-    const std::vector<std::uint8_t> *
+    Blob
     view(const std::string &) const override
     {
-        return nullptr; // no stable in-memory image of a file
+        return Blob(); // no stable in-memory image of a file
     }
 
     void
@@ -340,6 +372,21 @@ class DiskBackend final : public Backend
 };
 
 } // anonymous namespace
+
+Blob
+fetch(const Backend &backend, const std::string &path)
+{
+    if (Blob blob = backend.view(path))
+        return blob;
+    std::vector<std::uint8_t> out;
+    if (!backend.read(path, out))
+        return Blob();
+    // The backend had no in-memory image: the read above is the one
+    // unavoidable copy, counted here (MemBackend counts inside read()
+    // but never reaches this fallback — its view always succeeds).
+    noteBlobCopy(out.size());
+    return Blob::fromVector(std::move(out));
+}
 
 std::shared_ptr<Backend>
 makeBackend(Kind kind)

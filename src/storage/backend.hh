@@ -23,10 +23,16 @@
  * are invisible to the other.
  *
  * Thread-safety: every method is safe to call concurrently on one
- * instance. The pointer returned by view() stays valid until the
- * object is overwritten or removed; callers that share one object
- * across threads must not race a view against an overwrite of the
- * same path (grid cells never do — each job owns a private sandbox).
+ * instance. view() returns a refcounted Blob handle that stays valid
+ * for as long as the caller holds it — overwriting or removing the
+ * path cannot invalidate a view already taken (the old lifetime
+ * footgun is gone; the refcount keeps the bytes alive).
+ *
+ * Zero-copy data plane: the Blob overloads of write()/writeAtomic()
+ * transfer ownership of the caller's sealed buffer — MemBackend stores
+ * the handle itself, so a checkpoint write moves no bytes. The raw
+ * (pointer, length) overloads remain for small records and for
+ * callers without a blob in hand.
  */
 
 #ifndef MATCH_STORAGE_BACKEND_HH
@@ -36,6 +42,8 @@
 #include <memory>
 #include <string>
 #include <vector>
+
+#include "src/storage/blob.hh"
 
 namespace match::storage
 {
@@ -63,16 +71,27 @@ class Backend
                       std::vector<std::uint8_t> &out) const = 0;
 
     /**
-     * Zero-copy read: a stable pointer to the stored bytes when the
-     * backend can provide one (MemBackend), nullptr otherwise. The
-     * pointer is valid until the object is overwritten or removed.
+     * Zero-copy read: a refcounted handle to the stored bytes when the
+     * backend can provide one (MemBackend), an invalid Blob otherwise.
+     * The handle stays valid for as long as the caller holds it, even
+     * across overwrite/remove of the path.
      */
-    virtual const std::vector<std::uint8_t> *
-    view(const std::string &path) const = 0;
+    virtual Blob view(const std::string &path) const = 0;
 
     /** Create or replace an object. Fatal on I/O failure. */
     virtual void write(const std::string &path, const void *data,
                        std::size_t bytes) = 0;
+
+    /**
+     * Ownership-transfer write: backends with an in-memory object map
+     * (MemBackend) store the caller's sealed buffer with zero memcpy;
+     * the default forwards to the raw write.
+     */
+    virtual void
+    write(const std::string &path, Blob &&blob)
+    {
+        write(path, blob.data(), blob.size());
+    }
 
     /**
      * Atomically create or replace an object: a reader never observes
@@ -81,6 +100,13 @@ class Backend
      */
     virtual void writeAtomic(const std::string &path, const void *data,
                              std::size_t bytes) = 0;
+
+    /** Ownership-transfer form of writeAtomic (see write(Blob&&)). */
+    virtual void
+    writeAtomic(const std::string &path, Blob &&blob)
+    {
+        writeAtomic(path, blob.data(), blob.size());
+    }
 
     /** Whether an object exists at `path`. */
     virtual bool exists(const std::string &path) const = 0;
@@ -120,6 +146,16 @@ std::shared_ptr<Backend> makeBackend(Kind kind);
 
 /** Process-wide shared DiskBackend (stateless, always available). */
 Backend &sharedDiskBackend();
+
+/**
+ * Read a whole object with the fewest copies the backend allows: a
+ * zero-copy view when one exists (MemBackend), otherwise exactly one
+ * read into a freshly wrapped buffer (DiskBackend). Returns an invalid
+ * Blob when the object does not exist. This is the one helper every
+ * FTI/SCR read path shares — callers must not hand-roll the
+ * view-then-read fallback (the old pattern copied twice on disk).
+ */
+Blob fetch(const Backend &backend, const std::string &path);
 
 /** The backend a config carries, or the shared DiskBackend when the
  *  config predates the storage layer (null pointer). */

@@ -152,6 +152,33 @@ TEST(GridRunner, AsyncDrainStaysBitIdenticalForAnyWorkerCount)
     }
 }
 
+TEST(GridRunner, PinnedRunIsBitIdenticalToUnpinned)
+{
+    // Worker placement is wall-clock only: pinning workers to cores
+    // (and keeping their blob pools node-local) must not perturb a
+    // single simulated byte, for any pin mode.
+    const GridSpec spec = smallSpec("pin");
+    const auto cells = spec.enumerate();
+    const auto unpinned = GridRunner(4, PinMode::None).run(cells);
+    const auto cores = GridRunner(4, PinMode::Cores).run(cells);
+    const auto autop = GridRunner(2, PinMode::Auto).run(cells);
+    ASSERT_EQ(unpinned.size(), cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        expectIdentical(unpinned[i], cores[i]);
+        expectIdentical(unpinned[i], autop[i]);
+    }
+    fs::remove_all(spec.sandboxDir);
+}
+
+TEST(GridRunner, PinModeIsRecordedAndNamed)
+{
+    EXPECT_EQ(GridRunner(2, PinMode::Cores).pin(), PinMode::Cores);
+    EXPECT_EQ(GridRunner(2).pin(), PinMode::None);
+    EXPECT_STREQ(pinModeName(PinMode::None), "none");
+    EXPECT_STREQ(pinModeName(PinMode::Auto), "auto");
+    EXPECT_STREQ(pinModeName(PinMode::Cores), "cores");
+}
+
 TEST(GridRunner, DuplicateCellsShareOneComputation)
 {
     const GridSpec spec = smallSpec("dedupe");

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstring>
 #include <filesystem>
 #include <string>
 #include <thread>
@@ -88,6 +89,24 @@ TEST_P(BackendContract, OverwriteReplacesContent)
     std::vector<std::uint8_t> out;
     ASSERT_TRUE(backend_->read(path, out));
     EXPECT_EQ(out, bytes("second"));
+}
+
+TEST_P(BackendContract, BlobWriteOverloadsReadBack)
+{
+    // Both backends must accept sealed blobs through the
+    // ownership-transfer overloads and serve the same bytes back.
+    storage::MutableBlob a = storage::BlobPool::local().acquire(7);
+    std::memcpy(a.data(), "payload", 7);
+    backend_->write(root_ + "/blob", std::move(a).seal());
+    storage::MutableBlob b = storage::BlobPool::local().acquire(6);
+    std::memcpy(b.data(), "atomic", 6);
+    backend_->writeAtomic(root_ + "/commit", std::move(b).seal());
+
+    std::vector<std::uint8_t> out;
+    ASSERT_TRUE(backend_->read(root_ + "/blob", out));
+    EXPECT_EQ(out, bytes("payload"));
+    ASSERT_TRUE(backend_->read(root_ + "/commit", out));
+    EXPECT_EQ(out, bytes("atomic"));
 }
 
 TEST_P(BackendContract, AtomicWriteIsVisibleAndSized)
@@ -209,17 +228,32 @@ INSTANTIATE_TEST_SUITE_P(Kinds, BackendContract,
                                  storage::kindName(info.param));
                          });
 
-TEST(MemBackend, ViewIsZeroCopyAndTracksOverwrite)
+TEST(MemBackend, ViewIsZeroCopyAndRefcounted)
 {
     const auto backend = storage::makeBackend(Kind::Mem);
     const std::string text = "view me";
     backend->write("/sandbox/blob", text.data(), text.size());
-    const auto *view = backend->view("/sandbox/blob");
-    ASSERT_NE(view, nullptr);
-    EXPECT_EQ(*view, bytes("view me"));
-    // A second read must not copy through the view (same storage).
-    EXPECT_EQ(view, backend->view("/sandbox/blob"));
-    EXPECT_EQ(backend->view("/sandbox/absent"), nullptr);
+    const storage::Blob view = backend->view("/sandbox/blob");
+    ASSERT_TRUE(view);
+    EXPECT_EQ(std::vector<std::uint8_t>(view.data(),
+                                        view.data() + view.size()),
+              bytes("view me"));
+    // A second view must hand out the same storage, not a copy.
+    EXPECT_EQ(view.data(), backend->view("/sandbox/blob").data());
+    EXPECT_FALSE(backend->view("/sandbox/absent"));
+}
+
+TEST(MemBackend, BlobWriteTransfersOwnershipWithoutCopy)
+{
+    // The ownership-transfer write must store the caller's sealed
+    // buffer itself: the bytes served by view() live at the very
+    // address the client staged them at.
+    const auto backend = storage::makeBackend(Kind::Mem);
+    storage::MutableBlob staged = storage::BlobPool::local().acquire(5);
+    std::memcpy(staged.data(), "hello", 5);
+    const std::uint8_t *raw = staged.data();
+    backend->write("/sandbox/blob", std::move(staged).seal());
+    EXPECT_EQ(backend->view("/sandbox/blob").data(), raw);
 }
 
 TEST(MemBackend, InstancesAreIsolated)
@@ -283,5 +317,5 @@ TEST(DiskBackend, ViewDeclinesAndSharedInstanceIsDisk)
 {
     EXPECT_EQ(storage::sharedDiskBackend().kind(), Kind::Disk);
     const auto backend = storage::makeBackend(Kind::Disk);
-    EXPECT_EQ(backend->view("/etc/hostname"), nullptr);
+    EXPECT_FALSE(backend->view("/etc/hostname"));
 }
