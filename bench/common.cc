@@ -168,18 +168,36 @@ struct DrainSample
 
 void
 writeJsonTiming(std::FILE *out, const char *key, const char *label,
-                const core::GridTiming &t, bool last)
+                const core::GridTiming &t, bool last,
+                const std::string &extra = std::string())
 {
     const double cells = static_cast<double>(t.cellSeconds.size());
+    // Phase attribution: ckptSerialize/rsEncode/storage are exclusive
+    // scheduler-thread phases, so simCore (everything else the grid
+    // spent: the event loop, app kernels, collectives) is derived by
+    // subtraction. Drain runs on its own thread and overlaps the
+    // others, so it is reported alongside but never subtracted. With
+    // more than one worker the phase sums span threads and simCore is
+    // a lower bound.
+    const double serialize =
+        t.phases.secondsFor(util::Phase::CkptSerialize);
+    const double rs = t.phases.secondsFor(util::Phase::RsEncode);
+    const double io = t.phases.secondsFor(util::Phase::Storage);
+    const double drain = t.phases.secondsFor(util::Phase::Drain);
+    const double sim_core =
+        std::max(0.0, t.totalSeconds - serialize - rs - io);
     std::fprintf(
         out,
         "    {\"%s\": \"%s\", \"totalSeconds\": %.6f, "
         "\"cellP50Seconds\": %.6f, \"cellP99Seconds\": %.6f, "
-        "\"cellsPerSecond\": %.3f}%s\n",
+        "\"cellsPerSecond\": %.3f, "
+        "\"phases\": {\"simCoreSeconds\": %.6f, "
+        "\"ckptSerializeSeconds\": %.6f, \"rsEncodeSeconds\": %.6f, "
+        "\"storageSeconds\": %.6f, \"drainSeconds\": %.6f}%s}%s\n",
         key, label, t.totalSeconds, percentile(t.cellSeconds, 0.50),
         percentile(t.cellSeconds, 0.99),
-        t.totalSeconds > 0.0 ? cells / t.totalSeconds : 0.0,
-        last ? "" : ",");
+        t.totalSeconds > 0.0 ? cells / t.totalSeconds : 0.0, sim_core,
+        serialize, rs, io, drain, extra.c_str(), last ? "" : ",");
 }
 
 /**
@@ -213,13 +231,14 @@ writePerfRecord(const BenchOptions &options, const FigureDef &def,
                  "  \"quick\": %s,\n"
                  "  \"runsPerCell\": %d,\n"
                  "  \"jobs\": %d,\n"
+                 "  \"hardwareConcurrency\": %d,\n"
                  "  \"pin\": \"%s\",\n"
                  "  \"cells\": %zu,\n"
                  "  \"computedCells\": %zu,\n"
                  "  \"backends\": [\n",
                  def.slug, def.figure, options.quick ? "true" : "false",
-                 options.runs, jobs, core::pinModeName(options.pin),
-                 cells, computed);
+                 options.runs, jobs, core::GridRunner::hardwareJobs(),
+                 core::pinModeName(options.pin), cells, computed);
     for (std::size_t i = 0; i < samples.size(); ++i)
         writeJsonTiming(out, "storage",
                         storage::kindName(samples[i].kind),
@@ -256,14 +275,24 @@ writePerfRecord(const BenchOptions &options, const FigureDef &def,
     std::fprintf(out, "  \"drainCkptLevel\": 4,\n"
                       "  \"drainCkptStride\": 2,\n"
                       "  \"drain\": [\n");
+    // Async drain only overlaps when the drain worker gets a core the
+    // grid workers are not already saturating: with jobs + 1 threads on
+    // fewer cores the async row measures contention, not overlap, so it
+    // is flagged for perf_guard to skip rather than fail on.
+    const bool undersubscribed =
+        jobs + 1 > core::GridRunner::hardwareJobs();
     for (std::size_t i = 0; i < drain_samples.size(); ++i) {
+        const bool async =
+            drain_samples[i].mode == storage::DrainMode::Async;
         writeJsonTiming(out, "mode",
                         storage::drainModeName(drain_samples[i].mode),
                         drain_samples[i].timing,
-                        i + 1 == drain_samples.size());
-        (drain_samples[i].mode == storage::DrainMode::Sync
-             ? sync_total
-             : async_total) = drain_samples[i].timing.totalSeconds;
+                        i + 1 == drain_samples.size(),
+                        async ? std::string(", \"undersubscribed\": ") +
+                                    (undersubscribed ? "true" : "false")
+                              : std::string());
+        (async ? async_total : sync_total) =
+            drain_samples[i].timing.totalSeconds;
     }
     std::fprintf(out,
                  "  ],\n  \"asyncDrainSpeedupOverSync\": %.3f\n}\n",

@@ -5,17 +5,27 @@ Compares freshly produced BENCH_*.json records against the snapshots
 under bench/baseline/:
 
  - BENCH_fig5.json (figure-bench perf record): cells/sec per storage
-   backend row, and per drain-mode row.
+   backend row and per drain-mode row (throughput, higher is better),
+   plus the per-phase wall-clock attribution of each backend row
+   (seconds, lower is better). Drain rows flagged "undersubscribed"
+   (drain worker + grid workers oversubscribe the runner's cores, so
+   the async row measures contention, not overlap) are excluded.
  - BENCH_micro_rs_*.json (google-benchmark format): bytes_per_second of
    every BM_RsEncode row (the encode MB/s trajectory).
+ - BENCH_micro_runtime.json (google-benchmark format): items_per_second
+   of the fiber/messaging/collective rows, plus a hard zero check on
+   every allocsPerEvent counter — the runtime hot path's allocation-free
+   contract is pass/fail, not a ratio.
 
-A metric passes when current >= min_ratio * baseline (one-sided: being
-faster than the baseline is always fine). Metrics present only in the
-baseline or only in the current record are reported but never fail the
-guard, so adding or renaming benches stays painless. Refresh the
-baseline (copy a CI artifact over bench/baseline/) whenever the runner
-hardware generation changes; a stale baseline from slower hardware only
-loosens the guard, never breaks it.
+A throughput metric passes when current >= min_ratio * baseline
+(one-sided: being faster than the baseline is always fine); a seconds
+metric passes when current <= baseline / min_ratio or sits under an
+absolute noise floor (tiny phases jitter wildly in relative terms).
+Metrics present only in the baseline or only in the current record are
+reported but never fail the guard, so adding or renaming benches stays
+painless. Refresh the baseline (copy a CI artifact over bench/baseline/)
+whenever the runner hardware generation changes; a stale baseline from
+slower hardware only loosens the guard, never breaks it.
 
 Usage:
     perf_guard.py [--baseline DIR] [--current DIR] [--min-ratio R]
@@ -34,15 +44,32 @@ def load(path):
         return json.load(fh)
 
 
+#: Phases smaller than this many seconds are exempt from the ratio
+#: check: a 5 ms phase doubling is scheduler noise, not a regression.
+PHASE_FLOOR_SECONDS = 0.05
+
+
 def figure_metrics(record):
-    """(name, value) metrics of a figure-bench perf record."""
+    """(name, value) throughput metrics of a figure-bench perf record."""
     metrics = {}
     for row in record.get("backends", []):
         name = "cellsPerSecond[storage=%s]" % row.get("storage")
         metrics[name] = row.get("cellsPerSecond", 0.0)
     for row in record.get("drain", []):
+        if row.get("undersubscribed"):
+            continue
         name = "cellsPerSecond[drain=%s]" % row.get("mode")
         metrics[name] = row.get("cellsPerSecond", 0.0)
+    return metrics
+
+
+def figure_phase_metrics(record):
+    """(name, seconds) per-phase attribution of the backend rows."""
+    metrics = {}
+    for row in record.get("backends", []):
+        for phase, seconds in (row.get("phases") or {}).items():
+            metrics["%s[storage=%s]" % (phase, row.get("storage"))] = \
+                seconds
     return metrics
 
 
@@ -61,7 +88,42 @@ def micro_metrics(record):
     return metrics
 
 
-def compare(label, baseline, current, min_ratio):
+def runtime_metrics(record):
+    """(name, items_per_second) of every runtime micro-bench row."""
+    metrics = {}
+    for bench in record.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        ips = bench.get("items_per_second")
+        if ips:
+            metrics["itemsPerSecond[%s]" % bench.get("name", "")] = ips
+    return metrics
+
+
+def alloc_contract_failures(record):
+    """The hot path's allocation-free contract: every allocsPerEvent
+    counter in the runtime micro-bench must be exactly zero."""
+    failures = []
+    for bench in record.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        allocs = bench.get("allocsPerEvent")
+        if allocs is None:
+            continue
+        name = bench.get("name", "")
+        if allocs > 0:
+            print("  ! allocsPerEvent[%-42s %g (must be 0)"
+                  % (name + "]", allocs))
+            failures.append("BENCH_micro_runtime.json: %s allocates "
+                            "%g times per event (contract: 0)"
+                            % (name, allocs))
+        else:
+            print("  + allocsPerEvent[%-42s 0" % (name + "]"))
+    return failures
+
+
+def compare(label, baseline, current, min_ratio, lower_is_better=False,
+            floor=0.0):
     failures = []
     for name in sorted(baseline):
         base = baseline[name]
@@ -71,10 +133,15 @@ def compare(label, baseline, current, min_ratio):
             continue
         if base <= 0:
             continue
-        ratio = cur / base
-        status = "ok" if ratio >= min_ratio else "REGRESSION"
+        if lower_is_better:
+            ok = cur <= base / min_ratio or cur <= floor
+            ratio = base / cur if cur > 0 else float("inf")
+        else:
+            ratio = cur / base
+            ok = ratio >= min_ratio
+        status = "ok" if ok else "REGRESSION"
         print("  %s %-55s %.3fx (%.3g -> %.3g)"
-              % ("+" if status == "ok" else "!", name, ratio, base, cur))
+              % ("+" if ok else "!", name, ratio, base, cur))
         if status != "ok":
             failures.append("%s: %s at %.2fx < %.2fx"
                             % (label, name, ratio, min_ratio))
@@ -92,15 +159,20 @@ def main():
                             "MATCH_PERF_GUARD_RATIO", "0.7")))
     args = parser.parse_args()
 
+    # name -> list of (extractor, lower_is_better, floor) passes.
     extractors = {
-        "BENCH_fig5.json": figure_metrics,
-        "BENCH_micro_rs_auto.json": micro_metrics,
-        "BENCH_micro_rs_scalar.json": micro_metrics,
+        "BENCH_fig5.json": [
+            (figure_metrics, False, 0.0),
+            (figure_phase_metrics, True, PHASE_FLOOR_SECONDS),
+        ],
+        "BENCH_micro_rs_auto.json": [(micro_metrics, False, 0.0)],
+        "BENCH_micro_rs_scalar.json": [(micro_metrics, False, 0.0)],
+        "BENCH_micro_runtime.json": [(runtime_metrics, False, 0.0)],
     }
 
     failures = []
     compared = 0
-    for name, extract in extractors.items():
+    for name, passes in extractors.items():
         base_path = os.path.join(args.baseline, name)
         cur_path = os.path.join(args.current, name)
         if not os.path.exists(base_path):
@@ -111,8 +183,13 @@ def main():
                             "was produced" % name)
             continue
         print("%s (min ratio %.2f):" % (name, args.min_ratio))
-        failures += compare(name, extract(load(base_path)),
-                            extract(load(cur_path)), args.min_ratio)
+        base_record, cur_record = load(base_path), load(cur_path)
+        for extract, lower, floor in passes:
+            failures += compare(name, extract(base_record),
+                                extract(cur_record), args.min_ratio,
+                                lower_is_better=lower, floor=floor)
+        if name == "BENCH_micro_runtime.json":
+            failures += alloc_contract_failures(cur_record)
         compared += 1
 
     if compared == 0:

@@ -150,7 +150,7 @@ pinSelfTo(int cpu)
     CPU_ZERO(&set);
     CPU_SET(cpu, &set);
     if (sched_setaffinity(0, sizeof(set), &set) != 0)
-        util::debug("grid: sched_setaffinity(cpu %d) failed", cpu);
+        MATCH_DEBUG("grid: sched_setaffinity(cpu %d) failed", cpu);
 #else
     (void)cpu;
 #endif
@@ -229,6 +229,7 @@ GridRunner::run(const std::vector<ExperimentConfig> &cells,
             .count();
     };
     const auto grid_start = Clock::now();
+    const util::PhaseTotals phases_before = util::phaseTotals();
 
     std::vector<ExperimentResult> results(cells.size());
     if (cells.empty()) {
@@ -296,6 +297,11 @@ GridRunner::run(const std::vector<ExperimentConfig> &cells,
     if (timing) {
         timing->totalSeconds = wallSince(grid_start);
         timing->cellSeconds = std::move(cell_seconds);
+        // Workers have joined, so every phase counter they touched is
+        // visible here; the diff isolates this grid from earlier runs
+        // in the same process.
+        timing->phases =
+            util::PhaseTotals::diff(util::phaseTotals(), phases_before);
     }
     return results;
 }

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "src/core/experiment.hh"
+#include "src/util/phase.hh"
 
 namespace match::core
 {
@@ -132,6 +133,11 @@ struct GridTiming
     /** Wall seconds per computed cell (deduplicated cells only), in
      *  unique-cell order. */
     std::vector<double> cellSeconds;
+    /** Per-phase wall-clock attribution accumulated across all worker
+     *  (and drain) threads while the grid ran: checkpoint serialize,
+     *  RS/XOR encode, drain jobs, storage backend I/O. Sim-core time is
+     *  derived at emission as total minus the exclusive phases. */
+    util::PhaseTotals phases;
 };
 
 /**

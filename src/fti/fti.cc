@@ -6,6 +6,7 @@
 
 #include "src/fti/rs_codec.hh"
 #include "src/util/logging.hh"
+#include "src/util/phase.hh"
 
 namespace match::fti
 {
@@ -146,6 +147,7 @@ Fti::protectedBytes() const
 storage::Blob
 Fti::serializeRegions() const
 {
+    util::PhaseScope phase(util::Phase::CkptSerialize);
     // [u32 id][u64 bytes][raw payload] per region, in id order. The
     // snapshot lands directly in a pooled buffer: sealing it makes it
     // the very object the backend stores, the partner copy shares and
@@ -174,6 +176,7 @@ Fti::serializeRegions() const
 void
 Fti::deserializeRegions(const std::uint8_t *data, std::size_t bytes)
 {
+    util::PhaseScope phase(util::Phase::CkptSerialize);
     std::size_t off = 0;
     while (off < bytes) {
         std::uint32_t id32;
@@ -523,7 +526,7 @@ Fti::checkpoint(int ckpt_id, int level)
     storage::Blob blob = serializeRegions();
     const std::size_t blob_bytes = blob.size();
     const std::uint64_t crc = fnv1a(blob.data(), blob_bytes);
-    util::debug("FTI checkpoint: g=%d comm=%d id=%d bytes=%zu crc=%llu",
+    MATCH_DEBUG("FTI checkpoint: g=%d comm=%d id=%d bytes=%zu crc=%llu",
                 proc_.globalIndex(), comm_, ckpt_id, blob_bytes,
                 static_cast<unsigned long long>(crc));
 
@@ -775,7 +778,7 @@ Fti::recover()
     if (meta.level == 4)
         drainBarrier();
     const storage::Blob blob = readBlobForRecovery(meta);
-    util::debug("FTI recover: g=%d comm=%d rank=%d ckpt=%d bytes=%zu",
+    MATCH_DEBUG("FTI recover: g=%d comm=%d rank=%d ckpt=%d bytes=%zu",
                 proc_.globalIndex(), comm_,
                 proc_.runtime().commRank(proc_.globalIndex(), comm_),
                 newest, blob.size());

@@ -2,6 +2,7 @@
 
 #include "src/util/gf256.hh"
 #include "src/util/logging.hh"
+#include "src/util/phase.hh"
 
 namespace match::fti
 {
@@ -84,6 +85,7 @@ RsCodec::encodeInto(const std::vector<ShardView> &data,
                     std::size_t stripe,
                     std::uint8_t *const *parity) const
 {
+    util::PhaseScope phase(util::Phase::RsEncode);
     MATCH_ASSERT(static_cast<int>(data.size()) == k_,
                  "encode expects exactly k data shards");
     for (const auto &[ptr, len] : data)
@@ -137,6 +139,7 @@ RsCodec::reconstruct(
     const std::vector<std::optional<std::vector<std::uint8_t>>> &shards)
     const
 {
+    util::PhaseScope phase(util::Phase::RsEncode);
     MATCH_ASSERT(static_cast<int>(shards.size()) == k_ + m_,
                  "reconstruct expects k+m shard slots");
     // Pick the first k available shards.

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "src/util/logging.hh"
+#include "src/util/phase.hh"
 
 namespace match::scr
 {
@@ -220,6 +221,7 @@ Scr::applyRedundancy()
             }
             stripe = std::max(stripe, total);
         }
+        util::PhaseScope phase(util::Phase::RsEncode);
         storage::MutableBlob parity =
             storage::BlobPool::local().acquireZeroed(stripe);
         for (int m = lo; m < hi; ++m) {
@@ -272,7 +274,7 @@ scrFlushJob(const ScrConfig &config, int dataset, int rank,
     std::uint64_t shipped = 0;
     for (const std::string &name : files) {
         if (!store.copy(src_dir + "/" + name, dst_dir + "/" + name)) {
-            util::debug("SCR flush: lost routed file %s (rank %d); "
+            MATCH_DEBUG("SCR flush: lost routed file %s (rank %d); "
                         "dataset %d stays unflushed",
                         name.c_str(), rank, dataset);
             return 0;

@@ -22,25 +22,6 @@ CostModel::treeLevels(int procs)
 }
 
 SimTime
-CostModel::compute(double flops) const
-{
-    return flops / params_.computeFlops;
-}
-
-SimTime
-CostModel::memory(double bytes) const
-{
-    return bytes / params_.memoryBw;
-}
-
-SimTime
-CostModel::pointToPoint(std::size_t bytes) const
-{
-    return params_.netLatency +
-           static_cast<double>(bytes) * params_.netBytePeriod;
-}
-
-SimTime
 CostModel::collective(CollKind kind, std::size_t bytes, int procs) const
 {
     const int levels = treeLevels(procs);

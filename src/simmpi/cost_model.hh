@@ -168,14 +168,21 @@ class CostModel
     const CostParams &params() const { return params_; }
     CostParams &mutableParams() { return params_; }
 
-    /** Seconds for `flops` floating-point operations on one process. */
-    SimTime compute(double flops) const;
+    /** Seconds for `flops` floating-point operations on one process.
+     *  Inline: priced on every compute step of every rank. */
+    SimTime compute(double flops) const { return flops / params_.computeFlops; }
 
     /** Seconds to stream `bytes` through memory on one process. */
-    SimTime memory(double bytes) const;
+    SimTime memory(double bytes) const { return bytes / params_.memoryBw; }
 
-    /** End-to-end P2P message cost (latency + serialization). */
-    SimTime pointToPoint(std::size_t bytes) const;
+    /** End-to-end P2P message cost (latency + serialization).
+     *  Inline: priced on every message. */
+    SimTime
+    pointToPoint(std::size_t bytes) const
+    {
+        return params_.netLatency +
+               static_cast<double>(bytes) * params_.netBytePeriod;
+    }
 
     /** Sender/receiver-side software overhead of one message. */
     SimTime sideOverhead() const { return params_.netOverhead; }

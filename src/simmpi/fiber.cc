@@ -82,7 +82,7 @@ Fiber::initStack()
     // trampolineEntry with correct 16-byte alignment (entry rsp % 16 ==
     // 8, as after a call) and a null fake return address above it.
     std::uintptr_t top =
-        reinterpret_cast<std::uintptr_t>(stack_.data() + stack_.size());
+        reinterpret_cast<std::uintptr_t>(stack_.data.get() + stack_.size);
     top &= ~static_cast<std::uintptr_t>(15);
     auto *slots = reinterpret_cast<void **>(top);
     // Layout downward from top: [fake ret=0][RIP][rbp][rbx][r12..r15].
@@ -109,8 +109,47 @@ Fiber::current()
     return currentFiber;
 }
 
-Fiber::Fiber(std::function<void()> body, std::size_t stack_bytes)
-    : body_(std::move(body)), stack_(stack_bytes)
+namespace
+{
+
+FiberStack
+allocStack(std::size_t bytes)
+{
+    // new[] on uint8_t default-initializes: no memset, and untouched
+    // guard pages never fault in.
+    return FiberStack{std::unique_ptr<std::uint8_t[]>(
+                          new std::uint8_t[bytes]),
+                      bytes};
+}
+
+} // anonymous namespace
+
+FiberStack
+FiberStackPool::acquire(std::size_t bytes)
+{
+    if (!free_.empty() && free_.back().size >= bytes) {
+        FiberStack stack = std::move(free_.back());
+        free_.pop_back();
+        return stack;
+    }
+    return allocStack(bytes);
+}
+
+void
+FiberStackPool::release(FiberStack &&stack)
+{
+    // Bound the pool at the largest supported job (512 ranks): beyond
+    // that, dropping the stack frees it normally.
+    if (free_.size() < 512)
+        free_.push_back(std::move(stack));
+}
+
+Fiber::Fiber(std::function<void()> body, std::size_t stack_bytes,
+             FiberStackPool *pool)
+    : body_(std::move(body)),
+      stack_(pool ? pool->acquire(stack_bytes)
+                  : allocStack(stack_bytes)),
+      pool_(pool)
 {
     MATCH_ASSERT(body_ != nullptr, "fiber needs a body");
     MATCH_ASSERT(stack_bytes >= 64 * 1024, "fiber stack too small");
@@ -126,6 +165,8 @@ Fiber::~Fiber()
     if (started_ && state_ != State::Finished)
         util::warn("destroying unfinished fiber; stack objects leak");
     MATCH_TSAN_DESTROY_FIBER(tsanFiber_);
+    if (pool_)
+        pool_->release(std::move(stack_));
 }
 
 void

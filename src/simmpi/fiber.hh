@@ -23,6 +23,43 @@
 namespace match::simmpi
 {
 
+/**
+ * Backing storage for one fiber stack. Deliberately NOT a std::vector:
+ * vector value-initializes, and memset of a 128KB stack (touching 32
+ * fresh pages) dominates job spin-up — profiling showed it at ~95% of
+ * an 8-rank collective microbenchmark. The stack is left uninitialized;
+ * initStack() writes the only bytes the first switch reads.
+ */
+struct FiberStack
+{
+    std::unique_ptr<std::uint8_t[]> data;
+    std::size_t size = 0;
+};
+
+/**
+ * Recycles fiber stacks so respawns (failure recovery, repeated run()
+ * calls on one Runtime) stop paying a 128KB allocation per rank. The
+ * pool is intentionally dumb — a LIFO of retired stacks, reused when
+ * large enough — because every stack in a Runtime is the same size.
+ *
+ * Not thread-safe: a pool belongs to one Runtime, and all fiber
+ * creation/destruction for a Runtime happens on its scheduler thread.
+ * The pool must outlive every Fiber constructed against it.
+ */
+class FiberStackPool
+{
+  public:
+    /** A stack of at least `bytes` bytes, recycled when possible.
+     *  Contents are unspecified (initStack rewrites the live top). */
+    FiberStack acquire(std::size_t bytes);
+
+    /** Return a retired stack for reuse. */
+    void release(FiberStack &&stack);
+
+  private:
+    std::vector<FiberStack> free_;
+};
+
 /** One cooperatively-scheduled execution context. */
 class Fiber
 {
@@ -35,6 +72,10 @@ class Fiber
         Finished,  ///< body returned or unwound
     };
 
+    /** Default stack size: proxy-app frames are shallow; this leaves
+     *  ample headroom for FTI buffers. */
+    static constexpr std::size_t defaultStackBytes = 128 * 1024;
+
     /**
      * Create a fiber executing `body` on a private stack.
      * @param body the function to run; exceptions thrown by it are
@@ -42,9 +83,13 @@ class Fiber
      *             other exception via panic).
      * @param stack_bytes stack size; proxy-app frames are shallow, the
      *             default leaves ample headroom for FTI buffers.
+     * @param pool optional stack recycler; when set, the stack is
+     *             acquired from it and handed back on destruction. The
+     *             pool must outlive the fiber.
      */
     explicit Fiber(std::function<void()> body,
-                   std::size_t stack_bytes = 128 * 1024);
+                   std::size_t stack_bytes = defaultStackBytes,
+                   FiberStackPool *pool = nullptr);
 
     ~Fiber();
 
@@ -82,7 +127,8 @@ class Fiber
     static void trampolineEntry();
 
     std::function<void()> body_;
-    std::vector<std::uint8_t> stack_;
+    FiberStack stack_;
+    FiberStackPool *pool_ = nullptr; ///< recycle target, may be null
     void *sp_ = nullptr;          ///< fiber stack pointer when parked
     void *schedulerSp_ = nullptr; ///< scheduler stack pointer while running
     State state_ = State::Runnable;

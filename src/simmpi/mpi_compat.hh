@@ -250,13 +250,23 @@ MPI_Allreduce(const void *sendbuf, void *recvbuf, int count,
         return MPI_SUCCESS;
     }
     if (type == MPI_INT) {
-        // Widen to int64 for the engine, then narrow back.
-        std::vector<std::int64_t> in(count), out(count);
+        // Widen to int64 for the engine, then narrow back. Proxy apps
+        // reduce a handful of ints per call, so a small stack staging
+        // area keeps this off the heap; larger counts fall back to a
+        // heap buffer.
+        constexpr int stackCount = 64;
+        std::int64_t inStack[stackCount], outStack[stackCount];
+        std::vector<std::int64_t> heap;
+        std::int64_t *in = inStack, *out = outStack;
+        if (count > stackCount) {
+            heap.resize(2 * static_cast<std::size_t>(count));
+            in = heap.data();
+            out = heap.data() + count;
+        }
         const int *src = static_cast<const int *>(sendbuf);
         for (int i = 0; i < count; ++i)
             in[i] = src[i];
-        p.runtime().allreduceInt64(p.globalIndex(), c, in.data(),
-                                   out.data(), count,
+        p.runtime().allreduceInt64(p.globalIndex(), c, in, out, count,
                                    detail::convert(op));
         int *dst = static_cast<int *>(recvbuf);
         for (int i = 0; i < count; ++i)

@@ -111,8 +111,16 @@ class Proc
     void
     waitall(const std::vector<int> &requests)
     {
-        for (int request : requests)
-            runtime_->wait(g_, request);
+        waitall(requests.data(), requests.size());
+    }
+
+    /** Waitall over a raw range, so hot loops can keep their request
+     *  ids in a stack array instead of materializing a vector. */
+    void
+    waitall(const int *requests, std::size_t n)
+    {
+        for (std::size_t i = 0; i < n; ++i)
+            runtime_->wait(g_, requests[i]);
     }
 
     /** True when the request would complete without blocking. */

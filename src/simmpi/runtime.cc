@@ -14,6 +14,38 @@ Runtime::Runtime() = default;
 Runtime::~Runtime() = default;
 
 // ---------------------------------------------------------------------------
+// MessageRing
+// ---------------------------------------------------------------------------
+
+void
+Runtime::MessageRing::grow()
+{
+    std::vector<Message> bigger(slots_.empty() ? 8 : slots_.size() * 2);
+    for (std::size_t i = 0; i < count_; ++i)
+        bigger[i] = std::move(slots_[index(i)]);
+    slots_ = std::move(bigger);
+    head_ = 0;
+}
+
+Runtime::Message
+Runtime::MessageRing::popAt(std::size_t i)
+{
+    Message out = std::move(slots_[index(i)]);
+    if (i < count_ - 1 - i) {
+        // Closer to the head: shift the older messages up one slot.
+        for (std::size_t j = i; j > 0; --j)
+            slots_[index(j)] = std::move(slots_[index(j - 1)]);
+        head_ = index(1);
+    } else {
+        // Closer to the tail: shift the younger messages down one slot.
+        for (std::size_t j = i + 1; j < count_; ++j)
+            slots_[index(j - 1)] = std::move(slots_[index(j)]);
+    }
+    --count_;
+    return out;
+}
+
+// ---------------------------------------------------------------------------
 // Job setup and the scheduler
 // ---------------------------------------------------------------------------
 
@@ -71,11 +103,12 @@ Runtime::runImpl(const JobOptions &options, std::function<void(int)> body)
 
     ranks_.clear();
     ranks_.resize(options.nprocs);
-    ready_ = decltype(ready_)();
+    ready_.clear();
+    liveRanks_ = options.nprocs;
     for (int g = 0; g < options.nprocs; ++g) {
         RankState &rs = ranks_[g];
         rs.globalIndex = g;
-        rs.fiber = std::make_unique<Fiber>([this, g] { fiberBody_(g); });
+        rs.fiber = spawnFiber(g);
         pushReady(g);
     }
 
@@ -85,7 +118,7 @@ Runtime::runImpl(const JobOptions &options, std::function<void(int)> body)
         world[g] = g;
     createComm(std::move(world));
     currentWorld_ = commWorld;
-    pendingColl_.clear();
+    clearPendingColls();
     repairOp_ = RepairOp{};
     jobAborting_ = false;
     abortTime_ = 0.0;
@@ -107,13 +140,59 @@ Runtime::runImpl(const JobOptions &options, std::function<void(int)> body)
 void
 Runtime::pushReady(int g)
 {
-    ready_.emplace(ranks_[g].clock, g);
+    ready_.emplace_back(ranks_[g].clock, g);
+    std::push_heap(ready_.begin(), ready_.end(), std::greater<>());
+}
+
+int
+Runtime::popReady()
+{
+    const int g = ready_.front().second;
+    if (ready_.size() == 1) {
+        // Single-runnable fast path: during compute phases most events
+        // leave exactly one rank runnable, so skip the sift-down.
+        ready_.clear();
+        return g;
+    }
+    std::pop_heap(ready_.begin(), ready_.end(), std::greater<>());
+    ready_.pop_back();
+    return g;
+}
+
+namespace
+{
+
+/**
+ * Thread-local fiber-stack recycler, shared by every Runtime that runs
+ * on this thread. Stacks outliving a Runtime is the point: a parameter
+ * grid runs thousands of short jobs back to back, and a per-Runtime
+ * pool would free (munmap) all stacks at job teardown just to fault
+ * them in again for the next job. A Runtime's fibers must be destroyed
+ * on the thread that created them (already the case: jobs run
+ * synchronously inside one GridRunner worker), so the pool sees no
+ * cross-thread traffic.
+ */
+FiberStackPool &
+threadStackPool()
+{
+    static thread_local FiberStackPool pool;
+    return pool;
+}
+
+} // anonymous namespace
+
+std::unique_ptr<Fiber>
+Runtime::spawnFiber(int g)
+{
+    return std::make_unique<Fiber>([this, g] { fiberBody_(g); },
+                                   Fiber::defaultStackBytes,
+                                   &threadStackPool());
 }
 
 void
 Runtime::scheduleLoop()
 {
-    while (anyUnfinished()) {
+    while (liveRanks_ > 0) {
         if (ready_.empty()) {
             for (const auto &rs : ranks_) {
                 util::warn("rank %d: state=%d blocked=%d failed=%d t=%.6f",
@@ -124,30 +203,25 @@ Runtime::scheduleLoop()
             }
             util::panic("simmpi scheduler deadlock: no runnable rank");
         }
-        const int g = ready_.top().second;
-        ready_.pop();
+        const int g = popReady();
         RankState &rs = ranks_[g];
         if (rs.fiber->state() != Fiber::State::Runnable)
             continue; // stale entry (defensive; should not occur)
         rs.fiber->resume();
         if (rs.fiber->state() == Fiber::State::Runnable)
             pushReady(g); // defensive: a voluntary yield re-queues
-        if (rs.fiber->finished() && rs.failed && !deathHandled_) {
-            // The fiber died from the injected SIGTERM; propagate the
-            // failure to the rest of the job exactly once.
-            deathHandled_ = true;
-            onRankDeath(g);
+        if (rs.fiber->finished()) {
+            // A fiber finishes exactly once per incarnation, and only
+            // while being resumed; respawns re-increment the count.
+            --liveRanks_;
+            if (rs.failed && !deathHandled_) {
+                // The fiber died from the injected SIGTERM; propagate
+                // the failure to the rest of the job exactly once.
+                deathHandled_ = true;
+                onRankDeath(g);
+            }
         }
     }
-}
-
-bool
-Runtime::anyUnfinished() const
-{
-    for (const auto &rs : ranks_)
-        if (!rs.fiber->finished())
-            return true;
-    return false;
 }
 
 void
@@ -197,7 +271,7 @@ Runtime::wake(int g)
 }
 
 void
-Runtime::checkSignals(int g)
+Runtime::raiseSignals(int g)
 {
     RankState &rs = ranks_[g];
     if (rs.unwindAbort) {
@@ -266,7 +340,7 @@ Runtime::iterationPoint(int g, int iteration)
     failureFired_ = true;
     failedRank_ = g;
     failTime_ = rs.clock;
-    util::debug("KILL rank %d at iteration %d (t=%.3f)", g, iteration,
+    MATCH_DEBUG("KILL rank %d at iteration %d (t=%.3f)", g, iteration,
                 rs.clock);
     throw ProcessKilled{};
 }
@@ -294,8 +368,8 @@ void
 Runtime::failPendingOpsFor(int deadGlobal)
 {
     const SimTime detect = failTime_ + costModel_.detectionLatency();
-    for (auto &[key, op] : pendingColl_) {
-        if (op.done || op.failed)
+    for (auto &op : collOps_) {
+        if (!op.active || op.done || op.failed)
             continue;
         const Communicator &comm = commRef(op.comm);
         if (!comm.contains(deadGlobal))
@@ -338,10 +412,10 @@ Runtime::triggerReinitRecovery(SimTime when)
         when + costModel_.reinitRecovery(static_cast<int>(ranks_.size()));
     // A global restart discards all in-flight communication state, and
     // every rank restarts its collective sequence numbering from zero.
-    pendingColl_.clear();
+    clearPendingColls();
     for (auto &rs : ranks_) {
-        rs.mailbox.clear();
-        rs.collSeq.clear();
+        rs.mailbox.clear(payloadPool_);
+        std::fill(rs.collSeq.begin(), rs.collSeq.end(), 0);
         if (rs.failed && rs.fiber->finished()) {
             // Respawn the dead slot with a fresh incarnation whose clock
             // starts when recovery completes.
@@ -353,7 +427,8 @@ Runtime::triggerReinitRecovery(SimTime when)
             rs.respawned = true;
             rs.clock = reinitRestartTime_;
             rs.category = TimeCategory::Application;
-            rs.fiber = std::make_unique<Fiber>([this, g] { fiberBody_(g); });
+            rs.fiber = spawnFiber(g);
+            ++liveRanks_;
             pushReady(g);
         } else if (!rs.fiber->finished()) {
             rs.unwindReinit = true;
@@ -507,29 +582,61 @@ Runtime::send(int g, CommId comm, Rank dest, Tag tag, const void *buf,
         rs.category == TimeCategory::Application)
         factor = costModel_.ulfmAppFactor(static_cast<int>(ranks_.size()));
 
-    Message msg;
-    msg.srcLocal = localRank(g, comm);
-    msg.tag = tag;
-    msg.comm = comm;
-    msg.payload.assign(static_cast<const std::uint8_t *>(buf),
-                       static_cast<const std::uint8_t *>(buf) + bytes);
-    msg.arrival = rs.clock + costModel_.pointToPoint(virtual_bytes) * factor;
-    const Rank srcLocal = msg.srcLocal;
-    ranks_[destGlobal].mailbox.push_back(std::move(msg));
-    sleepFor(g, costModel_.sideOverhead());
+    const Rank srcLocal = localRank(g, comm);
+    const SimTime arrival =
+        rs.clock + costModel_.pointToPoint(virtual_bytes) * factor;
 
     RankState &dr = ranks_[destGlobal];
     if (dr.blockReason == BlockReason::Recv && dr.recvComm == comm &&
         (dr.recvSrc == anySource || dr.recvSrc == srcLocal) &&
         (dr.recvTag == anyTag || dr.recvTag == tag)) {
+        // Rendezvous fast path: the destination is parked inside a
+        // matching recv, so the bytes land straight in its posted buffer
+        // — no pooled staging copy, no mailbox round trip. The receiver
+        // finishes the virtual-time arithmetic when it resumes, with the
+        // same formula the mailbox path uses, so results are
+        // bit-identical either way.
+        MATCH_ASSERT(bytes <= dr.recvCapacity, "receive buffer too small");
+        std::memcpy(dr.recvBuf, buf, bytes);
+        dr.recvStatus.source = srcLocal;
+        dr.recvStatus.tag = tag;
+        dr.recvStatus.bytes = bytes;
+        dr.recvArrival = arrival;
+        dr.recvDelivered = true;
+        // Drop the block reason now so a second matching sender enqueues
+        // normally instead of overwriting the posted buffer.
+        dr.blockReason = BlockReason::None;
+        // Inlined sleepFor(sideOverhead): signals were checked on entry
+        // and nothing can raise one mid-call on the scheduler thread.
+        const SimTime oh = costModel_.sideOverhead();
+        rs.clock += oh;
+        rs.perCategory[static_cast<int>(rs.category)] += oh;
         wake(destGlobal);
+        return;
     }
+
+    Message msg;
+    msg.srcLocal = srcLocal;
+    msg.tag = tag;
+    msg.comm = comm;
+    // Recycled buffer: assign() reuses its capacity, so steady-state
+    // sends do not touch the heap.
+    msg.payload = payloadPool_.acquire();
+    msg.payload.assign(static_cast<const std::uint8_t *>(buf),
+                       static_cast<const std::uint8_t *>(buf) + bytes);
+    msg.arrival = arrival;
+    dr.mailbox.pushBack(std::move(msg));
+    const SimTime oh = costModel_.sideOverhead();
+    rs.clock += oh;
+    rs.perCategory[static_cast<int>(rs.category)] += oh;
 }
 
 bool
 Runtime::probe(int g, CommId comm, Rank src, Tag tag) const
 {
-    for (const auto &msg : ranks_[g].mailbox) {
+    const MessageRing &mailbox = ranks_[g].mailbox;
+    for (std::size_t i = 0; i < mailbox.size(); ++i) {
+        const Message &msg = mailbox.at(i);
         if (msg.comm != comm)
             continue;
         if (src != anySource && msg.srcLocal != src)
@@ -551,26 +658,28 @@ Runtime::recv(int g, CommId comm, Rank src, Tag tag, void *buf,
         const Communicator &c = commRef(comm);
         if (c.revoked)
             deliverError(g, Err::Revoked);
-        for (auto it = rs.mailbox.begin(); it != rs.mailbox.end(); ++it) {
-            if (it->comm != comm)
+        for (std::size_t i = 0; i < rs.mailbox.size(); ++i) {
+            const Message &peek = rs.mailbox.at(i);
+            if (peek.comm != comm)
                 continue;
-            if (src != anySource && it->srcLocal != src)
+            if (src != anySource && peek.srcLocal != src)
                 continue;
-            if (tag != anyTag && it->tag != tag)
+            if (tag != anyTag && peek.tag != tag)
                 continue;
-            const SimTime completion = std::max(rs.clock, it->arrival) +
+            Message msg = rs.mailbox.popAt(i);
+            const SimTime completion = std::max(rs.clock, msg.arrival) +
                                        costModel_.sideOverhead();
             const SimTime dt = completion - rs.clock;
             rs.clock = completion;
             rs.perCategory[static_cast<int>(rs.category)] += dt;
             RecvStatus status;
-            status.source = it->srcLocal;
-            status.tag = it->tag;
-            status.bytes = it->payload.size();
-            MATCH_ASSERT(it->payload.size() <= capacity,
+            status.source = msg.srcLocal;
+            status.tag = msg.tag;
+            status.bytes = msg.payload.size();
+            MATCH_ASSERT(msg.payload.size() <= capacity,
                          "receive buffer too small");
-            std::memcpy(buf, it->payload.data(), it->payload.size());
-            rs.mailbox.erase(it);
+            std::memcpy(buf, msg.payload.data(), msg.payload.size());
+            payloadPool_.release(std::move(msg.payload));
             return status;
         }
         // No message queued: fail fast when the awaited peer is dead
@@ -603,8 +712,27 @@ Runtime::recv(int g, CommId comm, Rank src, Tag tag, void *buf,
         rs.recvComm = comm;
         rs.recvSrc = src;
         rs.recvTag = tag;
+        rs.recvBuf = buf;
+        rs.recvCapacity = capacity;
+        rs.recvDelivered = false;
         block(g, BlockReason::Recv);
         checkSignals(g);
+        if (rs.recvDelivered) {
+            // A sender used the rendezvous fast path while we were
+            // parked: the payload is already in `buf`. Mirror the
+            // mailbox path exactly — revocation check first, then the
+            // completion-time arithmetic.
+            rs.recvDelivered = false;
+            if (commRef(comm).revoked)
+                deliverError(g, Err::Revoked);
+            const SimTime completion =
+                std::max(rs.clock, rs.recvArrival) +
+                costModel_.sideOverhead();
+            const SimTime dt = completion - rs.clock;
+            rs.clock = completion;
+            rs.perCategory[static_cast<int>(rs.category)] += dt;
+            return rs.recvStatus;
+        }
     }
 }
 
@@ -621,13 +749,16 @@ Runtime::isend(int g, CommId comm, Rank dest, Tag tag, const void *buf,
     send(g, comm, dest, tag, buf, bytes, virtual_bytes);
     RankState &rs = ranks_[g];
     const int id = rs.nextRequestId++;
-    RankState::PendingRequest req;
+    RankState::PendingRequest &req = rs.allocRequest();
+    req.id = id;
     req.isRecv = false;
     req.done = true;
     req.comm = comm;
     req.peer = dest;
     req.tag = tag;
-    rs.requests[id] = req;
+    req.buf = nullptr;
+    req.capacity = 0;
+    req.status = RecvStatus{};
     return id;
 }
 
@@ -638,7 +769,8 @@ Runtime::irecv(int g, CommId comm, Rank src, Tag tag, void *buf,
     checkSignals(g);
     RankState &rs = ranks_[g];
     const int id = rs.nextRequestId++;
-    RankState::PendingRequest req;
+    RankState::PendingRequest &req = rs.allocRequest();
+    req.id = id;
     req.isRecv = true;
     req.done = false;
     req.comm = comm;
@@ -646,7 +778,7 @@ Runtime::irecv(int g, CommId comm, Rank src, Tag tag, void *buf,
     req.tag = tag;
     req.buf = buf;
     req.capacity = capacity;
-    rs.requests[id] = req;
+    req.status = RecvStatus{};
     return id;
 }
 
@@ -654,10 +786,12 @@ RecvStatus
 Runtime::wait(int g, int request)
 {
     RankState &rs = ranks_[g];
-    auto it = rs.requests.find(request);
-    MATCH_ASSERT(it != rs.requests.end(), "wait on unknown request");
-    RankState::PendingRequest req = it->second;
-    rs.requests.erase(it);
+    RankState::PendingRequest *it = rs.findRequest(request);
+    MATCH_ASSERT(it != nullptr, "wait on unknown request");
+    // Copy out before releasing: the recv below can block, and other
+    // fibers may grow the request pool meanwhile.
+    RankState::PendingRequest req = *it;
+    rs.releaseRequest(*it);
     if (req.done)
         return req.status;
     // A pending nonblocking receive completes exactly like a blocking
@@ -669,21 +803,89 @@ bool
 Runtime::testRequest(int g, int request)
 {
     RankState &rs = ranks_[g];
-    auto it = rs.requests.find(request);
-    MATCH_ASSERT(it != rs.requests.end(), "test on unknown request");
-    if (it->second.done)
+    const RankState::PendingRequest *it = rs.findRequest(request);
+    MATCH_ASSERT(it != nullptr, "test on unknown request");
+    if (it->done)
         return true;
-    return probe(g, it->second.comm, it->second.peer, it->second.tag);
+    return probe(g, it->comm, it->peer, it->tag);
 }
 
 // ---------------------------------------------------------------------------
 // Collectives
 // ---------------------------------------------------------------------------
 
-std::vector<std::uint8_t>
+int
+Runtime::findColl(CommId comm, std::uint64_t seq) const
+{
+    for (std::size_t i = 0; i < collOps_.size(); ++i) {
+        const CollectiveOp &op = collOps_[i];
+        if (op.active && op.comm == comm && op.seq == seq)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+int
+Runtime::acquireColl(CommId comm, std::uint64_t seq)
+{
+    int slot;
+    if (!freeCollSlots_.empty()) {
+        slot = freeCollSlots_.back();
+        freeCollSlots_.pop_back();
+    } else {
+        slot = static_cast<int>(collOps_.size());
+        collOps_.emplace_back();
+    }
+    CollectiveOp &op = collOps_[slot];
+    op.active = true;
+    op.comm = comm;
+    op.seq = seq;
+    return slot;
+}
+
+void
+Runtime::releaseColl(int slot)
+{
+    CollectiveOp &op = collOps_[slot];
+    MATCH_ASSERT(op.active, "releasing an inactive collective slot");
+    op.active = false;
+    op.kind = CollKind::Barrier;
+    op.data = CollData::None;
+    op.comm = commNull;
+    op.rop = ReduceOp::Sum;
+    op.root = 0;
+    op.bytes = 0;
+    op.expected = 0;
+    op.arrivedCount = 0;
+    op.consumedCount = 0;
+    // Clear, never shrink: the next op in this slot reuses every
+    // contribution/result buffer at its old capacity.
+    for (auto &contrib : op.contrib)
+        contrib.clear();
+    op.result.clear();
+    op.maxArrival = 0.0;
+    op.failed = false;
+    op.failTime = 0.0;
+    op.done = false;
+    op.completion = 0.0;
+    freeCollSlots_.push_back(slot);
+}
+
+void
+Runtime::clearPendingColls()
+{
+    for (std::size_t i = 0; i < collOps_.size(); ++i) {
+        if (collOps_[i].active)
+            releaseColl(static_cast<int>(i));
+    }
+}
+
+void
 Runtime::joinCollective(int g, CollKind kind, CollData data, CommId comm,
                         ReduceOp rop, Rank root, const void *in,
-                        std::size_t in_bytes, std::size_t virtual_bytes)
+                        std::size_t in_bytes, std::size_t virtual_bytes,
+                        void *out, std::size_t out_offset,
+                        std::size_t out_bytes)
 {
     checkSignals(g);
     const Communicator &c = commRef(comm);
@@ -703,14 +905,15 @@ Runtime::joinCollective(int g, CollKind kind, CollData data, CommId comm,
     }
 
     RankState &rs = ranks_[g];
+    if (static_cast<std::size_t>(comm) >= rs.collSeq.size())
+        rs.collSeq.resize(comm + 1, 0);
     const std::uint64_t seq = rs.collSeq[comm]++;
-    const CollKey key{comm, seq};
-    auto [it, created] = pendingColl_.try_emplace(key);
-    CollectiveOp &op = it->second;
-    if (created) {
+    int slot = findColl(comm, seq);
+    if (slot < 0) {
+        slot = acquireColl(comm, seq);
+        CollectiveOp &op = collOps_[slot];
         op.kind = kind;
         op.data = data;
-        op.comm = comm;
         op.rop = rop;
         op.root = root;
         op.bytes = virtual_bytes;
@@ -718,6 +921,7 @@ Runtime::joinCollective(int g, CollKind kind, CollData data, CommId comm,
         op.arrived.assign(c.members.size(), false);
         op.contrib.resize(c.members.size());
     }
+    CollectiveOp &op = collOps_[slot];
     MATCH_ASSERT(op.kind == kind && op.data == data,
                  "mismatched collective across ranks");
     const int lr = localRank(g, comm);
@@ -744,11 +948,11 @@ Runtime::joinCollective(int g, CollKind kind, CollData data, CommId comm,
         checkSignals(g);
     }
 
-    // Re-look-up: the map may have changed while this fiber was blocked.
-    auto post = pendingColl_.find(key);
-    MATCH_ASSERT(post != pendingColl_.end(),
-                 "collective op vanished while blocked");
-    CollectiveOp &fin = post->second;
+    // Re-look-up: the slot pool may have grown (reallocated) or been
+    // recycled while this fiber was blocked.
+    const int postSlot = findColl(comm, seq);
+    MATCH_ASSERT(postSlot >= 0, "collective op vanished while blocked");
+    CollectiveOp &fin = collOps_[postSlot];
     if (fin.failed && !fin.done) {
         sleepFor(g, std::max(0.0, fin.failTime - rs.clock));
         // Leave the op in place for the other victims; recovery clears it.
@@ -758,10 +962,15 @@ Runtime::joinCollective(int g, CollKind kind, CollData data, CommId comm,
     const SimTime dt = std::max(0.0, fin.completion - rs.clock);
     rs.clock += dt;
     rs.perCategory[static_cast<int>(rs.category)] += dt;
-    std::vector<std::uint8_t> result = fin.result;
+    if (out_bytes) {
+        // Copy only this rank's share straight out of the shared result
+        // (no per-rank result vector is ever materialized).
+        MATCH_ASSERT(out_offset + out_bytes <= fin.result.size(),
+                     "collective result smaller than requested share");
+        std::memcpy(out, fin.result.data() + out_offset, out_bytes);
+    }
     if (++fin.consumedCount == fin.expected)
-        pendingColl_.erase(post);
-    return result;
+        releaseColl(postSlot);
 }
 
 void
@@ -818,38 +1027,38 @@ combine(std::vector<std::uint8_t> &acc, const std::vector<std::uint8_t> &in,
 void
 Runtime::reduceBytes(CollectiveOp &op)
 {
+    // Every branch combines into op.result in place: a recycled slot's
+    // result vector keeps its capacity, so steady-state collectives
+    // never allocate here.
     switch (op.data) {
       case CollData::None:
+        op.result.clear();
         return;
-      case CollData::ReduceDouble: {
-        std::vector<std::uint8_t> acc;
+      case CollData::ReduceDouble:
+        op.result.clear();
         for (const auto &contrib : op.contrib)
-            combine<double>(acc, contrib, op.rop);
-        op.result = std::move(acc);
+            combine<double>(op.result, contrib, op.rop);
         return;
-      }
-      case CollData::ReduceInt64: {
-        std::vector<std::uint8_t> acc;
+      case CollData::ReduceInt64:
+        op.result.clear();
         for (const auto &contrib : op.contrib)
-            combine<std::int64_t>(acc, contrib, op.rop);
-        op.result = std::move(acc);
+            combine<std::int64_t>(op.result, contrib, op.rop);
         return;
-      }
       case CollData::Bcast:
-        op.result = op.contrib[op.root];
+        op.result.assign(op.contrib[op.root].begin(),
+                         op.contrib[op.root].end());
         return;
       case CollData::Gather:
-      case CollData::Allgather: {
-        std::vector<std::uint8_t> out;
+      case CollData::Allgather:
+        op.result.clear();
         for (const auto &contrib : op.contrib)
-            out.insert(out.end(), contrib.begin(), contrib.end());
-        op.result = std::move(out);
+            op.result.insert(op.result.end(), contrib.begin(),
+                             contrib.end());
         return;
-      }
       case CollData::ExscanInt64: {
-        std::vector<std::uint8_t> out(op.contrib.size() *
-                                      sizeof(std::int64_t));
-        auto *vals = reinterpret_cast<std::int64_t *>(out.data());
+        op.result.clear();
+        op.result.resize(op.contrib.size() * sizeof(std::int64_t));
+        auto *vals = reinterpret_cast<std::int64_t *>(op.result.data());
         std::int64_t running = 0;
         for (std::size_t r = 0; r < op.contrib.size(); ++r) {
             vals[r] = running;
@@ -859,7 +1068,6 @@ Runtime::reduceBytes(CollectiveOp &op)
                 running += v;
             }
         }
-        op.result = std::move(out);
         return;
       }
     }
@@ -869,88 +1077,70 @@ void
 Runtime::barrier(int g, CommId comm)
 {
     joinCollective(g, CollKind::Barrier, CollData::None, comm,
-                   ReduceOp::Sum, 0, nullptr, 0, 0);
+                   ReduceOp::Sum, 0, nullptr, 0, 0, nullptr, 0, 0);
 }
 
 void
 Runtime::allreduceDouble(int g, CommId comm, const double *in, double *out,
                          std::size_t n, ReduceOp op)
 {
-    const auto result = joinCollective(g, CollKind::Allreduce,
-                                       CollData::ReduceDouble, comm, op, 0,
-                                       in, n * sizeof(double),
-                                       n * sizeof(double));
-    MATCH_ASSERT(result.size() == n * sizeof(double),
-                 "allreduce result size mismatch");
-    std::memcpy(out, result.data(), result.size());
+    joinCollective(g, CollKind::Allreduce, CollData::ReduceDouble, comm,
+                   op, 0, in, n * sizeof(double), n * sizeof(double), out,
+                   0, n * sizeof(double));
 }
 
 void
 Runtime::allreduceInt64(int g, CommId comm, const std::int64_t *in,
                         std::int64_t *out, std::size_t n, ReduceOp op)
 {
-    const auto result = joinCollective(g, CollKind::Allreduce,
-                                       CollData::ReduceInt64, comm, op, 0,
-                                       in, n * sizeof(std::int64_t),
-                                       n * sizeof(std::int64_t));
-    MATCH_ASSERT(result.size() == n * sizeof(std::int64_t),
-                 "allreduce result size mismatch");
-    std::memcpy(out, result.data(), result.size());
+    joinCollective(g, CollKind::Allreduce, CollData::ReduceInt64, comm, op,
+                   0, in, n * sizeof(std::int64_t),
+                   n * sizeof(std::int64_t), out, 0,
+                   n * sizeof(std::int64_t));
 }
 
 void
 Runtime::bcast(int g, CommId comm, Rank root, void *buf, std::size_t bytes,
                std::size_t virtual_bytes)
 {
+    // The root contributes its buffer and copies nothing back.
     const bool amRoot = localRank(g, comm) == root;
-    const auto result = joinCollective(g, CollKind::Bcast, CollData::Bcast,
-                                       comm, ReduceOp::Sum, root,
-                                       amRoot ? buf : nullptr,
-                                       amRoot ? bytes : 0, virtual_bytes);
-    MATCH_ASSERT(result.size() == bytes, "bcast size mismatch");
-    if (!amRoot)
-        std::memcpy(buf, result.data(), bytes);
+    joinCollective(g, CollKind::Bcast, CollData::Bcast, comm,
+                   ReduceOp::Sum, root, amRoot ? buf : nullptr,
+                   amRoot ? bytes : 0, virtual_bytes,
+                   amRoot ? nullptr : buf, 0, amRoot ? 0 : bytes);
 }
 
 void
 Runtime::gather(int g, CommId comm, Rank root, const void *in,
                 std::size_t bytes, void *out, std::size_t virtual_bytes)
 {
-    const auto result = joinCollective(g, CollKind::Gather, CollData::Gather,
-                                       comm, ReduceOp::Sum, root, in, bytes,
-                                       virtual_bytes);
-    if (localRank(g, comm) == root) {
-        MATCH_ASSERT(result.size() ==
-                         bytes * commRef(comm).members.size(),
-                     "gather size mismatch");
-        std::memcpy(out, result.data(), result.size());
-    }
+    const bool amRoot = localRank(g, comm) == root;
+    const std::size_t outBytes =
+        amRoot ? bytes * commRef(comm).members.size() : 0;
+    joinCollective(g, CollKind::Gather, CollData::Gather, comm,
+                   ReduceOp::Sum, root, in, bytes, virtual_bytes,
+                   amRoot ? out : nullptr, 0, outBytes);
 }
 
 void
 Runtime::allgather(int g, CommId comm, const void *in, std::size_t bytes,
                    void *out, std::size_t virtual_bytes)
 {
-    const auto result = joinCollective(g, CollKind::Allgather,
-                                       CollData::Allgather, comm,
-                                       ReduceOp::Sum, 0, in, bytes,
-                                       virtual_bytes);
-    MATCH_ASSERT(result.size() == bytes * commRef(comm).members.size(),
-                 "allgather size mismatch");
-    std::memcpy(out, result.data(), result.size());
+    joinCollective(g, CollKind::Allgather, CollData::Allgather, comm,
+                   ReduceOp::Sum, 0, in, bytes, virtual_bytes, out, 0,
+                   bytes * commRef(comm).members.size());
 }
 
 std::int64_t
 Runtime::exscanInt64(int g, CommId comm, std::int64_t value)
 {
-    const auto result = joinCollective(g, CollKind::Scan,
-                                       CollData::ExscanInt64, comm,
-                                       ReduceOp::Sum, 0, &value,
-                                       sizeof(value), sizeof(value));
+    // Only this rank's 8-byte slice of the scan leaves the shared op.
     const int lr = localRank(g, comm);
-    std::int64_t out;
-    std::memcpy(&out, result.data() + lr * sizeof(std::int64_t),
-                sizeof(out));
+    std::int64_t out = 0;
+    joinCollective(g, CollKind::Scan, CollData::ExscanInt64, comm,
+                   ReduceOp::Sum, 0, &value, sizeof(value), sizeof(value),
+                   &out, lr * sizeof(std::int64_t), sizeof(out));
     return out;
 }
 
@@ -975,8 +1165,8 @@ Runtime::ulfmRevoke(int g, CommId comm)
     c.revoked = true;
     // Interrupt everything pending on the communicator: mark ops failed
     // and wake everyone blocked so they observe the revocation.
-    for (auto &[key, op] : pendingColl_) {
-        if (op.comm == comm && !op.done && !op.failed) {
+    for (auto &op : collOps_) {
+        if (op.active && op.comm == comm && !op.done && !op.failed) {
             op.failed = true;
             op.failTime = ranks_[g].clock;
         }
@@ -1061,7 +1251,7 @@ Runtime::repairWorldCommon(int g, bool shrinking)
         repairOp_.done = true;
         ++recoveries_;
         // Any stale collectives from before the failure are dead now.
-        pendingColl_.clear();
+        clearPendingColls();
         std::vector<int> newMembers;
         if (shrinking) {
             for (int member : world.members) {
@@ -1082,17 +1272,16 @@ Runtime::repairWorldCommon(int g, bool shrinking)
                 dead.respawned = true;
                 dead.clock = repairOp_.completion;
                 dead.category = TimeCategory::Application;
-                dead.mailbox.clear();
-                dead.collSeq.clear();
-                dead.fiber = std::make_unique<Fiber>(
-                    [this, slot] { fiberBody_(slot); });
+                dead.mailbox.clear(payloadPool_);
+                dead.fiber = spawnFiber(slot);
+                ++liveRanks_;
                 pushReady(slot);
             }
         }
         // Survivors restart their collective numbering alongside the
         // fresh communicator (worldc[++worldi] in the paper's Figure 3).
         for (auto &rank : ranks_)
-            rank.collSeq.clear();
+            std::fill(rank.collSeq.begin(), rank.collSeq.end(), 0);
         repairOp_.newWorld = createComm(std::move(newMembers));
         currentWorld_ = repairOp_.newWorld;
         const Communicator &old = commRef(oldWorld);

@@ -23,11 +23,8 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <map>
 #include <memory>
-#include <queue>
 #include <string>
 #include <utility>
 #include <vector>
@@ -103,6 +100,14 @@ struct JobResult
  * The simulated MPI runtime. One Runtime instance simulates one job
  * (possibly with online ULFM/Reinit recoveries inside it); the launcher
  * creates fresh instances for Restart-style re-deployments.
+ *
+ * Hot-path memory discipline: every per-event structure (message
+ * payloads, mailboxes, collective ops, nonblocking requests, the ready
+ * heap, fiber stacks) is pooled or capacity-preserving, so the steady
+ * state of the event loop performs zero heap allocations per simulated
+ * message or collective (asserted by tests/simmpi/test_runtime_alloc.cc
+ * and published by bench_micro_runtime). Pooling is a wall-clock
+ * optimization only — it never feeds simulated time or event order.
  */
 class Runtime
 {
@@ -215,6 +220,91 @@ class Runtime
         SimTime arrival;
     };
 
+    /**
+     * Recycles message payload buffers across all ranks of this
+     * Runtime. A send acquires a cleared buffer that keeps its old
+     * capacity; the matching receive (or a mailbox purge) releases it.
+     * After a few events of warmup at each payload size class, sends
+     * stop allocating entirely.
+     */
+    class PayloadPool
+    {
+      public:
+        std::vector<std::uint8_t>
+        acquire()
+        {
+            if (free_.empty())
+                return {};
+            std::vector<std::uint8_t> buf = std::move(free_.back());
+            free_.pop_back();
+            buf.clear();
+            return buf;
+        }
+
+        void
+        release(std::vector<std::uint8_t> &&buf)
+        {
+            free_.push_back(std::move(buf));
+        }
+
+      private:
+        std::vector<std::vector<std::uint8_t>> free_;
+    };
+
+    /**
+     * The mailbox: a power-of-two ring over a reusable slot vector,
+     * replacing std::deque (which allocates/frees chunk nodes as it
+     * grows and shrinks). Supports the mid-queue erase that tag/source
+     * matching needs by shifting the shorter side, preserving FIFO
+     * order among the remaining messages — required for MPI's
+     * non-overtaking matching rule.
+     */
+    class MessageRing
+    {
+      public:
+        bool empty() const { return count_ == 0; }
+        std::size_t size() const { return count_; }
+
+        Message &at(std::size_t i) { return slots_[index(i)]; }
+        const Message &at(std::size_t i) const { return slots_[index(i)]; }
+
+        void
+        pushBack(Message &&msg)
+        {
+            if (count_ == slots_.size())
+                grow();
+            slots_[index(count_)] = std::move(msg);
+            ++count_;
+        }
+
+        /** Remove and return the message at logical position i (0 =
+         *  oldest), preserving the order of the rest. */
+        Message popAt(std::size_t i);
+
+        /** Drop all queued messages, recycling payloads into `pool`. */
+        void
+        clear(PayloadPool &pool)
+        {
+            for (std::size_t i = 0; i < count_; ++i)
+                pool.release(std::move(at(i).payload));
+            head_ = 0;
+            count_ = 0;
+        }
+
+      private:
+        std::size_t
+        index(std::size_t i) const
+        {
+            return (head_ + i) & (slots_.size() - 1);
+        }
+
+        void grow();
+
+        std::vector<Message> slots_; ///< power-of-two capacity
+        std::size_t head_ = 0;
+        std::size_t count_ = 0;
+    };
+
     enum class BlockReason
     {
         None,
@@ -243,22 +333,38 @@ class Runtime
         bool failed = false;
         SimTime failTime = 0.0;
         bool respawned = false;
-        std::deque<Message> mailbox;
+        MessageRing mailbox;
         TimeCategory category = TimeCategory::Application;
         std::array<double, 4> perCategory{};
         BlockReason blockReason = BlockReason::None;
         CommId recvComm = commNull;
         Rank recvSrc = anySource;
         Tag recvTag = anyTag;
+        /** Posted-receive landing zone for the rendezvous fast path:
+         *  while this rank is parked inside recv(), a matching sender
+         *  deposits its payload here directly, bypassing the mailbox
+         *  and the pooled staging copy. recvDelivered is re-armed
+         *  (cleared) immediately before every block. */
+        void *recvBuf = nullptr;
+        std::size_t recvCapacity = 0;
+        bool recvDelivered = false;
+        SimTime recvArrival = 0.0;
+        RecvStatus recvStatus;
         bool unwindAbort = false;
         bool unwindReinit = false;
         std::function<void(Err)> errorHandler;
         bool inErrorHandler = false;
-        /** Next collective sequence number per communicator. */
-        std::map<CommId, std::uint64_t> collSeq;
-        /** Outstanding nonblocking requests by id. */
+        /** Next collective sequence number, indexed by CommId (comm ids
+         *  are small and dense — created only at job start and during
+         *  ULFM repairs, so the vector resizes off the event path). */
+        std::vector<std::uint64_t> collSeq;
+        /** Outstanding nonblocking requests: a recycled slot pool
+         *  scanned linearly by id (id == 0 marks a free slot; ranks
+         *  keep at most a handful of requests in flight, so the scan
+         *  beats any map). */
         struct PendingRequest
         {
+            int id = 0;
             bool isRecv = false;
             bool done = false;
             CommId comm = commNull;
@@ -268,8 +374,38 @@ class Runtime
             std::size_t capacity = 0;
             RecvStatus status;
         };
-        std::map<int, PendingRequest> requests;
+        std::vector<PendingRequest> requests;
+        std::vector<int> freeRequestSlots;
         int nextRequestId = 1;
+
+        PendingRequest &
+        allocRequest()
+        {
+            if (!freeRequestSlots.empty()) {
+                PendingRequest &req = requests[freeRequestSlots.back()];
+                freeRequestSlots.pop_back();
+                return req;
+            }
+            requests.emplace_back();
+            return requests.back();
+        }
+
+        PendingRequest *
+        findRequest(int id)
+        {
+            for (auto &req : requests)
+                if (req.id == id)
+                    return &req;
+            return nullptr;
+        }
+
+        void
+        releaseRequest(PendingRequest &req)
+        {
+            req.id = 0;
+            freeRequestSlots.push_back(
+                static_cast<int>(&req - requests.data()));
+        }
     };
 
     struct Communicator
@@ -287,8 +423,14 @@ class Runtime
         }
     };
 
+    /** One in-flight collective, living in a recycled slot of
+     *  collOps_. Identified by (comm, seq); slots keep their buffer
+     *  capacities across reuse so steady-state collectives allocate
+     *  nothing. */
     struct CollectiveOp
     {
+        bool active = false;
+        std::uint64_t seq = 0;
         CollKind kind = CollKind::Barrier;
         CollData data = CollData::None;
         CommId comm = commNull;
@@ -324,21 +466,32 @@ class Runtime
         CommId newWorld = commNull;
     };
 
-    using CollKey = std::pair<CommId, std::uint64_t>;
-
     // --- scheduler -------------------------------------------------------
     JobResult runImpl(const JobOptions &options,
                       std::function<void(int)> fiberBody);
     void scheduleLoop();
-    bool anyUnfinished() const;
     void buildResult(JobResult &result) const;
     /** Enqueue a runnable fiber with its current clock as priority. */
     void pushReady(int g);
+    /** Dequeue the runnable fiber with the smallest (clock, rank). */
+    int popReady();
+    /** Create a fresh fiber incarnation for rank g (stack recycled). */
+    std::unique_ptr<Fiber> spawnFiber(int g);
 
     // --- blocking helpers (called on a rank fiber) -------------------------
     void block(int g, BlockReason reason);
     void wake(int g);
-    void checkSignals(int g);
+    /** Raise a pending abort/rollback signal as an exception. The test
+     *  is inline — it runs on every simulated event — and the throwing
+     *  slow path stays out of line. */
+    void
+    checkSignals(int g)
+    {
+        const RankState &rs = ranks_[g];
+        if (rs.unwindAbort || rs.unwindReinit)
+            raiseSignals(g);
+    }
+    void raiseSignals(int g);
     [[noreturn]] void deliverError(int g, Err err);
 
     // --- failure machinery --------------------------------------------------
@@ -348,14 +501,28 @@ class Runtime
     void triggerReinitRecovery(SimTime when);
 
     // --- collectives ----------------------------------------------------------
-    std::vector<std::uint8_t> joinCollective(int g, CollKind kind,
-                                             CollData data, CommId comm,
-                                             ReduceOp rop, Rank root,
-                                             const void *in,
-                                             std::size_t in_bytes,
-                                             std::size_t virtual_bytes);
+    /**
+     * Join the (comm, next-seq) collective, blocking until every member
+     * has arrived. The caller's share of the combined result is copied
+     * into out[0..out_bytes) from result offset out_offset — no
+     * per-rank result vector is materialized (out may be null when the
+     * caller receives nothing, e.g. barrier or non-root gather).
+     */
+    void joinCollective(int g, CollKind kind, CollData data, CommId comm,
+                        ReduceOp rop, Rank root, const void *in,
+                        std::size_t in_bytes, std::size_t virtual_bytes,
+                        void *out, std::size_t out_offset,
+                        std::size_t out_bytes);
     void completeCollective(CollectiveOp &op);
     void reduceBytes(CollectiveOp &op);
+    /** Slot of the active (comm, seq) op in collOps_, or -1. */
+    int findColl(CommId comm, std::uint64_t seq) const;
+    /** Claim a (recycled) slot for a new collective op. */
+    int acquireColl(CommId comm, std::uint64_t seq);
+    /** Retire a slot, clearing state but keeping buffer capacities. */
+    void releaseColl(int slot);
+    /** Retire every active collective op (recovery paths). */
+    void clearPendingColls();
     CommId repairWorldCommon(int g, bool shrinking);
 
     CommId createComm(std::vector<int> members);
@@ -367,19 +534,36 @@ class Runtime
     CostModel costModel_;
     ErrorPolicy policy_ = ErrorPolicy::Fatal;
     std::shared_ptr<InjectionPlan> injection_;
+    /** Payload pool declared before ranks_/collOps_: members destroy
+     *  in reverse order, and mailbox teardown hands payloads back to
+     *  the pool. (Fiber stacks recycle through a thread-local pool in
+     *  runtime.cc instead, so they survive across Runtime instances:
+     *  back-to-back short jobs would otherwise pay an mmap/page-fault/
+     *  munmap cycle per 128KB stack per job.) */
+    PayloadPool payloadPool_;
     std::vector<RankState> ranks_;
     std::vector<Communicator> comms_;
     CommId currentWorld_ = commWorld;
-    std::map<CollKey, CollectiveOp> pendingColl_;
+    /** In-flight collectives: a recycled slot pool scanned linearly by
+     *  (comm, seq). At most a few ops are ever active at once (one per
+     *  communicator generation), so the scan is cheaper than any
+     *  ordered or hashed container — and slots never free their
+     *  buffers. */
+    std::vector<CollectiveOp> collOps_;
+    std::vector<int> freeCollSlots_;
     RepairOp repairOp_;
     std::function<void(int)> fiberBody_;
     /** Min-heap of (clock-at-enqueue, rank): the DES ready queue. A
      *  runnable fiber's clock cannot change before it is resumed, so
-     *  enqueue-time priorities are exact; rank index breaks ties. */
-    std::priority_queue<std::pair<SimTime, int>,
-                        std::vector<std::pair<SimTime, int>>,
-                        std::greater<>>
-        ready_;
+     *  enqueue-time priorities are exact; rank index breaks ties. Kept
+     *  as a raw vector heap (same push_heap/pop_heap discipline as
+     *  std::priority_queue, so event order is unchanged) so it can be
+     *  cleared without deallocating and short-circuited when a single
+     *  rank is runnable — the common case in compute phases. */
+    std::vector<std::pair<SimTime, int>> ready_;
+    /** Fibers not yet Finished: replaces the O(P) per-event scan the
+     *  scheduler used to make to decide whether the job is done. */
+    int liveRanks_ = 0;
 
     bool jobAborting_ = false;
     SimTime abortTime_ = 0.0;

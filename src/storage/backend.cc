@@ -9,6 +9,7 @@
 #include <set>
 
 #include "src/util/logging.hh"
+#include "src/util/phase.hh"
 
 namespace fs = std::filesystem;
 
@@ -69,6 +70,7 @@ class MemBackend final : public Backend
     read(const std::string &path,
          std::vector<std::uint8_t> &out) const override
     {
+        util::PhaseScope phase(util::Phase::Storage);
         // Take a handle under the lock, copy outside it: a multi-MB
         // copy-out must not stall every other thread whose paths hash
         // to this bucket (the refcount keeps the bytes alive).
@@ -99,6 +101,7 @@ class MemBackend final : public Backend
     write(const std::string &path, const void *data,
           std::size_t bytes) override
     {
+        util::PhaseScope phase(util::Phase::Storage);
         // Raw writes must copy once into a pooled buffer; callers on
         // the hot path hand over a sealed Blob instead (no copy).
         Blob blob = BlobPool::local().copyOf(data, bytes);
@@ -111,6 +114,7 @@ class MemBackend final : public Backend
     void
     write(const std::string &path, Blob &&blob) override
     {
+        util::PhaseScope phase(util::Phase::Storage);
         noteBlobStore(blob.size());
         Bucket &bucket = bucketFor(path);
         std::lock_guard<std::mutex> lock(bucket.mutex);
@@ -267,6 +271,7 @@ class DiskBackend final : public Backend
     read(const std::string &path,
          std::vector<std::uint8_t> &out) const override
     {
+        util::PhaseScope phase(util::Phase::Storage);
         std::ifstream in(path, std::ios::binary | std::ios::ate);
         if (!in)
             return false;
@@ -289,6 +294,7 @@ class DiskBackend final : public Backend
     write(const std::string &path, const void *data,
           std::size_t bytes) override
     {
+        util::PhaseScope phase(util::Phase::Storage);
         std::ofstream out(path, std::ios::binary | std::ios::trunc);
         if (!out)
             util::fatal("cannot open %s for writing", path.c_str());

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "src/util/logging.hh"
+#include "src/util/phase.hh"
 
 namespace match::storage
 {
@@ -39,7 +40,11 @@ DrainWorker::enqueue(Job job)
     if (mode_ == DrainMode::Sync) {
         // Deterministic replay: the job runs right here, on the
         // enqueuing thread, before control returns to the caller.
-        const std::uint64_t value = job();
+        std::uint64_t value;
+        {
+            util::PhaseScope phase(util::Phase::Drain);
+            value = job();
+        }
         std::lock_guard<std::mutex> lock(mutex_);
         const Ticket ticket = nextTicket_++;
         results_.emplace(ticket, value);
@@ -132,7 +137,14 @@ DrainWorker::workerLoop()
         queue_.pop_front();
         running_ = true;
         lock.unlock();
-        const std::uint64_t value = job();
+        std::uint64_t value;
+        {
+            // Attributed on the worker thread: phase counters are
+            // process-global, so async drain time shows up alongside
+            // (and overlapping) the scheduler thread's phases.
+            util::PhaseScope phase(util::Phase::Drain);
+            value = job();
+        }
         lock.lock();
         running_ = false;
         results_.emplace(ticket, value);

@@ -22,10 +22,6 @@ initialLevel()
     return LogLevel::Warn;
 }
 
-/** Atomic: grid worker threads read the level while the main thread
- *  may adjust it (e.g. a bench quieting warnings before a sweep). */
-std::atomic<LogLevel> globalLevel{initialLevel()};
-
 void
 emit(const char *prefix, const char *fmt, va_list args)
 {
@@ -38,22 +34,23 @@ emit(const char *prefix, const char *fmt, va_list args)
 
 } // anonymous namespace
 
-LogLevel
-logLevel()
+namespace detail
 {
-    return globalLevel;
-}
+/** Atomic: grid worker threads read the level while the main thread
+ *  may adjust it (e.g. a bench quieting warnings before a sweep). */
+std::atomic<LogLevel> g_logLevel{initialLevel()};
+} // namespace detail
 
 void
 setLogLevel(LogLevel level)
 {
-    globalLevel = level;
+    detail::g_logLevel.store(level, std::memory_order_relaxed);
 }
 
 void
 inform(const char *fmt, ...)
 {
-    if (globalLevel < LogLevel::Info)
+    if (!logEnabled(LogLevel::Info))
         return;
     va_list args;
     va_start(args, fmt);
@@ -64,7 +61,7 @@ inform(const char *fmt, ...)
 void
 warn(const char *fmt, ...)
 {
-    if (globalLevel < LogLevel::Warn)
+    if (!logEnabled(LogLevel::Warn))
         return;
     va_list args;
     va_start(args, fmt);
@@ -75,7 +72,7 @@ warn(const char *fmt, ...)
 void
 debug(const char *fmt, ...)
 {
-    if (globalLevel < LogLevel::Debug)
+    if (!logEnabled(LogLevel::Debug))
         return;
     va_list args;
     va_start(args, fmt);

@@ -13,6 +13,7 @@
 #ifndef MATCH_UTIL_LOGGING_HH
 #define MATCH_UTIL_LOGGING_HH
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdio>
 #include <sstream>
@@ -30,8 +31,29 @@ enum class LogLevel
     Debug = 3,   ///< + debug chatter
 };
 
+namespace detail
+{
+/** The process-wide level; exposed so logEnabled() inlines to one
+ *  relaxed atomic load at every call site. */
+extern std::atomic<LogLevel> g_logLevel;
+} // namespace detail
+
 /** Get the process-wide log level (default Warn; MATCH_LOG env overrides). */
-LogLevel logLevel();
+inline LogLevel
+logLevel()
+{
+    return detail::g_logLevel.load(std::memory_order_relaxed);
+}
+
+/** True when a message at `level` would be emitted. Hot paths gate on
+ *  this (via the MATCH_DEBUG/MATCH_INFORM macros) so disabled log
+ *  statements cost one relaxed load — no argument evaluation, no
+ *  varargs call, no formatting. */
+inline bool
+logEnabled(LogLevel level)
+{
+    return logLevel() >= level;
+}
 
 /** Set the process-wide log level programmatically. */
 void setLogLevel(LogLevel level);
@@ -52,6 +74,23 @@ void debug(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 /** Report a broken internal invariant and abort(). */
 [[noreturn]] void panic(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
+
+/**
+ * Level-gated logging for hot paths. The plain inform()/warn()/debug()
+ * functions re-check the level internally, but by then the caller has
+ * already evaluated every argument and paid the varargs call; these
+ * macros short-circuit on one inlined relaxed load so a disabled log
+ * statement in the event loop costs ~1ns and no argument evaluation.
+ */
+#define MATCH_LOG_AT(levelEnum, fn, ...)                                     \
+    do {                                                                     \
+        if (::match::util::logEnabled(::match::util::LogLevel::levelEnum))   \
+            ::match::util::fn(__VA_ARGS__);                                  \
+    } while (0)
+
+#define MATCH_INFORM(...) MATCH_LOG_AT(Info, inform, __VA_ARGS__)
+#define MATCH_WARN(...) MATCH_LOG_AT(Warn, warn, __VA_ARGS__)
+#define MATCH_DEBUG(...) MATCH_LOG_AT(Debug, debug, __VA_ARGS__)
 
 /**
  * Assert an internal invariant; calls panic() with location info when the

@@ -1,0 +1,97 @@
+#include "src/util/phase.hh"
+
+#include <atomic>
+
+namespace match::util
+{
+
+namespace
+{
+
+/** Process-wide accumulators, nanoseconds. Relaxed is enough: readers
+ *  only diff snapshots taken outside the measured region, and each
+ *  counter is independent. */
+std::atomic<std::uint64_t> g_phaseNs[phaseCount] = {};
+std::atomic<std::uint64_t> g_phaseEntries[phaseCount] = {};
+
+/** Innermost open scope on this thread (exclusive attribution). */
+thread_local PhaseScope *t_top = nullptr;
+
+void
+charge(Phase phase, std::chrono::steady_clock::duration elapsed)
+{
+    const auto ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+            .count();
+    if (ns > 0) {
+        g_phaseNs[static_cast<int>(phase)].fetch_add(
+            static_cast<std::uint64_t>(ns), std::memory_order_relaxed);
+    }
+}
+
+} // anonymous namespace
+
+const char *
+phaseName(Phase phase)
+{
+    switch (phase) {
+      case Phase::CkptSerialize: return "ckptSerialize";
+      case Phase::RsEncode: return "rsEncode";
+      case Phase::Drain: return "drain";
+      case Phase::Storage: return "storage";
+    }
+    return "unknown";
+}
+
+PhaseTotals
+PhaseTotals::diff(const PhaseTotals &after, const PhaseTotals &before)
+{
+    PhaseTotals out;
+    for (int i = 0; i < phaseCount; ++i) {
+        out.seconds[i] = after.seconds[i] > before.seconds[i]
+                             ? after.seconds[i] - before.seconds[i]
+                             : 0.0;
+        out.entries[i] = after.entries[i] > before.entries[i]
+                             ? after.entries[i] - before.entries[i]
+                             : 0;
+    }
+    return out;
+}
+
+PhaseTotals
+phaseTotals()
+{
+    PhaseTotals out;
+    for (int i = 0; i < phaseCount; ++i) {
+        out.seconds[i] =
+            static_cast<double>(g_phaseNs[i].load(std::memory_order_relaxed)) *
+            1e-9;
+        out.entries[i] = g_phaseEntries[i].load(std::memory_order_relaxed);
+    }
+    return out;
+}
+
+PhaseScope::PhaseScope(Phase phase) : phase_(phase), parent_(t_top)
+{
+    const auto now = std::chrono::steady_clock::now();
+    if (parent_) {
+        // Suspend the enclosing scope: bank what it accrued so far and
+        // let it restart its clock when we exit.
+        charge(parent_->phase_, now - parent_->start_);
+    }
+    start_ = now;
+    t_top = this;
+    g_phaseEntries[static_cast<int>(phase_)].fetch_add(
+        1, std::memory_order_relaxed);
+}
+
+PhaseScope::~PhaseScope()
+{
+    const auto now = std::chrono::steady_clock::now();
+    charge(phase_, now - start_);
+    t_top = parent_;
+    if (parent_)
+        parent_->start_ = now;
+}
+
+} // namespace match::util

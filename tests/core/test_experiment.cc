@@ -257,6 +257,50 @@ TEST(Experiment, AsyncDrainOverlapsFlushTimeInVirtualTime)
     EXPECT_DOUBLE_EQ(l3.mean.application, l4.mean.application);
 }
 
+TEST(Experiment, GoldenResultsPinnedAcrossOptimizations)
+{
+    // Bit-exact fixture recorded before the runtime hot-path rework
+    // (pooled fiber stacks, rendezvous delivery, inlined cost model).
+    // Those optimizations are wall-clock-only: any drift in these
+    // doubles means a simulation-visible behavior change leaked in.
+    // The tuples cover all three designs, an RS-encoded L3 cell, a
+    // drained L4 cell, and both the injected and failure-free paths.
+    struct Golden
+    {
+        Design design;
+        int level;
+        bool inject;
+        double app, ckptW, ckptR, rec;
+        int recoveries;
+        bool fired;
+    };
+    const Golden fixtures[] = {
+        {Design::ReinitFti, 1, true, 0.39149574690426153,
+         0.059902122842276792, 0.0, 0.45224575317725502, 2, true},
+        {Design::RestartFti, 3, true, 0.34879690836232757,
+         0.062866002222378481, 0.0, 5.6703495531794914, 0, true},
+        {Design::UlfmFti, 1, true, 0.4726929586106825,
+         0.093742412271171749, 0.00028475000000000001,
+         0.6974270126201727, 2, true},
+        {Design::ReinitFti, 4, false, 0.26857265373982575,
+         0.060751006691229847, 0.0, 0.0, 0, false},
+    };
+    for (const Golden &g : fixtures) {
+        auto config = smallConfig(g.design, g.inject);
+        config.runs = 2; // the fixture was recorded with two runs
+        config.ckptLevel = g.level;
+        const auto r = runExperiment(config);
+        const std::string label = std::string(ft::designName(g.design)) +
+                                  " L" + std::to_string(g.level);
+        EXPECT_DOUBLE_EQ(r.mean.application, g.app) << label;
+        EXPECT_DOUBLE_EQ(r.mean.ckptWrite, g.ckptW) << label;
+        EXPECT_DOUBLE_EQ(r.mean.ckptRead, g.ckptR) << label;
+        EXPECT_DOUBLE_EQ(r.mean.recovery, g.rec) << label;
+        EXPECT_EQ(r.mean.recoveries, g.recoveries) << label;
+        EXPECT_EQ(r.mean.failureFired, g.fired) << label;
+    }
+}
+
 TEST(Experiment, CacheKeyDistinguishesConfigs)
 {
     auto a = smallConfig(Design::ReinitFti, true);
