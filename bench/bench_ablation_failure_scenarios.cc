@@ -1,0 +1,316 @@
+/**
+ * @file
+ * Ablation: the failure-scenario engine. The paper's methodology
+ * (Section V-B) injects exactly one uniformly random process failure
+ * per run; the designs it compares are exactly the ones whose rankings
+ * move under richer failure processes. This bench sweeps the scenario
+ * axes the engine adds:
+ *
+ *  - failure models: single (paper baseline), independent-exponential
+ *    multi-failure, node/rack-correlated cascades, and a trace replay
+ *    round-tripped through the on-disk format (serialize -> parse ->
+ *    file -> replay must be bit-identical to the generated schedule);
+ *  - silent data corruption: correlated crashes with half the events
+ *    demoted to checkpoint corruption, detected at recovery by CRC32C
+ *    and survived by falling back to an older checkpoint;
+ *  - SDC verification overhead: the same cell with and without
+ *    --sdc-checks (plus a periodic scrub), no corruption injected;
+ *  - burst-buffer capacity pressure: L4 checkpoints at a dense stride
+ *    under a shrinking --drain-capacity, showing the priced admission
+ *    stalls grow as the buffer shrinks.
+ *
+ * Writes BENCH_ablation_failure_scenarios.json (per-scenario rows) into
+ * --perf-dir for CI's perf-trajectory artifact.
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/common.hh"
+#include "src/ft/failure_model.hh"
+#include "src/util/logging.hh"
+#include "src/util/rng.hh"
+#include "src/util/table.hh"
+
+using namespace match;
+using namespace match::bench;
+using core::ExperimentConfig;
+
+namespace
+{
+
+/** One named configuration of the scenario axes. */
+struct Scenario
+{
+    const char *name;
+    ft::FailureModelKind model = ft::FailureModelKind::Single;
+    double meanFailures = 1.0;
+    double cascadeProb = 0.35;
+    double corruptFraction = 0.0;
+    bool sdcChecks = false;
+    int scrubStride = 0;
+};
+
+ExperimentConfig
+baseCell(const BenchOptions &options)
+{
+    ExperimentConfig cell;
+    cell.app = "HPCCG";
+    cell.nprocs = 64;
+    cell.runs = options.runs;
+    cell.seed = options.seed;
+    // Noise off: scenario deltas and the trace-replay identity check
+    // must not be smeared by the run-to-run noise model.
+    cell.noiseSigma = 0.0;
+    cell.sandboxDir = options.sandboxDir;
+    cell.storage = options.storage;
+    cell.drain = options.drain;
+    cell.drainDepth = options.drainDepth;
+    cell.injectFailure = true;
+    return cell;
+}
+
+ExperimentConfig
+scenarioCell(const BenchOptions &options, const Scenario &scenario,
+             int procs, ft::Design design)
+{
+    ExperimentConfig cell = baseCell(options);
+    cell.nprocs = procs;
+    cell.design = design;
+    cell.failureModel = scenario.model;
+    cell.meanFailures = scenario.meanFailures;
+    cell.cascadeProb = scenario.cascadeProb;
+    cell.corruptFraction = scenario.corruptFraction;
+    cell.sdcChecks = scenario.sdcChecks;
+    cell.scrubStride = scenario.scrubStride;
+    return cell;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto options = BenchOptions::parse(argc, argv);
+    const core::GridRunner runner(options.jobs);
+
+    std::printf("=== Ablation: failure-scenario engine "
+                "(HPCCG, small) ===\n");
+    std::printf("(methodology: %d runs averaged per configuration, "
+                "noise off)\n\n",
+                options.runs);
+
+    const std::vector<int> scales =
+        options.quick ? std::vector<int>{64} : std::vector<int>{64, 512};
+    const std::vector<Scenario> scenarios = {
+        {"single"},
+        {"independent", ft::FailureModelKind::IndependentExp, 3.0},
+        {"correlated", ft::FailureModelKind::Correlated, 2.0, 0.5},
+        {"correlated+sdc", ft::FailureModelKind::Correlated, 2.0, 0.5,
+         /*corruptFraction=*/0.5, /*sdcChecks=*/true,
+         /*scrubStride=*/5},
+    };
+
+    // One flat cell list for all scenario rows: the grid runner
+    // deduplicates and keeps --jobs workers busy across scenarios.
+    std::vector<ExperimentConfig> cells;
+    for (const Scenario &scenario : scenarios)
+        for (int procs : scales)
+            for (ft::Design design : ft::allDesigns)
+                cells.push_back(
+                    scenarioCell(options, scenario, procs, design));
+    const std::vector<core::ExperimentResult> results =
+        runner.run(cells);
+
+    struct Row
+    {
+        const Scenario *scenario;
+        const ExperimentConfig *cell;
+        const ft::Breakdown *mean;
+    };
+    std::vector<Row> rows;
+    util::Table table({"Scenario", "#Processes", "Design",
+                       "Application(s)", "WriteCkpt(s)", "Recovery(s)",
+                       "Total(s)", "Recoveries"});
+    std::size_t at = 0;
+    for (const Scenario &scenario : scenarios) {
+        for (int procs : scales) {
+            for (ft::Design design : ft::allDesigns) {
+                const ft::Breakdown &mean = results[at].mean;
+                rows.push_back({&scenario, &cells[at], &mean});
+                table.addRow({scenario.name, std::to_string(procs),
+                              ft::designName(design),
+                              util::Table::cell(mean.application),
+                              util::Table::cell(mean.ckptWrite),
+                              util::Table::cell(mean.recovery),
+                              util::Table::cell(mean.total()),
+                              std::to_string(mean.recoveries)});
+                ++at;
+            }
+        }
+    }
+    std::printf("%s\n", table.toString().c_str());
+
+    // Trace round-trip: generate the correlated schedule exactly the
+    // way runExperiment does for run 0, push it through the trace
+    // format (text -> parse -> file -> read), and replay it. The
+    // replayed cell must reproduce the generated cell bit-for-bit.
+    ExperimentConfig generated = scenarioCell(
+        options, scenarios[2], scales.front(), ft::Design::ReinitFti);
+    generated.runs = 1;
+    apps::AppParams params;
+    params.input = generated.input;
+    params.nprocs = generated.nprocs;
+    params.ckptStride = generated.ckptStride;
+    const int iters =
+        apps::findApp(generated.app).loopIterations(params);
+    util::Rng rng(core::cellSeed(generated, 0));
+    ft::FailureModelConfig fm;
+    fm.kind = generated.failureModel;
+    fm.meanFailures = generated.meanFailures;
+    fm.cascadeProb = generated.cascadeProb;
+    fm.corruptFraction = generated.corruptFraction;
+    fm.ranksPerNode =
+        static_cast<int>(generated.costParams.ranksPerNode);
+    fm.nodesPerRack =
+        static_cast<int>(generated.costParams.nodesPerRack);
+    const std::vector<ft::FailureEvent> schedule =
+        ft::generateSchedule(fm, generated.nprocs, iters, rng);
+
+    std::filesystem::create_directories(options.sandboxDir);
+    const std::string trace_path =
+        options.sandboxDir + "/ablation-correlated.trace";
+    ft::writeTraceFile(trace_path, schedule);
+    const std::vector<ft::FailureEvent> replayed =
+        ft::readTraceFile(trace_path);
+    const bool format_ok =
+        replayed == schedule &&
+        ft::parseTrace(ft::serializeTrace(schedule)) == schedule;
+
+    ExperimentConfig replay = generated;
+    replay.failureModel = ft::FailureModelKind::Trace;
+    replay.traceEvents = replayed;
+    const ft::Breakdown gen_bd = core::runExperiment(generated).mean;
+    const ft::Breakdown rep_bd = core::runExperiment(replay).mean;
+    const bool replay_ok = format_ok &&
+                           gen_bd.application == rep_bd.application &&
+                           gen_bd.ckptWrite == rep_bd.ckptWrite &&
+                           gen_bd.ckptRead == rep_bd.ckptRead &&
+                           gen_bd.recovery == rep_bd.recovery &&
+                           gen_bd.recoveries == rep_bd.recoveries;
+    std::printf("trace round-trip: %zu events, format %s, replay %s "
+                "(generated total %.6fs, replayed total %.6fs)\n",
+                schedule.size(), format_ok ? "identical" : "DIVERGED",
+                replay_ok ? "bit-identical" : "DIVERGED",
+                gen_bd.total(), rep_bd.total());
+    if (!replay_ok)
+        util::warn("trace replay diverged from the generated schedule");
+
+    // SDC verification overhead: same cell, checks off vs on, nothing
+    // corrupted — the delta is the priced CRC verification and scrub.
+    ExperimentConfig plain = scenarioCell(
+        options, scenarios[0], scales.front(), ft::Design::ReinitFti);
+    ExperimentConfig checked = plain;
+    checked.sdcChecks = true;
+    checked.scrubStride = 5;
+    const double plain_total = core::runExperiment(plain).mean.total();
+    const double checked_total =
+        core::runExperiment(checked).mean.total();
+    const double sdc_overhead_pct =
+        plain_total > 0.0 ? 100.0 * (checked_total / plain_total - 1.0)
+                          : 0.0;
+    std::printf("sdc-checks overhead (single-failure cell, scrub "
+                "stride 5): %.6fs -> %.6fs (%+.2f%%)\n",
+                plain_total, checked_total, sdc_overhead_pct);
+
+    // Burst-buffer capacity pressure: L4 checkpoints every other
+    // iteration so every cell carries flush traffic, with the PFS pipe
+    // throttled 100x so a flush outlives the checkpoint interval and
+    // staged bytes accumulate. Admission stalls are priced, so total
+    // time grows as capacity drops; 0 is the unbounded baseline.
+    const std::vector<std::size_t> capacities = {
+        0, std::size_t{1} << 30, std::size_t{1} << 26,
+        std::size_t{1} << 22, std::size_t{1} << 18};
+    std::vector<ExperimentConfig> pressure_cells;
+    for (std::size_t capacity : capacities) {
+        ExperimentConfig cell = baseCell(options);
+        cell.injectFailure = false;
+        cell.design = ft::Design::RestartFti;
+        cell.ckptLevel = 4;
+        cell.ckptStride = 2;
+        cell.costParams.ckptL4AggregateBw /= 100.0;
+        cell.drainCapacityBytes = capacity;
+        pressure_cells.push_back(std::move(cell));
+    }
+    const std::vector<core::ExperimentResult> pressure =
+        runner.run(pressure_cells);
+    util::Table pressure_table(
+        {"Capacity(bytes)", "WriteCkpt(s)", "Total(s)"});
+    for (std::size_t i = 0; i < capacities.size(); ++i) {
+        pressure_table.addRow(
+            {capacities[i] == 0 ? std::string("unbounded")
+                                : std::to_string(capacities[i]),
+             util::Table::cell(pressure[i].mean.ckptWrite),
+             util::Table::cell(pressure[i].mean.total())});
+    }
+    std::printf("\n--- L4 burst-buffer capacity pressure (stride 2, "
+                "no failures) ---\n%s\n",
+                pressure_table.toString().c_str());
+
+    // Perf record: per-scenario rows for CI's trajectory artifact.
+    std::filesystem::create_directories(options.perfDir);
+    const std::string json_path =
+        options.perfDir + "/BENCH_ablation_failure_scenarios.json";
+    std::FILE *out = std::fopen(json_path.c_str(), "w");
+    if (!out) {
+        util::warn("cannot write %s", json_path.c_str());
+        return 1;
+    }
+    std::fprintf(out,
+                 "{\n"
+                 "  \"bench\": \"ablation_failure_scenarios\",\n"
+                 "  \"quick\": %s,\n"
+                 "  \"runsPerCell\": %d,\n"
+                 "  \"jobs\": %d,\n"
+                 "  \"traceRoundTripIdentical\": %s,\n"
+                 "  \"traceReplayBitIdentical\": %s,\n"
+                 "  \"traceEvents\": %zu,\n"
+                 "  \"sdcCheckOverheadPct\": %.4f,\n"
+                 "  \"scenarios\": [\n",
+                 options.quick ? "true" : "false", options.runs,
+                 runner.jobs(), format_ok ? "true" : "false",
+                 replay_ok ? "true" : "false", schedule.size(),
+                 sdc_overhead_pct);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row &row = rows[i];
+        std::fprintf(
+            out,
+            "    {\"scenario\": \"%s\", \"nprocs\": %d, "
+            "\"design\": \"%s\", \"application\": %.9f, "
+            "\"ckptWrite\": %.9f, \"recovery\": %.9f, "
+            "\"total\": %.9f, \"recoveries\": %d, "
+            "\"failureFired\": %s}%s\n",
+            row.scenario->name, row.cell->nprocs,
+            ft::designName(row.cell->design), row.mean->application,
+            row.mean->ckptWrite, row.mean->recovery, row.mean->total(),
+            row.mean->recoveries,
+            row.mean->failureFired ? "true" : "false",
+            i + 1 == rows.size() ? "" : ",");
+    }
+    std::fprintf(out, "  ],\n  \"capacityPressure\": [\n");
+    for (std::size_t i = 0; i < capacities.size(); ++i) {
+        std::fprintf(
+            out,
+            "    {\"capacityBytes\": %llu, \"ckptWrite\": %.9f, "
+            "\"total\": %.9f}%s\n",
+            static_cast<unsigned long long>(capacities[i]),
+            pressure[i].mean.ckptWrite, pressure[i].mean.total(),
+            i + 1 == capacities.size() ? "" : ",");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("perf: wrote %s\n", json_path.c_str());
+    return replay_ok ? 0 : 1;
+}

@@ -15,6 +15,7 @@
 #include "src/fti/fti.hh"
 #include "src/simmpi/runtime.hh"
 #include "src/storage/blob.hh"
+#include "src/util/crc32c.hh"
 
 using namespace match;
 using namespace match::simmpi;
@@ -122,6 +123,63 @@ BENCHMARK(BM_CheckpointMemDataPlane)
     ->Args({2, 1 << 12})
     ->Args({3, 1 << 12})
     ->Args({4, 1 << 12});
+
+/**
+ * Raw CRC32C throughput: the checksum every sealed checkpoint blob now
+ * pays once (and the SDC recovery ladder re-pays per verification).
+ * The slice-by-8 software kernel should sustain multiple GB/s; a
+ * regression here taxes every checkpoint commit.
+ */
+void
+BM_Crc32c(benchmark::State &state)
+{
+    const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+    std::vector<std::uint8_t> data(bytes);
+    for (std::size_t i = 0; i < bytes; ++i)
+        data[i] = static_cast<std::uint8_t>(i * 131u + 17u);
+    std::uint64_t sum = 0;
+    for (auto _ : state) {
+        sum ^= util::crc32c(data.data(), data.size());
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_Crc32c)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+/**
+ * Checkpoint hot path with SDC hardening on: identical loop to
+ * BM_CheckpointMemDataPlane at L1, plus the blob-seal CRC32C. The
+ * delta against the MemDataPlane L1 row is the wall cost the checksum
+ * adds per committed checkpoint.
+ */
+void
+BM_CheckpointChecksummed(benchmark::State &state)
+{
+    const std::size_t doubles = static_cast<std::size_t>(state.range(0));
+    auto cfg = benchConfig(1);
+    cfg.execId = "micro-crc-l1";
+    cfg.backend = match::storage::makeBackend(match::storage::Kind::Mem);
+    cfg.sdcChecks = true;
+    for (auto _ : state) {
+        fti::Fti::purge(cfg);
+        Runtime runtime;
+        JobOptions opts;
+        opts.nprocs = 8;
+        runtime.run(opts, [&](Proc &proc) {
+            fti::Fti fti(proc, cfg);
+            std::vector<double> data(doubles, 1.5);
+            fti.protect(0, data.data(), data.size() * sizeof(double));
+            for (int id = 1; id <= 4; ++id)
+                fti.checkpoint(id);
+            fti.finalize();
+        });
+    }
+    state.SetBytesProcessed(state.iterations() * 4 * 8 *
+                            static_cast<std::int64_t>(doubles) *
+                            sizeof(double));
+}
+BENCHMARK(BM_CheckpointChecksummed)->Arg(1 << 12)->Arg(1 << 16);
 
 void
 BM_Recover(benchmark::State &state)

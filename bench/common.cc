@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <sstream>
 
+#include "src/ft/failure_model.hh"
 #include "src/util/logging.hh"
 #include "src/util/table.hh"
 
@@ -17,6 +18,20 @@ using core::ExperimentConfig;
 using core::GridRunner;
 using core::GridSpec;
 using ft::Design;
+
+void
+badChoice(const char *flag, const std::string &got,
+          std::initializer_list<const char *> choices)
+{
+    std::string menu;
+    for (const char *choice : choices) {
+        if (!menu.empty())
+            menu += ", ";
+        menu += choice;
+    }
+    util::fatal("%s: unknown value '%s' (valid choices: %s)", flag,
+                got.c_str(), menu.c_str());
+}
 
 BenchOptions
 BenchOptions::parse(int argc, char **argv)
@@ -44,8 +59,7 @@ BenchOptions::parse(int argc, char **argv)
             else if (kind == "disk")
                 options.storage = storage::Kind::Disk;
             else
-                util::fatal("--storage expects mem or disk, got %s",
-                            kind.c_str());
+                badChoice("--storage", kind, {"mem", "disk"});
         } else if (arg == "--drain" && i + 1 < argc) {
             const std::string mode = argv[++i];
             if (mode == "sync")
@@ -53,10 +67,12 @@ BenchOptions::parse(int argc, char **argv)
             else if (mode == "async")
                 options.drain = storage::DrainMode::Async;
             else
-                util::fatal("--drain expects sync or async, got %s",
-                            mode.c_str());
+                badChoice("--drain", mode, {"sync", "async"});
         } else if (arg == "--drain-depth" && i + 1 < argc) {
             options.drainDepth = std::atoi(argv[++i]);
+        } else if (arg == "--drain-capacity" && i + 1 < argc) {
+            options.drainCapacityBytes = static_cast<std::size_t>(
+                std::strtoull(argv[++i], nullptr, 10));
         } else if (arg == "--pin" && i + 1 < argc) {
             const std::string mode = argv[++i];
             if (mode == "none")
@@ -66,8 +82,27 @@ BenchOptions::parse(int argc, char **argv)
             else if (mode == "cores")
                 options.pin = core::PinMode::Cores;
             else
-                util::fatal("--pin expects none, auto or cores, got %s",
-                            mode.c_str());
+                badChoice("--pin", mode, {"none", "auto", "cores"});
+        } else if (arg == "--failure-model" && i + 1 < argc) {
+            const std::string name = argv[++i];
+            if (!ft::parseFailureModel(name, options.failureModel)) {
+                badChoice("--failure-model", name,
+                          {"single", "independent", "correlated",
+                           "trace"});
+            }
+        } else if (arg == "--failure-trace" && i + 1 < argc) {
+            options.traceEvents = ft::readTraceFile(argv[++i]);
+            options.failureModel = ft::FailureModelKind::Trace;
+        } else if (arg == "--mean-failures" && i + 1 < argc) {
+            options.meanFailures = std::atof(argv[++i]);
+        } else if (arg == "--cascade-prob" && i + 1 < argc) {
+            options.cascadeProb = std::atof(argv[++i]);
+        } else if (arg == "--corrupt-fraction" && i + 1 < argc) {
+            options.corruptFraction = std::atof(argv[++i]);
+        } else if (arg == "--sdc-checks") {
+            options.sdcChecks = true;
+        } else if (arg == "--scrub-stride" && i + 1 < argc) {
+            options.scrubStride = std::atoi(argv[++i]);
         } else if (arg == "--perf") {
             options.perf = true;
         } else if (arg == "--perf-dir" && i + 1 < argc) {
@@ -82,7 +117,12 @@ BenchOptions::parse(int argc, char **argv)
                 "options: [--quick] [--runs N] [--seed S] [--csv DIR] "
                 "[--apps A,B] [--sandbox DIR] [--jobs N] "
                 "[--storage mem|disk] [--drain sync|async] "
-                "[--drain-depth N] [--pin none|auto|cores] [--perf] "
+                "[--drain-depth N] [--drain-capacity BYTES] "
+                "[--pin none|auto|cores] "
+                "[--failure-model single|independent|correlated|trace] "
+                "[--failure-trace FILE] [--mean-failures M] "
+                "[--cascade-prob P] [--corrupt-fraction F] "
+                "[--sdc-checks] [--scrub-stride N] [--perf] "
                 "[--perf-dir DIR]\n"
                 "  --jobs N  grid worker threads (default: hardware "
                 "concurrency; output is identical for any N)\n"
@@ -96,6 +136,25 @@ BenchOptions::parse(int argc, char **argv)
                 "NUMA nodes/cores (auto: only when every worker can "
                 "own a core; workers' blob pools stay node-local; "
                 "output identical for every mode)\n"
+                "  --failure-model M  failure process for injected "
+                "runs (default single: the paper's one uniform crash; "
+                "independent/correlated draw multi-failure schedules; "
+                "trace replays --failure-trace)\n"
+                "  --failure-trace FILE  replay a failure trace "
+                "(see bench/FAILURE_TRACES.md; implies "
+                "--failure-model trace)\n"
+                "  --mean-failures M  expected failures per run "
+                "(independent/correlated models)\n"
+                "  --cascade-prob P  node/rack cascade probability "
+                "(correlated model)\n"
+                "  --corrupt-fraction F  fraction of failures demoted "
+                "to silent checkpoint corruption\n"
+                "  --sdc-checks  CRC32C-verify checkpoints at "
+                "recovery, fall back to older checkpoints on rot\n"
+                "  --scrub-stride N  verify the newest checkpoint "
+                "every N iterations (needs --sdc-checks)\n"
+                "  --drain-capacity BYTES  burst-buffer capacity; "
+                "flushes stall (priced) when staged bytes exceed it\n"
                 "  --perf    time the grid under both backends and "
                 "both drain modes, write BENCH_<name>.json\n"
                 "  valid apps: %s\n",
@@ -127,6 +186,14 @@ BenchOptions::baseSpec() const
     spec.storage = storage;
     spec.drain = drain;
     spec.drainDepth = drainDepth;
+    spec.failureModel = failureModel;
+    spec.meanFailures = meanFailures;
+    spec.cascadeProb = cascadeProb;
+    spec.corruptFraction = corruptFraction;
+    spec.traceEvents = traceEvents;
+    spec.sdcChecks = sdcChecks;
+    spec.scrubStride = scrubStride;
+    spec.drainCapacityBytes = drainCapacityBytes;
     return spec;
 }
 

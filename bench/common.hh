@@ -15,6 +15,7 @@
 #ifndef MATCH_BENCH_COMMON_HH
 #define MATCH_BENCH_COMMON_HH
 
+#include <initializer_list>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,14 @@
 
 namespace match::bench
 {
+
+/**
+ * Reject an enum-ish flag value with an error that lists every valid
+ * choice — "unknown X" without the menu makes the user go read the
+ * source. Shared by --storage, --drain, --pin and --failure-model.
+ */
+[[noreturn]] void badChoice(const char *flag, const std::string &got,
+                            std::initializer_list<const char *> choices);
 
 /** Command-line options shared by the figure benches. */
 struct BenchOptions
@@ -63,6 +72,31 @@ struct BenchOptions
     bool perf = false;
     /** --perf-dir DIR: where BENCH_<name>.json lands (default "."). */
     std::string perfDir = ".";
+
+    /// @name Failure-scenario engine (virtual-result axes).
+    /// @{
+    /** --failure-model single|independent|correlated|trace. */
+    ft::FailureModelKind failureModel = ft::FailureModelKind::Single;
+    /** --failure-trace FILE: replay a failure trace (implies
+     *  --failure-model trace). */
+    std::vector<ft::FailureEvent> traceEvents;
+    /** --mean-failures M: expected failures per run for the
+     *  independent/correlated models. */
+    double meanFailures = 1.0;
+    /** --cascade-prob P: correlated model's escalation probability. */
+    double cascadeProb = 0.35;
+    /** --corrupt-fraction F: fraction of generated failures that are
+     *  silent corruptions instead of crashes. */
+    double corruptFraction = 0.0;
+    /** --sdc-checks: CRC32C-verify checkpoints at recovery. */
+    bool sdcChecks = false;
+    /** --scrub-stride N: verify the newest checkpoint every N
+     *  iterations (0 = never; requires --sdc-checks). */
+    int scrubStride = 0;
+    /** --drain-capacity BYTES: burst-buffer capacity in staged bytes,
+     *  0 = unbounded. Virtual-result knob (priced stalls). */
+    std::size_t drainCapacityBytes = 0;
+    /// @}
 
     static BenchOptions parse(int argc, char **argv);
 

@@ -69,10 +69,24 @@ configKey(const ExperimentConfig &config)
     const int scalars[] = {static_cast<int>(config.input), config.nprocs,
                            static_cast<int>(config.design),
                            config.injectFailure ? 1 : 0, config.runs,
-                           config.ckptLevel, config.ckptStride};
+                           config.ckptLevel, config.ckptStride,
+                           static_cast<int>(config.failureModel),
+                           config.sdcChecks ? 1 : 0, config.scrubStride};
     mix(scalars, sizeof(scalars));
     mix(&config.seed, sizeof(config.seed));
     mix(&config.noiseSigma, sizeof(config.noiseSigma));
+    const double model_doubles[] = {config.meanFailures,
+                                    config.cascadeProb,
+                                    config.corruptFraction};
+    mix(model_doubles, sizeof(model_doubles));
+    const auto capacity =
+        static_cast<std::uint64_t>(config.drainCapacityBytes);
+    mix(&capacity, sizeof(capacity));
+    for (const ft::FailureEvent &event : config.traceEvents) {
+        const int fields[] = {event.iteration, event.rank,
+                              static_cast<int>(event.kind)};
+        mix(fields, sizeof(fields));
+    }
     // CostParams is all doubles (no padding): hash it raw.
     static_assert(sizeof(simmpi::CostParams) % sizeof(double) == 0);
     mix(&config.costParams, sizeof(config.costParams));
@@ -202,17 +216,39 @@ runExperiment(const ExperimentConfig &config)
             drc.ftiConfig.backend = storage::makeBackend(config.storage);
             drc.ftiConfig.drain = std::make_shared<storage::DrainWorker>(
                 config.drain,
-                static_cast<std::size_t>(std::max(config.drainDepth, 0)));
+                static_cast<std::size_t>(std::max(config.drainDepth, 0)),
+                config.drainCapacityBytes);
+            drc.ftiConfig.sdcChecks = config.sdcChecks;
+            drc.ftiConfig.scrubStride = config.scrubStride;
+            drc.ftiConfig.drainCapacityBytes = config.drainCapacityBytes;
             drc.purgeCheckpoints = true;
             if (config.injectFailure) {
                 const int iters = spec.loopIterations(params);
                 MATCH_ASSERT(iters >= 2,
                              "cannot inject into a 1-iteration loop");
                 drc.injectFailure = true;
-                drc.failIteration =
-                    1 + static_cast<int>(rng.below(iters - 1));
-                drc.failRank =
-                    static_cast<int>(rng.below(config.nprocs));
+                if (config.failureModel ==
+                    ft::FailureModelKind::Single) {
+                    // The paper's single-shot plan, draw-for-draw: one
+                    // uniform iteration, one uniform rank.
+                    drc.failIteration =
+                        1 + static_cast<int>(rng.below(iters - 1));
+                    drc.failRank =
+                        static_cast<int>(rng.below(config.nprocs));
+                } else {
+                    ft::FailureModelConfig fm;
+                    fm.kind = config.failureModel;
+                    fm.meanFailures = config.meanFailures;
+                    fm.cascadeProb = config.cascadeProb;
+                    fm.corruptFraction = config.corruptFraction;
+                    fm.ranksPerNode = static_cast<int>(
+                        config.costParams.ranksPerNode);
+                    fm.nodesPerRack = static_cast<int>(
+                        config.costParams.nodesPerRack);
+                    fm.trace = config.traceEvents;
+                    drc.failureEvents = ft::generateSchedule(
+                        fm, config.nprocs, iters, rng);
+                }
             }
 
             bd = ft::runDesign(drc, [&](simmpi::Proc &proc,

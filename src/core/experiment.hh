@@ -31,6 +31,36 @@ struct ExperimentConfig
     ft::Design design = ft::Design::ReinitFti;
     bool injectFailure = false;
 
+    /** Failure-scenario engine (src/ft/failure_model.hh). Single (the
+     *  default) reproduces the paper's one-uniform-site injection
+     *  draw-for-draw; the other models derive a deterministic
+     *  multi-event schedule from the same per-(cell, run) RNG. All of
+     *  these axes change virtual results, so they are part of
+     *  configKey(). Only consulted when injectFailure is set. */
+    ft::FailureModelKind failureModel = ft::FailureModelKind::Single;
+    /** Mean failures per run (IndependentExp intensity; Correlated
+     *  primary count). */
+    double meanFailures = 1.0;
+    /** Correlated model: probability a primary cascades to its
+     *  node/rack peers (and that the blast radius is the whole rack). */
+    double cascadeProb = 0.35;
+    /** Fraction of events drawn as silent corruption instead of a
+     *  crash (IndependentExp/Correlated). */
+    double corruptFraction = 0.0;
+    /** Trace model: the replayed events (see ft::readTraceFile). */
+    std::vector<ft::FailureEvent> traceEvents;
+
+    /** SDC hardening: CRC32C verification at recovery with fall-back
+     *  to older checkpoints (FtiConfig::sdcChecks). */
+    bool sdcChecks = false;
+    /** Scrub the newest checkpoint every N iterations (requires
+     *  sdcChecks; FtiConfig::scrubStride). */
+    int scrubStride = 0;
+    /** Virtual burst-buffer capacity for staged L4 flushes; 0 is
+     *  unbounded (FtiConfig::drainCapacityBytes). Also bounds the wall
+     *  worker's staged bytes. */
+    std::size_t drainCapacityBytes = 0;
+
     /** Paper methodology: five runs, averaged. */
     int runs = 5;
     std::uint64_t seed = 42;

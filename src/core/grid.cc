@@ -198,6 +198,15 @@ GridSpec::enumerate() const
                             config.storage = storage;
                             config.drain = drain;
                             config.drainDepth = drainDepth;
+                            config.failureModel = failureModel;
+                            config.meanFailures = meanFailures;
+                            config.cascadeProb = cascadeProb;
+                            config.corruptFraction = corruptFraction;
+                            config.traceEvents = traceEvents;
+                            config.sdcChecks = sdcChecks;
+                            config.scrubStride = scrubStride;
+                            config.drainCapacityBytes =
+                                drainCapacityBytes;
                             cells.push_back(std::move(config));
                         }
                     }

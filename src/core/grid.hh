@@ -94,6 +94,18 @@ struct GridSpec
     storage::DrainMode drain = storage::DrainMode::Async;
     int drainDepth = 4;
 
+    /** Failure-scenario engine axes, copied verbatim into every cell
+     *  (see ExperimentConfig). Virtual-result knobs, unlike
+     *  storage/drain/pin. */
+    ft::FailureModelKind failureModel = ft::FailureModelKind::Single;
+    double meanFailures = 1.0;
+    double cascadeProb = 0.35;
+    double corruptFraction = 0.0;
+    std::vector<ft::FailureEvent> traceEvents;
+    bool sdcChecks = false;
+    int scrubStride = 0;
+    std::size_t drainCapacityBytes = 0;
+
     /** Expand the axes into concrete cells (deterministic order). */
     std::vector<ExperimentConfig> enumerate() const;
 };

@@ -47,6 +47,11 @@ class CheckpointLoop
                 fti_.recover();
             if (*iter > 0 && *iter % stride_ == 0)
                 fti_.checkpoint(*iter / stride_);
+            // Optional SDC scrub: re-verify the newest committed local
+            // object every scrubStride iterations (off by default).
+            if (fti_.config().scrubStride > 0 && *iter > 0 &&
+                *iter % fti_.config().scrubStride == 0)
+                fti_.scrub();
             body(*iter);
         }
     }

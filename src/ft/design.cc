@@ -1,5 +1,7 @@
 #include "src/ft/design.hh"
 
+#include <algorithm>
+
 #include "src/fti/fti.hh"
 #include "src/util/logging.hh"
 
@@ -48,12 +50,28 @@ makeOptions(const DesignRunConfig &config, ErrorPolicy policy)
     opts.policy = policy;
     opts.costParams = config.costParams;
     if (config.injectFailure) {
-        auto plan = std::make_shared<InjectionPlan>();
-        plan->iteration = config.failIteration;
-        plan->rank = config.failRank;
-        opts.injection = std::move(plan);
+        if (!config.failureEvents.empty()) {
+            opts.schedule = toInjectionSchedule(config.failureEvents);
+            opts.corruptHook = config.corruptHook;
+        } else {
+            auto plan = std::make_shared<InjectionPlan>();
+            plan->iteration = config.failIteration;
+            plan->rank = config.failRank;
+            opts.injection = std::move(plan);
+        }
     }
     return opts;
+}
+
+/** Crash events in the schedule (bounds the restart attempts). */
+int
+crashCount(const DesignRunConfig &config)
+{
+    int crashes = 0;
+    for (const FailureEvent &event : config.failureEvents)
+        if (event.kind == FailureKind::Crash)
+            ++crashes;
+    return crashes;
 }
 
 } // anonymous namespace
@@ -64,7 +82,15 @@ runDesign(const DesignRunConfig &config, const FtAppMain &app)
     if (config.purgeCheckpoints)
         fti::Fti::purge(config.ftiConfig);
     const fti::FtiConfig fti_config = config.ftiConfig;
-    return runDesignRaw(config, [&](Proc &proc) {
+    DesignRunConfig run_config = config;
+    if (!run_config.corruptHook) {
+        // Default SDC injector: flip a byte of the victim rank's
+        // newest at-rest checkpoint object in the FTI sandbox.
+        run_config.corruptHook = [fti_config](int rank) {
+            fti::Fti::corruptAtRest(fti_config, rank);
+        };
+    }
+    return runDesignRaw(run_config, [&](Proc &proc) {
         app(proc, fti_config);
     });
 }
@@ -80,9 +106,12 @@ runDesignRaw(const DesignRunConfig &config, const RawAppMain &app)
       case Design::RestartFti: {
         // MPI_ERRORS_ARE_FATAL: the failure collapses the job; mpirun
         // redeploys it and FTI restores progress from the sandbox.
+        // Every scheduled crash collapses the job once, so the attempt
+        // bound scales with the schedule.
         const auto opts = makeOptions(config, ErrorPolicy::Fatal);
+        const int attempts = std::max(8, crashCount(config) + 2);
         const LaunchReport report = launchWithRestart(
-            opts, [&](Proc &proc) { app(proc); });
+            opts, [&](Proc &proc) { app(proc); }, attempts);
         return toBreakdown(report);
       }
       case Design::ReinitFti: {

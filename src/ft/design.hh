@@ -21,6 +21,7 @@
 #include <functional>
 #include <string>
 
+#include "src/ft/failure_model.hh"
 #include "src/fti/config.hh"
 #include "src/simmpi/launcher.hh"
 #include "src/simmpi/proc.hh"
@@ -64,6 +65,16 @@ struct DesignRunConfig
     bool injectFailure = false;
     int failIteration = 0;
     int failRank = 0;
+    /** Multi-event failure schedule (crashes and corruptions) from the
+     *  failure-scenario engine. When non-empty it supersedes the
+     *  single-shot failIteration/failRank plan; injectFailure must
+     *  still be set for any injection to arm. */
+    std::vector<FailureEvent> failureEvents;
+    /** Applied when a Corrupt event fires for a rank. Empty selects the
+     *  default: fti::Fti::corruptAtRest on ftiConfig (runDesign only —
+     *  runDesignRaw apps own their data recovery and must supply one
+     *  for corruption events to have an effect). */
+    std::function<void(int)> corruptHook;
 };
 
 /** Execution-time breakdown of one design run (the stacked bars). */

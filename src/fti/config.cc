@@ -33,6 +33,17 @@ FtiConfig::fromIni(const util::IniFile &ini)
         ini.getBool("advanced", "keep_only_latest", cfg.keepOnlyLatest);
     cfg.virtualFactor =
         ini.getDouble("advanced", "virtual_factor", cfg.virtualFactor);
+    cfg.sdcChecks = ini.getBool("sdc", "checks", cfg.sdcChecks);
+    cfg.scrubStride = static_cast<int>(
+        ini.getInt("sdc", "scrub_stride", cfg.scrubStride));
+    cfg.drainCapacityBytes = static_cast<std::size_t>(
+        ini.getInt("advanced", "drain_capacity_bytes",
+                   static_cast<long>(cfg.drainCapacityBytes)));
+    if (cfg.scrubStride < 0)
+        util::fatal("FTI scrub_stride must be >= 0, got %d",
+                    cfg.scrubStride);
+    if (cfg.scrubStride > 0 && !cfg.sdcChecks)
+        util::fatal("FTI scrub_stride requires sdc checks enabled");
     if (cfg.defaultLevel < 1 || cfg.defaultLevel > 4)
         util::fatal("FTI ckpt_level must be 1..4, got %d",
                     cfg.defaultLevel);
@@ -55,6 +66,10 @@ FtiConfig::toIni() const
                static_cast<long>(diffBlockSize));
     ini.set("advanced", "keep_only_latest", keepOnlyLatest ? "1" : "0");
     ini.setDouble("advanced", "virtual_factor", virtualFactor);
+    ini.set("sdc", "checks", sdcChecks ? "1" : "0");
+    ini.setInt("sdc", "scrub_stride", scrubStride);
+    ini.setInt("advanced", "drain_capacity_bytes",
+               static_cast<long>(drainCapacityBytes));
     return ini;
 }
 

@@ -49,6 +49,31 @@ struct FtiConfig
      *  ones). */
     double virtualFactor = 1.0;
 
+    /** Silent-data-corruption hardening. Off (the default) reproduces
+     *  the historical behaviour bit-for-bit: recovery trusts the
+     *  within-level redundancy and any unrecoverable object is fatal.
+     *  On, recovery CRC32C-verifies the restored blob, the ranks agree
+     *  (allreduce-MIN) on the newest checkpoint every rank can verify,
+     *  and an unrecoverable newest checkpoint falls back to the next
+     *  older committed one — or to a fresh start — instead of either
+     *  aborting or silently restoring corrupt state. Verification time
+     *  is priced via CostModel::scrubVerify. */
+    bool sdcChecks = false;
+
+    /** Scrub the newest committed checkpoint's local object every N
+     *  main-loop iterations (0 = never): re-read, CRC32C-verify, and
+     *  delete a corrupt object so the next recovery deterministically
+     *  falls back to the level's redundancy. Requires sdcChecks. */
+    int scrubStride = 0;
+
+    /** Virtual burst-buffer capacity in (virtual) bytes shared by this
+     *  rank's staged-but-undrained L4 flushes; 0 = unbounded (the
+     *  historical behaviour). When staging a flush would exceed it,
+     *  the rank stalls in virtual time until enough earlier flushes
+     *  complete — capacity pressure turns the "free" async drain back
+     *  into foreground checkpoint time. */
+    std::size_t drainCapacityBytes = 0;
+
     /** Storage backend the sandbox lives in. Null selects the shared
      *  DiskBackend (the historical on-disk semantics); experiment runs
      *  install a per-run MemBackend here so the checkpoint hot path

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/fti/rs_codec.hh"
+#include "src/util/crc32c.hh"
 #include "src/util/logging.hh"
 #include "src/util/phase.hh"
 
@@ -279,6 +280,29 @@ Fti::newestCommittedCkpt() const
     return newest;
 }
 
+std::vector<int>
+Fti::committedCkptsNewestFirst() const
+{
+    // Derived from the shared meta directory, so every rank of the
+    // communicator computes the same list — the SDC ladder's collective
+    // agreement rounds line up without communication.
+    std::vector<int> ids;
+    for (const std::string &name :
+         store_.listDir(execDir(config_) + "/meta")) {
+        if (name.rfind("ckpt", 0) != 0)
+            continue;
+        const int id = std::atoi(name.c_str() + 4);
+        MetaInfo meta;
+        if (id > 0 && loadMeta(id, meta) &&
+            meta.nprocs == proc_.runtime().commSize(comm_)) {
+            ids.push_back(id);
+        }
+    }
+    std::sort(ids.begin(), ids.end(),
+              [](int a, int b) { return a > b; });
+    return ids;
+}
+
 void
 Fti::cleanupOlderCheckpoints(int keep_id)
 {
@@ -484,15 +508,37 @@ Fti::enqueuePfsFlush(int ckpt_id, storage::Blob blob)
     FtiConfig job_config = config_;
     job_config.drain.reset();
     const int rank = proc_.runtime().commRank(proc_.globalIndex(), comm_);
+    const std::size_t wall_bytes = blob.size();
+    const auto virt_bytes = static_cast<std::uint64_t>(
+        static_cast<double>(wall_bytes) * config_.virtualFactor);
+    if (config_.drainCapacityBytes > 0) {
+        // Burst-buffer capacity pressure, in virtual time: when the
+        // staged-but-undrained flushes plus this one would exceed the
+        // buffer, the rank stalls until enough earlier flushes finish
+        // streaming — capacity turns the "free" async drain back into
+        // foreground checkpoint time (we run under CkptWrite here).
+        const double stall = drainChannel_.reserve(
+            drain(), proc_.now(), virt_bytes, config_.drainCapacityBytes,
+            [this](std::uint64_t shipped, int procs, double factor) {
+                const double vb = static_cast<double>(shipped) *
+                                  config_.virtualFactor;
+                return proc_.runtime().costModel().drainFlush(
+                           static_cast<std::size_t>(vb), procs) *
+                       factor;
+            });
+        if (stall > 0.0)
+            proc_.sleepFor(stall);
+    }
     const auto ticket = drain().enqueue(
         [job_config = std::move(job_config), rank, ckpt_id,
          blob = std::move(blob)]() -> std::uint64_t {
             return pfsFlushJob(job_config, rank, ckpt_id, blob);
-        });
+        },
+        wall_bytes);
     // The virtual enqueue instant is stamped later, once checkpoint()
     // has charged the staging cost.
     drainChannel_.admit(ticket, proc_.runtime().commSize(comm_),
-                        ckptFactor());
+                        ckptFactor(), virt_bytes);
 }
 
 void
@@ -525,7 +571,9 @@ Fti::checkpoint(int ckpt_id, int level)
 
     storage::Blob blob = serializeRegions();
     const std::size_t blob_bytes = blob.size();
-    const std::uint64_t crc = fnv1a(blob.data(), blob_bytes);
+    // CRC32C, computed once here and cached on the sealed buffer: the
+    // partner copy, recovery verify and scrub all reuse it for free.
+    const std::uint64_t crc = blob.crc32c();
     MATCH_DEBUG("FTI checkpoint: g=%d comm=%d id=%d bytes=%zu crc=%llu",
                 proc_.globalIndex(), comm_, ckpt_id, blob_bytes,
                 static_cast<unsigned long long>(crc));
@@ -629,7 +677,7 @@ Fti::checkpoint(int ckpt_id, int level)
 // ---------------------------------------------------------------------------
 
 std::vector<std::uint8_t>
-Fti::reconstructFromGroup(const MetaInfo &meta)
+Fti::reconstructFromGroup(const MetaInfo &meta, bool checked)
 {
     const int rank = proc_.runtime().commRank(proc_.globalIndex(), comm_);
     const int gs = config_.groupSize;
@@ -648,6 +696,14 @@ Fti::reconstructFromGroup(const MetaInfo &meta)
         std::vector<std::uint8_t> buf;
         if (store_.read(ckptFile(config_, group_lo + i, meta.ckptId),
                         buf)) {
+            // SDC mode screens each data shard: a corrupt member would
+            // poison the whole stripe's reconstruction, while treating
+            // it as *missing* lets the parity rebuild it.
+            if (checked &&
+                (buf.size() != meta.bytesPerRank[group_lo + i] ||
+                 util::crc32c(buf.data(), buf.size()) !=
+                     meta.checksumPerRank[group_lo + i]))
+                continue;
             buf.resize(stripe, 0);
             shards[i] = std::move(buf);
         }
@@ -663,6 +719,8 @@ Fti::reconstructFromGroup(const MetaInfo &meta)
     const RsCodec codec(k, m);
     auto data = codec.reconstruct(shards);
     if (data.empty()) {
+        if (checked)
+            return {};
         util::fatal("L3 recovery failed: too many lost shards in group "
                     "[%d, %d)", group_lo, group_hi);
     }
@@ -672,7 +730,7 @@ Fti::reconstructFromGroup(const MetaInfo &meta)
 }
 
 storage::Blob
-Fti::readPfsBlob(const MetaInfo &meta)
+Fti::readPfsBlob(const MetaInfo &meta, bool checked)
 {
     const int rank = proc_.runtime().commRank(proc_.globalIndex(), comm_);
     if (storage::Blob whole =
@@ -684,8 +742,11 @@ Fti::readPfsBlob(const MetaInfo &meta)
     const std::string dir =
         execDir(config_) + "/pfs/diff/rank" + std::to_string(rank);
     const storage::Blob base = storage::fetch(store_, dir + "/base.fti");
-    if (!base)
+    if (!base) {
+        if (checked)
+            return storage::Blob();
         util::fatal("L4 recovery: no base image for rank %d", rank);
+    }
     const storage::Blob payload = storage::fetch(
         store_, dir + "/delta" + std::to_string(meta.ckptId) + ".fti");
     if (!payload)
@@ -723,7 +784,7 @@ Fti::readBlobForRecovery(const MetaInfo &meta)
     const std::size_t want_bytes = meta.bytesPerRank[rank];
     const auto intact = [&](const storage::Blob &blob) {
         return blob && blob.size() == want_bytes &&
-               fnv1a(blob.data(), blob.size()) == want_crc;
+               blob.crc32c() == want_crc;
     };
 
     if (meta.level <= 3) {
@@ -746,7 +807,7 @@ Fti::readBlobForRecovery(const MetaInfo &meta)
         }
         if (meta.level == 3) {
             auto data = reconstructFromGroup(meta);
-            if (fnv1a(data.data(), data.size()) == want_crc)
+            if (util::crc32c(data.data(), data.size()) == want_crc)
                 return storage::Blob::fromVector(std::move(data));
             util::fatal("L3 recovery failed checksum for rank %d", rank);
         }
@@ -759,10 +820,52 @@ Fti::readBlobForRecovery(const MetaInfo &meta)
     util::fatal("L4 recovery failed checksum for rank %d", rank);
 }
 
+storage::Blob
+Fti::tryReadBlobChecked(const MetaInfo &meta)
+{
+    const int rank = proc_.runtime().commRank(proc_.globalIndex(), comm_);
+    const std::uint64_t want_crc = meta.checksumPerRank[rank];
+    const std::size_t want_bytes = meta.bytesPerRank[rank];
+    const auto intact = [&](const storage::Blob &blob) {
+        return blob && blob.size() == want_bytes &&
+               blob.crc32c() == want_crc;
+    };
+
+    if (meta.level <= 3) {
+        if (storage::Blob blob = storage::fetch(
+                store_, ckptFile(config_, rank, meta.ckptId));
+            intact(blob)) {
+            return blob;
+        }
+        if (meta.level == 2) {
+            const int holder = (rank + 1) % meta.nprocs;
+            if (storage::Blob blob = storage::fetch(
+                    store_,
+                    partnerFile(config_, holder, rank, meta.ckptId));
+                intact(blob)) {
+                return blob;
+            }
+        }
+        if (meta.level == 3) {
+            auto data = reconstructFromGroup(meta, /*checked=*/true);
+            if (!data.empty() &&
+                util::crc32c(data.data(), data.size()) == want_crc)
+                return storage::Blob::fromVector(std::move(data));
+        }
+        return storage::Blob();
+    }
+    const storage::Blob blob = readPfsBlob(meta, /*checked=*/true);
+    return intact(blob) ? blob : storage::Blob();
+}
+
 void
 Fti::recover()
 {
     MATCH_ASSERT(!finalized_, "recover after finalize");
+    if (config_.sdcChecks) {
+        recoverChecked();
+        return;
+    }
     const int newest = newestCommittedCkpt();
     if (newest == 0)
         util::fatal("FTI_Recover called with no committed checkpoint");
@@ -793,6 +896,185 @@ Fti::recover()
     lastCkptId_ = newest;
     recoveryCkptId_ = 0; // the paper's loop recovers exactly once
     readSeconds_ += proc_.now() - t0;
+}
+
+void
+Fti::recoverChecked()
+{
+    CategoryScope scope(proc_, TimeCategory::CkptRead);
+    const double t0 = proc_.now();
+    const int size = proc_.runtime().commSize(comm_);
+    const int rank = proc_.runtime().commRank(proc_.globalIndex(), comm_);
+
+    // Walk the committed checkpoints newest-first. Every rank derives
+    // the same ladder from the shared meta directory and votes on each
+    // rung with an allreduce-MIN, so the collective sequence is
+    // identical across the communicator: a checkpoint any rank cannot
+    // verify is rejected by all, and everyone moves to the next rung
+    // together. The verify pass itself is priced per attempt.
+    bool restored = false;
+    int restored_id = 0;
+    for (const int id : committedCkptsNewestFirst()) {
+        MetaInfo meta;
+        if (!loadMeta(id, meta))
+            continue; // shared store: same outcome on every rank
+        if (meta.level == 4)
+            drainBarrier();
+        const storage::Blob blob = tryReadBlobChecked(meta);
+        const double virt_bytes =
+            static_cast<double>(meta.bytesPerRank[rank]) *
+            config_.virtualFactor;
+        proc_.sleepFor(proc_.runtime().costModel().scrubVerify(
+            static_cast<std::size_t>(virt_bytes)));
+        const std::int64_t all_ok = proc_.allreduceInt(
+            blob ? 1 : 0, simmpi::ReduceOp::Min, comm_);
+        if (all_ok == 0) {
+            if (rank == 0)
+                util::warn("FTI recover: checkpoint %d failed SDC "
+                           "verification, falling back to an older one",
+                           id);
+            continue;
+        }
+        deserializeRegions(blob.data(), blob.size());
+        proc_.sleepFor(proc_.runtime().costModel().checkpointRead(
+            meta.level, static_cast<std::size_t>(virt_bytes), size));
+        restored = true;
+        restored_id = id;
+        break;
+    }
+    if (!restored && rank == 0) {
+        // Never a silent wrong result: with every committed checkpoint
+        // unverifiable, declare a fresh start — the protected regions
+        // keep their initial values and the loop re-executes from
+        // iteration 0.
+        util::warn("FTI recover: no committed checkpoint passed SDC "
+                   "verification; restarting from initial state");
+    }
+    MATCH_DEBUG("FTI recoverChecked: g=%d rank=%d ckpt=%d",
+                proc_.globalIndex(), rank, restored_id);
+    if (restored)
+        lastCkptId_ = restored_id;
+    recoveryCkptId_ = 0;
+    readSeconds_ += proc_.now() - t0;
+}
+
+void
+Fti::scrub()
+{
+    MATCH_ASSERT(config_.sdcChecks, "scrub requires sdc checks enabled");
+    MATCH_ASSERT(!finalized_, "scrub after finalize");
+    const int newest = newestCommittedCkpt();
+    if (newest == 0)
+        return;
+    MetaInfo meta;
+    if (!loadMeta(newest, meta) || meta.level > 3)
+        return; // L4 objects live behind the drain; nothing local
+    CategoryScope scope(proc_, TimeCategory::CkptWrite);
+    const double t0 = proc_.now();
+    const int rank = proc_.runtime().commRank(proc_.globalIndex(), comm_);
+    const std::string path = ckptFile(config_, rank, newest);
+    const storage::Blob blob = storage::fetch(store_, path);
+    const double virt_bytes =
+        static_cast<double>(meta.bytesPerRank[rank]) *
+        config_.virtualFactor;
+    proc_.sleepFor(proc_.runtime().costModel().scrubVerify(
+        static_cast<std::size_t>(virt_bytes)));
+    const bool ok = blob && blob.size() == meta.bytesPerRank[rank] &&
+                    blob.crc32c() == meta.checksumPerRank[rank];
+    if (!ok && blob) {
+        // Deleting the rotten object turns a silent-corruption hazard
+        // into an ordinary lost-object recovery: the next recover()
+        // falls back to this level's redundancy deterministically.
+        store_.remove(path);
+        MATCH_DEBUG("FTI scrub: rank %d dropped corrupt ckpt %d", rank,
+                    newest);
+    }
+    writeSeconds_ += proc_.now() - t0;
+}
+
+void
+Fti::corruptAtRest(const FtiConfig &config, int rank)
+{
+    storage::Backend &store = storage::resolve(config.backend);
+    // Newest committed checkpoint, by direct meta scan: this runs on
+    // the simulation driver (no Proc), so it cannot ask an instance.
+    int newest = 0;
+    int level = 0;
+    for (const std::string &name :
+         store.listDir(execDir(config) + "/meta")) {
+        if (name.rfind("ckpt", 0) != 0)
+            continue;
+        const int id = std::atoi(name.c_str() + 4);
+        if (id <= newest)
+            continue;
+        const storage::Blob text =
+            storage::fetch(store, metaFile(config, id));
+        if (!text)
+            continue;
+        util::IniFile ini;
+        if (!ini.parseString(
+                std::string(reinterpret_cast<const char *>(text.data()),
+                            text.size())))
+            continue;
+        const int lvl = static_cast<int>(ini.getInt("ckpt", "level", 0));
+        if (lvl < 1)
+            continue;
+        newest = id;
+        level = lvl;
+    }
+    if (newest == 0)
+        return;
+
+    if (level <= 3) {
+        std::vector<std::uint8_t> bytes;
+        const std::string path = ckptFile(config, rank, newest);
+        if (store.read(path, bytes) && !bytes.empty()) {
+            bytes[bytes.size() / 2] ^= 0x5a;
+            store.writeAtomic(path, bytes.data(), bytes.size());
+        }
+        return;
+    }
+    // L4: the object may still be draining. Route the bit-flips through
+    // the same FIFO so they deterministically land after the flush that
+    // wrote the object, for any drain scheduling.
+    FtiConfig job_config = config;
+    job_config.drain.reset();
+    const auto job = [job_config = std::move(job_config), rank,
+                      newest]() -> std::uint64_t {
+        storage::Backend &st = storage::resolve(job_config.backend);
+        const std::string dir = execDir(job_config) + "/pfs/diff/rank" +
+                                std::to_string(rank);
+        std::vector<std::uint8_t> bytes;
+        // Whole-file PFS copy (present when this checkpoint is the
+        // differential base).
+        const std::string whole = pfsFile(job_config, rank, newest);
+        if (st.read(whole, bytes) && !bytes.empty()) {
+            bytes[bytes.size() / 2] ^= 0x5a;
+            st.writeAtomic(whole, bytes.data(), bytes.size());
+        }
+        // Base image.
+        const std::string base = dir + "/base.fti";
+        if (st.read(base, bytes) && !bytes.empty()) {
+            bytes[bytes.size() / 2] ^= 0x5a;
+            st.writeAtomic(base, bytes.data(), bytes.size());
+        }
+        // Delta: flip a byte inside the first record's payload (never
+        // the framing, which recovery parses before verifying), so the
+        // corruption survives into the restored image even when the
+        // delta overwrites the flipped base block.
+        const std::string delta =
+            dir + "/delta" + std::to_string(newest) + ".fti";
+        if (st.read(delta, bytes) &&
+            bytes.size() > 3 * sizeof(std::uint64_t)) {
+            bytes[3 * sizeof(std::uint64_t)] ^= 0x5a;
+            st.writeAtomic(delta, bytes.data(), bytes.size());
+        }
+        return 0;
+    };
+    if (config.drain)
+        config.drain->enqueue(job);
+    else
+        job();
 }
 
 void

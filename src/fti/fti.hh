@@ -103,8 +103,26 @@ class Fti
      * committed checkpoint. Sizes must match the registrations.
      * Falls back to partner copies (L2), RS reconstruction (L3) or
      * base+delta replay (L4) when the primary file is gone.
+     *
+     * With config.sdcChecks the restored payload is additionally
+     * CRC32C-verified and the ranks agree (allreduce-MIN) on the result:
+     * a checkpoint any rank cannot verify is skipped by everyone, and
+     * recovery walks down to the next older committed checkpoint — or
+     * declares a fresh start — instead of aborting or silently
+     * restoring corrupt state. Without sdcChecks an unrecoverable
+     * object stays fatal (the historical behaviour, bit-for-bit).
      */
     void recover();
+
+    /**
+     * SDC scrub pass: CRC32C-verify this rank's local object of the
+     * newest committed checkpoint (levels 1-3; L4 objects live behind
+     * the drain) and delete it when corrupt, so the next recovery
+     * deterministically falls back to the level's redundancy instead of
+     * restoring rot. Priced via CostModel::scrubVerify under CkptWrite.
+     * Requires config.sdcChecks; a no-op when nothing is committed.
+     */
+    void scrub();
 
     /** FTI_Finalize: waits (in virtual and wall-clock time) for this
      *  rank's pending PFS drains — a job cannot release its nodes while
@@ -114,6 +132,9 @@ class Fti
     /** Re-bind to a repaired world communicator (paper Fig. 3 note:
      *  "FTI must use the repaired world communicator"). */
     void setComm(simmpi::CommId comm) { comm_ = comm; }
+
+    /** This instance's effective configuration (drain/backend bound). */
+    const FtiConfig &config() const { return config_; }
 
     /** Total bytes currently protected on this rank. */
     std::size_t protectedBytes() const;
@@ -145,6 +166,19 @@ class Fti
     /** Remove an execution's whole sandbox (fresh-experiment helper). */
     static void purge(const FtiConfig &config);
 
+    /**
+     * Silent-data-corruption injector: flip one payload byte of `rank`'s
+     * object of the newest committed checkpoint, at rest, without
+     * touching the metadata — the modelled bit-flip in burst-buffer or
+     * node-local storage. L1-L3 corrupt the local checkpoint file; L4
+     * routes the flip through the drain FIFO so it deterministically
+     * lands after the flush that wrote the object (base, delta payload
+     * and whole-file PFS copies are all hit). A no-op when nothing is
+     * committed. Static: callable from outside any rank context (the
+     * failure-scenario corrupt hook runs on the simulation driver).
+     */
+    static void corruptAtRest(const FtiConfig &config, int rank);
+
   private:
     struct MetaInfo
     {
@@ -175,10 +209,24 @@ class Fti
     void commitMeta(const MetaInfo &meta);
     bool loadMeta(int ckpt_id, MetaInfo &meta) const;
     int newestCommittedCkpt() const;
+    /** Every committed checkpoint id, newest first (the SDC recovery
+     *  ladder walks this list). */
+    std::vector<int> committedCkptsNewestFirst() const;
     void cleanupOlderCheckpoints(int keep_id);
     storage::Blob readBlobForRecovery(const MetaInfo &meta);
-    std::vector<std::uint8_t> reconstructFromGroup(const MetaInfo &meta);
-    storage::Blob readPfsBlob(const MetaInfo &meta);
+    /** The sdcChecks recovery ladder (see recover()). */
+    void recoverChecked();
+    /** Non-fatal, CRC32C-verified read for the sdcChecks recovery
+     *  ladder: a null blob means "this rank cannot restore this
+     *  checkpoint" (lost, corrupt, or redundancy exhausted). */
+    storage::Blob tryReadBlobChecked(const MetaInfo &meta);
+    /** @param checked return empty instead of fataling when the group
+     *         cannot be reconstructed; CRC32C-screen data shards. */
+    std::vector<std::uint8_t> reconstructFromGroup(const MetaInfo &meta,
+                                                   bool checked = false);
+    /** @param checked return a null blob instead of fataling when the
+     *         base image is gone. */
+    storage::Blob readPfsBlob(const MetaInfo &meta, bool checked = false);
     double ckptFactor() const;
 
     simmpi::Proc &proc_;

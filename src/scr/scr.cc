@@ -1,8 +1,10 @@
 #include "src/scr/scr.hh"
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 
+#include "src/util/crc32c.hh"
 #include "src/util/logging.hh"
 #include "src/util/phase.hh"
 
@@ -110,13 +112,15 @@ Scr::size() const
 }
 
 int
-Scr::newestCommittedDataset() const
+Scr::newestCommittedDataset(int below) const
 {
     int newest = 0;
     for (const std::string &name : store_.listDir(jobDir(config_))) {
         if (name.rfind("dataset", 0) != 0)
             continue;
         const int id = std::atoi(name.c_str() + 7);
+        if (below > 0 && id >= below)
+            continue;
         if (id > newest && store_.exists(markerFile(config_, id)))
             newest = id;
     }
@@ -129,6 +133,8 @@ Scr::newestCommittedDataset() const
         if (name.rfind("dataset", 0) != 0)
             continue;
         const int id = std::atoi(name.c_str() + 7);
+        if (below > 0 && id >= below)
+            continue;
         if (id <= newest)
             continue;
         bool complete = true;
@@ -186,11 +192,16 @@ Scr::applyRedundancy()
             std::to_string(r);
         store_.createDirectories(dst);
         for (const std::string &name : routedFiles_) {
-            if (!store_.copy(datasetDir(config_, writingDataset_, r) +
-                                 "/" + name,
-                             dst + "/" + name))
+            const std::string src =
+                datasetDir(config_, writingDataset_, r) + "/" + name;
+            if (!store_.copy(src, dst + "/" + name))
                 util::fatal("SCR PARTNER: missing routed file %s "
                             "(rank %d)", name.c_str(), r);
+            // The partner copy carries the integrity record too, so a
+            // rebuilt file stays verifiable.
+            if (config_.sdcChecks)
+                store_.copy(src + ".crc32c",
+                            dst + "/" + name + ".crc32c");
         }
         return;
       }
@@ -296,9 +307,16 @@ Scr::enqueueFlush(int dataset, std::size_t bytes)
 {
     ScrConfig job_config = config_;
     job_config.drain.reset(); // the queue must not own its worker
+    std::vector<std::string> files = routedFiles_;
+    if (config_.sdcChecks) {
+        // Flush the integrity sidecars with their files, so a prefix
+        // fetch restores a verifiable copy.
+        for (const std::string &name : routedFiles_)
+            files.push_back(name + ".crc32c");
+    }
     const auto ticket = drain().enqueue(
         [job_config = std::move(job_config), dataset, r = rank(),
-         files = routedFiles_]() -> std::uint64_t {
+         files = std::move(files)]() -> std::uint64_t {
             return scrFlushJob(job_config, dataset, r, files);
         });
     drainChannel_.admit(ticket, size());
@@ -343,6 +361,22 @@ Scr::completeCheckpoint(bool valid)
     }
 
     if (all_valid) {
+        if (config_.sdcChecks) {
+            // Seal each routed file's CRC32C next to it before the
+            // redundancy pass and the flush, so every later copy
+            // (partner, prefix) carries its own integrity record.
+            for (const std::string &name : routedFiles_) {
+                const std::string path =
+                    datasetDir(config_, writingDataset_, rank()) + "/" +
+                    name;
+                const storage::Blob file = storage::fetch(store_, path);
+                if (!file)
+                    continue;
+                const std::string crc = std::to_string(file.crc32c());
+                store_.writeAtomic(path + ".crc32c", crc.data(),
+                                   crc.size());
+            }
+        }
         if (config_.scheme != Redundancy::Single)
             proc_.barrier(); // member files must exist before encoding
         applyRedundancy();
@@ -414,9 +448,13 @@ Scr::tryRebuildFromPartner(const std::string &name)
         return false;
     store_.createDirectories(datasetDir(config_, restartDataset_,
                                         rank()));
-    return store_.copy(src, datasetDir(config_, restartDataset_,
-                                       rank()) +
-                                "/" + name);
+    const std::string dst =
+        datasetDir(config_, restartDataset_, rank()) + "/" + name;
+    if (!store_.copy(src, dst))
+        return false;
+    if (config_.sdcChecks)
+        store_.copy(src + ".crc32c", dst + ".crc32c");
+    return true;
 }
 
 bool
@@ -473,9 +511,75 @@ Scr::tryFetchFromPrefix(const std::string &name)
         return false;
     store_.createDirectories(datasetDir(config_, restartDataset_,
                                         rank()));
-    return store_.copy(src, datasetDir(config_, restartDataset_,
-                                       rank()) +
-                                "/" + name);
+    const std::string dst =
+        datasetDir(config_, restartDataset_, rank()) + "/" + name;
+    if (!store_.copy(src, dst))
+        return false;
+    if (config_.sdcChecks)
+        store_.copy(src + ".crc32c", dst + ".crc32c");
+    return true;
+}
+
+bool
+Scr::ensureRestartFile(const std::string &name, bool fatal_on_lost)
+{
+    const std::string path =
+        datasetDir(config_, restartDataset_, rank()) + "/" + name;
+    fetchedFromPrefix_ = false;
+    if (store_.exists(path))
+        return true;
+    bool rebuilt = false;
+    switch (config_.scheme) {
+      case Redundancy::Single:
+        break; // no redundancy tier; straight to the PFS copy
+      case Redundancy::Partner:
+        rebuilt = tryRebuildFromPartner(name);
+        break;
+      case Redundancy::Xor:
+        rebuilt = tryRebuildFromXor(name);
+        break;
+    }
+    if (!rebuilt) {
+        fetchedFromPrefix_ = tryFetchFromPrefix(name);
+        if (!fetchedFromPrefix_) {
+            if (!fatal_on_lost)
+                return false;
+            switch (config_.scheme) {
+              case Redundancy::Single:
+                util::fatal("SCR SINGLE cannot rebuild lost file %s "
+                            "(no flushed PFS copy)", path.c_str());
+              case Redundancy::Partner:
+                util::fatal("SCR PARTNER rebuild failed for rank "
+                            "%d: partner copy lost too and no "
+                            "flushed PFS copy", rank());
+              case Redundancy::Xor:
+                util::fatal("SCR XOR rebuild failed: two losses in "
+                            "rank %d's group and no flushed PFS "
+                            "copy", rank());
+            }
+        }
+    }
+    return true;
+}
+
+bool
+Scr::verifyRestartFile(const std::string &path)
+{
+    const storage::Blob file = storage::fetch(store_, path);
+    if (!file)
+        return false;
+    proc_.sleepFor(
+        proc_.runtime().costModel().scrubVerify(file.size()));
+    const storage::Blob sidecar =
+        storage::fetch(store_, path + ".crc32c");
+    if (!sidecar) {
+        // No surviving integrity record (e.g. an XOR-rebuilt file —
+        // parity does not cover sidecars): accept unverified.
+        return true;
+    }
+    const std::string text(
+        reinterpret_cast<const char *>(sidecar.data()), sidecar.size());
+    return std::strtoull(text.c_str(), nullptr, 10) == file.crc32c();
 }
 
 std::string
@@ -484,50 +588,44 @@ Scr::routeRestartFile(const std::string &name)
     MATCH_ASSERT(restartDataset_ > 0,
                  "SCR restart routing without a restart");
     CategoryScope scope(proc_, TimeCategory::CkptRead);
-    const std::string path =
-        datasetDir(config_, restartDataset_, rank()) + "/" + name;
-    fetchedFromPrefix_ = false;
-    if (!store_.exists(path)) {
-        bool rebuilt = false;
-        switch (config_.scheme) {
-          case Redundancy::Single:
-            break; // no redundancy tier; straight to the PFS copy
-          case Redundancy::Partner:
-            rebuilt = tryRebuildFromPartner(name);
-            break;
-          case Redundancy::Xor:
-            rebuilt = tryRebuildFromXor(name);
-            break;
+    for (;;) {
+        const std::string path =
+            datasetDir(config_, restartDataset_, rank()) + "/" + name;
+        bool ok = ensureRestartFile(name, !config_.sdcChecks);
+        if (ok && config_.sdcChecks && !verifyRestartFile(path)) {
+            // The cache copy is rot: drop it and give the redundancy
+            // and prefix tiers one shot at producing a clean copy.
+            store_.remove(path);
+            ok = ensureRestartFile(name, false) &&
+                 verifyRestartFile(path);
+            if (!ok)
+                store_.remove(path);
         }
-        if (!rebuilt) {
-            fetchedFromPrefix_ = tryFetchFromPrefix(name);
-            if (!fetchedFromPrefix_) {
-                switch (config_.scheme) {
-                  case Redundancy::Single:
-                    util::fatal("SCR SINGLE cannot rebuild lost file %s "
-                                "(no flushed PFS copy)", path.c_str());
-                  case Redundancy::Partner:
-                    util::fatal("SCR PARTNER rebuild failed for rank "
-                                "%d: partner copy lost too and no "
-                                "flushed PFS copy", rank());
-                  case Redundancy::Xor:
-                    util::fatal("SCR XOR rebuild failed: two losses in "
-                                "rank %d's group and no flushed PFS "
-                                "copy", rank());
-                }
-            }
+        if (ok) {
+            std::size_t bytes = 0;
+            store_.size(path, bytes);
+            // A prefix fetch is a PFS read; rebuilt/cached copies read
+            // at the redundancy tier's speed.
+            const int level =
+                fetchedFromPrefix_
+                    ? 4
+                    : (config_.scheme == Redundancy::Xor ? 3 : 1);
+            proc_.sleepFor(proc_.runtime().costModel().checkpointRead(
+                level, bytes, size()));
+            return path;
         }
+        // SDC mode only: every tier of this dataset is lost or rot.
+        // Never a silent wrong restore — fall back to the next older
+        // committed dataset, or abort when none is left.
+        const int older = newestCommittedDataset(restartDataset_);
+        if (older <= 0)
+            util::fatal("SCR restart: no dataset passes SDC "
+                        "verification for rank %d", rank());
+        util::warn("SCR restart: dataset %d failed SDC verification "
+                   "(rank %d); falling back to dataset %d",
+                   restartDataset_, rank(), older);
+        restartDataset_ = older;
     }
-    std::size_t bytes = 0;
-    store_.size(path, bytes);
-    // A prefix fetch is a PFS read; rebuilt/cached copies read at the
-    // redundancy tier's speed.
-    const int level = fetchedFromPrefix_
-                          ? 4
-                          : (config_.scheme == Redundancy::Xor ? 3 : 1);
-    proc_.sleepFor(proc_.runtime().costModel().checkpointRead(
-        level, bytes, size()));
-    return path;
 }
 
 void

@@ -75,6 +75,19 @@ struct ScrConfig
      *  prefix copy quiesce the drain first. */
     int flushEvery = 0;
 
+    /** Silent-data-corruption hardening. Off (the default) reproduces
+     *  the historical behaviour bit-for-bit. On, completeCheckpoint
+     *  seals a CRC32C sidecar (`<name>.crc32c`) next to every routed
+     *  file — carried by partner copies and prefix flushes — and
+     *  routeRestartFile verifies the restored copy against it: a
+     *  corrupt cache copy is dropped and rebuilt from the redundancy
+     *  tiers, and a dataset no tier can produce verifiably falls back
+     *  to the next older committed dataset instead of restoring rot.
+     *  XOR-rebuilt files without a surviving sidecar are accepted
+     *  unverified (parity does not cover sidecars). Verification time
+     *  is priced via CostModel::scrubVerify. */
+    bool sdcChecks = false;
+
     /** Storage backend for SCR's own traffic (markers, redundancy
      *  copies, parity, flushes). Null selects the shared DiskBackend.
      *  Applications write routed files themselves, so under a
@@ -167,11 +180,21 @@ class Scr
     static void purge(const ScrConfig &config);
 
   private:
-    int newestCommittedDataset() const;
+    /** Newest committed dataset; `below > 0` restricts to ids < below
+     *  (the SDC fall-back ladder). */
+    int newestCommittedDataset(int below = 0) const;
     void applyRedundancy();
     bool tryRebuildFromPartner(const std::string &name);
     bool tryRebuildFromXor(const std::string &name);
     bool tryFetchFromPrefix(const std::string &name);
+    /** Make the rank's cache copy of `name` exist, escalating through
+     *  the redundancy tiers; with fatal_on_lost the exhausted ladder
+     *  aborts with the historical messages, otherwise it returns
+     *  false. */
+    bool ensureRestartFile(const std::string &name, bool fatal_on_lost);
+    /** CRC32C-verify a restored file against its sidecar (priced via
+     *  scrubVerify); a missing sidecar is accepted. */
+    bool verifyRestartFile(const std::string &path);
     void enqueueFlush(int dataset, std::size_t bytes);
     void drainBarrier();
     storage::DrainWorker &drain() { return *config_.drain; }

@@ -156,6 +156,26 @@ struct CostParams
 
     /** Tiny scale term (tree teardown inside the runtime). */
     double reinitPerLevel = 0.004;
+
+    // --- Cluster topology (failure correlation) ------------------------
+    /** Ranks per node and nodes per rack: the rank -> node -> rack map
+     *  the correlated failure models cascade over (paper testbed: 28
+     *  cores/node, but the evaluated jobs place 4 ranks/node). Stored
+     *  as integral-valued doubles so CostParams stays an all-double
+     *  struct that configKey() can hash raw. */
+    double ranksPerNode = 4.0;
+    double nodesPerRack = 16.0;
+
+    // --- SDC scrub / checksum verification -----------------------------
+    /** CRC32C verify bandwidth per process: the rate at which a scrub
+     *  pass (or a checksummed recovery) re-reads and checksums a
+     *  resident checkpoint object. Memory-bound — the hardware crc32
+     *  instruction retires ~8 bytes/cycle, so the stream bandwidth is
+     *  the limit. */
+    double sdcVerifyBw = 6.0e9;
+
+    /** Fixed per-scrub software cost (metadata walk + open/close). */
+    double scrubBaseCost = 1.0e-3;
 };
 
 /** Prices simulated operations in virtual seconds. */
@@ -239,6 +259,16 @@ class CostModel
 
     /** Multiplicative factor on checkpoint writes under ULFM. */
     double ulfmCkptFactor(int procs) const;
+
+    /** Seconds for one rank to re-read and CRC32C-verify `bytes` of
+     *  resident checkpoint data (the scrub pass / checksummed
+     *  recovery verification). */
+    SimTime
+    scrubVerify(std::size_t bytes) const
+    {
+        return params_.scrubBaseCost +
+               static_cast<double>(bytes) / params_.sdcVerifyBw;
+    }
 
     /** Time from a process death until survivors can observe it. */
     SimTime detectionLatency() const { return params_.detectionLatency; }

@@ -18,6 +18,9 @@ accumulate(LaunchReport &report, const JobResult &result)
     if (result.failureFired) {
         report.failureFired = true;
         report.failedRank = result.failedRank;
+        report.failedRanks.insert(report.failedRanks.end(),
+                                  result.failedRanks.begin(),
+                                  result.failedRanks.end());
     }
     report.finalResult = result;
 }

@@ -8,6 +8,7 @@
 #define MATCH_SIMMPI_LAUNCHER_HH
 
 #include <array>
+#include <vector>
 
 #include "src/simmpi/runtime.hh"
 
@@ -27,7 +28,12 @@ struct LaunchReport
     /** Result of the final (successful) attempt. */
     JobResult finalResult;
     bool failureFired = false;
+    /** The most recent crashed rank (failedRanks.back() when any). */
     Rank failedRank = -1;
+    /** Every rank that crashed, across all attempts, in fire order —
+     *  multi-failure schedules fire several per launch, and a
+     *  last-one-wins scalar would lose all but the final one. */
+    std::vector<Rank> failedRanks;
 
     double total() const
     {

@@ -99,6 +99,8 @@ Runtime::runImpl(const JobOptions &options, std::function<void(int)> body)
     costModel_ = CostModel(options.costParams);
     policy_ = options.policy;
     injection_ = options.injection;
+    schedule_ = options.schedule;
+    corruptHook_ = options.corruptHook;
     fiberBody_ = std::move(body);
 
     ranks_.clear();
@@ -128,7 +130,7 @@ Runtime::runImpl(const JobOptions &options, std::function<void(int)> body)
     failureFired_ = false;
     failedRank_ = -1;
     failTime_ = 0.0;
-    deathHandled_ = false;
+    failedRanks_.clear();
 
     scheduleLoop();
 
@@ -214,10 +216,12 @@ Runtime::scheduleLoop()
             // A fiber finishes exactly once per incarnation, and only
             // while being resumed; respawns re-increment the count.
             --liveRanks_;
-            if (rs.failed && !deathHandled_) {
+            if (rs.failed && !rs.deathHandled) {
                 // The fiber died from the injected SIGTERM; propagate
-                // the failure to the rest of the job exactly once.
-                deathHandled_ = true;
+                // the failure to the rest of the job exactly once per
+                // incarnation (a respawned slot can die again under a
+                // multi-failure schedule).
+                rs.deathHandled = true;
                 onRankDeath(g);
             }
         }
@@ -232,6 +236,7 @@ Runtime::buildResult(JobResult &result) const
     result.failureFired = failureFired_;
     result.failedRank = failedRank_;
     result.failTime = failTime_;
+    result.failedRanks = failedRanks_;
     result.perRank.resize(ranks_.size());
     SimTime makespan = 0.0;
     std::array<double, 4> sums{};
@@ -326,13 +331,38 @@ void
 Runtime::iterationPoint(int g, int iteration)
 {
     checkSignals(g);
-    if (!injection_ || injection_->fired)
+    if (injection_ && !injection_->fired &&
+        injection_->iteration == iteration && injection_->rank == g) {
+        injection_->fired = true;
+        killRank(g, iteration);
+    }
+    if (!schedule_)
         return;
-    if (injection_->iteration != iteration || injection_->rank != g)
-        return;
+    for (InjectionEvent &event : schedule_->events) {
+        if (event.fired || event.iteration != iteration ||
+            event.rank != g)
+            continue;
+        event.fired = true;
+        if (event.corrupt) {
+            // Silent data corruption: bits flip at rest, the rank
+            // neither notices nor pays virtual time. Whether anyone
+            // ever notices is the checkpoint layer's problem at
+            // recovery time.
+            MATCH_DEBUG("CORRUPT rank %d at iteration %d (t=%.3f)", g,
+                        iteration, ranks_[g].clock);
+            if (corruptHook_)
+                corruptHook_(g);
+            continue;
+        }
+        killRank(g, iteration);
+    }
+}
+
+void
+Runtime::killRank(int g, int iteration)
+{
     // Figure 4 of the paper: raise(SIGTERM) on the selected rank in the
     // selected iteration of the main computation loop.
-    injection_->fired = true;
     RankState &rs = ranks_[g];
     rs.failed = true;
     rs.failTime = rs.clock;
@@ -340,6 +370,7 @@ Runtime::iterationPoint(int g, int iteration)
     failureFired_ = true;
     failedRank_ = g;
     failTime_ = rs.clock;
+    failedRanks_.push_back(g);
     MATCH_DEBUG("KILL rank %d at iteration %d (t=%.3f)", g, iteration,
                 rs.clock);
     throw ProcessKilled{};
@@ -358,8 +389,12 @@ Runtime::onRankDeath(int g)
         triggerReinitRecovery(detect);
         break;
       case ErrorPolicy::Return:
-        // Survivors observe the failure through their next operation on a
-        // communicator involving the dead rank.
+        // Survivors observe the failure through their next operation on
+        // a communicator involving the dead rank. If a world repair is
+        // already waiting on this rank, stop waiting (multi-failure
+        // schedules can kill a rank that never observed the first
+        // failure — the repair barrier would deadlock on it).
+        abandonRepairSlot(g);
         break;
     }
 }
@@ -424,6 +459,7 @@ Runtime::triggerReinitRecovery(SimTime when)
             rs.perCategory[static_cast<int>(TimeCategory::Recovery)] +=
                 std::max(0.0, lost);
             rs.failed = false;
+            rs.deathHandled = false;
             rs.respawned = true;
             rs.clock = reinitRestartTime_;
             rs.category = TimeCategory::Application;
@@ -1226,70 +1262,7 @@ Runtime::repairWorldCommon(int g, bool shrinking)
     repairOp_.maxArrival = std::max(repairOp_.maxArrival, rs.clock);
 
     if (repairOp_.arrivedCount == repairOp_.expected) {
-        const int procs = static_cast<int>(world.members.size());
-        std::vector<int> deadSlots;
-        for (int member : world.members) {
-            if (ranks_[member].failed && ranks_[member].fiber->finished())
-                deadSlots.push_back(member);
-        }
-        MATCH_ASSERT(!deadSlots.empty(), "repair with no failed process");
-        const int failed = static_cast<int>(deadSlots.size());
-        SimTime cost;
-        if (shrinking) {
-            // Shrinking recovery skips the spawn + merge of replacements.
-            cost = costModel_.ulfmShrink(procs) +
-                   costModel_.ulfmAgree(procs) +
-                   costModel_.ulfmAppSync(procs);
-        } else {
-            cost = costModel_.ulfmShrink(procs) +
-                   costModel_.ulfmSpawn(failed) +
-                   costModel_.ulfmMerge(procs) +
-                   costModel_.ulfmAgree(procs) +
-                   costModel_.ulfmAppSync(procs);
-        }
-        repairOp_.completion = repairOp_.maxArrival + cost;
-        repairOp_.done = true;
-        ++recoveries_;
-        // Any stale collectives from before the failure are dead now.
-        clearPendingColls();
-        std::vector<int> newMembers;
-        if (shrinking) {
-            for (int member : world.members) {
-                if (!(ranks_[member].failed &&
-                      ranks_[member].fiber->finished()))
-                    newMembers.push_back(member);
-            }
-        } else {
-            newMembers = world.members;
-            // MPI_Comm_spawn: replacement processes re-execute the rank
-            // main; MPI_Intercomm_merge slots them into the old ranks.
-            for (int slot : deadSlots) {
-                RankState &dead = ranks_[slot];
-                const SimTime lost = repairOp_.completion - dead.failTime;
-                dead.perCategory[static_cast<int>(
-                    TimeCategory::Recovery)] += std::max(0.0, lost);
-                dead.failed = false;
-                dead.respawned = true;
-                dead.clock = repairOp_.completion;
-                dead.category = TimeCategory::Application;
-                dead.mailbox.clear(payloadPool_);
-                dead.fiber = spawnFiber(slot);
-                ++liveRanks_;
-                pushReady(slot);
-            }
-        }
-        // Survivors restart their collective numbering alongside the
-        // fresh communicator (worldc[++worldi] in the paper's Figure 3).
-        for (auto &rank : ranks_)
-            std::fill(rank.collSeq.begin(), rank.collSeq.end(), 0);
-        repairOp_.newWorld = createComm(std::move(newMembers));
-        currentWorld_ = repairOp_.newWorld;
-        const Communicator &old = commRef(oldWorld);
-        for (std::size_t r = 0; r < repairOp_.arrived.size(); ++r) {
-            const int member = old.members[r];
-            if (member != g && repairOp_.arrived[r])
-                wake(member);
-        }
+        completeRepair();
     } else {
         block(g, BlockReason::Repair);
         // No signal check: under the Return policy the repair owns this
@@ -1305,6 +1278,100 @@ Runtime::repairWorldCommon(int g, bool shrinking)
         repairOp_ = RepairOp{};
     rs.inErrorHandler = false;
     return newWorld;
+}
+
+void
+Runtime::completeRepair()
+{
+    const Communicator &world = commRef(repairOp_.oldWorld);
+    const int procs = static_cast<int>(world.members.size());
+    std::vector<int> deadSlots;
+    for (int member : world.members) {
+        if (ranks_[member].failed && ranks_[member].fiber->finished())
+            deadSlots.push_back(member);
+    }
+    MATCH_ASSERT(!deadSlots.empty(), "repair with no failed process");
+    const int failed = static_cast<int>(deadSlots.size());
+    SimTime cost;
+    if (repairOp_.shrinking) {
+        // Shrinking recovery skips the spawn + merge of replacements.
+        cost = costModel_.ulfmShrink(procs) +
+               costModel_.ulfmAgree(procs) +
+               costModel_.ulfmAppSync(procs);
+    } else {
+        cost = costModel_.ulfmShrink(procs) +
+               costModel_.ulfmSpawn(failed) +
+               costModel_.ulfmMerge(procs) +
+               costModel_.ulfmAgree(procs) +
+               costModel_.ulfmAppSync(procs);
+    }
+    repairOp_.completion = repairOp_.maxArrival + cost;
+    repairOp_.done = true;
+    ++recoveries_;
+    // Any stale collectives from before the failure are dead now.
+    clearPendingColls();
+    std::vector<int> newMembers;
+    if (repairOp_.shrinking) {
+        for (int member : world.members) {
+            if (!(ranks_[member].failed &&
+                  ranks_[member].fiber->finished()))
+                newMembers.push_back(member);
+        }
+    } else {
+        newMembers = world.members;
+        // MPI_Comm_spawn: replacement processes re-execute the rank
+        // main; MPI_Intercomm_merge slots them into the old ranks.
+        for (int slot : deadSlots) {
+            RankState &dead = ranks_[slot];
+            const SimTime lost = repairOp_.completion - dead.failTime;
+            dead.perCategory[static_cast<int>(
+                TimeCategory::Recovery)] += std::max(0.0, lost);
+            dead.failed = false;
+            dead.deathHandled = false;
+            dead.respawned = true;
+            dead.clock = repairOp_.completion;
+            dead.category = TimeCategory::Application;
+            dead.mailbox.clear(payloadPool_);
+            dead.fiber = spawnFiber(slot);
+            ++liveRanks_;
+            pushReady(slot);
+        }
+    }
+    // Survivors restart their collective numbering alongside the
+    // fresh communicator (worldc[++worldi] in the paper's Figure 3).
+    for (auto &rank : ranks_)
+        std::fill(rank.collSeq.begin(), rank.collSeq.end(), 0);
+    repairOp_.newWorld = createComm(std::move(newMembers));
+    currentWorld_ = repairOp_.newWorld;
+    // Wake every arrived member (the wake is a no-op on the running
+    // fiber when the last arrival completes the repair inline).
+    const Communicator &old = commRef(repairOp_.oldWorld);
+    for (std::size_t r = 0; r < repairOp_.arrived.size(); ++r) {
+        if (repairOp_.arrived[r])
+            wake(old.members[r]);
+    }
+}
+
+void
+Runtime::abandonRepairSlot(int g)
+{
+    if (!repairOp_.active || repairOp_.done)
+        return;
+    const Communicator &old = commRef(repairOp_.oldWorld);
+    if (!old.contains(g))
+        return;
+    const int lr = localRank(g, repairOp_.oldWorld);
+    if (repairOp_.arrived[lr])
+        return; // arrived ranks block in Repair and cannot be killed
+    --repairOp_.expected;
+    if (repairOp_.expected == 0) {
+        // Every counted survivor died before arriving; nobody is left
+        // to finish (or consume) the repair.
+        repairOp_ = RepairOp{};
+        return;
+    }
+    if (repairOp_.arrivedCount == repairOp_.expected)
+        completeRepair();
 }
 
 bool

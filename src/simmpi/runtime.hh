@@ -60,6 +60,26 @@ struct InjectionPlan
     bool fired = false;  ///< set once the SIGTERM has been raised
 };
 
+/** One planned event of a multi-failure schedule. */
+struct InjectionEvent
+{
+    int iteration = 0;   ///< main-loop iteration at which to fire
+    Rank rank = 0;       ///< world rank the event strikes
+    bool corrupt = false; ///< silent data corruption instead of a crash
+    bool fired = false;  ///< set once the event has been delivered
+};
+
+/**
+ * A deterministic failure schedule: any number of crash/corruption
+ * events keyed by (iteration, rank). Like InjectionPlan, the schedule
+ * is shared with the driver so per-event `fired` flags survive job
+ * restarts — each event strikes exactly once across all attempts.
+ */
+struct InjectionSchedule
+{
+    std::vector<InjectionEvent> events;
+};
+
 /** Options for one simulated job launch. */
 struct JobOptions
 {
@@ -68,6 +88,14 @@ struct JobOptions
     CostParams costParams{};
     /** Shared with the driver so a fired injection survives job restarts. */
     std::shared_ptr<InjectionPlan> injection;
+    /** Multi-failure schedule, evaluated after `injection` (both may be
+     *  set; most callers use one or the other). */
+    std::shared_ptr<InjectionSchedule> schedule;
+    /** Invoked on the firing rank's fiber when a corruption event
+     *  strikes: flips bits at rest in that rank's checkpoint store.
+     *  Charges no virtual time and raises no failure — detection, if
+     *  any, is the checkpoint layer's job at recovery time. */
+    std::function<void(Rank)> corruptHook;
     std::uint64_t seed = 0;
 };
 
@@ -88,6 +116,9 @@ struct JobResult
     bool failureFired = false;
     Rank failedRank = -1;
     SimTime failTime = 0.0;
+    /** Every rank that crashed during this job, in fire order (a rank
+     *  repeats if it is respawned and crashes again). */
+    std::vector<Rank> failedRanks;
 
     /** Sum of the mean per-rank category times (the stacked-bar total). */
     double total() const
@@ -331,6 +362,9 @@ class Runtime
         std::unique_ptr<Fiber> fiber;
         SimTime clock = 0.0;
         bool failed = false;
+        /** This incarnation's death was already propagated (reset on
+         *  respawn so a later crash of the same slot is handled too). */
+        bool deathHandled = false;
         SimTime failTime = 0.0;
         bool respawned = false;
         MessageRing mailbox;
@@ -495,6 +529,8 @@ class Runtime
     [[noreturn]] void deliverError(int g, Err err);
 
     // --- failure machinery --------------------------------------------------
+    /** Deliver the planned SIGTERM to rank g (throws ProcessKilled). */
+    [[noreturn]] void killRank(int g, int iteration);
     void onRankDeath(int g);
     void failPendingOpsFor(int deadGlobal);
     void triggerJobAbort(SimTime when);
@@ -524,6 +560,16 @@ class Runtime
     /** Retire every active collective op (recovery paths). */
     void clearPendingColls();
     CommId repairWorldCommon(int g, bool shrinking);
+    /** Finish the pending world repair: price it, respawn/shrink, wake
+     *  the arrived members. Runs on the last arriving fiber — or on the
+     *  scheduler when a death shrinks `expected` down to the arrivals
+     *  already in. */
+    void completeRepair();
+    /** A rank died before joining the in-flight world repair: stop
+     *  waiting for it (a multi-failure schedule can kill a rank that
+     *  never observed the first failure; the repair barrier would
+     *  otherwise deadlock). */
+    void abandonRepairSlot(int g);
 
     CommId createComm(std::vector<int> members);
     const Communicator &commRef(CommId comm) const;
@@ -534,6 +580,8 @@ class Runtime
     CostModel costModel_;
     ErrorPolicy policy_ = ErrorPolicy::Fatal;
     std::shared_ptr<InjectionPlan> injection_;
+    std::shared_ptr<InjectionSchedule> schedule_;
+    std::function<void(Rank)> corruptHook_;
     /** Payload pool declared before ranks_/collOps_: members destroy
      *  in reverse order, and mailbox teardown hands payloads back to
      *  the pool. (Fiber stacks recycle through a thread-local pool in
@@ -573,7 +621,7 @@ class Runtime
     bool failureFired_ = false;
     Rank failedRank_ = -1;
     SimTime failTime_ = 0.0;
-    bool deathHandled_ = false;
+    std::vector<Rank> failedRanks_;
 };
 
 } // namespace match::simmpi

@@ -6,6 +6,8 @@
 #include <cstring>
 #include <mutex>
 
+#include "src/util/crc32c.hh"
+
 namespace match::storage
 {
 
@@ -145,6 +147,19 @@ Blob::fromVector(std::vector<std::uint8_t> &&bytes)
     return Blob(std::move(buf));
 }
 
+std::uint32_t
+Blob::crc32c() const
+{
+    if (!buf_)
+        return 0;
+    std::uint64_t cached = buf_->crc.load(std::memory_order_relaxed);
+    if (cached == detail::BlobBuf::kCrcUnset) {
+        cached = util::crc32c(buf_->bytes.data(), buf_->bytes.size());
+        buf_->crc.store(cached, std::memory_order_relaxed);
+    }
+    return static_cast<std::uint32_t>(cached);
+}
+
 MutableBlob::~MutableBlob()
 {
     recycle(pool_, buf_);
@@ -217,6 +232,10 @@ BlobPool::acquireImpl(std::size_t bytes, bool &recycled)
     detail::BlobBuf *buf = core_->take(bytes);
     recycled = buf != nullptr;
     if (recycled) {
+        // The recycled buffer is about to be refilled: its cached
+        // checksum describes the previous tenant's payload.
+        buf->crc.store(detail::BlobBuf::kCrcUnset,
+                       std::memory_order_relaxed);
         core_->poolHits.fetch_add(1, std::memory_order_relaxed);
         g_poolHits.fetch_add(1, std::memory_order_relaxed);
     } else {

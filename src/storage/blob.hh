@@ -40,6 +40,7 @@
 #ifndef MATCH_STORAGE_BLOB_HH
 #define MATCH_STORAGE_BLOB_HH
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -55,6 +56,14 @@ namespace detail
 struct BlobBuf
 {
     std::vector<std::uint8_t> bytes;
+
+    /** Lazily cached CRC32C of `bytes` (kCrcUnset until computed).
+     *  Mutable + atomic: the checksum is computed on demand through
+     *  const handles, possibly from several threads at once — both
+     *  racers compute and store the same value, so a relaxed data
+     *  race on the cache slot is benign. */
+    static constexpr std::uint64_t kCrcUnset = ~std::uint64_t{0};
+    mutable std::atomic<std::uint64_t> crc{kCrcUnset};
 };
 } // namespace detail
 
@@ -88,6 +97,14 @@ class Blob
 
     /** Live handles to the underlying buffer (tests/diagnostics). */
     long refCount() const { return buf_ ? buf_.use_count() : 0; }
+
+    /**
+     * CRC32C of the payload, computed once per buffer and cached: the
+     * checkpoint path checksums a sealed snapshot exactly once, and
+     * every later consumer (partner copy, recovery verify, scrub)
+     * reuses the cached value for free. 0 for a null handle.
+     */
+    std::uint32_t crc32c() const;
 
   private:
     friend class MutableBlob;

@@ -18,8 +18,9 @@ drainModeName(DrainMode mode)
     return "unknown";
 }
 
-DrainWorker::DrainWorker(DrainMode mode, std::size_t queueDepth)
-    : mode_(mode), depth_(queueDepth)
+DrainWorker::DrainWorker(DrainMode mode, std::size_t queueDepth,
+                         std::size_t capacityBytes)
+    : mode_(mode), depth_(queueDepth), capacity_(capacityBytes)
 {}
 
 DrainWorker::~DrainWorker()
@@ -34,7 +35,7 @@ DrainWorker::~DrainWorker()
 }
 
 DrainWorker::Ticket
-DrainWorker::enqueue(Job job)
+DrainWorker::enqueue(Job job, std::size_t bytes)
 {
     MATCH_ASSERT(job != nullptr, "drain job must be callable");
     if (mode_ == DrainMode::Sync) {
@@ -58,8 +59,17 @@ DrainWorker::enqueue(Job job)
             return queue_.size() + (running_ ? 1u : 0u) < depth_;
         });
     }
+    if (capacity_ > 0) {
+        // Capacity-in-bytes backpressure: admit once the staged bytes
+        // fit, or unconditionally at zero occupancy so a job larger
+        // than the whole buffer streams through instead of deadlocking.
+        doneCv_.wait(lock, [this, bytes] {
+            return stagedBytes_ == 0 || stagedBytes_ + bytes <= capacity_;
+        });
+    }
     const Ticket ticket = nextTicket_++;
-    queue_.emplace_back(ticket, std::move(job));
+    queue_.push_back(QueuedJob{ticket, std::move(job), bytes});
+    stagedBytes_ += bytes;
     if (!workerStarted_) {
         // Lazy spawn: runs with no flush traffic never pay a thread.
         workerStarted_ = true;
@@ -92,8 +102,10 @@ void
 DrainWorker::crash()
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    for (auto &[ticket, job] : queue_)
-        discardedTickets_.insert(ticket);
+    for (const QueuedJob &queued : queue_) {
+        discardedTickets_.insert(queued.ticket);
+        stagedBytes_ -= queued.bytes;
+    }
     discarded_ += queue_.size();
     queue_.clear();
     doneCv_.notify_all();
@@ -120,6 +132,13 @@ DrainWorker::discardedJobs() const
     return discarded_;
 }
 
+std::size_t
+DrainWorker::stagedBytes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stagedBytes_;
+}
+
 void
 DrainWorker::workerLoop()
 {
@@ -133,7 +152,7 @@ DrainWorker::workerLoop()
                 return;
             continue;
         }
-        auto [ticket, job] = std::move(queue_.front());
+        QueuedJob queued = std::move(queue_.front());
         queue_.pop_front();
         running_ = true;
         lock.unlock();
@@ -143,11 +162,12 @@ DrainWorker::workerLoop()
             // process-global, so async drain time shows up alongside
             // (and overlapping) the scheduler thread's phases.
             util::PhaseScope phase(util::Phase::Drain);
-            value = job();
+            value = queued.job();
         }
         lock.lock();
         running_ = false;
-        results_.emplace(ticket, value);
+        stagedBytes_ -= queued.bytes;
+        results_.emplace(queued.ticket, value);
         ++completed_;
         doneCv_.notify_all();
     }

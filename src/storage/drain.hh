@@ -25,7 +25,13 @@
  * Queue depth bounds the jobs admitted but not yet executed — i.e. the
  * burst-buffer memory holding staged blobs. A full queue blocks
  * enqueue() in wall-clock time until the worker frees a slot; it has no
- * virtual-time effect.
+ * virtual-time effect. Capacity-in-bytes backpressure is the same idea
+ * with the real buffer footprint as the bound: enqueue(job, bytes)
+ * blocks while admitting the job would push the staged bytes of
+ * admitted-but-unfinished jobs over the capacity. A job larger than the
+ * whole capacity is admitted alone (at zero occupancy) rather than
+ * deadlocking. The *virtual-time* counterpart of capacity pressure
+ * lives in DrainChannel::reserve().
  *
  * Thread-safety: every method may be called from any thread. enqueue(),
  * wait() and quiesce() may block the calling thread; the background
@@ -75,9 +81,13 @@ class DrainWorker
     using Job = std::function<std::uint64_t()>;
 
     /** @param queueDepth max jobs admitted but not yet run; 0 means
-     *         unbounded. Only meaningful for DrainMode::Async. */
+     *         unbounded. Only meaningful for DrainMode::Async.
+     *  @param capacityBytes max staged bytes of admitted-but-unfinished
+     *         jobs; 0 means unbounded. Only meaningful for
+     *         DrainMode::Async (a sync worker never accumulates). */
     explicit DrainWorker(DrainMode mode = DrainMode::Sync,
-                         std::size_t queueDepth = 0);
+                         std::size_t queueDepth = 0,
+                         std::size_t capacityBytes = 0);
 
     /** Runs every remaining job, then joins the worker thread. */
     ~DrainWorker();
@@ -87,13 +97,16 @@ class DrainWorker
 
     DrainMode mode() const { return mode_; }
     std::size_t queueDepth() const { return depth_; }
+    std::size_t capacityBytes() const { return capacity_; }
 
     /**
      * Admit a job. Sync mode runs it inline and returns its completed
      * ticket; Async mode queues it, blocking in wall-clock time while
-     * the queue is at its depth bound.
+     * the queue is at its depth bound or while `bytes` (the job's
+     * staged burst-buffer footprint) would push the admitted-but-
+     * unfinished total over the capacity bound.
      */
-    Ticket enqueue(Job job);
+    Ticket enqueue(Job job, std::size_t bytes = 0);
 
     /**
      * Block until the job has run and return its value. A ticket
@@ -121,16 +134,29 @@ class DrainWorker
     /** Jobs dropped by crash(). */
     std::uint64_t discardedJobs() const;
 
+    /** Staged bytes of admitted-but-unfinished jobs (running job
+     *  included) — the burst buffer's current fill. */
+    std::size_t stagedBytes() const;
+
   private:
+    struct QueuedJob
+    {
+        Ticket ticket = 0;
+        Job job;
+        std::size_t bytes = 0;
+    };
+
     void workerLoop();
 
     const DrainMode mode_;
     const std::size_t depth_;
+    const std::size_t capacity_;
 
     mutable std::mutex mutex_;
     std::condition_variable workCv_; ///< wakes the worker thread
     std::condition_variable doneCv_; ///< wakes enqueue/wait/quiesce
-    std::deque<std::pair<Ticket, Job>> queue_;
+    std::deque<QueuedJob> queue_;
+    std::size_t stagedBytes_ = 0; ///< bytes of admitted, unfinished jobs
     std::map<Ticket, std::uint64_t> results_;
     std::set<Ticket> discardedTickets_;
     Ticket nextTicket_ = 1;
@@ -162,14 +188,16 @@ class DrainChannel
         double enqueuedAt = 0.0; ///< virtual time of the enqueue
         int procs = 0;
         double factor = 1.0; ///< client cost multiplier at enqueue
+        std::uint64_t bytes = 0; ///< virtual burst-buffer footprint
     };
 
     /** Record an admitted job; stamp() prices its enqueue instant once
      *  the client has charged the staging cost. */
     void
-    admit(DrainWorker::Ticket ticket, int procs, double factor = 1.0)
+    admit(DrainWorker::Ticket ticket, int procs, double factor = 1.0,
+          std::uint64_t bytes = 0)
     {
-        pending_.push_back(Pending{ticket, 0.0, procs, factor});
+        pending_.push_back(Pending{ticket, 0.0, procs, factor, bytes});
     }
 
     /** Stamp the newest admitted job's virtual enqueue instant. */
@@ -189,6 +217,73 @@ class DrainChannel
     double
     resolve(DrainWorker &worker, double now, PriceFn &&price)
     {
+        priceAll(worker, price);
+        // Cover jobs this incarnation did not admit (a restarted rank
+        // waiting out its predecessor's flushes, cleanup jobs).
+        worker.quiesce();
+        return finish_ > now ? finish_ - now : 0.0;
+    }
+
+    /**
+     * Virtual burst-buffer capacity pressure: the stall (in virtual
+     * time, from `now`) the rank must absorb before `bytes` more can
+     * be staged without the sum of in-flight occupants exceeding
+     * `capacity`. Prices every pending job first (each occupies the
+     * buffer from its enqueue until its drain finishes), drops the
+     * occupants already drained by `now`, then evicts the oldest
+     * remaining occupants — in drain-completion order — until the new
+     * job fits; the stall runs to the last eviction's finish instant.
+     * A job larger than the whole capacity admits once the buffer is
+     * empty rather than deadlocking. capacity == 0 means unbounded
+     * (no stall, no pricing). Deterministic for the same reason
+     * resolve() is: every input is client data, never the worker's
+     * wall-clock schedule.
+     */
+    template <typename PriceFn>
+    double
+    reserve(DrainWorker &worker, double now, std::uint64_t bytes,
+            std::uint64_t capacity, PriceFn &&price)
+    {
+        if (capacity == 0)
+            return 0.0;
+        priceAll(worker, price);
+        std::uint64_t used = 0;
+        std::size_t firstLive = occupants_.size();
+        for (std::size_t i = 0; i < occupants_.size(); ++i) {
+            if (occupants_[i].finish > now) {
+                firstLive = i;
+                break;
+            }
+        }
+        occupants_.erase(occupants_.begin(),
+                         occupants_.begin() +
+                             static_cast<std::ptrdiff_t>(firstLive));
+        for (const Occupant &occupant : occupants_)
+            used += occupant.bytes;
+        double admitAt = now;
+        while (used + bytes > capacity && !occupants_.empty()) {
+            admitAt = occupants_.front().finish;
+            used -= occupants_.front().bytes;
+            occupants_.erase(occupants_.begin());
+        }
+        return admitAt > now ? admitAt - now : 0.0;
+    }
+
+  private:
+    /** One priced job still occupying the virtual burst buffer. */
+    struct Occupant
+    {
+        double finish = 0.0; ///< virtual drain-completion instant
+        std::uint64_t bytes = 0;
+    };
+
+    /** Fold every pending job into the channel in enqueue order (the
+     *  determinism-critical fold — exists exactly once; resolve() and
+     *  reserve() both route through it). */
+    template <typename PriceFn>
+    void
+    priceAll(DrainWorker &worker, PriceFn &&price)
+    {
         for (const Pending &pending : pending_) {
             const std::uint64_t shipped = worker.wait(pending.ticket);
             const double cost =
@@ -197,16 +292,16 @@ class DrainChannel
                            ? finish_
                            : pending.enqueuedAt) +
                       cost;
+            if (pending.bytes > 0)
+                occupants_.push_back(Occupant{finish_, pending.bytes});
         }
         pending_.clear();
-        // Cover jobs this incarnation did not admit (a restarted rank
-        // waiting out its predecessor's flushes, cleanup jobs).
-        worker.quiesce();
-        return finish_ > now ? finish_ - now : 0.0;
     }
 
-  private:
     std::vector<Pending> pending_;
+    /** Jobs priced but possibly still draining, in finish order
+     *  (finish_ is monotone over the fold, so appends stay sorted). */
+    std::vector<Occupant> occupants_;
     double finish_ = 0.0; ///< virtual completion of jobs priced so far
 };
 

@@ -38,8 +38,10 @@ detect()
 {
     Features f;
     unsigned eax, ebx, ecx, edx;
-    if (__get_cpuid(1, &eax, &ebx, &ecx, &edx))
+    if (__get_cpuid(1, &eax, &ebx, &ecx, &edx)) {
         f.ssse3 = (ecx & bit_SSSE3) != 0;
+        f.sse42 = (ecx & bit_SSE4_2) != 0;
+    }
     if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx))
         f.avx2 = (ebx & bit_AVX2) != 0 && osSavesYmm();
     return f;

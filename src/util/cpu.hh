@@ -24,6 +24,7 @@ namespace match::util::cpu
 struct Features
 {
     bool ssse3 = false; ///< x86 SSSE3 (pshufb)
+    bool sse42 = false; ///< x86 SSE4.2 (crc32 instruction)
     bool avx2 = false;  ///< x86 AVX2 (vpshufb, requires OS ymm save)
     bool neon = false;  ///< ARM NEON/AdvSIMD (vtbl)
 };

@@ -314,3 +314,158 @@ TEST(Experiment, CacheKeyDistinguishesConfigs)
     EXPECT_NE(ra.mean.recovery, rb.mean.recovery);
     fs::remove_all(a.cacheDir);
 }
+
+TEST(Experiment, MultiFailureModelsAreDeterministicAndDistinct)
+{
+    auto config = smallConfig(Design::ReinitFti, true);
+    config.runs = 2;
+    const auto single = runExperiment(config);
+    for (const ft::FailureModelKind kind :
+         {ft::FailureModelKind::IndependentExp,
+          ft::FailureModelKind::Correlated}) {
+        auto multi = config;
+        multi.failureModel = kind;
+        multi.meanFailures = 3.0;
+        multi.cascadeProb = 0.5;
+        const auto a = runExperiment(multi);
+        const auto b = runExperiment(multi);
+        ASSERT_EQ(a.perRun.size(), b.perRun.size());
+        for (std::size_t i = 0; i < a.perRun.size(); ++i) {
+            EXPECT_DOUBLE_EQ(a.perRun[i].total(), b.perRun[i].total())
+                << ft::failureModelName(kind);
+            EXPECT_EQ(a.perRun[i].recoveries, b.perRun[i].recoveries);
+        }
+        // A multi-failure process changes the recovery story.
+        EXPECT_NE(a.mean.total(), single.mean.total())
+            << ft::failureModelName(kind);
+    }
+}
+
+TEST(Experiment, TraceReplayReproducesCorrelatedRunBitForBit)
+{
+    // Generate the correlated schedule exactly as runExperiment does
+    // for run 0, round-trip it through the trace format, and replay:
+    // every breakdown category must match to the last bit.
+    auto generated = smallConfig(Design::ReinitFti, true);
+    generated.runs = 1;
+    generated.noiseSigma = 0.0; // trace consumes no RNG draws
+    generated.failureModel = ft::FailureModelKind::Correlated;
+    generated.meanFailures = 2.0;
+    generated.cascadeProb = 0.5;
+
+    apps::AppParams params;
+    params.input = generated.input;
+    params.nprocs = generated.nprocs;
+    params.ckptStride = generated.ckptStride;
+    const int iters =
+        apps::findApp(generated.app).loopIterations(params);
+    util::Rng rng(cellSeed(generated, 0));
+    ft::FailureModelConfig fm;
+    fm.kind = generated.failureModel;
+    fm.meanFailures = generated.meanFailures;
+    fm.cascadeProb = generated.cascadeProb;
+    fm.ranksPerNode =
+        static_cast<int>(generated.costParams.ranksPerNode);
+    fm.nodesPerRack =
+        static_cast<int>(generated.costParams.nodesPerRack);
+    const auto schedule =
+        ft::generateSchedule(fm, generated.nprocs, iters, rng);
+    ASSERT_FALSE(schedule.empty());
+
+    auto replay = generated;
+    replay.failureModel = ft::FailureModelKind::Trace;
+    replay.traceEvents = ft::parseTrace(ft::serializeTrace(schedule));
+    ASSERT_EQ(replay.traceEvents, schedule);
+
+    const auto gen = runExperiment(generated).mean;
+    const auto rep = runExperiment(replay).mean;
+    EXPECT_EQ(gen.application, rep.application);
+    EXPECT_EQ(gen.ckptWrite, rep.ckptWrite);
+    EXPECT_EQ(gen.ckptRead, rep.ckptRead);
+    EXPECT_EQ(gen.recovery, rep.recovery);
+    EXPECT_EQ(gen.recoveries, rep.recoveries);
+}
+
+TEST(Experiment, ConfigKeyDistinguishesFailureScenarioAxes)
+{
+    const auto base = smallConfig(Design::ReinitFti, true);
+    const std::string key = configKey(base);
+    auto model = base;
+    model.failureModel = ft::FailureModelKind::IndependentExp;
+    EXPECT_NE(configKey(model), key);
+    auto mean = base;
+    mean.meanFailures = 2.5;
+    EXPECT_NE(configKey(mean), key);
+    auto cascade = base;
+    cascade.cascadeProb = 0.7;
+    EXPECT_NE(configKey(cascade), key);
+    auto corrupt = base;
+    corrupt.corruptFraction = 0.25;
+    EXPECT_NE(configKey(corrupt), key);
+    auto sdc = base;
+    sdc.sdcChecks = true;
+    EXPECT_NE(configKey(sdc), key);
+    auto scrubbed = base;
+    scrubbed.sdcChecks = true;
+    scrubbed.scrubStride = 5;
+    EXPECT_NE(configKey(scrubbed), configKey(sdc));
+    auto capped = base;
+    capped.drainCapacityBytes = std::size_t{1} << 20;
+    EXPECT_NE(configKey(capped), key);
+    auto traced = base;
+    traced.failureModel = ft::FailureModelKind::Trace;
+    traced.traceEvents = {{3, 1, ft::FailureKind::Crash}};
+    auto traced2 = traced;
+    traced2.traceEvents = {{3, 2, ft::FailureKind::Crash}};
+    EXPECT_NE(configKey(traced), key);
+    EXPECT_NE(configKey(traced2), configKey(traced));
+}
+
+TEST(Experiment, SdcChecksPriceVerificationWithoutChangingOutcome)
+{
+    auto plain = smallConfig(Design::ReinitFti, true);
+    plain.runs = 2;
+    auto checked = plain;
+    checked.sdcChecks = true;
+    checked.scrubStride = 5;
+    const auto a = runExperiment(plain);
+    const auto b = runExperiment(checked);
+    // Nothing is corrupted: same recovery story, but the CRC verify
+    // and scrub passes are priced, so checked time strictly grows.
+    EXPECT_EQ(a.mean.recoveries, b.mean.recoveries);
+    EXPECT_GT(b.mean.total(), a.mean.total());
+}
+
+TEST(Experiment, UnpressuredDrainCapacityIsFree)
+{
+    // A capacity the staged bytes never reach prices zero stall: the
+    // result must be bit-identical to the unbounded default.
+    auto unbounded = smallConfig(Design::RestartFti, false);
+    unbounded.runs = 2;
+    unbounded.ckptLevel = 4;
+    unbounded.ckptStride = 2;
+    auto roomy = unbounded;
+    roomy.drainCapacityBytes = std::size_t{1} << 40;
+    const auto a = runExperiment(unbounded);
+    const auto b = runExperiment(roomy);
+    for (std::size_t i = 0; i < a.perRun.size(); ++i)
+        EXPECT_DOUBLE_EQ(a.perRun[i].total(), b.perRun[i].total());
+}
+
+TEST(Experiment, TightDrainCapacityStallsCheckpoints)
+{
+    auto unbounded = smallConfig(Design::RestartFti, false);
+    unbounded.runs = 1;
+    unbounded.noiseSigma = 0.0;
+    unbounded.ckptLevel = 4;
+    unbounded.ckptStride = 2;
+    // Throttle the PFS pipe so flushes outlive the checkpoint interval
+    // and staged bytes accumulate against the cap.
+    unbounded.costParams.ckptL4AggregateBw /= 100.0;
+    auto tight = unbounded;
+    tight.drainCapacityBytes = std::size_t{1} << 18;
+    const auto a = runExperiment(unbounded);
+    const auto b = runExperiment(tight);
+    EXPECT_GT(b.mean.ckptWrite, a.mean.ckptWrite);
+    EXPECT_GT(b.mean.total(), a.mean.total());
+}

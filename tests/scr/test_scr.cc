@@ -488,3 +488,158 @@ TEST(Scr, EndToEndUnderReinitDesign)
     }
     Scr::purge(cfg);
 }
+
+namespace
+{
+
+/** Flip one payload byte in every non-sidecar, non-marker file under
+ *  `dir` (the datasets live in the shared DiskBackend, so the driver
+ *  can rot them directly on disk). */
+void
+corruptDatasetTree(const fs::path &dir)
+{
+    for (const auto &entry : fs::recursive_directory_iterator(dir)) {
+        if (!entry.is_regular_file())
+            continue;
+        const std::string name = entry.path().filename().string();
+        if (name == "committed")
+            continue;
+        const std::string sidecar = ".crc32c";
+        if (name.size() >= sidecar.size() &&
+            name.compare(name.size() - sidecar.size(), sidecar.size(),
+                         sidecar) == 0) {
+            continue;
+        }
+        std::vector<char> bytes(fs::file_size(entry.path()));
+        {
+            std::ifstream in(entry.path(), std::ios::binary);
+            in.read(bytes.data(),
+                    static_cast<std::streamsize>(bytes.size()));
+            ASSERT_TRUE(in) << entry.path();
+        }
+        bytes[bytes.size() / 2] ^= 0x5a;
+        std::ofstream out(entry.path(),
+                          std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+    }
+}
+
+} // namespace
+
+TEST(ScrSdc, CorruptCacheCopyRebuiltFromPartner)
+{
+    auto cfg = testConfig("sdc-partner", Redundancy::Partner);
+    cfg.sdcChecks = true;
+    Scr::purge(cfg);
+    const int procs = 8;
+    Runtime rt1;
+    rt1.run(options(procs), [&](Proc &proc) {
+        Scr scr(proc, cfg);
+        std::vector<double> state(64, proc.rank() + 0.25);
+        scr.startCheckpoint();
+        writeState(scr.routeFile("state.bin"), state);
+        scr.completeCheckpoint(true);
+        scr.finalize();
+    });
+    // Rot rank 3's cache copy only: the sidecar mismatch must be
+    // detected and the intact partner copy restored instead.
+    {
+        const fs::path path =
+            fs::path(Scr::datasetDir(cfg, 1, 3)) / "state.bin";
+        std::vector<char> bytes(fs::file_size(path));
+        std::ifstream in(path, std::ios::binary);
+        in.read(bytes.data(),
+                static_cast<std::streamsize>(bytes.size()));
+        ASSERT_TRUE(in);
+        in.close();
+        bytes[8] ^= 0x5a;
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+    }
+    Runtime rt2;
+    rt2.run(options(procs), [&](Proc &proc) {
+        Scr scr(proc, cfg);
+        ASSERT_TRUE(scr.haveRestart());
+        scr.startRestart();
+        std::vector<double> state(64, 0.0);
+        ASSERT_TRUE(
+            readState(scr.routeRestartFile("state.bin"), state));
+        scr.completeRestart(true);
+        for (const double v : state)
+            ASSERT_EQ(v, proc.rank() + 0.25);
+    });
+    Scr::purge(cfg);
+}
+
+TEST(ScrSdc, CorruptNewestDatasetFallsBackToOlder)
+{
+    auto cfg = testConfig("sdc-fallback", Redundancy::Partner);
+    cfg.sdcChecks = true;
+    Scr::purge(cfg);
+    const int procs = 8;
+    Runtime rt1;
+    rt1.run(options(procs), [&](Proc &proc) {
+        Scr scr(proc, cfg);
+        std::vector<double> state(64, proc.rank() + 1.5);
+        scr.startCheckpoint();
+        writeState(scr.routeFile("state.bin"), state);
+        scr.completeCheckpoint(true);
+        scr.finalize();
+    });
+    // Manufacture a newer committed dataset whose every copy — cache
+    // AND partner — is rot (SCR prunes older datasets on commit, so
+    // the driver clones dataset 1 instead of committing twice).
+    const fs::path job = fs::path(cfg.cacheDir) / cfg.jobId;
+    fs::copy(job / "dataset1", job / "dataset2",
+             fs::copy_options::recursive);
+    corruptDatasetTree(job / "dataset2");
+    // Every rank's restart must reject dataset 2 at every tier and
+    // restore dataset 1 — never rot, never fatal.
+    Runtime rt2;
+    rt2.run(options(procs), [&](Proc &proc) {
+        Scr scr(proc, cfg);
+        ASSERT_TRUE(scr.haveRestart());
+        scr.startRestart();
+        std::vector<double> state(64, 0.0);
+        ASSERT_TRUE(
+            readState(scr.routeRestartFile("state.bin"), state));
+        scr.completeRestart(true);
+        for (const double v : state)
+            ASSERT_EQ(v, proc.rank() + 1.5);
+    });
+    Scr::purge(cfg);
+}
+
+TEST(ScrSdcDeath, NoVerifiableDatasetIsFatalNotSilent)
+{
+    auto cfg = testConfig("sdc-exhausted", Redundancy::Single);
+    cfg.sdcChecks = true;
+    Scr::purge(cfg);
+    const int procs = 4;
+    Runtime rt1;
+    rt1.run(options(procs), [&](Proc &proc) {
+        Scr scr(proc, cfg);
+        std::vector<double> state(16, 1.0);
+        scr.startCheckpoint();
+        writeState(scr.routeFile("state.bin"), state);
+        scr.completeCheckpoint(true);
+        scr.finalize();
+    });
+    corruptDatasetTree(fs::path(cfg.cacheDir) / cfg.jobId / "dataset1");
+    // SINGLE has no redundancy tier, there is no flushed prefix copy
+    // and no older dataset: the only correct outcome is an abort.
+    EXPECT_EXIT(
+        {
+            Runtime rt2;
+            rt2.run(options(procs), [&](Proc &proc) {
+                Scr scr(proc, cfg);
+                scr.startRestart();
+                scr.routeRestartFile("state.bin");
+            });
+        },
+        ::testing::ExitedWithCode(1),
+        "no dataset passes SDC verification");
+    Scr::purge(cfg);
+}

@@ -115,3 +115,53 @@ TEST(LauncherDeath, RestartRequiresFatalPolicy)
     EXPECT_DEATH(launchWithRestart(opts, [](Proc &) {}),
                  "MPI_ERRORS_ARE_FATAL");
 }
+
+namespace
+{
+
+std::shared_ptr<InjectionSchedule>
+schedule(std::initializer_list<InjectionEvent> events)
+{
+    auto s = std::make_shared<InjectionSchedule>();
+    s->events = events;
+    return s;
+}
+
+} // namespace
+
+TEST(Launcher, RestartRecordsEveryFiredFailure)
+{
+    // Two scheduled crashes → two aborted attempts, and the report
+    // must keep BOTH crashed ranks in fire order (a last-one-wins
+    // scalar loses the first).
+    JobOptions opts;
+    opts.nprocs = 4;
+    opts.policy = ErrorPolicy::Fatal;
+    opts.schedule = schedule({{2, 1}, {5, 3}});
+    const LaunchReport report =
+        launchWithRestart(opts, [](Proc &proc) { loop(proc, 8); });
+    EXPECT_EQ(report.attempts, 3);
+    EXPECT_TRUE(report.failureFired);
+    ASSERT_EQ(report.failedRanks.size(), 2u);
+    EXPECT_EQ(report.failedRanks[0], 1);
+    EXPECT_EQ(report.failedRanks[1], 3);
+    EXPECT_EQ(report.failedRank, 3);
+}
+
+TEST(Launcher, ReinitRecordsEveryFiredFailure)
+{
+    // Online recovery: one launch, several deaths, all recorded.
+    JobOptions opts;
+    opts.nprocs = 4;
+    opts.policy = ErrorPolicy::Reinit;
+    opts.schedule = schedule({{2, 0}, {4, 2}, {6, 2}});
+    const LaunchReport report = launchReinit(
+        opts, [](Proc &proc, ReinitState) { loop(proc, 8); });
+    EXPECT_EQ(report.attempts, 1);
+    EXPECT_EQ(report.finalResult.recoveries, 3);
+    ASSERT_EQ(report.failedRanks.size(), 3u);
+    EXPECT_EQ(report.failedRanks[0], 0);
+    EXPECT_EQ(report.failedRanks[1], 2);
+    EXPECT_EQ(report.failedRanks[2], 2);
+    EXPECT_EQ(report.failedRank, 2);
+}

@@ -296,6 +296,127 @@ TEST(DrainWorker, QueueDepthBlocksEnqueueUntilASlotFrees)
     EXPECT_EQ(worker.completedJobs(), 2u);
 }
 
+TEST(DrainWorker, CapacityBytesBlocksEnqueueUntilStagedBytesDrain)
+{
+    // Capacity 100: with 80 staged bytes parked behind a gate, a
+    // 50-byte enqueue must block until the parked job finishes and
+    // releases its footprint.
+    auto gate = std::make_shared<Gate>();
+    auto started = std::make_shared<Gate>();
+    DrainWorker worker(DrainMode::Async, 0, 100);
+    worker.enqueue(
+        [gate, started]() -> std::uint64_t {
+            started->open();
+            gate->wait();
+            return 80;
+        },
+        80);
+    started->wait();
+    EXPECT_EQ(worker.stagedBytes(), 80u);
+    std::atomic<bool> second_admitted{false};
+    std::thread enqueuer([&] {
+        worker.enqueue([]() -> std::uint64_t { return 50; }, 50);
+        second_admitted = true;
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    EXPECT_FALSE(second_admitted)
+        << "80 + 50 staged bytes must not fit a 100-byte buffer";
+    gate->open();
+    enqueuer.join();
+    EXPECT_TRUE(second_admitted);
+    worker.quiesce();
+    EXPECT_EQ(worker.stagedBytes(), 0u);
+    EXPECT_EQ(worker.completedJobs(), 2u);
+}
+
+TEST(DrainWorker, CapacityAdmitsOversizedJobAtZeroOccupancy)
+{
+    // A job larger than the whole buffer must stream through alone
+    // instead of deadlocking, and a small follow-up must block behind
+    // its footprint only while it is unfinished.
+    DrainWorker worker(DrainMode::Async, 0, 10);
+    const auto big =
+        worker.enqueue([]() -> std::uint64_t { return 1000; }, 1000);
+    EXPECT_EQ(worker.wait(big), 1000u);
+    worker.quiesce();
+    const auto small =
+        worker.enqueue([]() -> std::uint64_t { return 5; }, 5);
+    EXPECT_EQ(worker.wait(small), 5u);
+}
+
+TEST(DrainWorker, CrashUnblocksCapacityBlockedEnqueue)
+{
+    // The crash/backpressure race: a rank blocked in enqueue on the
+    // capacity bound while the node crashes. crash() discards the
+    // queued footprint, so the blocked enqueue must re-evaluate and
+    // admit — not deadlock on bytes that no longer exist.
+    auto gate = std::make_shared<Gate>();
+    auto started = std::make_shared<Gate>();
+    DrainWorker worker(DrainMode::Async, 0, 100);
+    // Job A runs (gated), occupying 10 staged bytes off-queue.
+    worker.enqueue(
+        [gate, started]() -> std::uint64_t {
+            started->open();
+            gate->wait();
+            return 10;
+        },
+        10);
+    started->wait();
+    // Job B is queued, pushing staged bytes to 95.
+    const auto doomed =
+        worker.enqueue([]() -> std::uint64_t { return 85; }, 85);
+    EXPECT_EQ(worker.stagedBytes(), 95u);
+    // Job C (60 bytes) blocks: 95 + 60 > 100.
+    std::atomic<bool> admitted{false};
+    std::thread enqueuer([&] {
+        worker.enqueue([]() -> std::uint64_t { return 60; }, 60);
+        admitted = true;
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    EXPECT_FALSE(admitted);
+    // The crash discards B (85 queued bytes): staged drops to 10 and C
+    // (10 + 60 <= 100) must be admitted while A is still running.
+    worker.crash();
+    for (int i = 0; i < 200 && !admitted; ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_TRUE(admitted)
+        << "crash must wake a capacity-blocked enqueue";
+    gate->open();
+    enqueuer.join();
+    worker.quiesce();
+    EXPECT_EQ(worker.wait(doomed), 0u);
+    EXPECT_EQ(worker.stagedBytes(), 0u);
+    EXPECT_EQ(worker.discardedJobs(), 1u);
+    EXPECT_EQ(worker.completedJobs(), 2u);
+}
+
+TEST(DrainChannel, ReservePricesCapacityEvictionDeterministically)
+{
+    // Virtual-side capacity pressure: three 40-byte flushes priced at
+    // 10 virtual seconds each (finishing at t=10, 20, 30) against a
+    // 100-byte buffer. A fourth 40-byte reservation at t=0 must evict
+    // the two oldest occupants (120 staged + 40 > 100 until only one
+    // remains), so the stall runs to the second occupant's finish.
+    DrainWorker worker(DrainMode::Sync, 0);
+    storage::DrainChannel channel;
+    const auto price = [](std::uint64_t, int, double) { return 10.0; };
+    for (int i = 0; i < 3; ++i) {
+        const auto ticket =
+            worker.enqueue([]() -> std::uint64_t { return 40; });
+        channel.admit(ticket, 8, 1.0, 40);
+        channel.stamp(static_cast<double>(i) * 10.0);
+    }
+    EXPECT_DOUBLE_EQ(channel.reserve(worker, 0.0, 40, 100, price),
+                     20.0);
+    // The evicted occupant is gone and a later reservation at t=25 sees
+    // only the t=30 occupant: 40 + 40 fits, no stall.
+    EXPECT_DOUBLE_EQ(channel.reserve(worker, 25.0, 40, 100, price),
+                     0.0);
+    // Unbounded capacity never stalls.
+    EXPECT_DOUBLE_EQ(channel.reserve(worker, 0.0, 1 << 20, 0, price),
+                     0.0);
+}
+
 TEST(DrainWorker, WaitOnCrashedTicketReturnsZero)
 {
     auto gate = std::make_shared<Gate>();
