@@ -28,8 +28,8 @@ main(int argc, char **argv)
     spec.injectFailure = true;
     spec.ckptStrides = {2, 5, 10, 20, 40, 80};
     const auto cells = spec.enumerate();
-    const auto results =
-        core::GridRunner(options.jobs, options.pin).run(cells);
+    core::GridTiming timing;
+    const auto results = options.makeRunner().run(cells, &timing);
 
     util::Table table({"Stride(iters)", "WriteCkpt(s)", "Application(s)",
                        "Recovery(s)", "Total(s)"});
@@ -45,5 +45,5 @@ main(int argc, char **argv)
     std::printf("Note: application time includes the work re-executed "
                 "since the last checkpoint, which grows with the "
                 "stride; write time shrinks with the stride.\n");
-    return 0;
+    return gridExitCode(options, reportCellFailures(timing));
 }

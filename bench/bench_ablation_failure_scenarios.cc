@@ -94,7 +94,7 @@ int
 main(int argc, char **argv)
 {
     const auto options = BenchOptions::parse(argc, argv);
-    const core::GridRunner runner(options.jobs);
+    const core::GridRunner runner = options.makeRunner();
 
     std::printf("=== Ablation: failure-scenario engine "
                 "(HPCCG, small) ===\n");
@@ -121,8 +121,9 @@ main(int argc, char **argv)
             for (ft::Design design : ft::allDesigns)
                 cells.push_back(
                     scenarioCell(options, scenario, procs, design));
+    core::GridTiming timing;
     const std::vector<core::ExperimentResult> results =
-        runner.run(cells);
+        runner.run(cells, &timing);
 
     struct Row
     {
@@ -312,5 +313,8 @@ main(int argc, char **argv)
     std::fprintf(out, "  ]\n}\n");
     std::fclose(out);
     std::printf("perf: wrote %s\n", json_path.c_str());
-    return replay_ok ? 0 : 1;
+    const int quarantined = reportCellFailures(timing);
+    if (!replay_ok)
+        return 1;
+    return gridExitCode(options, quarantined);
 }

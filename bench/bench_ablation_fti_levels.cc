@@ -32,8 +32,8 @@ main(int argc, char **argv)
     spec.designs = {ft::Design::ReinitFti};
     spec.ckptLevels = {1, 2, 3, 4};
     const auto cells = spec.enumerate();
-    const auto results =
-        core::GridRunner(options.jobs, options.pin).run(cells);
+    core::GridTiming timing;
+    const auto results = options.makeRunner().run(cells, &timing);
 
     util::Table table({"Level", "Storage path", "WriteCkpt(s)",
                        "Application(s)", "Total(s)"});
@@ -50,5 +50,5 @@ main(int argc, char **argv)
                       util::Table::cell(mean.total())});
     }
     std::printf("%s\n", table.toString().c_str());
-    return 0;
+    return gridExitCode(options, reportCellFailures(timing));
 }

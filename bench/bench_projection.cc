@@ -32,8 +32,8 @@ main(int argc, char **argv)
     spec.scales = {512};
     spec.injectFailure = true;
     const auto cells = spec.enumerate();
-    const auto results =
-        core::GridRunner(options.jobs, options.pin).run(cells);
+    core::GridTiming timing;
+    const auto results = options.makeRunner().run(cells, &timing);
 
     struct Measured
     {
@@ -75,5 +75,5 @@ main(int argc, char **argv)
                 "Restart) persists and the gap widens as MTBF shrinks "
                 "— the paper's motivation for cheap MPI recovery at "
                 "exascale failure rates.\n");
-    return 0;
+    return gridExitCode(options, reportCellFailures(timing));
 }

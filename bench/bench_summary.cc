@@ -96,8 +96,8 @@ main(int argc, char **argv)
         grid.push_back(makeConfig(base, cell, Design::UlfmFti, true));
         grid.push_back(makeConfig(base, cell, Design::RestartFti, false));
     }
-    const auto results =
-        core::GridRunner(options.jobs, options.pin).run(grid);
+    core::GridTiming timing;
+    const auto results = options.makeRunner().run(grid, &timing);
 
     std::vector<double> ulfm_vs_reinit, restart_vs_reinit,
         restart_vs_ulfm, ckpt_fraction, read_seconds;
@@ -146,5 +146,5 @@ main(int argc, char **argv)
                   util::Table::cell(1000.0 * util::mean(read_seconds), 1) +
                       " ms"});
     std::printf("%s\n", table.toString().c_str());
-    return 0;
+    return gridExitCode(options, reportCellFailures(timing));
 }

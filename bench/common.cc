@@ -73,6 +73,28 @@ BenchOptions::parse(int argc, char **argv)
         } else if (arg == "--drain-capacity" && i + 1 < argc) {
             options.drainCapacityBytes = static_cast<std::size_t>(
                 std::strtoull(argv[++i], nullptr, 10));
+        } else if (arg == "--cell-timeout" && i + 1 < argc) {
+            const std::string value = argv[++i];
+            if (value == "auto") {
+                options.autoCellTimeout = true;
+                options.cellTimeoutSeconds = 0.0;
+            } else {
+                char *end = nullptr;
+                const double seconds = std::strtod(value.c_str(), &end);
+                if (end == value.c_str() || *end != '\0' || seconds < 0.0)
+                    badChoice("--cell-timeout", value,
+                              {"auto", "SECONDS (0 disables)"});
+                options.cellTimeoutSeconds = seconds;
+                options.autoCellTimeout = false;
+            }
+        } else if (arg == "--cell-retries" && i + 1 < argc) {
+            options.cellRetries = std::atoi(argv[++i]);
+        } else if (arg == "--resume") {
+            options.resume = true;
+        } else if (arg == "--no-resume") {
+            options.resume = false;
+        } else if (arg == "--strict") {
+            options.strict = true;
         } else if (arg == "--pin" && i + 1 < argc) {
             const std::string mode = argv[++i];
             if (mode == "none")
@@ -119,6 +141,8 @@ BenchOptions::parse(int argc, char **argv)
                 "[--storage mem|disk] [--drain sync|async] "
                 "[--drain-depth N] [--drain-capacity BYTES] "
                 "[--pin none|auto|cores] "
+                "[--cell-timeout SECS|auto] [--cell-retries N] "
+                "[--resume|--no-resume] [--strict] "
                 "[--failure-model single|independent|correlated|trace] "
                 "[--failure-trace FILE] [--mean-failures M] "
                 "[--cascade-prob P] [--corrupt-fraction F] "
@@ -155,6 +179,16 @@ BenchOptions::parse(int argc, char **argv)
                 "every N iterations (needs --sdc-checks)\n"
                 "  --drain-capacity BYTES  burst-buffer capacity; "
                 "flushes stall (priced) when staged bytes exceed it\n"
+                "  --cell-timeout SECS|auto  wall-clock watchdog per "
+                "cell attempt (auto: 5x the grid's completed-cell p99; "
+                "0 disables; wall-clock only, never in the cache key)\n"
+                "  --cell-retries N  attempts after the first before a "
+                "throwing/hung cell is quarantined (default 2)\n"
+                "  --resume | --no-resume  journal cell status next to "
+                "the result cache and resume a killed grid (default "
+                "on; --no-resume discards the journal history)\n"
+                "  --strict  exit nonzero when any cell was "
+                "quarantined\n"
                 "  --perf    time the grid under both backends and "
                 "both drain modes, write BENCH_<name>.json\n"
                 "  valid apps: %s\n",
@@ -197,6 +231,52 @@ BenchOptions::baseSpec() const
     return spec;
 }
 
+core::GridPolicy
+BenchOptions::gridPolicy() const
+{
+    core::GridPolicy policy;
+    policy.cellTimeoutSeconds = cellTimeoutSeconds;
+    policy.autoTimeout = autoCellTimeout;
+    policy.cellRetries = cellRetries;
+    policy.resume = resume;
+    return policy;
+}
+
+core::GridRunner
+BenchOptions::makeRunner() const
+{
+    return core::GridRunner(jobs, pin, gridPolicy());
+}
+
+int
+reportCellFailures(const core::GridTiming &timing)
+{
+    if (timing.failures.empty())
+        return 0;
+    std::printf("\n!!! %zu cell(s) quarantined (grid degraded; healthy "
+                "cells completed):\n",
+                timing.failures.size());
+    for (const core::CellFailure &failure : timing.failures) {
+        std::printf("  - %s [key %s]: %d attempt(s), %s: %s\n",
+                    failure.summary.c_str(), failure.key.c_str(),
+                    failure.attempts,
+                    failure.timedOut ? "watchdog timeout" : "exception",
+                    failure.lastError.c_str());
+    }
+    return static_cast<int>(timing.failures.size());
+}
+
+int
+gridExitCode(const BenchOptions &options, int quarantined)
+{
+    if (quarantined > 0 && options.strict) {
+        util::warn("--strict: %d quarantined cell(s) -> exit 1",
+                   quarantined);
+        return 1;
+    }
+    return 0;
+}
+
 namespace
 {
 
@@ -217,6 +297,25 @@ percentile(std::vector<double> samples, double q)
     const auto rank = static_cast<std::size_t>(
         q * static_cast<double>(samples.size() - 1) + 0.5);
     return samples[std::min(rank, samples.size() - 1)];
+}
+
+/** Minimal JSON string escape for error texts in failure records. */
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            out += ' ';
+        } else {
+            out += c;
+        }
+    }
+    return out;
 }
 
 /** One backend's measurement in a perf record. */
@@ -276,7 +375,8 @@ writePerfRecord(const BenchOptions &options, const FigureDef &def,
                 int jobs, std::size_t cells,
                 const std::vector<PerfSample> &samples,
                 const std::vector<DrainSample> &drain_samples,
-                const storage::BlobStats &mem_blob)
+                const storage::BlobStats &mem_blob,
+                const std::vector<core::CellFailure> &failures)
 {
     std::filesystem::create_directories(options.perfDir);
     const std::string path =
@@ -361,9 +461,27 @@ writePerfRecord(const BenchOptions &options, const FigureDef &def,
         (async ? async_total : sync_total) =
             drain_samples[i].timing.totalSeconds;
     }
-    std::fprintf(out,
-                 "  ],\n  \"asyncDrainSpeedupOverSync\": %.3f\n}\n",
+    std::fprintf(out, "  ],\n  \"asyncDrainSpeedupOverSync\": %.3f,\n",
                  async_total > 0.0 ? sync_total / async_total : 0.0);
+    // Structured degraded-grid record: quarantined cells (config,
+    // attempts, last error) instead of an aborted sweep. perf_guard
+    // downgrades its perf failures to warnings when this is nonzero —
+    // a degraded grid's throughput numbers are not a regression signal.
+    std::fprintf(out, "  \"quarantinedCells\": %zu,\n  \"failures\": [\n",
+                 failures.size());
+    for (std::size_t i = 0; i < failures.size(); ++i) {
+        const core::CellFailure &f = failures[i];
+        std::fprintf(out,
+                     "    {\"cell\": \"%s\", \"key\": \"%s\", "
+                     "\"attempts\": %d, \"timedOut\": %s, "
+                     "\"lastError\": \"%s\"}%s\n",
+                     jsonEscape(f.summary).c_str(),
+                     jsonEscape(f.key).c_str(), f.attempts,
+                     f.timedOut ? "true" : "false",
+                     jsonEscape(f.lastError).c_str(),
+                     i + 1 == failures.size() ? "" : ",");
+    }
+    std::fprintf(out, "  ]\n}\n");
     std::fclose(out);
     std::printf("perf: wrote %s (mem %.2fs vs disk %.2fs, %.2fx; "
                 "L4 drain async %.2fs vs sync %.2fs, %.2fx)\n",
@@ -375,7 +493,7 @@ writePerfRecord(const BenchOptions &options, const FigureDef &def,
 
 } // anonymous namespace
 
-void
+int
 runFigure(const BenchOptions &options, const FigureDef &def)
 {
     std::printf("=== %s: %s, %s ===\n", def.figure,
@@ -401,10 +519,13 @@ runFigure(const BenchOptions &options, const FigureDef &def)
     // Parallel phase: all apps' cells at once, so the pool stays busy
     // across app boundaries. Rendering below follows enumeration order.
     const std::vector<ExperimentConfig> cells = spec.enumerate();
-    const GridRunner runner(options.jobs, options.pin);
+    const GridRunner runner = options.makeRunner();
     std::vector<core::ExperimentResult> results;
+    // Timing of whichever grid produced the rendered results — its
+    // failures are the ones the tables below render as zero rows.
+    core::GridTiming timing;
     if (!options.perf) {
-        results = runner.run(cells);
+        results = runner.run(cells, &timing);
     } else {
         // Perf mode measures real simulation + storage work under both
         // backends: the result cache is bypassed (a replayed cell
@@ -429,6 +550,7 @@ runFigure(const BenchOptions &options, const FigureDef &def)
             // whose data-plane counters also land in the perf record.
             if (kind == storage::Kind::Mem) {
                 results = std::move(timed_results);
+                timing = samples.back().timing;
                 mem_blob.allocs = after.allocs - before.allocs;
                 mem_blob.poolHits = after.poolHits - before.poolHits;
                 mem_blob.bytesCopied =
@@ -456,7 +578,8 @@ runFigure(const BenchOptions &options, const FigureDef &def)
             drain_samples.push_back(std::move(sample));
         }
         writePerfRecord(options, def, runner.jobs(), cells.size(),
-                        samples, drain_samples, mem_blob);
+                        samples, drain_samples, mem_blob,
+                        timing.failures);
     }
 
     std::size_t at = 0;
@@ -506,13 +629,15 @@ runFigure(const BenchOptions &options, const FigureDef &def)
                 util::warn("cannot write %s", path.c_str());
         }
     }
+
+    return reportCellFailures(timing);
 }
 
 int
 figureMain(const FigureDef &def, int argc, char **argv)
 {
-    runFigure(BenchOptions::parse(argc, argv), def);
-    return 0;
+    const BenchOptions options = BenchOptions::parse(argc, argv);
+    return gridExitCode(options, runFigure(options, def));
 }
 
 } // namespace match::bench

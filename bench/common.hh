@@ -66,6 +66,25 @@ struct BenchOptions
      *  can own one (each worker's blob pool then stays node-local);
      *  results are identical for every mode. */
     core::PinMode pin = core::PinMode::None;
+
+    /// @name Crash-safe execution (wall-clock-only; see bench/RESUME.md).
+    /// @{
+    /** --cell-timeout SECS|auto: wall-clock watchdog per cell attempt.
+     *  0 disables; `auto` derives the deadline from the grid's own
+     *  completed-cell p99. Never part of configKey. */
+    double cellTimeoutSeconds = 0.0;
+    bool autoCellTimeout = false;
+    /** --cell-retries N: attempts after the first before a throwing or
+     *  timed-out cell is quarantined. */
+    int cellRetries = 2;
+    /** --resume/--no-resume: journal per-cell status next to the result
+     *  cache and resume a killed grid (default on). --no-resume
+     *  discards the journal history (the cache itself is untouched). */
+    bool resume = true;
+    /** --strict: exit nonzero when any cell was quarantined (default:
+     *  finish the healthy cells and report). */
+    bool strict = false;
+    /// @}
     /** --perf: measure grid wall-clock under both backends and under
      *  both drain modes at L4 (cache bypassed) and write
      *  BENCH_<name>.json into perfDir. */
@@ -103,7 +122,26 @@ struct BenchOptions
     /** A GridSpec carrying these options' shared fields (apps, runs,
      *  seed, sandbox, cache). Benches set the axes on top of it. */
     core::GridSpec baseSpec() const;
+
+    /** The grid fault-tolerance policy these options describe. */
+    core::GridPolicy gridPolicy() const;
+
+    /** A runner carrying jobs, pin mode and the grid policy — the one
+     *  constructor every GridRunner bench should use, so the
+     *  watchdog/retry/resume flags reach every grid uniformly. */
+    core::GridRunner makeRunner() const;
 };
+
+/**
+ * Print the structured quarantined-cell report (nothing on a healthy
+ * grid) and return the number of quarantined cells. Benches accumulate
+ * the count across their grids and feed it to gridExitCode.
+ */
+int reportCellFailures(const core::GridTiming &timing);
+
+/** Process exit code honoring --strict: nonzero iff any cell was
+ *  quarantined and strict mode is on. */
+int gridExitCode(const BenchOptions &options, int quarantined);
 
 /** Which axis the figure sweeps. */
 enum class Sweep
@@ -131,9 +169,10 @@ struct FigureDef
 
 /**
  * Run one figure's whole grid on a worker pool and print per-app
- * tables (and CSVs when requested).
+ * tables (and CSVs when requested). Returns the number of quarantined
+ * cells (0 on a healthy grid).
  */
-void runFigure(const BenchOptions &options, const FigureDef &def);
+int runFigure(const BenchOptions &options, const FigureDef &def);
 
 /** Parse options and run the figure: the figure benches' whole main. */
 int figureMain(const FigureDef &def, int argc, char **argv);

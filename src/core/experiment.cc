@@ -99,30 +99,56 @@ configKey(const ExperimentConfig &config)
 namespace
 {
 
+std::atomic<std::uint64_t> g_computed{0};
+thread_local std::uint64_t t_computed = 0;
+
+std::function<void(const ExperimentConfig &)> g_cellHook;
+
+/**
+ * Load a cached cell, treating anything short of a fully valid file as
+ * a miss: parse failures, short files, and — the insidious case — a
+ * file truncated mid-number, where the partial token still parses and
+ * would silently replay a wrong result. storeCached guards against
+ * that with a trailing "end" sentinel; a file that opened but failed
+ * validation is rotten (torn by the filesystem or a foreign writer —
+ * the tmp+rename commit never produces one) and is deleted so the
+ * recompute below can commit a clean replacement.
+ */
 bool
 loadCached(const std::string &path, ExperimentResult &out)
 {
-    std::ifstream in(path);
-    if (!in)
-        return false;
-    std::size_t runs = 0;
-    if (!(in >> runs) || runs == 0 || runs > 1000)
-        return false;
-    ExperimentResult result;
-    auto readBd = [&in](ft::Breakdown &bd) {
-        return static_cast<bool>(
-            in >> bd.application >> bd.ckptWrite >> bd.ckptRead >>
-            bd.recovery >> bd.attempts >> bd.recoveries >>
-            bd.failureFired);
-    };
-    if (!readBd(result.mean))
-        return false;
-    result.perRun.resize(runs);
-    for (auto &bd : result.perRun)
-        if (!readBd(bd))
-            return false;
-    out = std::move(result);
-    return true;
+    bool valid = false;
+    {
+        std::ifstream in(path);
+        if (!in)
+            return false; // plain miss: nothing to repair
+        std::size_t runs = 0;
+        ExperimentResult result;
+        auto readBd = [&in](ft::Breakdown &bd) {
+            return static_cast<bool>(
+                in >> bd.application >> bd.ckptWrite >> bd.ckptRead >>
+                bd.recovery >> bd.attempts >> bd.recoveries >>
+                bd.failureFired);
+        };
+        std::string sentinel;
+        if ((in >> runs) && runs > 0 && runs <= 1000 &&
+            readBd(result.mean)) {
+            result.perRun.resize(runs);
+            valid = true;
+            for (auto &bd : result.perRun)
+                valid = valid && readBd(bd);
+            valid = valid && (in >> sentinel) && sentinel == "end";
+        }
+        if (valid)
+            out = std::move(result);
+    }
+    if (!valid) {
+        MATCH_WARN("cell cache: dropping corrupt %s (recomputing)",
+                   path.c_str());
+        std::error_code ec;
+        std::filesystem::remove(path, ec);
+    }
+    return valid;
 }
 
 /** Atomic store (tmp + rename): concurrent grid workers and bench
@@ -151,6 +177,10 @@ storeCached(const std::string &path, const ExperimentResult &result)
         writeBd(result.mean);
         for (const auto &bd : result.perRun)
             writeBd(bd);
+        // Completeness sentinel: loadCached rejects (and deletes) any
+        // file that does not end with it, so truncation can never
+        // replay as a short-but-parseable result.
+        out << "end\n";
         out.flush(); // surface close-time write errors before judging
         complete = static_cast<bool>(out);
     }
@@ -161,7 +191,36 @@ storeCached(const std::string &path, const ExperimentResult &result)
         std::filesystem::remove(tmp, ec);
 }
 
+/** Cooperative cancellation point: cheap (one relaxed load), polled
+ *  at run boundaries — a cancelled cell stops at the next one. */
+void
+throwIfCancelled(const ExperimentConfig &config)
+{
+    if (config.cancel &&
+        config.cancel->load(std::memory_order_relaxed)) {
+        throw CellCancelled();
+    }
+}
+
 } // anonymous namespace
+
+std::uint64_t
+experimentComputeCount()
+{
+    return g_computed.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+experimentComputeCountThisThread()
+{
+    return t_computed;
+}
+
+void
+setCellHookForTesting(std::function<void(const ExperimentConfig &)> hook)
+{
+    g_cellHook = std::move(hook);
+}
 
 std::vector<int>
 scalingSizesFor(const std::string &app)
@@ -172,6 +231,9 @@ scalingSizesFor(const std::string &app)
 ExperimentResult
 runExperiment(const ExperimentConfig &config)
 {
+    if (g_cellHook)
+        g_cellHook(config);
+
     const apps::AppSpec &spec = apps::findApp(config.app);
 
     std::string cache_path;
@@ -183,11 +245,16 @@ runExperiment(const ExperimentConfig &config)
             return cached;
     }
 
+    throwIfCancelled(config);
+    g_computed.fetch_add(1, std::memory_order_relaxed);
+    ++t_computed;
+
     ExperimentResult result;
     ft::Breakdown base; // reused for failure-free runs (deterministic)
     bool have_base = false;
 
     for (int run = 0; run < config.runs; ++run) {
+        throwIfCancelled(config);
         util::Rng rng(cellSeed(config, run));
 
         ft::Breakdown bd;

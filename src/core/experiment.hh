@@ -10,7 +10,10 @@
 #define MATCH_CORE_EXPERIMENT_HH
 
 #include <array>
+#include <atomic>
 #include <cstdint>
+#include <functional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -102,6 +105,13 @@ struct ExperimentConfig
      *  configuration (figure benches share many grid cells). Results
      *  are deterministic, so cache hits are exact replays. */
     std::string cacheDir;
+
+    /** Cooperative cancellation token, set by the grid watchdog when a
+     *  cell overruns its wall-clock deadline. runExperiment() polls it
+     *  at run boundaries and throws CellCancelled. Wall-clock-only
+     *  plumbing: never hashed into configKey(), never visible to the
+     *  simulation (a cancelled attempt produces no result at all). */
+    const std::atomic<bool> *cancel = nullptr;
 };
 
 /** Averaged outcome of one grid cell. */
@@ -111,8 +121,39 @@ struct ExperimentResult
     std::vector<ft::Breakdown> perRun;
 };
 
+/** Thrown by runExperiment() when the config's cancel token fires:
+ *  the cell's watchdog deadline passed. The attempt left no partial
+ *  state behind (the result cache commits whole files or nothing). */
+struct CellCancelled : std::runtime_error
+{
+    CellCancelled() : std::runtime_error("cell cancelled by watchdog") {}
+};
+
 /** Run one grid cell (deterministic in the config). */
 ExperimentResult runExperiment(const ExperimentConfig &config);
+
+/**
+ * Process-wide count of cells actually computed (result-cache misses)
+ * by runExperiment. Cache hits do not count, which is what lets tests
+ * assert a resumed grid recomputes zero `done` cells.
+ */
+std::uint64_t experimentComputeCount();
+
+/** As experimentComputeCount(), but for the calling thread only — the
+ *  grid worker uses it to classify one cell as computed vs replayed
+ *  without racing against its siblings. */
+std::uint64_t experimentComputeCountThisThread();
+
+/**
+ * Test-only hook invoked at the top of every runExperiment call with
+ * the cell's config (before the cache is consulted). Tests install
+ * throwing or spinning hooks to model poison and hung cells; a hung
+ * hook should poll config.cancel so the watchdog can reclaim it. Set
+ * before any grid runs — installation is not synchronized with
+ * concurrently running workers. Pass nullptr to clear.
+ */
+void setCellHookForTesting(
+    std::function<void(const ExperimentConfig &)> hook);
 
 /**
  * Deterministic per-(cell, run) RNG seed: a hash of every grid axis plus

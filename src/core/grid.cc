@@ -4,9 +4,12 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <sstream>
 #include <thread>
 
@@ -14,6 +17,7 @@
 #include <sched.h>
 #endif
 
+#include "src/core/manifest.hh"
 #include "src/util/logging.hh"
 
 namespace match::core
@@ -156,6 +160,57 @@ pinSelfTo(int cpu)
 #endif
 }
 
+/** Human-readable cell label for failure records and logs. */
+std::string
+cellSummary(const ExperimentConfig &config)
+{
+    std::ostringstream s;
+    s << config.app << ' ' << apps::inputSizeName(config.input) << " p"
+      << config.nprocs << ' ' << ft::designName(config.design)
+      << " stride" << config.ckptStride << " L" << config.ckptLevel;
+    return s.str();
+}
+
+/** Sorted-copy nearest-rank percentile; q in [0, 1]. */
+double
+percentileOf(std::vector<double> samples, double q)
+{
+    if (samples.empty())
+        return 0.0;
+    std::sort(samples.begin(), samples.end());
+    const auto rank = static_cast<std::size_t>(
+        q * static_cast<double>(samples.size() - 1) + 0.5);
+    return samples[std::min(rank, samples.size() - 1)];
+}
+
+/** Harness fault-injection hook: MATCH_GRID_CRASH_AFTER=N makes the
+ *  process _exit after the Nth cell completes, modelling a mid-grid
+ *  kill for the resume tests and the CI resume-smoke step. Parsed per
+ *  run() call; <= 0 or unset disables it. */
+long
+crashAfterFromEnv()
+{
+    const char *env = std::getenv("MATCH_GRID_CRASH_AFTER");
+    return env ? std::atol(env) : -1;
+}
+
+/** Per-worker watchdog view of the in-flight attempt. */
+struct WorkerSlot
+{
+    /** Cooperative cancel token handed to the attempt's config. */
+    std::atomic<bool> cancel{false};
+    /** steady_clock nanoseconds when the attempt started; -1 idle. */
+    std::atomic<long long> startNs{-1};
+};
+
+long long
+steadyNowNs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
 } // anonymous namespace
 
 std::vector<ExperimentConfig>
@@ -217,8 +272,9 @@ GridSpec::enumerate() const
     return cells;
 }
 
-GridRunner::GridRunner(int jobs, PinMode pin)
-    : jobs_(jobs > 0 ? jobs : hardwareJobs()), pin_(pin)
+GridRunner::GridRunner(int jobs, PinMode pin, GridPolicy policy)
+    : jobs_(jobs > 0 ? jobs : hardwareJobs()), pin_(pin),
+      policy_(std::move(policy))
 {}
 
 int
@@ -252,35 +308,248 @@ GridRunner::run(const std::vector<ExperimentConfig> &cells,
     // which also guarantees two workers never touch the same sandbox.
     std::map<std::string, std::size_t> first_index;
     std::vector<std::size_t> unique;            // indices to compute
+    std::vector<std::string> unique_keys;       // configKey per unique
     std::vector<std::size_t> duplicate_of(cells.size());
     for (std::size_t i = 0; i < cells.size(); ++i) {
-        const auto [it, inserted] =
-            first_index.try_emplace(configKey(cells[i]), i);
+        std::string key = configKey(cells[i]);
+        const auto [it, inserted] = first_index.try_emplace(key, i);
         duplicate_of[i] = it->second;
-        if (inserted)
+        if (inserted) {
             unique.push_back(i);
+            unique_keys.push_back(std::move(key));
+        }
     }
+
+    // Journaled resume needs one manifest for the whole grid, so it is
+    // enabled only when every cell shares one non-empty cacheDir (true
+    // for every GridSpec-enumerated grid) — the journal then lives
+    // next to the .cell files its `done` records point at.
+    std::unique_ptr<GridManifest> manifest;
+    {
+        std::string cache_dir = cells.front().cacheDir;
+        for (const ExperimentConfig &cell : cells) {
+            if (cell.cacheDir != cache_dir) {
+                cache_dir.clear();
+                break;
+            }
+        }
+        if (!cache_dir.empty()) {
+            manifest = std::make_unique<GridManifest>(
+                cache_dir + "/grid.manifest", !policy_.resume);
+        }
+    }
+
+    const long crash_after = crashAfterFromEnv();
+    std::atomic<long> completions{0};
 
     const int workers = std::min<int>(
         jobs_, static_cast<int>(unique.size()));
+    const int slot_count = std::max(workers, 1);
+    const std::unique_ptr<WorkerSlot[]> slots(new WorkerSlot[slot_count]);
     std::vector<double> cell_seconds(unique.size(), 0.0);
     std::atomic<std::size_t> next{0};
-    auto drain = [&] {
+
+    // Completed computed-cell wall times feed the auto watchdog
+    // deadline (cache replays are excluded: a p99 of millisecond
+    // replays must not arm a deadline real computation cannot meet).
+    std::mutex computed_mu;
+    std::vector<double> computed_seconds;
+    const auto attemptTimeout = [&]() -> double {
+        if (policy_.cellTimeoutSeconds > 0.0)
+            return policy_.cellTimeoutSeconds;
+        if (!policy_.autoTimeout)
+            return 0.0;
+        std::lock_guard<std::mutex> lock(computed_mu);
+        if (static_cast<int>(computed_seconds.size()) <
+            policy_.autoTimeoutMinSamples) {
+            return 0.0;
+        }
+        return std::max(1.0, policy_.autoTimeoutFactor *
+                                 percentileOf(computed_seconds, 0.99));
+    };
+
+    std::mutex failures_mu;
+    std::vector<CellFailure> failures;
+    std::atomic<std::size_t> cells_computed{0};
+    std::atomic<std::size_t> cells_from_cache{0};
+
+    // Crash-after fires once, after the Nth completion's manifest
+    // record has been flushed — modelling a kill that strikes between
+    // cells, the hardest point for resume to get right.
+    const auto noteCompletion = [&] {
+        if (crash_after > 0 &&
+            completions.fetch_add(1) + 1 == crash_after) {
+            std::fflush(nullptr);
+            std::_Exit(42);
+        }
+    };
+
+    auto drain = [&](int w) {
+        WorkerSlot &slot = slots[w];
         for (;;) {
             const std::size_t u = next.fetch_add(1);
             if (u >= unique.size())
                 return;
             const std::size_t i = unique[u];
+            const std::string &key = unique_keys[u];
             const auto cell_start = Clock::now();
-            results[i] = runExperiment(cells[i]);
-            cell_seconds[u] = wallSince(cell_start);
+
+            const ManifestEntry prior =
+                manifest ? manifest->lookup(key) : ManifestEntry{};
+            if (prior.status == CellStatus::Done) {
+                // Resume fast path: the journal says the result cache
+                // holds this cell, so replay it without burning an
+                // attempt. A missing/rotten cache file silently falls
+                // back to recomputation inside runExperiment.
+                const std::uint64_t before =
+                    experimentComputeCountThisThread();
+                results[i] = runExperiment(cells[i]);
+                const bool replayed =
+                    experimentComputeCountThisThread() == before;
+                (replayed ? cells_from_cache : cells_computed)
+                    .fetch_add(1);
+                cell_seconds[u] = wallSince(cell_start);
+                if (!replayed) {
+                    std::lock_guard<std::mutex> lock(computed_mu);
+                    computed_seconds.push_back(cell_seconds[u]);
+                }
+                noteCompletion();
+                continue;
+            }
+
+            // Guarded attempt loop: watchdog deadline, capped
+            // exponential backoff, quarantine after the retry budget.
+            int attempts = prior.attempts; // cumulative across resumes
+            std::string last_error;
+            bool timed_out = false;
+            bool done = false;
+            for (int strike = 0;; ++strike) {
+                if (manifest) {
+                    manifest->record(key, CellStatus::Running,
+                                     attempts + 1);
+                }
+                slot.cancel.store(false, std::memory_order_relaxed);
+                const auto attempt_start = Clock::now();
+                slot.startNs.store(steadyNowNs(),
+                                   std::memory_order_release);
+                ExperimentConfig attempt = cells[i];
+                attempt.cancel = &slot.cancel;
+                timed_out = false;
+                const std::uint64_t before =
+                    experimentComputeCountThisThread();
+                try {
+                    results[i] = runExperiment(attempt);
+                    done = true;
+                } catch (const CellCancelled &) {
+                    timed_out = true;
+                    std::ostringstream err;
+                    err.precision(3);
+                    err << "watchdog timeout after "
+                        << wallSince(attempt_start) << "s";
+                    last_error = err.str();
+                } catch (const std::exception &e) {
+                    last_error = e.what();
+                } catch (...) {
+                    last_error = "unknown exception";
+                }
+                slot.startNs.store(-1, std::memory_order_release);
+                slot.cancel.store(false, std::memory_order_relaxed);
+                ++attempts;
+
+                if (done) {
+                    const bool replayed =
+                        experimentComputeCountThisThread() == before;
+                    (replayed ? cells_from_cache : cells_computed)
+                        .fetch_add(1);
+                    if (manifest)
+                        manifest->record(key, CellStatus::Done, attempts);
+                    cell_seconds[u] = wallSince(cell_start);
+                    if (!replayed) {
+                        std::lock_guard<std::mutex> lock(computed_mu);
+                        computed_seconds.push_back(cell_seconds[u]);
+                    }
+                    noteCompletion();
+                    break;
+                }
+                if (strike >= policy_.cellRetries) {
+                    // Quarantine: the grid degrades gracefully — every
+                    // healthy cell still completes; this one is
+                    // reported, not fatal. Its result slot keeps the
+                    // default (all-zero) ExperimentResult.
+                    if (manifest) {
+                        manifest->record(key, CellStatus::Quarantined,
+                                         attempts, last_error);
+                    }
+                    MATCH_WARN(
+                        "grid: quarantining cell %s after %d "
+                        "attempt(s): %s",
+                        cellSummary(cells[i]).c_str(), attempts,
+                        last_error.c_str());
+                    CellFailure failure;
+                    failure.cell = i;
+                    failure.key = key;
+                    failure.summary = cellSummary(cells[i]);
+                    failure.attempts = attempts;
+                    failure.timedOut = timed_out;
+                    failure.lastError = last_error;
+                    std::lock_guard<std::mutex> lock(failures_mu);
+                    failures.push_back(std::move(failure));
+                    cell_seconds[u] = wallSince(cell_start);
+                    break;
+                }
+                if (manifest) {
+                    manifest->record(key, CellStatus::Failed, attempts,
+                                     last_error);
+                }
+                MATCH_WARN("grid: cell %s attempt %d failed (%s); "
+                           "retrying",
+                           cellSummary(cells[i]).c_str(), attempts,
+                           last_error.c_str());
+                double backoff = policy_.backoffBaseSeconds;
+                for (int b = 0; b < strike; ++b)
+                    backoff *= 2.0;
+                backoff = std::min(backoff, policy_.backoffCapSeconds);
+                if (backoff > 0.0) {
+                    std::this_thread::sleep_for(
+                        std::chrono::duration<double>(backoff));
+                }
+            }
         }
     };
+
+    // The watchdog scans in-flight attempts and raises their cancel
+    // tokens past the deadline. It never touches results — cancellation
+    // is cooperative (runExperiment polls at run boundaries), so a
+    // cancelled attempt unwinds cleanly with no partial state.
+    std::atomic<bool> watchdog_stop{false};
+    std::thread watchdog;
+    if (policy_.cellTimeoutSeconds > 0.0 || policy_.autoTimeout) {
+        watchdog = std::thread([&] {
+            while (!watchdog_stop.load(std::memory_order_relaxed)) {
+                const double limit = attemptTimeout();
+                if (limit > 0.0) {
+                    const long long now = steadyNowNs();
+                    const auto budget =
+                        static_cast<long long>(limit * 1e9);
+                    for (int w = 0; w < slot_count; ++w) {
+                        const long long start = slots[w].startNs.load(
+                            std::memory_order_acquire);
+                        if (start >= 0 && now - start > budget) {
+                            slots[w].cancel.store(
+                                true, std::memory_order_relaxed);
+                        }
+                    }
+                }
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(10));
+            }
+        });
+    }
 
     if (workers <= 1) {
         // The calling thread runs the grid itself; it is never pinned
         // (an affinity mask must not leak past run()).
-        drain();
+        drain(0);
     } else {
         // Pin each spawned worker before it touches any memory: its
         // thread-local blob pool then allocates — and first-touches —
@@ -292,11 +561,15 @@ GridRunner::run(const std::vector<ExperimentConfig> &cells,
             pool.emplace_back([&, w] {
                 if (!plan.empty())
                     pinSelfTo(plan[static_cast<std::size_t>(w)]);
-                drain();
+                drain(w);
             });
         }
         for (auto &t : pool)
             t.join();
+    }
+    if (watchdog.joinable()) {
+        watchdog_stop.store(true, std::memory_order_relaxed);
+        watchdog.join();
     }
 
     for (std::size_t i = 0; i < cells.size(); ++i) {
@@ -311,6 +584,10 @@ GridRunner::run(const std::vector<ExperimentConfig> &cells,
         // in the same process.
         timing->phases =
             util::PhaseTotals::diff(util::phaseTotals(), phases_before);
+        timing->failures = std::move(failures);
+        timing->cellsComputed = cells_computed.load();
+        timing->cellsFromCache = cells_from_cache.load();
+        timing->manifestPath = manifest ? manifest->path() : "";
     }
     return results;
 }

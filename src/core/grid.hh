@@ -134,6 +134,69 @@ enum class PinMode
 const char *pinModeName(PinMode mode);
 
 /**
+ * Fault-tolerance policy of one grid execution. Everything here is
+ * wall-clock machinery — watchdog deadlines, retry budgets, journaled
+ * resume — and none of it may perturb simulated results: a cell either
+ * produces its deterministic result or no result at all (quarantine),
+ * and nothing in this struct enters configKey().
+ */
+struct GridPolicy
+{
+    /** Wall-clock deadline per cell attempt, seconds; 0 disables the
+     *  fixed deadline (autoTimeout may still arm one). When a cell
+     *  overruns, the watchdog raises its cooperative cancel token and
+     *  the attempt counts as a strike. */
+    double cellTimeoutSeconds = 0.0;
+
+    /** Derive the deadline from this grid's own completed cells: once
+     *  autoTimeoutMinSamples cells finished, an attempt running longer
+     *  than max(1s, autoTimeoutFactor x p99 of completed-cell wall
+     *  time) is cancelled. A fixed cellTimeoutSeconds wins when both
+     *  are set. */
+    bool autoTimeout = false;
+    int autoTimeoutMinSamples = 8;
+    double autoTimeoutFactor = 5.0;
+
+    /** Retries after the first attempt before a cell is quarantined
+     *  (attempts = cellRetries + 1). Retries are spaced by capped
+     *  exponential backoff: base * 2^strike, at most cap. */
+    int cellRetries = 2;
+    double backoffBaseSeconds = 0.05;
+    double backoffCapSeconds = 2.0;
+
+    /** Journal per-cell status into <cacheDir>/grid.manifest and
+     *  resume a previously killed grid: done cells replay from the
+     *  result cache, in-flight/failed cells recompute, quarantined
+     *  cells get a fresh retry budget. false discards the journal
+     *  history (the --no-resume path) while still journaling this
+     *  run. Requires the cells to share a non-empty cacheDir;
+     *  otherwise the grid runs unjournaled. */
+    bool resume = true;
+};
+
+/**
+ * Structured record of a cell the grid gave up on: the degraded-grid
+ * contract is "finish every healthy cell, report the rest", never
+ * "abort the sweep". Lands in GridTiming::failures and, via the
+ * benches, in BENCH_<name>.json.
+ */
+struct CellFailure
+{
+    /** Index into the run() input vector (first occurrence when the
+     *  cell was enumerated more than once). */
+    std::size_t cell = 0;
+    /** The cell's configKey — the manifest/cache key. */
+    std::string key;
+    /** Human-readable cell label ("HPCCG small p64 REINIT-FTI ..."). */
+    std::string summary;
+    /** Total attempts, including prior sessions' (from the manifest). */
+    int attempts = 0;
+    /** True when the final strike was a watchdog timeout. */
+    bool timedOut = false;
+    std::string lastError;
+};
+
+/**
  * Wall-clock record of one grid execution, for perf tracking: the
  * figure benches' --perf mode aggregates it into BENCH_<name>.json so
  * the repo accumulates a performance trajectory per PR.
@@ -150,6 +213,16 @@ struct GridTiming
      *  RS/XOR encode, drain jobs, storage backend I/O. Sim-core time is
      *  derived at emission as total minus the exclusive phases. */
     util::PhaseTotals phases;
+    /** Cells quarantined this run (empty on a healthy grid). Their
+     *  result slots hold default (all-zero) ExperimentResults. */
+    std::vector<CellFailure> failures;
+    /** Unique cells whose result was computed this run (cache miss). */
+    std::size_t cellsComputed = 0;
+    /** Unique cells replayed from the result cache (resume hits and
+     *  ordinary memoization hits). */
+    std::size_t cellsFromCache = 0;
+    /** The journal this run appended to; empty when unjournaled. */
+    std::string manifestPath;
 };
 
 /**
@@ -163,8 +236,10 @@ class GridRunner
 {
   public:
     /** @param jobs worker threads; <= 0 selects hardwareJobs().
-     *  @param pin worker placement policy (wall-clock only). */
-    explicit GridRunner(int jobs = 0, PinMode pin = PinMode::None);
+     *  @param pin worker placement policy (wall-clock only).
+     *  @param policy fault-tolerance policy (wall-clock only). */
+    explicit GridRunner(int jobs = 0, PinMode pin = PinMode::None,
+                        GridPolicy policy = GridPolicy{});
 
     /** Worker threads this runner will use. */
     int jobs() const { return jobs_; }
@@ -172,12 +247,24 @@ class GridRunner
     /** Worker placement policy. */
     PinMode pin() const { return pin_; }
 
+    /** Fault-tolerance policy. */
+    const GridPolicy &policy() const { return policy_; }
+
     /** std::thread::hardware_concurrency with a floor of 1. */
     static int hardwareJobs();
 
     /**
      * Run every cell; result i corresponds to cells[i]. When `timing`
      * is non-null it receives the grid's wall-clock record.
+     *
+     * Fault tolerance (see GridPolicy): a throwing or timed-out cell
+     * is retried with capped exponential backoff and quarantined after
+     * exhausting its budget — its result slot stays default-initialized
+     * and a CellFailure lands in timing->failures; the pool keeps
+     * draining every healthy cell either way. When the cells share a
+     * cacheDir, per-cell status is journaled to <cacheDir>/grid.manifest
+     * so a killed grid resumes: done cells replay from the result cache
+     * (bit-identical, zero recomputation), in-flight cells recompute.
      */
     std::vector<ExperimentResult>
     run(const std::vector<ExperimentConfig> &cells,
@@ -193,6 +280,7 @@ class GridRunner
   private:
     int jobs_ = 1;
     PinMode pin_ = PinMode::None;
+    GridPolicy policy_{};
 };
 
 } // namespace match::core

@@ -1,0 +1,215 @@
+#include "src/core/manifest.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <sstream>
+#include <thread>
+#include <unistd.h>
+
+#include "src/util/logging.hh"
+
+namespace match::core
+{
+
+namespace
+{
+
+constexpr const char *kHeader = "match-grid-manifest v1";
+
+/** Journal errors are one line by construction. */
+std::string
+flattenError(std::string error)
+{
+    std::replace(error.begin(), error.end(), '\n', ' ');
+    std::replace(error.begin(), error.end(), '\r', ' ');
+    return error;
+}
+
+/**
+ * Parse one journal line into (key, entry); false for anything
+ * malformed — including the torn trailing line a crash mid-append
+ * leaves — so a damaged record degrades to "recompute", never to a
+ * wrong status.
+ */
+bool
+parseLine(const std::string &line, std::string &key, ManifestEntry &entry)
+{
+    std::istringstream in(line);
+    std::string status_token;
+    int attempts = 0;
+    if (!(in >> status_token >> key >> attempts) || key.empty() ||
+        attempts < 0) {
+        return false;
+    }
+    CellStatus status;
+    if (!parseCellStatus(status_token, status))
+        return false;
+    entry.status = status;
+    entry.attempts = attempts;
+    entry.error.clear();
+    std::getline(in, entry.error);
+    if (!entry.error.empty() && entry.error.front() == ' ')
+        entry.error.erase(entry.error.begin());
+    return true;
+}
+
+} // anonymous namespace
+
+const char *
+cellStatusName(CellStatus status)
+{
+    switch (status) {
+      case CellStatus::Pending: return "pending";
+      case CellStatus::Running: return "running";
+      case CellStatus::Done: return "done";
+      case CellStatus::Failed: return "failed";
+      case CellStatus::Quarantined: return "quarantined";
+    }
+    return "unknown";
+}
+
+bool
+parseCellStatus(const std::string &name, CellStatus &out)
+{
+    for (const CellStatus status :
+         {CellStatus::Pending, CellStatus::Running, CellStatus::Done,
+          CellStatus::Failed, CellStatus::Quarantined}) {
+        if (name == cellStatusName(status)) {
+            out = status;
+            return true;
+        }
+    }
+    return false;
+}
+
+GridManifest::GridManifest(const std::string &path, bool fresh)
+    : path_(path)
+{
+    loadAndCompact(fresh);
+}
+
+void
+GridManifest::loadAndCompact(bool fresh)
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::create_directories(fs::path(path_).parent_path(), ec);
+
+    if (!fresh) {
+        std::ifstream in(path_);
+        std::string line;
+        bool first = true;
+        while (std::getline(in, line)) {
+            if (first) {
+                first = false;
+                if (line == kHeader)
+                    continue;
+                // Not a manifest (or a future/corrupt version): start
+                // over rather than misreading statuses. The result
+                // cache is untouched, so nothing is lost but journal
+                // history.
+                entries_.clear();
+                break;
+            }
+            std::string key;
+            ManifestEntry entry;
+            if (parseLine(line, key, entry))
+                entries_[key] = std::move(entry);
+            // else: torn or foreign line — drop it (safe: recompute).
+        }
+    }
+
+    // Commit the compacted view with the cache's tmp+rename discipline,
+    // then append to the committed file. Compaction bounds journal
+    // growth across resumes and guarantees the file on disk is
+    // well-formed at the moment appending starts.
+    std::ostringstream suffix;
+    suffix << ".tmp." << ::getpid() << "." << std::this_thread::get_id();
+    const std::string tmp = path_ + suffix.str();
+    {
+        std::ofstream out(tmp);
+        if (!out) {
+            MATCH_WARN("manifest: cannot write %s (journaling disabled)",
+                       tmp.c_str());
+            return;
+        }
+        out << kHeader << '\n';
+        for (const auto &[key, entry] : entries_) {
+            out << cellStatusName(entry.status) << ' ' << key << ' '
+                << entry.attempts;
+            if (!entry.error.empty())
+                out << ' ' << entry.error;
+            out << '\n';
+        }
+        out.flush();
+        if (!out) {
+            fs::remove(tmp, ec);
+            MATCH_WARN("manifest: cannot commit %s (journaling disabled)",
+                       path_.c_str());
+            return;
+        }
+    }
+    fs::rename(tmp, path_, ec);
+    if (ec) {
+        fs::remove(tmp, ec);
+        MATCH_WARN("manifest: cannot commit %s (journaling disabled)",
+                   path_.c_str());
+        return;
+    }
+
+    out_.open(path_, std::ios::app);
+    valid_ = static_cast<bool>(out_);
+    if (!valid_)
+        MATCH_WARN("manifest: cannot append to %s", path_.c_str());
+}
+
+ManifestEntry
+GridManifest::lookup(const std::string &key) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = entries_.find(key);
+    return it == entries_.end() ? ManifestEntry{} : it->second;
+}
+
+std::size_t
+GridManifest::countWithStatus(CellStatus status) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::size_t n = 0;
+    for (const auto &[key, entry] : entries_)
+        n += entry.status == status ? 1 : 0;
+    return n;
+}
+
+std::size_t
+GridManifest::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+}
+
+void
+GridManifest::record(const std::string &key, CellStatus status,
+                     int attempts, const std::string &error)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ManifestEntry &entry = entries_[key];
+    entry.status = status;
+    entry.attempts = attempts;
+    entry.error = flattenError(error);
+    if (!valid_)
+        return;
+    // One formatted line, one write, one flush: the line reaches the
+    // kernel before record() returns, so a subsequent _exit (the
+    // MATCH_GRID_CRASH_AFTER harness hook) cannot lose it, and
+    // O_APPEND keeps concurrent workers' lines whole.
+    std::ostringstream line;
+    line << cellStatusName(status) << ' ' << key << ' ' << attempts;
+    if (!entry.error.empty())
+        line << ' ' << entry.error;
+    line << '\n';
+    out_ << line.str();
+    out_.flush();
+}
+
+} // namespace match::core

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Journaled grid manifest: the crash-safe record of per-cell status
+ * that lets a killed grid resume instead of recomputing.
+ *
+ * The manifest is a line-oriented journal living next to the result
+ * cache (`<cacheDir>/grid.manifest`). Every cell status transition —
+ * running, done, failed, quarantined — is appended as one line, keyed
+ * by the cell's configKey(), and flushed to the kernel immediately, so
+ * a process that dies mid-grid (even via _exit) leaves a readable
+ * record of exactly which cells finished. On open the journal is
+ * compacted (latest record per key) and committed back with the same
+ * tmp+rename discipline the result cache uses; a torn trailing line
+ * from a crash mid-append is silently dropped, which errs in the safe
+ * direction — the cell recomputes.
+ *
+ * Resume contract (consumed by GridRunner): a `done` cell's result
+ * loads from the result cache and is never recomputed; `running` and
+ * `failed` cells recompute (the in-flight work of a killed process);
+ * `quarantined` cells are re-attempted with a fresh retry budget —
+ * their accumulated attempt count is carried forward for reporting.
+ * Because done results replay from the cache, a resumed grid is
+ * byte-identical to an uninterrupted one.
+ *
+ * The manifest is wall-clock machinery only: nothing here may feed
+ * simulated results, and none of it enters configKey().
+ */
+
+#ifndef MATCH_CORE_MANIFEST_HH
+#define MATCH_CORE_MANIFEST_HH
+
+#include <cstddef>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace match::core
+{
+
+/** Lifecycle of one grid cell in the manifest. */
+enum class CellStatus
+{
+    Pending,     ///< never seen (the default for unknown keys)
+    Running,     ///< an attempt started and has not concluded
+    Done,        ///< computed and committed to the result cache
+    Failed,      ///< an attempt threw or timed out; retry upcoming
+    Quarantined, ///< exhausted its retry budget; grid went on without it
+};
+
+/** Lower-case journal token ("pending", "running", ...). */
+const char *cellStatusName(CellStatus status);
+
+/** Parse a journal token; false (and `out` untouched) when unknown. */
+bool parseCellStatus(const std::string &name, CellStatus &out);
+
+/** Latest journaled state of one cell. */
+struct ManifestEntry
+{
+    CellStatus status = CellStatus::Pending;
+    /** Attempts recorded so far, accumulated across process runs. */
+    int attempts = 0;
+    /** Last error text (failed/quarantined records). */
+    std::string error;
+};
+
+/**
+ * The append-only journal. Thread-safe: grid workers append
+ * concurrently; loads happen once at open. Not copyable or movable —
+ * hold it behind a unique_ptr when ownership must transfer.
+ */
+class GridManifest
+{
+  public:
+    /**
+     * Open (or create) the manifest at `path`. Existing records are
+     * loaded, compacted and committed via tmp+rename before appending
+     * resumes. With `fresh` set the history is discarded instead — the
+     * --no-resume path — leaving an empty, valid journal.
+     */
+    explicit GridManifest(const std::string &path, bool fresh = false);
+
+    GridManifest(const GridManifest &) = delete;
+    GridManifest &operator=(const GridManifest &) = delete;
+
+    /** Where the journal lives. */
+    const std::string &path() const { return path_; }
+
+    /** False when the journal could not be opened for appending
+     *  (records are then dropped; the grid still runs). */
+    bool valid() const { return valid_; }
+
+    /** Latest state of `key`; a default (Pending) entry when unseen. */
+    ManifestEntry lookup(const std::string &key) const;
+
+    /** Number of keys currently at `status`. */
+    std::size_t countWithStatus(CellStatus status) const;
+
+    /** Number of keys the journal has seen at all. */
+    std::size_t size() const;
+
+    /**
+     * Append one status transition and flush it to the OS (so the
+     * record survives _exit). `attempts` is the cumulative attempt
+     * count; `error` (failed/quarantined) has newlines flattened.
+     */
+    void record(const std::string &key, CellStatus status, int attempts,
+                const std::string &error = std::string());
+
+  private:
+    void loadAndCompact(bool fresh);
+
+    std::string path_;
+    bool valid_ = false;
+    mutable std::mutex mu_;
+    std::map<std::string, ManifestEntry> entries_;
+    std::ofstream out_;
+};
+
+} // namespace match::core
+
+#endif // MATCH_CORE_MANIFEST_HH
