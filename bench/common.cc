@@ -1,7 +1,9 @@
 #include "bench/common.hh"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <sstream>
@@ -33,6 +35,63 @@ badChoice(const char *flag, const std::string &got,
                 got.c_str(), menu.c_str());
 }
 
+namespace
+{
+
+/**
+ * Strict numeric flag parsing. The silent-atoi alternative turns
+ * `--jobs abc` into `--jobs 0` — a different, valid-looking
+ * configuration — so every numeric flag rejects non-numeric,
+ * trailing-garbage and out-of-range values with a diagnostic that
+ * echoes the offending text, like badChoice does for enum flags.
+ */
+long
+parseIntFlag(const char *flag, const char *value, long min)
+{
+    char *end = nullptr;
+    errno = 0;
+    const long parsed = std::strtol(value, &end, 10);
+    if (end == value || *end != '\0' || errno == ERANGE)
+        util::fatal("%s: invalid value '%s' (expected an integer)",
+                    flag, value);
+    if (parsed < min)
+        util::fatal("%s: invalid value '%s' (expected an integer "
+                    ">= %ld)",
+                    flag, value, min);
+    return parsed;
+}
+
+std::uint64_t
+parseU64Flag(const char *flag, const char *value)
+{
+    char *end = nullptr;
+    errno = 0;
+    if (value[0] == '-')
+        util::fatal("%s: invalid value '%s' (expected a non-negative "
+                    "integer)",
+                    flag, value);
+    const unsigned long long parsed = std::strtoull(value, &end, 10);
+    if (end == value || *end != '\0' || errno == ERANGE)
+        util::fatal("%s: invalid value '%s' (expected a non-negative "
+                    "integer)",
+                    flag, value);
+    return parsed;
+}
+
+double
+parseDoubleFlag(const char *flag, const char *value, double min)
+{
+    char *end = nullptr;
+    const double parsed = std::strtod(value, &end);
+    if (end == value || *end != '\0' || parsed < min)
+        util::fatal("%s: invalid value '%s' (expected a number "
+                    ">= %g)",
+                    flag, value, min);
+    return parsed;
+}
+
+} // anonymous namespace
+
 BenchOptions
 BenchOptions::parse(int argc, char **argv)
 {
@@ -43,15 +102,17 @@ BenchOptions::parse(int argc, char **argv)
             options.quick = true;
             options.runs = 2;
         } else if (arg == "--runs" && i + 1 < argc) {
-            options.runs = std::atoi(argv[++i]);
+            options.runs =
+                static_cast<int>(parseIntFlag("--runs", argv[++i], 1));
         } else if (arg == "--seed" && i + 1 < argc) {
-            options.seed = std::strtoull(argv[++i], nullptr, 10);
+            options.seed = parseU64Flag("--seed", argv[++i]);
         } else if (arg == "--csv" && i + 1 < argc) {
             options.csvDir = argv[++i];
         } else if (arg == "--sandbox" && i + 1 < argc) {
             options.sandboxDir = argv[++i];
         } else if (arg == "--jobs" && i + 1 < argc) {
-            options.jobs = std::atoi(argv[++i]);
+            options.jobs =
+                static_cast<int>(parseIntFlag("--jobs", argv[++i], 0));
         } else if (arg == "--storage" && i + 1 < argc) {
             const std::string kind = argv[++i];
             if (kind == "mem")
@@ -69,10 +130,11 @@ BenchOptions::parse(int argc, char **argv)
             else
                 badChoice("--drain", mode, {"sync", "async"});
         } else if (arg == "--drain-depth" && i + 1 < argc) {
-            options.drainDepth = std::atoi(argv[++i]);
+            options.drainDepth = static_cast<int>(
+                parseIntFlag("--drain-depth", argv[++i], 0));
         } else if (arg == "--drain-capacity" && i + 1 < argc) {
             options.drainCapacityBytes = static_cast<std::size_t>(
-                std::strtoull(argv[++i], nullptr, 10));
+                parseU64Flag("--drain-capacity", argv[++i]));
         } else if (arg == "--cell-timeout" && i + 1 < argc) {
             const std::string value = argv[++i];
             if (value == "auto") {
@@ -88,7 +150,8 @@ BenchOptions::parse(int argc, char **argv)
                 options.autoCellTimeout = false;
             }
         } else if (arg == "--cell-retries" && i + 1 < argc) {
-            options.cellRetries = std::atoi(argv[++i]);
+            options.cellRetries = static_cast<int>(
+                parseIntFlag("--cell-retries", argv[++i], 0));
         } else if (arg == "--resume") {
             options.resume = true;
         } else if (arg == "--no-resume") {
@@ -116,15 +179,26 @@ BenchOptions::parse(int argc, char **argv)
             options.traceEvents = ft::readTraceFile(argv[++i]);
             options.failureModel = ft::FailureModelKind::Trace;
         } else if (arg == "--mean-failures" && i + 1 < argc) {
-            options.meanFailures = std::atof(argv[++i]);
+            options.meanFailures =
+                parseDoubleFlag("--mean-failures", argv[++i], 0.0);
         } else if (arg == "--cascade-prob" && i + 1 < argc) {
-            options.cascadeProb = std::atof(argv[++i]);
+            options.cascadeProb =
+                parseDoubleFlag("--cascade-prob", argv[++i], 0.0);
         } else if (arg == "--corrupt-fraction" && i + 1 < argc) {
-            options.corruptFraction = std::atof(argv[++i]);
+            options.corruptFraction =
+                parseDoubleFlag("--corrupt-fraction", argv[++i], 0.0);
         } else if (arg == "--sdc-checks") {
             options.sdcChecks = true;
         } else if (arg == "--scrub-stride" && i + 1 < argc) {
-            options.scrubStride = std::atoi(argv[++i]);
+            options.scrubStride = static_cast<int>(
+                parseIntFlag("--scrub-stride", argv[++i], 0));
+        } else if (arg == "--transform" && i + 1 < argc) {
+            const std::string name = argv[++i];
+            if (!storage::parseTransformKind(name, options.transform)) {
+                badChoice("--transform", name,
+                          {"none", "delta", "compress",
+                           "delta+compress"});
+            }
         } else if (arg == "--perf") {
             options.perf = true;
         } else if (arg == "--perf-dir" && i + 1 < argc) {
@@ -146,8 +220,9 @@ BenchOptions::parse(int argc, char **argv)
                 "[--failure-model single|independent|correlated|trace] "
                 "[--failure-trace FILE] [--mean-failures M] "
                 "[--cascade-prob P] [--corrupt-fraction F] "
-                "[--sdc-checks] [--scrub-stride N] [--perf] "
-                "[--perf-dir DIR]\n"
+                "[--sdc-checks] [--scrub-stride N] "
+                "[--transform none|delta|compress|delta+compress] "
+                "[--perf] [--perf-dir DIR]\n"
                 "  --jobs N  grid worker threads (default: hardware "
                 "concurrency; output is identical for any N)\n"
                 "  --storage mem|disk  checkpoint sandbox backend "
@@ -179,6 +254,10 @@ BenchOptions::parse(int argc, char **argv)
                 "every N iterations (needs --sdc-checks)\n"
                 "  --drain-capacity BYTES  burst-buffer capacity; "
                 "flushes stall (priced) when staged bytes exceed it\n"
+                "  --transform T  checkpoint data reduction (default "
+                "none; delta = differential checkpoints vs the "
+                "previous epoch, compress = RLE on L4 drain traffic; "
+                "virtual-result axis, part of the cache key)\n"
                 "  --cell-timeout SECS|auto  wall-clock watchdog per "
                 "cell attempt (auto: 5x the grid's completed-cell p99; "
                 "0 disables; wall-clock only, never in the cache key)\n"
@@ -228,6 +307,7 @@ BenchOptions::baseSpec() const
     spec.sdcChecks = sdcChecks;
     spec.scrubStride = scrubStride;
     spec.drainCapacityBytes = drainCapacityBytes;
+    spec.transforms = {transform};
     return spec;
 }
 
@@ -332,6 +412,19 @@ struct DrainSample
     core::GridTiming timing;
 };
 
+/** One transform kind's measurement (the same L4 drained grid) in a
+ *  perf record: wall timing plus the shipped-byte and encoder
+ *  counters that prove (or disprove) the byte reduction. */
+struct TransformSample
+{
+    storage::TransformKind kind;
+    core::GridTiming timing;
+    /** PFS bytes actually shipped by drain jobs during the run. */
+    std::uint64_t shippedBytes = 0;
+    storage::TransformStats delta;
+    storage::TransformStats compress;
+};
+
 void
 writeJsonTiming(std::FILE *out, const char *key, const char *label,
                 const core::GridTiming &t, bool last,
@@ -375,6 +468,7 @@ writePerfRecord(const BenchOptions &options, const FigureDef &def,
                 int jobs, std::size_t cells,
                 const std::vector<PerfSample> &samples,
                 const std::vector<DrainSample> &drain_samples,
+                const std::vector<TransformSample> &transform_samples,
                 const storage::BlobStats &mem_blob,
                 const std::vector<core::CellFailure> &failures)
 {
@@ -463,6 +557,47 @@ writePerfRecord(const BenchOptions &options, const FigureDef &def,
     }
     std::fprintf(out, "  ],\n  \"asyncDrainSpeedupOverSync\": %.3f,\n",
                  async_total > 0.0 ? sync_total / async_total : 0.0);
+    // Transform axis: the same L4 drained grid swept over the data-
+    // reduction chain. shippedBytes is the drain jobs' actual PFS
+    // traffic; the per-stage encoder counters (bytesOut < bytesIn)
+    // prove where the reduction came from. Orderable rows: the none
+    // row is the baseline the other rows' shippedBytes compare to.
+    std::uint64_t none_shipped = 0;
+    std::uint64_t delta_shipped = 0;
+    std::fprintf(out, "  \"transforms\": [\n");
+    for (std::size_t i = 0; i < transform_samples.size(); ++i) {
+        const TransformSample &sample = transform_samples[i];
+        if (sample.kind == storage::TransformKind::None)
+            none_shipped = sample.shippedBytes;
+        if (sample.kind == storage::TransformKind::Delta)
+            delta_shipped = sample.shippedBytes;
+        std::fprintf(
+            out,
+            "    {\"transform\": \"%s\", \"totalSeconds\": %.6f, "
+            "\"shippedBytes\": %llu, "
+            "\"delta\": {\"bytesIn\": %llu, \"bytesOut\": %llu, "
+            "\"applies\": %llu, \"reverses\": %llu}, "
+            "\"compress\": {\"bytesIn\": %llu, \"bytesOut\": %llu, "
+            "\"applies\": %llu, \"reverses\": %llu}}%s\n",
+            storage::transformKindName(sample.kind),
+            sample.timing.totalSeconds,
+            static_cast<unsigned long long>(sample.shippedBytes),
+            static_cast<unsigned long long>(sample.delta.bytesIn),
+            static_cast<unsigned long long>(sample.delta.bytesOut),
+            static_cast<unsigned long long>(sample.delta.applies),
+            static_cast<unsigned long long>(sample.delta.reverses),
+            static_cast<unsigned long long>(sample.compress.bytesIn),
+            static_cast<unsigned long long>(sample.compress.bytesOut),
+            static_cast<unsigned long long>(sample.compress.applies),
+            static_cast<unsigned long long>(sample.compress.reverses),
+            i + 1 == transform_samples.size() ? "" : ",");
+    }
+    std::fprintf(out,
+                 "  ],\n  \"deltaShippedBytesReduction\": %.4f,\n",
+                 none_shipped > 0
+                     ? 1.0 - static_cast<double>(delta_shipped) /
+                                 static_cast<double>(none_shipped)
+                     : 0.0);
     // Structured degraded-grid record: quarantined cells (config,
     // attempts, last error) instead of an aborted sweep. perf_guard
     // downgrades its perf failures to warnings when this is nonzero —
@@ -484,11 +619,16 @@ writePerfRecord(const BenchOptions &options, const FigureDef &def,
     std::fprintf(out, "  ]\n}\n");
     std::fclose(out);
     std::printf("perf: wrote %s (mem %.2fs vs disk %.2fs, %.2fx; "
-                "L4 drain async %.2fs vs sync %.2fs, %.2fx)\n",
+                "L4 drain async %.2fs vs sync %.2fs, %.2fx; "
+                "delta ships %.1f%% fewer PFS bytes)\n",
                 path.c_str(), mem_total, disk_total,
                 mem_total > 0.0 ? disk_total / mem_total : 0.0,
                 async_total, sync_total,
-                async_total > 0.0 ? sync_total / async_total : 0.0);
+                async_total > 0.0 ? sync_total / async_total : 0.0,
+                100.0 * (none_shipped > 0
+                             ? 1.0 - static_cast<double>(delta_shipped) /
+                                         static_cast<double>(none_shipped)
+                             : 0.0));
 }
 
 } // anonymous namespace
@@ -577,9 +717,50 @@ runFigure(const BenchOptions &options, const FigureDef &def)
             runner.run(drained.enumerate(), &sample.timing);
             drain_samples.push_back(std::move(sample));
         }
+        // Transform axis: the drained L4 grid again, swept over the
+        // data-reduction chain under the sync drain (inline replay, so
+        // the shipped-byte snapshot brackets exactly this sweep's
+        // jobs). Byte counters are snapshot-diffed around each run.
+        drained.drain = storage::DrainMode::Sync;
+        std::vector<TransformSample> transform_samples;
+        for (const storage::TransformKind kind :
+             {storage::TransformKind::None, storage::TransformKind::Delta,
+              storage::TransformKind::Compress,
+              storage::TransformKind::DeltaCompress}) {
+            drained.transforms = {kind};
+            TransformSample sample;
+            sample.kind = kind;
+            const std::uint64_t shipped0 =
+                storage::drainGlobalShippedBytes();
+            const storage::TransformStats delta0 =
+                storage::transformGlobalStats(
+                    storage::TransformStage::Delta);
+            const storage::TransformStats compress0 =
+                storage::transformGlobalStats(
+                    storage::TransformStage::Compress);
+            runner.run(drained.enumerate(), &sample.timing);
+            sample.shippedBytes =
+                storage::drainGlobalShippedBytes() - shipped0;
+            const storage::TransformStats delta1 =
+                storage::transformGlobalStats(
+                    storage::TransformStage::Delta);
+            const storage::TransformStats compress1 =
+                storage::transformGlobalStats(
+                    storage::TransformStage::Compress);
+            sample.delta = {delta1.bytesIn - delta0.bytesIn,
+                            delta1.bytesOut - delta0.bytesOut,
+                            delta1.applies - delta0.applies,
+                            delta1.reverses - delta0.reverses};
+            sample.compress = {
+                compress1.bytesIn - compress0.bytesIn,
+                compress1.bytesOut - compress0.bytesOut,
+                compress1.applies - compress0.applies,
+                compress1.reverses - compress0.reverses};
+            transform_samples.push_back(std::move(sample));
+        }
         writePerfRecord(options, def, runner.jobs(), cells.size(),
-                        samples, drain_samples, mem_blob,
-                        timing.failures);
+                        samples, drain_samples, transform_samples,
+                        mem_blob, timing.failures);
     }
 
     std::size_t at = 0;

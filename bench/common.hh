@@ -115,6 +115,10 @@ struct BenchOptions
     /** --drain-capacity BYTES: burst-buffer capacity in staged bytes,
      *  0 = unbounded. Virtual-result knob (priced stalls). */
     std::size_t drainCapacityBytes = 0;
+    /** --transform none|delta|compress|delta+compress: checkpoint
+     *  data-reduction chain. Virtual-result axis (part of the cell
+     *  cache key); none is bit-identical to the pre-transform code. */
+    storage::TransformKind transform = storage::TransformKind::None;
     /// @}
 
     static BenchOptions parse(int argc, char **argv);

@@ -10,6 +10,12 @@ under bench/baseline/:
    (seconds, lower is better). Drain rows flagged "undersubscribed"
    (drain worker + grid workers oversubscribe the runner's cores, so
    the async row measures contention, not overlap) are excluded.
+   The checkpoint-transform sweep rows (shipped PFS bytes and the
+   per-stage bytesIn/bytesOut encoder counters per transform kind,
+   lower is better; deltaShippedBytesReduction, higher is better) are
+   extracted too — today's committed baseline predates them, so they
+   report as "new metric (no baseline)" and are warn-only until a
+   baseline carrying a "transforms" section is committed.
  - BENCH_micro_rs_*.json (google-benchmark format): bytes_per_second of
    every BM_RsEncode row (the encode MB/s trajectory).
  - BENCH_micro_runtime.json (google-benchmark format): items_per_second
@@ -70,6 +76,37 @@ def figure_phase_metrics(record):
         for phase, seconds in (row.get("phases") or {}).items():
             metrics["%s[storage=%s]" % (phase, row.get("storage"))] = \
                 seconds
+    return metrics
+
+
+def transform_reduction_metrics(record):
+    """(name, ratio) reduction metrics of the transform sweep — higher
+    is better (1 - shipped/none: how many PFS bytes the delta chain
+    saved)."""
+    metrics = {}
+    reduction = record.get("deltaShippedBytesReduction")
+    if reduction is not None:
+        metrics["deltaShippedBytesReduction"] = reduction
+    return metrics
+
+
+def transform_byte_metrics(record):
+    """(name, bytes) byte counters of the transform sweep — lower is
+    better. Deterministic per configuration, so any growth is a real
+    encoder regression, not noise."""
+    metrics = {}
+    for row in record.get("transforms", []):
+        kind = row.get("transform")
+        shipped = row.get("shippedBytes")
+        if shipped is not None:
+            metrics["shippedBytes[transform=%s]" % kind] = shipped
+        for stage in ("delta", "compress"):
+            stats = row.get(stage) or {}
+            for counter in ("bytesIn", "bytesOut"):
+                value = stats.get(counter)
+                if value:
+                    metrics["%s.%s[transform=%s]"
+                            % (stage, counter, kind)] = value
     return metrics
 
 
@@ -164,6 +201,8 @@ def main():
         "BENCH_fig5.json": [
             (figure_metrics, False, 0.0),
             (figure_phase_metrics, True, PHASE_FLOOR_SECONDS),
+            (transform_reduction_metrics, False, 0.0),
+            (transform_byte_metrics, True, 0.0),
         ],
         "BENCH_micro_rs_auto.json": [(micro_metrics, False, 0.0)],
         "BENCH_micro_rs_scalar.json": [(micro_metrics, False, 0.0)],

@@ -71,7 +71,9 @@ configKey(const ExperimentConfig &config)
                            config.injectFailure ? 1 : 0, config.runs,
                            config.ckptLevel, config.ckptStride,
                            static_cast<int>(config.failureModel),
-                           config.sdcChecks ? 1 : 0, config.scrubStride};
+                           config.sdcChecks ? 1 : 0, config.scrubStride,
+                           static_cast<int>(config.transform),
+                           config.deltaRebase};
     mix(scalars, sizeof(scalars));
     mix(&config.seed, sizeof(config.seed));
     mix(&config.noiseSigma, sizeof(config.noiseSigma));
@@ -288,6 +290,8 @@ runExperiment(const ExperimentConfig &config)
             drc.ftiConfig.sdcChecks = config.sdcChecks;
             drc.ftiConfig.scrubStride = config.scrubStride;
             drc.ftiConfig.drainCapacityBytes = config.drainCapacityBytes;
+            drc.ftiConfig.transform = config.transform;
+            drc.ftiConfig.deltaRebase = config.deltaRebase;
             drc.purgeCheckpoints = true;
             if (config.injectFailure) {
                 const int iters = spec.loopIterations(params);

@@ -21,6 +21,7 @@
 #include "src/ft/design.hh"
 #include "src/storage/backend.hh"
 #include "src/storage/drain.hh"
+#include "src/storage/transform.hh"
 
 namespace match::core
 {
@@ -63,6 +64,16 @@ struct ExperimentConfig
      *  unbounded (FtiConfig::drainCapacityBytes). Also bounds the wall
      *  worker's staged bytes. */
     std::size_t drainCapacityBytes = 0;
+
+    /** Checkpoint data-reduction chain (FtiConfig::transform): delta
+     *  emits differential checkpoints, compress reduces L4 drain
+     *  traffic. Changes stored/shipped byte counts and hence virtual
+     *  results, so it is part of configKey(); None is bit-identical to
+     *  the pre-transform code. */
+    storage::TransformKind transform = storage::TransformKind::None;
+    /** Full-envelope cadence of the delta chain
+     *  (FtiConfig::deltaRebase). */
+    int deltaRebase = 8;
 
     /** Paper methodology: five runs, averaged. */
     int runs = 5;

@@ -236,6 +236,8 @@ GridSpec::enumerate() const
                 for (ft::Design design : designs) {
                     for (int stride : ckptStrides) {
                         for (int level : ckptLevels) {
+                          for (storage::TransformKind transform :
+                               transforms) {
                             ExperimentConfig config;
                             config.app = app;
                             config.input = input;
@@ -262,7 +264,10 @@ GridSpec::enumerate() const
                             config.scrubStride = scrubStride;
                             config.drainCapacityBytes =
                                 drainCapacityBytes;
+                            config.transform = transform;
+                            config.deltaRebase = deltaRebase;
                             cells.push_back(std::move(config));
+                          }
                         }
                     }
                 }

@@ -75,6 +75,17 @@ struct GridSpec
      *  the spec into a level ablation. */
     std::vector<int> ckptLevels{1};
 
+    /** Checkpoint data-reduction chains (paper baseline: none). More
+     *  than one entry turns the spec into a transform ablation — the
+     *  innermost enumeration axis, so transform rows of one cell sit
+     *  adjacently in figure output. */
+    std::vector<storage::TransformKind> transforms{
+        storage::TransformKind::None};
+
+    /** Full-envelope cadence of the delta chain, copied verbatim into
+     *  every cell (ExperimentConfig::deltaRebase). */
+    int deltaRebase = 8;
+
     /** Inject one process failure per run. */
     bool injectFailure = false;
 

@@ -39,6 +39,23 @@ FtiConfig::fromIni(const util::IniFile &ini)
     cfg.drainCapacityBytes = static_cast<std::size_t>(
         ini.getInt("advanced", "drain_capacity_bytes",
                    static_cast<long>(cfg.drainCapacityBytes)));
+    const std::string transform_name =
+        ini.getString("advanced", "transform",
+                      storage::transformKindName(cfg.transform));
+    if (!storage::parseTransformKind(transform_name, cfg.transform))
+        util::fatal("unknown FTI transform '%s' (expected none, delta, "
+                    "compress or delta+compress)",
+                    transform_name.c_str());
+    cfg.deltaRebase = static_cast<int>(
+        ini.getInt("advanced", "delta_rebase", cfg.deltaRebase));
+    cfg.deltaBlockSize = static_cast<std::size_t>(
+        ini.getInt("advanced", "delta_block_size",
+                   static_cast<long>(cfg.deltaBlockSize)));
+    if (cfg.deltaRebase < 1)
+        util::fatal("FTI delta_rebase must be >= 1, got %d",
+                    cfg.deltaRebase);
+    if (cfg.deltaBlockSize == 0)
+        util::fatal("FTI delta_block_size must be positive");
     if (cfg.scrubStride < 0)
         util::fatal("FTI scrub_stride must be >= 0, got %d",
                     cfg.scrubStride);
@@ -70,6 +87,11 @@ FtiConfig::toIni() const
     ini.setInt("sdc", "scrub_stride", scrubStride);
     ini.setInt("advanced", "drain_capacity_bytes",
                static_cast<long>(drainCapacityBytes));
+    ini.set("advanced", "transform",
+            storage::transformKindName(transform));
+    ini.setInt("advanced", "delta_rebase", deltaRebase);
+    ini.setInt("advanced", "delta_block_size",
+               static_cast<long>(deltaBlockSize));
     return ini;
 }
 

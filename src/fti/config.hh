@@ -12,6 +12,7 @@
 
 #include "src/storage/backend.hh"
 #include "src/storage/drain.hh"
+#include "src/storage/transform.hh"
 #include "src/util/ini.hh"
 
 namespace match::fti
@@ -65,6 +66,25 @@ struct FtiConfig
      *  delete a corrupt object so the next recovery deterministically
      *  falls back to the level's redundancy. Requires sdcChecks. */
     int scrubStride = 0;
+
+    /** Checkpoint data-reduction chain. Delta emits differential
+     *  checkpoints against the previous epoch's serialized image (all
+     *  levels store the delta envelope; recovery follows the chain);
+     *  Compress RLE-compresses L4 drain traffic so flushes ship fewer
+     *  bytes. None stores raw images bit-identical to the
+     *  pre-transform code. */
+    storage::TransformKind transform = storage::TransformKind::None;
+
+    /** With delta on, emit a full (self-contained) envelope every
+     *  `deltaRebase`-th checkpoint, bounding the recovery chain and
+     *  letting keep_only_latest reclaim the superseded chain. 1 means
+     *  every checkpoint is full (delta effectively off). */
+    int deltaRebase = 8;
+
+    /** Dirty-block granularity of the delta scan. Adjacent dirty
+     *  blocks coalesce into one record, so small blocks cost framing
+     *  only where the image is sparsely dirty. */
+    std::size_t deltaBlockSize = 256;
 
     /** Virtual burst-buffer capacity in (virtual) bytes shared by this
      *  rank's staged-but-undrained L4 flushes; 0 = unbounded (the

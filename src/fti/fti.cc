@@ -96,7 +96,8 @@ Fti::purge(const FtiConfig &config)
 Fti::Fti(simmpi::Proc &proc, FtiConfig config, simmpi::CommId comm)
     : proc_(proc), config_(std::move(config)),
       comm_(comm == simmpi::commNull ? proc.world() : comm),
-      store_(storage::resolve(config_.backend))
+      store_(storage::resolve(config_.backend)),
+      deltaTx_(config_.deltaBlockSize)
 {
     // A config without a drain gets a private sync worker: flushes run
     // inline at enqueue, preserving the historical "PFS files exist
@@ -304,27 +305,22 @@ Fti::committedCkptsNewestFirst() const
 }
 
 void
-Fti::cleanupOlderCheckpoints(int keep_id)
+Fti::removeCheckpointFiles(int id, int level)
 {
-    // Remove exactly the files of the previous committed checkpoint
-    // (tracked per level), not a speculative id window: the filesystem
-    // traffic of stat-ing absent files dominated checkpoint wall time.
-    if (prevCkptId_ <= 0 || prevCkptId_ >= keep_id)
-        return;
     const int rank = proc_.runtime().commRank(proc_.globalIndex(), comm_);
     const int size = proc_.runtime().commSize(comm_);
     const int owner = (rank + size - 1) % size; // whose L2 copy I hold
-    const int id = prevCkptId_;
-    if (prevLevel_ <= 3)
+    if (level <= 3)
         store_.remove(ckptFile(config_, rank, id));
-    if (prevLevel_ == 2)
+    if (level == 2)
         store_.remove(partnerFile(config_, rank, owner, id));
-    if (prevLevel_ == 3)
+    if (level == 3)
         store_.remove(parityFile(config_, rank, id));
-    if (prevLevel_ == 4) {
-        // The previous flush may still be draining; route the removal
-        // through the same FIFO queue so it deterministically lands
-        // after the write it deletes, for any drain scheduling.
+    if (level == 4) {
+        // The flush that wrote the object may still be draining; route
+        // the removal through the same FIFO queue so it
+        // deterministically lands after the write it deletes, for any
+        // drain scheduling.
         FtiConfig job_config = config_;
         job_config.drain.reset();
         drain().enqueue([job_config = std::move(job_config), rank,
@@ -336,6 +332,17 @@ Fti::cleanupOlderCheckpoints(int keep_id)
     }
     if (rank == 0)
         store_.remove(metaFile(config_, id));
+}
+
+void
+Fti::cleanupOlderCheckpoints(int keep_id)
+{
+    // Remove exactly the files of the previous committed checkpoint
+    // (tracked per level), not a speculative id window: the filesystem
+    // traffic of stat-ing absent files dominated checkpoint wall time.
+    if (prevCkptId_ <= 0 || prevCkptId_ >= keep_id)
+        return;
+    removeCheckpointFiles(prevCkptId_, prevLevel_);
 }
 
 // ---------------------------------------------------------------------------
@@ -449,6 +456,22 @@ pfsFlushJob(const FtiConfig &config, int rank, int ckpt_id,
             const storage::Blob &blob)
 {
     storage::Backend &store = storage::resolve(config.backend);
+    if (config.transform != storage::TransformKind::None) {
+        // Transform-enabled flushes write the staged envelope (the
+        // delta stage already ran at serialize time) as the whole PFS
+        // object, compressed here in the drain stage when configured —
+        // the checkpoint's metadata covers the pre-compression
+        // envelope, so recovery decompresses before verifying. The
+        // legacy base+diff layout below stays the None behaviour,
+        // bit-identical to the pre-transform code.
+        const storage::Blob out =
+            storage::transformHasCompress(config.transform)
+                ? storage::compressEncode(blob)
+                : blob;
+        store.write(Fti::pfsFile(config, rank, ckpt_id),
+                    storage::Blob(out));
+        return out.size();
+    }
     const std::string dir = Fti::execDir(config) + "/pfs/diff/rank" +
                             std::to_string(rank);
     store.createDirectories(dir);
@@ -519,12 +542,9 @@ Fti::enqueuePfsFlush(int ckpt_id, storage::Blob blob)
         // foreground checkpoint time (we run under CkptWrite here).
         const double stall = drainChannel_.reserve(
             drain(), proc_.now(), virt_bytes, config_.drainCapacityBytes,
-            [this](std::uint64_t shipped, int procs, double factor) {
-                const double vb = static_cast<double>(shipped) *
-                                  config_.virtualFactor;
-                return proc_.runtime().costModel().drainFlush(
-                           static_cast<std::size_t>(vb), procs) *
-                       factor;
+            [this](std::uint64_t shipped, std::uint64_t in_bytes,
+                   int procs, double factor) {
+                return priceDrainJob(shipped, in_bytes, procs, factor);
             });
         if (stall > 0.0)
             proc_.sleepFor(stall);
@@ -538,7 +558,26 @@ Fti::enqueuePfsFlush(int ckpt_id, storage::Blob blob)
     // The virtual enqueue instant is stamped later, once checkpoint()
     // has charged the staging cost.
     drainChannel_.admit(ticket, proc_.runtime().commSize(comm_),
-                        ckptFactor(), virt_bytes);
+                        ckptFactor(), virt_bytes, virt_bytes);
+}
+
+double
+Fti::priceDrainJob(std::uint64_t shipped, std::uint64_t inVirtBytes,
+                   int procs, double factor) const
+{
+    // The flush job returns the wall bytes it actually shipped (the
+    // compressed envelope when the compress stage is on); the
+    // drain-stage compression CPU is charged on the channel too — it
+    // overlaps compute exactly like the streaming it precedes.
+    const simmpi::CostModel &model = proc_.runtime().costModel();
+    const double virt_shipped =
+        static_cast<double>(shipped) * config_.virtualFactor;
+    double cost = model.drainFlush(
+        static_cast<std::size_t>(virt_shipped), procs);
+    if (storage::transformHasCompress(config_.transform))
+        cost += model.transformCompress(
+            static_cast<std::size_t>(inVirtBytes));
+    return cost * factor;
 }
 
 void
@@ -546,12 +585,9 @@ Fti::drainBarrier()
 {
     const double wait = drainChannel_.resolve(
         drain(), proc_.now(),
-        [this](std::uint64_t shipped, int procs, double factor) {
-            const double virt_bytes =
-                static_cast<double>(shipped) * config_.virtualFactor;
-            return proc_.runtime().costModel().drainFlush(
-                       static_cast<std::size_t>(virt_bytes), procs) *
-                   factor;
+        [this](std::uint64_t shipped, std::uint64_t in_bytes, int procs,
+               double factor) {
+            return priceDrainJob(shipped, in_bytes, procs, factor);
         });
     if (wait > 0.0)
         proc_.sleepFor(wait);
@@ -570,9 +606,47 @@ Fti::checkpoint(int ckpt_id, int level)
     const double t0 = proc_.now();
 
     storage::Blob blob = serializeRegions();
+    bool emitted_full = true;
+    if (storage::transformHasDelta(config_.transform)) {
+        // Differential checkpoint: encode the image against the
+        // previous epoch's. The delta-vs-full decision is collective
+        // (allreduce-MIN) so every rank's chain has the same shape and
+        // cleanup/meta retirement stay rank-uniform; a full envelope
+        // is forced every deltaRebase-th checkpoint, after recovery,
+        // and whenever the image changed size.
+        const std::int64_t can_delta =
+            (deltaTx_.hasReference() &&
+             deltaTx_.referenceSize() == blob.size() &&
+             deltaDepth_ + 1 < config_.deltaRebase)
+                ? 1
+                : 0;
+        const bool emit_delta =
+            proc_.allreduceInt(can_delta, simmpi::ReduceOp::Min,
+                               comm_) == 1;
+        if (!emit_delta) {
+            deltaTx_.clearReference();
+        } else {
+            // The dirty scan streams both images; priced inline — it
+            // is foreground checkpoint time, like the serialize pass.
+            proc_.sleepFor(
+                proc_.runtime().costModel().transformDelta(
+                    static_cast<std::size_t>(
+                        static_cast<double>(blob.size()) *
+                        config_.virtualFactor)) *
+                ckptFactor());
+        }
+        storage::Blob image = blob; // handle copy, not bytes
+        blob = deltaTx_.apply(image);
+        deltaTx_.setReference(std::move(image), ckpt_id);
+        deltaDepth_ = emit_delta ? deltaDepth_ + 1 : 0;
+        emitted_full = !emit_delta;
+    }
     const std::size_t blob_bytes = blob.size();
     // CRC32C, computed once here and cached on the sealed buffer: the
     // partner copy, recovery verify and scrub all reuse it for free.
+    // With a transform on, the checksum (and the meta sizes) cover the
+    // stored envelope, so a corrupt delta fails verification before
+    // any decode attempt.
     const std::uint64_t crc = blob.crc32c();
     MATCH_DEBUG("FTI checkpoint: g=%d comm=%d id=%d bytes=%zu crc=%llu",
                 proc_.globalIndex(), comm_, ckpt_id, blob_bytes,
@@ -664,8 +738,22 @@ Fti::checkpoint(int ckpt_id, int level)
             ckptFactor());
     }
 
-    if (config_.keepOnlyLatest)
+    if (storage::transformHasDelta(config_.transform)) {
+        // A delta checkpoint's ancestors must survive until a full
+        // envelope supersedes the chain: keepOnlyLatest retires the
+        // whole superseded chain at each rebase instead of the single
+        // previous checkpoint.
+        if (emitted_full) {
+            if (config_.keepOnlyLatest) {
+                for (const auto &[id, lvl] : deltaChain_)
+                    removeCheckpointFiles(id, lvl);
+            }
+            deltaChain_.clear();
+        }
+        deltaChain_.emplace_back(ckpt_id, level);
+    } else if (config_.keepOnlyLatest) {
         cleanupOlderCheckpoints(ckpt_id);
+    }
     prevCkptId_ = ckpt_id;
     prevLevel_ = level;
     lastCkptId_ = ckpt_id;
@@ -734,8 +822,33 @@ Fti::readPfsBlob(const MetaInfo &meta, bool checked)
 {
     const int rank = proc_.runtime().commRank(proc_.globalIndex(), comm_);
     if (storage::Blob whole =
-            storage::fetch(store_, pfsFile(config_, rank, meta.ckptId)))
+            storage::fetch(store_, pfsFile(config_, rank, meta.ckptId))) {
+        if (storage::transformHasCompress(config_.transform)) {
+            // The PFS object is the compressed envelope; the meta
+            // checksum covers the decompressed (staged) bytes, so
+            // decode first, then let the caller verify. Decompression
+            // is a real recovery-path cost, priced inline.
+            const std::uint64_t raw = storage::compressRawBytes(whole);
+            storage::Blob decoded =
+                storage::compressDecode(whole, checked);
+            if (decoded)
+                proc_.sleepFor(
+                    proc_.runtime().costModel().transformDecompress(
+                        static_cast<std::size_t>(
+                            static_cast<double>(raw) *
+                            config_.virtualFactor)));
+            return decoded;
+        }
         return whole;
+    }
+    if (config_.transform != storage::TransformKind::None) {
+        // Transform-enabled flushes always write the whole object;
+        // its absence means the checkpoint is lost, not differential.
+        if (checked)
+            return storage::Blob();
+        util::fatal("L4 recovery: missing PFS object for rank %d",
+                    rank);
+    }
     // Differential path: base + the delta for this checkpoint. The
     // base and delta are immutable fetched views; the restored image
     // is materialized once into a fresh buffer.
@@ -858,6 +971,53 @@ Fti::tryReadBlobChecked(const MetaInfo &meta)
     return intact(blob) ? blob : storage::Blob();
 }
 
+storage::Blob
+Fti::loadImage(const MetaInfo &meta, bool checked, int depth)
+{
+    storage::Blob stored =
+        checked ? tryReadBlobChecked(meta) : readBlobForRecovery(meta);
+    if (!storage::transformHasDelta(config_.transform) || !stored)
+        return stored;
+    const storage::DeltaInfo info = storage::deltaInspect(stored);
+    if (!info.valid) {
+        if (checked)
+            return storage::Blob();
+        util::fatal("corrupt delta envelope in checkpoint %d",
+                    meta.ckptId);
+    }
+    if (info.isFull)
+        return deltaTx_.decode(stored, storage::Blob(), checked);
+    // Base ids decrease strictly along a well-formed chain; the depth
+    // bound stops a corrupt-but-verifiable cycle from looping.
+    if (depth >= 64 || info.baseCkptId <= 0 ||
+        info.baseCkptId >= meta.ckptId) {
+        if (checked)
+            return storage::Blob();
+        util::fatal("delta chain of checkpoint %d is malformed",
+                    meta.ckptId);
+    }
+    MetaInfo base_meta;
+    if (!loadMeta(info.baseCkptId, base_meta)) {
+        if (checked)
+            return storage::Blob();
+        util::fatal("delta base checkpoint %d lost its metadata",
+                    info.baseCkptId);
+    }
+    // Each chain link is an additional stored object the rank really
+    // reads back; price it like the recovery read it is.
+    const int rank = proc_.runtime().commRank(proc_.globalIndex(), comm_);
+    proc_.sleepFor(proc_.runtime().costModel().checkpointRead(
+        base_meta.level,
+        static_cast<std::size_t>(
+            static_cast<double>(base_meta.bytesPerRank[rank]) *
+            config_.virtualFactor),
+        proc_.runtime().commSize(comm_)));
+    storage::Blob base = loadImage(base_meta, checked, depth + 1);
+    if (!base)
+        return storage::Blob();
+    return deltaTx_.decode(stored, base, checked);
+}
+
 void
 Fti::recover()
 {
@@ -880,7 +1040,7 @@ Fti::recover()
     // wait out the channel (virtually and in wall-clock) first.
     if (meta.level == 4)
         drainBarrier();
-    const storage::Blob blob = readBlobForRecovery(meta);
+    const storage::Blob blob = loadImage(meta, /*checked=*/false);
     MATCH_DEBUG("FTI recover: g=%d comm=%d rank=%d ckpt=%d bytes=%zu",
                 proc_.globalIndex(), comm_,
                 proc_.runtime().commRank(proc_.globalIndex(), comm_),
@@ -893,6 +1053,15 @@ Fti::recover()
     proc_.sleepFor(proc_.runtime().costModel().checkpointRead(
         meta.level, static_cast<std::size_t>(virt_bytes), size));
 
+    if (storage::transformHasDelta(config_.transform)) {
+        // The restored image becomes the reference the next delta is
+        // encoded against; the restored checkpoint (and, transitively,
+        // its chain) must outlive whatever this incarnation writes.
+        deltaTx_.setReference(blob, newest);
+        deltaDepth_ = 0;
+        deltaChain_.clear();
+        deltaChain_.emplace_back(newest, meta.level);
+    }
     lastCkptId_ = newest;
     recoveryCkptId_ = 0; // the paper's loop recovers exactly once
     readSeconds_ += proc_.now() - t0;
@@ -920,7 +1089,7 @@ Fti::recoverChecked()
             continue; // shared store: same outcome on every rank
         if (meta.level == 4)
             drainBarrier();
-        const storage::Blob blob = tryReadBlobChecked(meta);
+        const storage::Blob blob = loadImage(meta, /*checked=*/true);
         const double virt_bytes =
             static_cast<double>(meta.bytesPerRank[rank]) *
             config_.virtualFactor;
@@ -938,9 +1107,22 @@ Fti::recoverChecked()
         deserializeRegions(blob.data(), blob.size());
         proc_.sleepFor(proc_.runtime().costModel().checkpointRead(
             meta.level, static_cast<std::size_t>(virt_bytes), size));
+        if (storage::transformHasDelta(config_.transform)) {
+            deltaTx_.setReference(blob, id);
+            deltaDepth_ = 0;
+            deltaChain_.clear();
+            deltaChain_.emplace_back(id, meta.level);
+        }
         restored = true;
         restored_id = id;
         break;
+    }
+    if (!restored && storage::transformHasDelta(config_.transform)) {
+        // Fresh start: the next checkpoint must be a self-contained
+        // full envelope.
+        deltaTx_.clearReference();
+        deltaDepth_ = 0;
+        deltaChain_.clear();
     }
     if (!restored && rank == 0) {
         // Never a silent wrong result: with every committed checkpoint

@@ -205,6 +205,12 @@ class Fti
      * channel, and sleep until the channel's virtual completion.
      */
     void drainBarrier();
+    /** Virtual cost of one drained flush: streaming the shipped bytes
+     *  plus, when the compress stage is on, compressing the staged
+     *  input (both overlap compute on the drain channel). */
+    double priceDrainJob(std::uint64_t shipped,
+                         std::uint64_t inVirtBytes, int procs,
+                         double factor) const;
     storage::DrainWorker &drain() { return *config_.drain; }
     void commitMeta(const MetaInfo &meta);
     bool loadMeta(int ckpt_id, MetaInfo &meta) const;
@@ -227,6 +233,20 @@ class Fti
     /** @param checked return a null blob instead of fataling when the
      *         base image is gone. */
     storage::Blob readPfsBlob(const MetaInfo &meta, bool checked = false);
+    /**
+     * Resolve a committed checkpoint to its serialized image: read the
+     * stored object (verified against the meta, which covers the
+     * post-transform bytes), then — with the delta transform on —
+     * follow the envelope's base links back to the last full envelope
+     * and reassemble. Each chain link is priced as the recovery read
+     * it is. `checked` returns a null blob instead of fataling on a
+     * lost link or malformed envelope.
+     */
+    storage::Blob loadImage(const MetaInfo &meta, bool checked,
+                            int depth = 0);
+    /** Remove one committed checkpoint's stored objects (this rank's
+     *  files per level; rank 0 retires the metadata). */
+    void removeCheckpointFiles(int id, int level);
     double ckptFactor() const;
 
     simmpi::Proc &proc_;
@@ -247,6 +267,17 @@ class Fti
     /** Virtual-time accounting of this rank's L4 flushes (the factor
      *  is the ULFM checkpoint slowdown at enqueue). */
     storage::DrainChannel drainChannel_;
+    /** Differential-checkpoint encoder (config.transform with delta):
+     *  holds the previous epoch's serialized image as the reference. */
+    storage::DeltaTransform deltaTx_;
+    /** Consecutive delta envelopes since the last full one; a full is
+     *  forced every config.deltaRebase-th checkpoint. */
+    int deltaDepth_ = 0;
+    /** Committed (ckptId, level) pairs the live delta chain still
+     *  needs for recovery: keepOnlyLatest defers their deletion until
+     *  a full envelope supersedes the chain. The delta-vs-full
+     *  decision is collective, so every rank tracks the same chain. */
+    std::vector<std::pair<int, int>> deltaChain_;
 };
 
 } // namespace match::fti

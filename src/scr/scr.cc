@@ -34,6 +34,17 @@ jobDir(const ScrConfig &config)
     return config.cacheDir + "/" + config.jobId;
 }
 
+/** Integrity sidecars travel verbatim through flush and fetch — only
+ *  routed data files go through the compress stage. */
+bool
+isSidecar(const std::string &name)
+{
+    static const std::string suffix = ".crc32c";
+    return name.size() >= suffix.size() &&
+           name.compare(name.size() - suffix.size(), suffix.size(),
+                        suffix) == 0;
+}
+
 } // anonymous namespace
 
 std::string
@@ -282,16 +293,32 @@ scrFlushJob(const ScrConfig &config, int dataset, int rank,
     const std::string dst_dir =
         Scr::prefixDatasetDir(config, dataset, rank);
     store.createDirectories(dst_dir);
+    const bool compress =
+        storage::transformHasCompress(config.transform);
     std::uint64_t shipped = 0;
     for (const std::string &name : files) {
-        if (!store.copy(src_dir + "/" + name, dst_dir + "/" + name)) {
+        const std::string src = src_dir + "/" + name;
+        const std::string dst = dst_dir + "/" + name;
+        bool copied = false;
+        if (compress && !isSidecar(name)) {
+            // Ship the compress envelope; fetch undoes it. Sidecars
+            // keep covering the raw bytes the application wrote.
+            const storage::Blob raw = storage::fetch(store, src);
+            if (raw) {
+                store.write(dst, storage::compressEncode(raw));
+                copied = true;
+            }
+        } else {
+            copied = store.copy(src, dst);
+        }
+        if (!copied) {
             MATCH_DEBUG("SCR flush: lost routed file %s (rank %d); "
                         "dataset %d stays unflushed",
                         name.c_str(), rank, dataset);
             return 0;
         }
         std::size_t bytes = 0;
-        store.size(dst_dir + "/" + name, bytes);
+        store.size(dst, bytes);
         shipped += bytes;
     }
     static const char text[] = "flushed\n";
@@ -319,7 +346,9 @@ Scr::enqueueFlush(int dataset, std::size_t bytes)
          files = std::move(files)]() -> std::uint64_t {
             return scrFlushJob(job_config, dataset, r, files);
         });
-    drainChannel_.admit(ticket, size());
+    // No occupancy bytes: SCR has no burst-buffer capacity bound, so
+    // the channel must not accumulate occupants it never evicts.
+    drainChannel_.admit(ticket, size(), 1.0, 0, bytes);
     // Staging the dataset into the burst buffer serializes the rank;
     // the PFS streaming overlaps on the virtual drain channel.
     proc_.sleepFor(proc_.runtime().costModel().drainStage(bytes, size()));
@@ -331,10 +360,14 @@ Scr::drainBarrier()
 {
     const double wait = drainChannel_.resolve(
         drain(), proc_.now(),
-        [this](std::uint64_t shipped, int procs, double factor) {
-            return proc_.runtime().costModel().drainFlush(
-                       static_cast<std::size_t>(shipped), procs) *
-                   factor;
+        [this](std::uint64_t shipped, std::uint64_t in_bytes, int procs,
+               double factor) {
+            double cost = proc_.runtime().costModel().drainFlush(
+                static_cast<std::size_t>(shipped), procs);
+            if (storage::transformHasCompress(config_.transform))
+                cost += proc_.runtime().costModel().transformCompress(
+                    static_cast<std::size_t>(in_bytes));
+            return cost * factor;
         });
     if (wait > 0.0)
         proc_.sleepFor(wait);
@@ -513,8 +546,23 @@ Scr::tryFetchFromPrefix(const std::string &name)
                                         rank()));
     const std::string dst =
         datasetDir(config_, restartDataset_, rank()) + "/" + name;
-    if (!store_.copy(src, dst))
+    if (storage::transformHasCompress(config_.transform)) {
+        // The prefix copy is a compress envelope: decode it back into
+        // the cache. A malformed envelope fails the fetch softly, like
+        // a lost prefix copy (the SDC ladder keeps walking).
+        const storage::Blob envelope = storage::fetch(store_, src);
+        if (!envelope)
+            return false;
+        const storage::Blob raw =
+            storage::compressDecode(envelope, /*checked=*/true);
+        if (!raw)
+            return false;
+        proc_.sleepFor(proc_.runtime().costModel().transformDecompress(
+            raw.size()));
+        store_.write(dst, storage::Blob(raw));
+    } else if (!store_.copy(src, dst)) {
         return false;
+    }
     if (config_.sdcChecks)
         store_.copy(src + ".crc32c", dst + ".crc32c");
     return true;

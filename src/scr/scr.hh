@@ -41,6 +41,7 @@
 #include "src/simmpi/proc.hh"
 #include "src/storage/backend.hh"
 #include "src/storage/drain.hh"
+#include "src/storage/transform.hh"
 
 namespace match::scr
 {
@@ -87,6 +88,15 @@ struct ScrConfig
      *  unverified (parity does not cover sidecars). Verification time
      *  is priced via CostModel::scrubVerify. */
     bool sdcChecks = false;
+
+    /** Checkpoint data-reduction chain. SCR applications write their
+     *  own files, so only the compress stage applies here: flush jobs
+     *  RLE-compress each routed data file before shipping it to the
+     *  prefix directory (integrity sidecars travel verbatim), and
+     *  SCR_Fetch decompresses on the way back into the cache. Delta
+     *  kinds degrade to their compress half. None ships raw bytes
+     *  bit-identical to the pre-transform code. */
+    storage::TransformKind transform = storage::TransformKind::None;
 
     /** Storage backend for SCR's own traffic (markers, redundancy
      *  copies, parity, flushes). Null selects the shared DiskBackend.

@@ -176,6 +176,21 @@ struct CostParams
 
     /** Fixed per-scrub software cost (metadata walk + open/close). */
     double scrubBaseCost = 1.0e-3;
+
+    // --- Checkpoint data reduction (blob transforms) --------------------
+    /** Dirty-block scan throughput of the differential-checkpoint
+     *  encoder: a memcmp stream over the new and previous images, so
+     *  slightly above single-stream memory bandwidth is right. */
+    double deltaScanBw = 8.0e9;
+
+    /** Drain-stage compression throughput per process. RLE-class codecs
+     *  run near 1 GB/s/core; the rank pays this on the drain channel,
+     *  overlapping compute like the flush itself. */
+    double compressBw = 1.2e9;
+
+    /** Decompression throughput (decode is branchier than a scan but
+     *  cheaper than encode's run detection). */
+    double decompressBw = 3.0e9;
 };
 
 /** Prices simulated operations in virtual seconds. */
@@ -268,6 +283,31 @@ class CostModel
     {
         return params_.scrubBaseCost +
                static_cast<double>(bytes) / params_.sdcVerifyBw;
+    }
+
+    /** Seconds for one rank to dirty-scan `bytes` of freshly
+     *  serialized image against the previous epoch's image (the
+     *  differential-checkpoint encoder; paid inline at checkpoint). */
+    SimTime
+    transformDelta(std::size_t bytes) const
+    {
+        return static_cast<double>(bytes) / params_.deltaScanBw;
+    }
+
+    /** Seconds for one rank to compress `bytes` in the drain stage
+     *  (charged on the drain channel, overlapping compute). */
+    SimTime
+    transformCompress(std::size_t bytes) const
+    {
+        return static_cast<double>(bytes) / params_.compressBw;
+    }
+
+    /** Seconds for one rank to decompress back to `bytes` of raw data
+     *  (paid inline on the recovery read path). */
+    SimTime
+    transformDecompress(std::size_t bytes) const
+    {
+        return static_cast<double>(bytes) / params_.decompressBw;
     }
 
     /** Time from a process death until survivors can observe it. */

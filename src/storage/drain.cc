@@ -1,5 +1,6 @@
 #include "src/storage/drain.hh"
 
+#include <atomic>
 #include <utility>
 
 #include "src/util/logging.hh"
@@ -7,6 +8,11 @@
 
 namespace match::storage
 {
+
+namespace
+{
+std::atomic<std::uint64_t> g_shippedBytes{0};
+}
 
 const char *
 drainModeName(DrainMode mode)
@@ -16,6 +22,12 @@ drainModeName(DrainMode mode)
       case DrainMode::Async: return "async";
     }
     return "unknown";
+}
+
+std::uint64_t
+drainGlobalShippedBytes()
+{
+    return g_shippedBytes.load(std::memory_order_relaxed);
 }
 
 DrainWorker::DrainWorker(DrainMode mode, std::size_t queueDepth,
@@ -46,10 +58,12 @@ DrainWorker::enqueue(Job job, std::size_t bytes)
             util::PhaseScope phase(util::Phase::Drain);
             value = job();
         }
+        g_shippedBytes.fetch_add(value, std::memory_order_relaxed);
         std::lock_guard<std::mutex> lock(mutex_);
         const Ticket ticket = nextTicket_++;
         results_.emplace(ticket, value);
         ++completed_;
+        shippedBytes_ += value;
         return ticket;
     }
     std::unique_lock<std::mutex> lock(mutex_);
@@ -139,6 +153,13 @@ DrainWorker::stagedBytes() const
     return stagedBytes_;
 }
 
+std::uint64_t
+DrainWorker::shippedBytes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return shippedBytes_;
+}
+
 void
 DrainWorker::workerLoop()
 {
@@ -164,11 +185,13 @@ DrainWorker::workerLoop()
             util::PhaseScope phase(util::Phase::Drain);
             value = queued.job();
         }
+        g_shippedBytes.fetch_add(value, std::memory_order_relaxed);
         lock.lock();
         running_ = false;
         stagedBytes_ -= queued.bytes;
         results_.emplace(queued.ticket, value);
         ++completed_;
+        shippedBytes_ += value;
         doneCv_.notify_all();
     }
 }

@@ -65,6 +65,11 @@ enum class DrainMode
 /** Lower-case label ("sync", "async") for logs and perf records. */
 const char *drainModeName(DrainMode mode);
 
+/** Process-wide sum of every drain job's return value (bytes shipped),
+ *  across all workers and threads. Benches snapshot-and-diff this
+ *  around a measured region to prove a transform's byte reduction. */
+std::uint64_t drainGlobalShippedBytes();
+
 /** Background flush-job executor attached to one storage backend. */
 class DrainWorker
 {
@@ -138,6 +143,11 @@ class DrainWorker
      *  included) — the burst buffer's current fill. */
     std::size_t stagedBytes() const;
 
+    /** Sum of every completed job's return value — with the flush-job
+     *  convention of returning bytes actually shipped, the worker's
+     *  cumulative PFS traffic. */
+    std::uint64_t shippedBytes() const;
+
   private:
     struct QueuedJob
     {
@@ -162,6 +172,7 @@ class DrainWorker
     Ticket nextTicket_ = 1;
     std::uint64_t completed_ = 0;
     std::uint64_t discarded_ = 0;
+    std::uint64_t shippedBytes_ = 0;
     bool running_ = false; ///< a job is executing right now
     bool stopping_ = false;
     bool workerStarted_ = false;
@@ -189,15 +200,21 @@ class DrainChannel
         int procs = 0;
         double factor = 1.0; ///< client cost multiplier at enqueue
         std::uint64_t bytes = 0; ///< virtual burst-buffer footprint
+        std::uint64_t inBytes = 0; ///< virtual bytes entering the stage
     };
 
     /** Record an admitted job; stamp() prices its enqueue instant once
-     *  the client has charged the staging cost. */
+     *  the client has charged the staging cost. `inBytes` is the
+     *  virtual size of the staged object *before* any drain-stage
+     *  transform, so the price callback can charge transform CPU on
+     *  the input while charging the flush on the (smaller) shipped
+     *  output. */
     void
     admit(DrainWorker::Ticket ticket, int procs, double factor = 1.0,
-          std::uint64_t bytes = 0)
+          std::uint64_t bytes = 0, std::uint64_t inBytes = 0)
     {
-        pending_.push_back(Pending{ticket, 0.0, procs, factor, bytes});
+        pending_.push_back(
+            Pending{ticket, 0.0, procs, factor, bytes, inBytes});
     }
 
     /** Stamp the newest admitted job's virtual enqueue instant. */
@@ -207,8 +224,9 @@ class DrainChannel
      * Quiesce point: wall-block on the worker until every admitted job
      * ran, fold the pending jobs into the channel in enqueue order —
      * job j starts at max(enqueue instant, finish of job j-1) and runs
-     * for price(shipped, procs, factor) — and return the virtual wait
-     * the rank still owes (0 when the drain fully overlapped).
+     * for price(shipped, inBytes, procs, factor) — and return the
+     * virtual wait the rank still owes (0 when the drain fully
+     * overlapped).
      *
      * Every folded quantity is a deterministic function of the client
      * data, never of the worker's wall-clock schedule.
@@ -286,8 +304,8 @@ class DrainChannel
     {
         for (const Pending &pending : pending_) {
             const std::uint64_t shipped = worker.wait(pending.ticket);
-            const double cost =
-                price(shipped, pending.procs, pending.factor);
+            const double cost = price(shipped, pending.inBytes,
+                                      pending.procs, pending.factor);
             finish_ = (finish_ > pending.enqueuedAt
                            ? finish_
                            : pending.enqueuedAt) +

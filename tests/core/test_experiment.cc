@@ -412,6 +412,12 @@ TEST(Experiment, ConfigKeyDistinguishesFailureScenarioAxes)
     auto capped = base;
     capped.drainCapacityBytes = std::size_t{1} << 20;
     EXPECT_NE(configKey(capped), key);
+    auto transformed = base;
+    transformed.transform = storage::TransformKind::Delta;
+    EXPECT_NE(configKey(transformed), key);
+    auto rebased = transformed;
+    rebased.deltaRebase = 3;
+    EXPECT_NE(configKey(rebased), configKey(transformed));
     auto traced = base;
     traced.failureModel = ft::FailureModelKind::Trace;
     traced.traceEvents = {{3, 1, ft::FailureKind::Crash}};

@@ -115,6 +115,23 @@ TEST(GridSpec, StrideAndLevelAxesExpand)
     EXPECT_EQ(cells[2].ckptStride, 10);
 }
 
+TEST(GridSpec, TransformAxisExpandsInnermost)
+{
+    GridSpec spec = smallSpec("transform-axis");
+    spec.scales = {4};
+    spec.designs = {Design::ReinitFti};
+    spec.transforms = {storage::TransformKind::None,
+                       storage::TransformKind::Delta};
+    spec.deltaRebase = 3;
+    const auto cells = spec.enumerate();
+    ASSERT_EQ(cells.size(), 2u);
+    EXPECT_EQ(cells[0].transform, storage::TransformKind::None);
+    EXPECT_EQ(cells[1].transform, storage::TransformKind::Delta);
+    for (const auto &cell : cells)
+        EXPECT_EQ(cell.deltaRebase, 3);
+    EXPECT_NE(configKey(cells[0]), configKey(cells[1]));
+}
+
 TEST(GridRunner, ParallelRunIsBitIdenticalToSerial)
 {
     const GridSpec spec = smallSpec("determinism");

@@ -399,7 +399,9 @@ TEST(DrainChannel, ReservePricesCapacityEvictionDeterministically)
     // remains), so the stall runs to the second occupant's finish.
     DrainWorker worker(DrainMode::Sync, 0);
     storage::DrainChannel channel;
-    const auto price = [](std::uint64_t, int, double) { return 10.0; };
+    const auto price = [](std::uint64_t, std::uint64_t, int, double) {
+        return 10.0;
+    };
     for (int i = 0; i < 3; ++i) {
         const auto ticket =
             worker.enqueue([]() -> std::uint64_t { return 40; });
