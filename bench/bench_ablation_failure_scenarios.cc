@@ -17,7 +17,13 @@
  *    --sdc-checks (plus a periodic scrub), no corruption injected;
  *  - burst-buffer capacity pressure: L4 checkpoints at a dense stride
  *    under a shrinking --drain-capacity, showing the priced admission
- *    stalls grow as the buffer shrinks.
+ *    stalls grow as the buffer shrinks;
+ *  - storage-tier faults: the same injected cell swept over the
+ *    storage-fault engine (off, transient faults the retry policy
+ *    rides out, a persistent PFS outage survived by L4->L3
+ *    degradation), with the process-global fault counters per
+ *    scenario, plus a fault-trace round-trip (generated plan ->
+ *    serialize -> file -> replay must be bit-identical).
  *
  * Writes BENCH_ablation_failure_scenarios.json (per-scenario rows) into
  * --perf-dir for CI's perf-trajectory artifact.
@@ -260,6 +266,150 @@ main(int argc, char **argv)
                 "no failures) ---\n%s\n",
                 pressure_table.toString().c_str());
 
+    // Storage-tier faults: one injected L4 cell per design, swept over
+    // the fault engine. Transient windows (strikes <= retry limit) must
+    // complete via priced retries; the persistent PFS outage must
+    // complete via L4->L3 degradation and skipped flushes — never a
+    // fatal error while a healthy tier remains. Counters are
+    // snapshot-diffed per scenario, so each row shows what its grid
+    // actually injected and survived.
+    struct FaultScenario
+    {
+        const char *name;
+        int windows = 0;
+        double pfsBias = 0.75;
+        int strikes = 2;
+    };
+    const std::vector<FaultScenario> fault_scenarios = {
+        {"faults-off", 0},
+        {"transient", 2, 0.75, 2},
+        {"pfs-outage", 3, 1.0, 99},
+    };
+    struct FaultRow
+    {
+        const FaultScenario *scenario;
+        storage::FaultStats stats;
+        std::vector<ExperimentConfig> cells;
+        std::vector<core::ExperimentResult> results;
+    };
+    std::vector<FaultRow> fault_rows;
+    util::Table fault_table({"Scenario", "Design", "WriteCkpt(s)",
+                             "Recovery(s)", "Total(s)", "Recoveries"});
+    for (const FaultScenario &scenario : fault_scenarios) {
+        FaultRow row;
+        row.scenario = &scenario;
+        for (ft::Design design : ft::allDesigns) {
+            ExperimentConfig cell = baseCell(options);
+            cell.nprocs = scales.front();
+            cell.design = design;
+            cell.ckptLevel = 4;
+            cell.ckptStride = 5;
+            cell.storageFaultWindows = scenario.windows;
+            cell.storageFaultPfsBias = scenario.pfsBias;
+            cell.storageFaultStrikes = scenario.strikes;
+            row.cells.push_back(std::move(cell));
+        }
+        const storage::FaultStats before = storage::faultGlobalStats();
+        row.results = runner.run(row.cells);
+        const storage::FaultStats after = storage::faultGlobalStats();
+        row.stats.injectedReadFaults =
+            after.injectedReadFaults - before.injectedReadFaults;
+        row.stats.injectedWriteFaults =
+            after.injectedWriteFaults - before.injectedWriteFaults;
+        row.stats.tornWrites = after.tornWrites - before.tornWrites;
+        row.stats.enospcHits = after.enospcHits - before.enospcHits;
+        row.stats.pricedRetries =
+            after.pricedRetries - before.pricedRetries;
+        row.stats.latencySpikes =
+            after.latencySpikes - before.latencySpikes;
+        row.stats.degradedCkpts =
+            after.degradedCkpts - before.degradedCkpts;
+        row.stats.skippedEpochs =
+            after.skippedEpochs - before.skippedEpochs;
+        row.stats.failedFlushes =
+            after.failedFlushes - before.failedFlushes;
+        for (std::size_t i = 0; i < row.cells.size(); ++i) {
+            const ft::Breakdown &mean = row.results[i].mean;
+            fault_table.addRow(
+                {scenario.name, ft::designName(row.cells[i].design),
+                 util::Table::cell(mean.ckptWrite),
+                 util::Table::cell(mean.recovery),
+                 util::Table::cell(mean.total()),
+                 std::to_string(mean.recoveries)});
+        }
+        fault_rows.push_back(std::move(row));
+    }
+    std::printf("--- Storage-tier faults (L4, stride 5, one injected "
+                "process failure) ---\n%s",
+                fault_table.toString().c_str());
+    for (const FaultRow &row : fault_rows) {
+        std::printf("%-12s injected r/w/torn/enospc %llu/%llu/%llu/%llu, "
+                    "priced retries %llu, spikes %llu, degraded %llu, "
+                    "skipped %llu, failed flushes %llu\n",
+                    row.scenario->name,
+                    static_cast<unsigned long long>(
+                        row.stats.injectedReadFaults),
+                    static_cast<unsigned long long>(
+                        row.stats.injectedWriteFaults),
+                    static_cast<unsigned long long>(row.stats.tornWrites),
+                    static_cast<unsigned long long>(row.stats.enospcHits),
+                    static_cast<unsigned long long>(
+                        row.stats.pricedRetries),
+                    static_cast<unsigned long long>(
+                        row.stats.latencySpikes),
+                    static_cast<unsigned long long>(
+                        row.stats.degradedCkpts),
+                    static_cast<unsigned long long>(
+                        row.stats.skippedEpochs),
+                    static_cast<unsigned long long>(
+                        row.stats.failedFlushes));
+    }
+
+    // Storage-fault trace round-trip, mirroring the failure-trace check
+    // above: the plan runExperiment would draw for run 0, pushed
+    // through the trace format and replayed verbatim, must reproduce
+    // the drawn-plan run bit-for-bit.
+    ExperimentConfig fault_gen = baseCell(options);
+    fault_gen.nprocs = scales.front();
+    fault_gen.design = ft::Design::RestartFti;
+    fault_gen.ckptLevel = 4;
+    fault_gen.ckptStride = 5;
+    fault_gen.runs = 1;
+    fault_gen.storageFaultWindows = 3;
+    fault_gen.storageFaultStrikes = 2;
+    const storage::StorageFaultPlan fault_plan =
+        core::storageFaultPlanFor(fault_gen, 0);
+    const std::string fault_trace_path =
+        options.sandboxDir + "/ablation-storage-faults.trace";
+    storage::writeFaultTraceFile(fault_trace_path, fault_plan.windows);
+    const std::vector<storage::FaultWindow> fault_replayed =
+        storage::readFaultTraceFile(fault_trace_path);
+    const bool fault_format_ok =
+        fault_replayed == fault_plan.windows &&
+        storage::parseFaultTrace(
+            storage::serializeFaultTrace(fault_plan.windows)) ==
+            fault_plan.windows;
+    ExperimentConfig fault_replay = fault_gen;
+    fault_replay.storageFaultTrace = fault_replayed;
+    const ft::Breakdown fgen_bd = core::runExperiment(fault_gen).mean;
+    const ft::Breakdown frep_bd = core::runExperiment(fault_replay).mean;
+    const bool fault_replay_ok =
+        fault_format_ok && fgen_bd.application == frep_bd.application &&
+        fgen_bd.ckptWrite == frep_bd.ckptWrite &&
+        fgen_bd.ckptRead == frep_bd.ckptRead &&
+        fgen_bd.recovery == frep_bd.recovery &&
+        fgen_bd.recoveries == frep_bd.recoveries;
+    std::printf("storage-fault trace round-trip: %zu windows, format "
+                "%s, replay %s (generated total %.6fs, replayed total "
+                "%.6fs)\n\n",
+                fault_plan.windows.size(),
+                fault_format_ok ? "identical" : "DIVERGED",
+                fault_replay_ok ? "bit-identical" : "DIVERGED",
+                fgen_bd.total(), frep_bd.total());
+    if (!fault_replay_ok)
+        util::warn("storage-fault trace replay diverged from the "
+                   "generated plan");
+
     // Perf record: per-scenario rows for CI's trajectory artifact.
     std::filesystem::create_directories(options.perfDir);
     const std::string json_path =
@@ -310,11 +460,54 @@ main(int argc, char **argv)
             pressure[i].mean.ckptWrite, pressure[i].mean.total(),
             i + 1 == capacities.size() ? "" : ",");
     }
+    std::fprintf(out,
+                 "  ],\n"
+                 "  \"storageFaultTraceIdentical\": %s,\n"
+                 "  \"storageFaultReplayBitIdentical\": %s,\n"
+                 "  \"storageFaultTraceWindows\": %zu,\n"
+                 "  \"storageFaults\": [\n",
+                 fault_format_ok ? "true" : "false",
+                 fault_replay_ok ? "true" : "false",
+                 fault_plan.windows.size());
+    for (std::size_t i = 0; i < fault_rows.size(); ++i) {
+        const FaultRow &row = fault_rows[i];
+        double total = 0.0;
+        int recoveries = 0;
+        for (const core::ExperimentResult &result : row.results) {
+            total += result.mean.total();
+            recoveries += result.mean.recoveries;
+        }
+        std::fprintf(
+            out,
+            "    {\"scenario\": \"%s\", \"windows\": %d, "
+            "\"pfsBias\": %.3f, \"strikes\": %d, "
+            "\"meanTotalSum\": %.9f, \"recoveries\": %d, "
+            "\"injectedReadFaults\": %llu, "
+            "\"injectedWriteFaults\": %llu, \"tornWrites\": %llu, "
+            "\"enospcHits\": %llu, \"pricedRetries\": %llu, "
+            "\"latencySpikes\": %llu, \"degradedCkpts\": %llu, "
+            "\"skippedEpochs\": %llu, \"failedFlushes\": %llu}%s\n",
+            row.scenario->name, row.scenario->windows,
+            row.scenario->pfsBias, row.scenario->strikes, total,
+            recoveries,
+            static_cast<unsigned long long>(
+                row.stats.injectedReadFaults),
+            static_cast<unsigned long long>(
+                row.stats.injectedWriteFaults),
+            static_cast<unsigned long long>(row.stats.tornWrites),
+            static_cast<unsigned long long>(row.stats.enospcHits),
+            static_cast<unsigned long long>(row.stats.pricedRetries),
+            static_cast<unsigned long long>(row.stats.latencySpikes),
+            static_cast<unsigned long long>(row.stats.degradedCkpts),
+            static_cast<unsigned long long>(row.stats.skippedEpochs),
+            static_cast<unsigned long long>(row.stats.failedFlushes),
+            i + 1 == fault_rows.size() ? "" : ",");
+    }
     std::fprintf(out, "  ]\n}\n");
     std::fclose(out);
     std::printf("perf: wrote %s\n", json_path.c_str());
     const int quarantined = reportCellFailures(timing);
-    if (!replay_ok)
+    if (!replay_ok || !fault_replay_ok)
         return 1;
     return gridExitCode(options, quarantined);
 }

@@ -192,6 +192,28 @@ BenchOptions::parse(int argc, char **argv)
         } else if (arg == "--scrub-stride" && i + 1 < argc) {
             options.scrubStride = static_cast<int>(
                 parseIntFlag("--scrub-stride", argv[++i], 0));
+        } else if (arg == "--storage-fault-windows" && i + 1 < argc) {
+            options.storageFaultWindows = static_cast<int>(
+                parseIntFlag("--storage-fault-windows", argv[++i], 0));
+        } else if (arg == "--storage-fault-pfs-bias" && i + 1 < argc) {
+            options.storageFaultPfsBias = parseDoubleFlag(
+                "--storage-fault-pfs-bias", argv[++i], 0.0);
+        } else if (arg == "--storage-fault-mean-epochs" && i + 1 < argc) {
+            options.storageFaultMeanEpochs = static_cast<int>(parseIntFlag(
+                "--storage-fault-mean-epochs", argv[++i], 1));
+        } else if (arg == "--storage-fault-strikes" && i + 1 < argc) {
+            options.storageFaultStrikes = static_cast<int>(
+                parseIntFlag("--storage-fault-strikes", argv[++i], 1));
+        } else if (arg == "--storage-fault-trace" && i + 1 < argc) {
+            options.storageFaultTrace =
+                storage::readFaultTraceFile(argv[++i]);
+            // A replayed trace engages the engine even without an
+            // explicit window count (the draws are skipped anyway).
+            if (options.storageFaultWindows == 0)
+                options.storageFaultWindows = 1;
+        } else if (arg == "--io-retry-limit" && i + 1 < argc) {
+            options.ioRetryLimit = static_cast<int>(
+                parseIntFlag("--io-retry-limit", argv[++i], 0));
         } else if (arg == "--transform" && i + 1 < argc) {
             const std::string name = argv[++i];
             if (!storage::parseTransformKind(name, options.transform)) {
@@ -222,6 +244,11 @@ BenchOptions::parse(int argc, char **argv)
                 "[--cascade-prob P] [--corrupt-fraction F] "
                 "[--sdc-checks] [--scrub-stride N] "
                 "[--transform none|delta|compress|delta+compress] "
+                "[--storage-fault-windows N] "
+                "[--storage-fault-pfs-bias P] "
+                "[--storage-fault-mean-epochs N] "
+                "[--storage-fault-strikes N] "
+                "[--storage-fault-trace FILE] [--io-retry-limit N] "
                 "[--perf] [--perf-dir DIR]\n"
                 "  --jobs N  grid worker threads (default: hardware "
                 "concurrency; output is identical for any N)\n"
@@ -258,6 +285,24 @@ BenchOptions::parse(int argc, char **argv)
                 "none; delta = differential checkpoints vs the "
                 "previous epoch, compress = RLE on L4 drain traffic; "
                 "virtual-result axis, part of the cache key)\n"
+                "  --storage-fault-windows N  deterministic storage-"
+                "tier fault windows per run (default 0 = off; see "
+                "bench/FAULTS.md; virtual-result axis, part of the "
+                "cache key)\n"
+                "  --storage-fault-pfs-bias P  probability a drawn "
+                "window targets the PFS tier (default 0.75)\n"
+                "  --storage-fault-mean-epochs N  mean fault-window "
+                "length in checkpoint epochs (default 2)\n"
+                "  --storage-fault-strikes N  failing attempts per "
+                "(window, path) before the tier heals; more than "
+                "--io-retry-limit models a persistent outage "
+                "(default 2)\n"
+                "  --storage-fault-trace FILE  replay a storage-fault "
+                "trace verbatim (see bench/FAULTS.md; engages the "
+                "engine)\n"
+                "  --io-retry-limit N  checkpoint clients' bounded "
+                "retry budget on storage errors (default 3; backoff "
+                "priced in virtual time)\n"
                 "  --cell-timeout SECS|auto  wall-clock watchdog per "
                 "cell attempt (auto: 5x the grid's completed-cell p99; "
                 "0 disables; wall-clock only, never in the cache key)\n"
@@ -308,6 +353,12 @@ BenchOptions::baseSpec() const
     spec.scrubStride = scrubStride;
     spec.drainCapacityBytes = drainCapacityBytes;
     spec.transforms = {transform};
+    spec.storageFaultWindows = storageFaultWindows;
+    spec.storageFaultPfsBias = storageFaultPfsBias;
+    spec.storageFaultMeanEpochs = storageFaultMeanEpochs;
+    spec.storageFaultStrikes = storageFaultStrikes;
+    spec.storageFaultTrace = storageFaultTrace;
+    spec.ioRetryLimit = ioRetryLimit;
     return spec;
 }
 

@@ -121,6 +121,24 @@ struct BenchOptions
     storage::TransformKind transform = storage::TransformKind::None;
     /// @}
 
+    /// @name Storage-fault engine (virtual-result axes; bench/FAULTS.md).
+    /// @{
+    /** --storage-fault-windows N: per-run fault windows (0 = off). */
+    int storageFaultWindows = 0;
+    /** --storage-fault-pfs-bias P: probability a window hits the PFS. */
+    double storageFaultPfsBias = 0.75;
+    /** --storage-fault-mean-epochs N: mean window length in epochs. */
+    int storageFaultMeanEpochs = 2;
+    /** --storage-fault-strikes N: failing attempts per (window, path)
+     *  before the tier heals; > --io-retry-limit is persistent. */
+    int storageFaultStrikes = 2;
+    /** --storage-fault-trace FILE: replay a fault trace verbatim
+     *  (implies one engaged window; see storage::readFaultTraceFile). */
+    std::vector<storage::FaultWindow> storageFaultTrace;
+    /** --io-retry-limit N: checkpoint clients' bounded retry budget. */
+    int ioRetryLimit = 3;
+    /// @}
+
     static BenchOptions parse(int argc, char **argv);
 
     /** A GridSpec carrying these options' shared fields (apps, runs,

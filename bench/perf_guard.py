@@ -13,9 +13,18 @@ under bench/baseline/:
    The checkpoint-transform sweep rows (shipped PFS bytes and the
    per-stage bytesIn/bytesOut encoder counters per transform kind,
    lower is better; deltaShippedBytesReduction, higher is better) are
-   extracted too — today's committed baseline predates them, so they
-   report as "new metric (no baseline)" and are warn-only until a
-   baseline carrying a "transforms" section is committed.
+   enforced too: the committed baseline carries a "transforms"
+   section, and the counters are deterministic per configuration, so
+   any shipped-byte growth is a real encoder regression.
+ - BENCH_ablation_failure_scenarios.json: storage-fault scenario
+   counters (priced retries, demoted checkpoints, failed flushes) and
+   mean virtual totals — all pure functions of the configuration, so
+   any drift vs baseline is a real robustness regression, not runner
+   noise. Warn-only until a baseline carrying a "storageFaults"
+   section is committed. Two hard contracts need no baseline: the
+   drawn fault plan must replay bit-identically through the trace
+   format, and the faults-off scenario must report zero fault-engine
+   activity.
  - BENCH_micro_rs_*.json (google-benchmark format): bytes_per_second of
    every BM_RsEncode row (the encode MB/s trajectory).
  - BENCH_micro_runtime.json (google-benchmark format): items_per_second
@@ -108,6 +117,67 @@ def transform_byte_metrics(record):
                     metrics["%s.%s[transform=%s]"
                             % (stage, counter, kind)] = value
     return metrics
+
+
+def storage_fault_metrics(record):
+    """(name, count) storage-fault engine counters of the failure
+    ablation — lower is better. Every counter is a pure function of
+    the configuration (virtual-result determinism), so any growth is a
+    real robustness regression: more retries burned, more checkpoints
+    demoted, more flushes lost under the identical fault schedule."""
+    metrics = {}
+    for row in record.get("storageFaults", []):
+        scenario = row.get("scenario")
+        if scenario == "faults-off":
+            # All-zero by the bit-identity contract; covered by the
+            # contract check below, not a ratio.
+            continue
+        metrics["meanTotalSum[faults=%s]" % scenario] = \
+            row.get("meanTotalSum", 0.0)
+        for counter in ("pricedRetries", "latencySpikes",
+                        "degradedCkpts", "skippedEpochs",
+                        "failedFlushes"):
+            value = row.get(counter)
+            if value:
+                metrics["%s[faults=%s]" % (counter, scenario)] = value
+    return metrics
+
+
+def storage_fault_contract_failures(record):
+    """Hard storage-fault contracts of the failure ablation, checked
+    on the current record alone (no baseline needed): the drawn fault
+    plan must round-trip through the trace format and replay
+    bit-identically, and the faults-off scenario must report zero
+    engine activity (the undecorated fast path)."""
+    failures = []
+    for flag in ("storageFaultTraceIdentical",
+                 "storageFaultReplayBitIdentical"):
+        value = record.get(flag)
+        if value is None:
+            continue
+        if value:
+            print("  + %-55s true" % flag)
+        else:
+            print("  ! %-55s FALSE" % flag)
+            failures.append(
+                "BENCH_ablation_failure_scenarios.json: %s is false "
+                "(fault schedule not replayable)" % flag)
+    for row in record.get("storageFaults", []):
+        if row.get("scenario") != "faults-off":
+            continue
+        dirty = [k for k, v in row.items()
+                 if isinstance(v, (int, float)) and v and
+                 k.startswith(("injected", "torn", "enospc", "priced",
+                               "latency", "degraded", "skipped",
+                               "failed"))]
+        if dirty:
+            print("  ! faults-off scenario has nonzero counters: %s"
+                  % ", ".join(sorted(dirty)))
+            failures.append(
+                "BENCH_ablation_failure_scenarios.json: faults-off "
+                "scenario touched the fault engine (%s)"
+                % ", ".join(sorted(dirty)))
+    return failures
 
 
 def micro_metrics(record):
@@ -204,6 +274,9 @@ def main():
             (transform_reduction_metrics, False, 0.0),
             (transform_byte_metrics, True, 0.0),
         ],
+        "BENCH_ablation_failure_scenarios.json": [
+            (storage_fault_metrics, True, 0.0),
+        ],
         "BENCH_micro_rs_auto.json": [(micro_metrics, False, 0.0)],
         "BENCH_micro_rs_scalar.json": [(micro_metrics, False, 0.0)],
         "BENCH_micro_runtime.json": [(runtime_metrics, False, 0.0)],
@@ -233,6 +306,9 @@ def main():
                                        floor=floor)
         if name == "BENCH_micro_runtime.json":
             record_failures += alloc_contract_failures(cur_record)
+        if name == "BENCH_ablation_failure_scenarios.json":
+            record_failures += \
+                storage_fault_contract_failures(cur_record)
         # A degraded grid (quarantined cells) produces throughput
         # numbers that measure the failure handling, not the code under
         # guard: warn — loudly — instead of failing, so one poisoned

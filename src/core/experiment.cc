@@ -52,6 +52,12 @@ noiseFactor(util::Rng &rng, double sigma)
     return 1.0 + sigma * (rng.uniform(-1.0, 1.0) + rng.uniform(-1.0, 1.0));
 }
 
+/** Dedicated RNG stream for the storage-fault plan: the per-run default
+ *  stream keeps feeding the process-failure schedule and noise model
+ *  draw-for-draw, so turning storage faults on or off never perturbs
+ *  them. */
+constexpr std::uint64_t kStorageFaultStream = 0x5fa17ULL;
+
 } // anonymous namespace
 
 std::string
@@ -73,13 +79,18 @@ configKey(const ExperimentConfig &config)
                            static_cast<int>(config.failureModel),
                            config.sdcChecks ? 1 : 0, config.scrubStride,
                            static_cast<int>(config.transform),
-                           config.deltaRebase};
+                           config.deltaRebase,
+                           config.storageFaultWindows,
+                           config.storageFaultMeanEpochs,
+                           config.storageFaultStrikes,
+                           config.ioRetryLimit};
     mix(scalars, sizeof(scalars));
     mix(&config.seed, sizeof(config.seed));
     mix(&config.noiseSigma, sizeof(config.noiseSigma));
     const double model_doubles[] = {config.meanFailures,
                                     config.cascadeProb,
-                                    config.corruptFraction};
+                                    config.corruptFraction,
+                                    config.storageFaultPfsBias};
     mix(model_doubles, sizeof(model_doubles));
     const auto capacity =
         static_cast<std::uint64_t>(config.drainCapacityBytes);
@@ -87,6 +98,13 @@ configKey(const ExperimentConfig &config)
     for (const ft::FailureEvent &event : config.traceEvents) {
         const int fields[] = {event.iteration, event.rank,
                               static_cast<int>(event.kind)};
+        mix(fields, sizeof(fields));
+    }
+    for (const storage::FaultWindow &window : config.storageFaultTrace) {
+        const int fields[] = {window.firstEpoch, window.lastEpoch,
+                              static_cast<int>(window.cls),
+                              static_cast<int>(window.kind),
+                              window.strikes};
         mix(fields, sizeof(fields));
     }
     // CostParams is all doubles (no padding): hash it raw.
@@ -206,6 +224,26 @@ throwIfCancelled(const ExperimentConfig &config)
 
 } // anonymous namespace
 
+storage::StorageFaultPlan
+storageFaultPlanFor(const ExperimentConfig &config, int run)
+{
+    storage::StorageFaultConfig fc;
+    fc.windows = config.storageFaultWindows;
+    fc.pfsBias = config.storageFaultPfsBias;
+    fc.meanEpochs = config.storageFaultMeanEpochs;
+    fc.strikes = config.storageFaultStrikes;
+    fc.trace = config.storageFaultTrace;
+    apps::AppParams params;
+    params.input = config.input;
+    params.nprocs = config.nprocs;
+    params.ckptStride = config.ckptStride;
+    const int epochs = std::max(
+        1, apps::findApp(config.app).loopIterations(params) /
+               std::max(1, config.ckptStride));
+    util::Rng rng(cellSeed(config, run), kStorageFaultStream);
+    return storage::generatePlan(fc, epochs, rng);
+}
+
 std::uint64_t
 experimentComputeCount()
 {
@@ -255,12 +293,17 @@ runExperiment(const ExperimentConfig &config)
     ft::Breakdown base; // reused for failure-free runs (deterministic)
     bool have_base = false;
 
+    // Storage-fault plans are drawn per run (like failure schedules),
+    // so the failure-free base-run shortcut below is only sound when
+    // the fault engine is off.
+    const bool storage_faults = config.storageFaultWindows != 0;
+
     for (int run = 0; run < config.runs; ++run) {
         throwIfCancelled(config);
         util::Rng rng(cellSeed(config, run));
 
         ft::Breakdown bd;
-        if (!config.injectFailure && have_base) {
+        if (!config.injectFailure && !storage_faults && have_base) {
             bd = base; // identical without noise; skip the re-simulation
         } else {
             apps::AppParams params;
@@ -283,6 +326,17 @@ runExperiment(const ExperimentConfig &config)
             // surviving in-run process failures but never crossing
             // runs.
             drc.ftiConfig.backend = storage::makeBackend(config.storage);
+            if (storage_faults) {
+                // The plan is a pure function of (cell, run) on its own
+                // RNG stream — bit-identical across --jobs counts,
+                // storage backends and drain modes. Faults off installs
+                // no decorator at all: the hot path stays untouched.
+                drc.ftiConfig.backend =
+                    std::make_shared<storage::FaultInjectingBackend>(
+                        drc.ftiConfig.backend,
+                        storageFaultPlanFor(config, run),
+                        config.ioRetryLimit);
+            }
             drc.ftiConfig.drain = std::make_shared<storage::DrainWorker>(
                 config.drain,
                 static_cast<std::size_t>(std::max(config.drainDepth, 0)),

@@ -21,6 +21,7 @@
 #include "src/ft/design.hh"
 #include "src/storage/backend.hh"
 #include "src/storage/drain.hh"
+#include "src/storage/faults.hh"
 #include "src/storage/transform.hh"
 
 namespace match::core
@@ -53,6 +54,29 @@ struct ExperimentConfig
     double corruptFraction = 0.0;
     /** Trace model: the replayed events (see ft::readTraceFile). */
     std::vector<ft::FailureEvent> traceEvents;
+
+    /** Storage-tier fault engine (src/storage/faults.hh). 0 windows
+     *  (the default) leaves the backend undecorated — bit-identical to
+     *  a build without the engine. Non-zero draws that many per-run
+     *  fault windows from a dedicated RNG stream of cellSeed(), so
+     *  schedules are bit-identical across --jobs counts, storage
+     *  backends and drain modes. All of these axes change virtual
+     *  results and are part of configKey(). */
+    int storageFaultWindows = 0;
+    /** Probability a drawn window targets the PFS path class. */
+    double storageFaultPfsBias = 0.75;
+    /** Mean fault-window length in checkpoint epochs. */
+    int storageFaultMeanEpochs = 2;
+    /** Strikes per drawn window: <= ioRetryLimit is transient (retry
+     *  rides it out), larger is a persistent outage (degrade/skip). */
+    int storageFaultStrikes = 2;
+    /** Non-empty: replay this fault trace verbatim instead of drawing
+     *  (storage::readFaultTraceFile); storageFaultWindows must be
+     *  non-zero for the engine to engage. */
+    std::vector<storage::FaultWindow> storageFaultTrace;
+    /** Bounded-retry budget of the checkpoint clients' IoRetryPolicy
+     *  (priced via CostParams::ioRetryBackoffBase). */
+    int ioRetryLimit = 3;
 
     /** SDC hardening: CRC32C verification at recovery with fall-back
      *  to older checkpoints (FtiConfig::sdcChecks). */
@@ -185,6 +209,17 @@ std::string execId(const ExperimentConfig &config, int run);
 /** Exact result-cache key: hashes every field that influences the
  *  result (and nothing else — sandbox/cache paths are excluded). */
 std::string configKey(const ExperimentConfig &config);
+
+/**
+ * The storage-fault plan runExperiment installs for (config, run): a
+ * pure function of the configuration, drawn on a dedicated RNG stream
+ * of cellSeed() so the process-failure schedule and noise draws are
+ * undisturbed. Empty when config.storageFaultWindows is 0. Exposed so
+ * benches and tests can serialize exactly the windows a run saw and
+ * replay them (ExperimentConfig::storageFaultTrace) bit-identically.
+ */
+storage::StorageFaultPlan storageFaultPlanFor(
+    const ExperimentConfig &config, int run);
 
 /**
  * Scaling sizes of an app restricted by Table I (LULESH runs on cube

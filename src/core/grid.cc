@@ -266,6 +266,16 @@ GridSpec::enumerate() const
                                 drainCapacityBytes;
                             config.transform = transform;
                             config.deltaRebase = deltaRebase;
+                            config.storageFaultWindows =
+                                storageFaultWindows;
+                            config.storageFaultPfsBias =
+                                storageFaultPfsBias;
+                            config.storageFaultMeanEpochs =
+                                storageFaultMeanEpochs;
+                            config.storageFaultStrikes =
+                                storageFaultStrikes;
+                            config.storageFaultTrace = storageFaultTrace;
+                            config.ioRetryLimit = ioRetryLimit;
                             cells.push_back(std::move(config));
                           }
                         }

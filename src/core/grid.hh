@@ -117,6 +117,16 @@ struct GridSpec
     int scrubStride = 0;
     std::size_t drainCapacityBytes = 0;
 
+    /** Storage-fault engine axes, copied verbatim into every cell (see
+     *  ExperimentConfig). Virtual-result knobs like the failure-model
+     *  axes above; 0 windows leaves every cell's backend undecorated. */
+    int storageFaultWindows = 0;
+    double storageFaultPfsBias = 0.75;
+    int storageFaultMeanEpochs = 2;
+    int storageFaultStrikes = 2;
+    std::vector<storage::FaultWindow> storageFaultTrace;
+    int ioRetryLimit = 3;
+
     /** Expand the axes into concrete cells (deterministic order). */
     std::vector<ExperimentConfig> enumerate() const;
 };

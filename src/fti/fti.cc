@@ -104,6 +104,12 @@ Fti::Fti(simmpi::Proc &proc, FtiConfig config, simmpi::CommId comm)
     // when checkpoint() returns" behaviour standalone users expect.
     if (!config_.drain)
         config_.drain = std::make_shared<storage::DrainWorker>();
+    // A decorated backend attaches the storage-fault engine: the plan
+    // drives pre-flight degradation queries and the retry pricing. A
+    // plain backend leaves faults_ null and every fault hook compiled
+    // down to a pointer test.
+    faults_ =
+        dynamic_cast<storage::FaultInjectingBackend *>(&store_);
     store_.createDirectories(localDir(config_, proc_.runtime().commRank(
                                                    proc_.globalIndex(),
                                                    comm_)));
@@ -227,14 +233,18 @@ Fti::commitMeta(const MetaInfo &meta)
     }
     const std::string path = metaFile(config_, meta.ckptId);
     const std::string text = ini.toString();
-    store_.writeAtomic(path, text.data(), text.size());
+    ioRetry(
+        [&] { store_.writeAtomic(path, text.data(), text.size()); });
 }
 
 bool
 Fti::loadMeta(int ckpt_id, MetaInfo &meta) const
 {
+    // Retry exhaustion reads as "metadata missing": recovery walks to
+    // an older committed checkpoint instead of aborting on a tier
+    // fault window.
     const storage::Blob text =
-        storage::fetch(store_, metaFile(config_, ckpt_id));
+        fetchRetry(metaFile(config_, ckpt_id), /*checked=*/true);
     if (!text)
         return false;
     util::IniFile ini;
@@ -359,13 +369,65 @@ Fti::ckptFactor() const
     return 1.0;
 }
 
+// ---------------------------------------------------------------------------
+// I/O retry policy
+// ---------------------------------------------------------------------------
+
+int
+Fti::ioRetryLimit() const
+{
+    return faults_ ? faults_->retryLimit()
+                   : storage::kDefaultIoRetryLimit;
+}
+
+template <typename Op>
+auto
+Fti::ioRetry(Op &&op) const -> decltype(op())
+{
+    return storage::withIoRetry(
+        ioRetryLimit(), std::forward<Op>(op), [this](int attempt) {
+            // Each backoff is real (simulated) time on this rank, and
+            // deterministic: the fault plan's strike counters make the
+            // attempt count a pure function of configuration.
+            proc_.sleepFor(
+                proc_.runtime().costModel().ioRetryBackoff(attempt));
+            storage::notePricedRetries(1);
+        });
+}
+
+storage::Blob
+Fti::fetchRetry(const std::string &path, bool checked) const
+{
+    try {
+        return ioRetry([&] { return storage::fetch(store_, path); });
+    } catch (const storage::StorageError &) {
+        if (checked)
+            return storage::Blob(); // rung vote: object unreadable
+        throw;
+    }
+}
+
+bool
+Fti::readRetry(const std::string &path, std::vector<std::uint8_t> &out,
+               bool checked) const
+{
+    try {
+        return ioRetry([&] { return store_.read(path, out); });
+    } catch (const storage::StorageError &) {
+        if (checked)
+            return false;
+        throw;
+    }
+}
+
 void
 Fti::writeLocal(int ckpt_id, const storage::Blob &blob)
 {
     // The constructor created this rank's local directory. The store
     // takes a handle to the sealed snapshot — no payload copy.
     const int rank = proc_.runtime().commRank(proc_.globalIndex(), comm_);
-    store_.write(ckptFile(config_, rank, ckpt_id), storage::Blob(blob));
+    const std::string path = ckptFile(config_, rank, ckpt_id);
+    ioRetry([&] { store_.write(path, storage::Blob(blob)); });
 }
 
 void
@@ -381,8 +443,8 @@ Fti::writePartnerCopy(int ckpt_id, const storage::Blob &blob)
         store_.createDirectories(localDir(config_, holder));
         auxDirsCreated_ = true;
     }
-    store_.write(partnerFile(config_, holder, rank, ckpt_id),
-                 storage::Blob(blob));
+    const std::string path = partnerFile(config_, holder, rank, ckpt_id);
+    ioRetry([&] { store_.write(path, storage::Blob(blob)); });
 }
 
 void
@@ -416,8 +478,12 @@ Fti::encodeGroupParity(int ckpt_id, const MetaInfo &meta)
     std::vector<RsCodec::ShardView> data(k);
     std::vector<storage::Blob> members(k);
     for (int i = 0; i < k; ++i) {
-        members[i] = storage::fetch(
-            store_, ckptFile(config_, group_lo + i, ckpt_id));
+        // checked=true folds retry exhaustion into "missing", which is
+        // fatal here either way; the checkpoint pre-flight demotes L3
+        // when local reads are persistently exhausted, so only a real
+        // loss can trip this.
+        members[i] = fetchRetry(ckptFile(config_, group_lo + i, ckpt_id),
+                                /*checked=*/true);
         if (!members[i])
             util::fatal("L3 encode: missing data file for rank %d",
                         group_lo + i);
@@ -430,8 +496,11 @@ Fti::encodeGroupParity(int ckpt_id, const MetaInfo &meta)
         const int holder = group_lo + p;
         if (!auxDirsCreated_)
             store_.createDirectories(localDir(config_, holder));
-        store_.write(parityFile(config_, holder, ckpt_id),
-                     std::move(parity[p]));
+        const std::string path = parityFile(config_, holder, ckpt_id);
+        // The decorator fails before taking ownership, so the parity
+        // blob survives for the retry.
+        ioRetry(
+            [&] { store_.write(path, std::move(parity[p])); });
     }
     auxDirsCreated_ = true;
 }
@@ -453,9 +522,18 @@ namespace
  */
 std::uint64_t
 pfsFlushJob(const FtiConfig &config, int rank, int ckpt_id,
-            const storage::Blob &blob)
+            const storage::Blob &blob, int retry_limit)
 {
     storage::Backend &store = storage::resolve(config.backend);
+    // Per-object retry: transient fault windows strike each PFS path
+    // independently, so spending the budget per operation (not per
+    // job) is what lets a rideable window actually be ridden out when
+    // the job writes several objects. Wall-clock only — the enqueuing
+    // rank priced the transient strikes at checkpoint entry.
+    const auto retried = [retry_limit](auto &&op) {
+        return storage::withIoRetry(
+            retry_limit, std::forward<decltype(op)>(op), [](int) {});
+    };
     if (config.transform != storage::TransformKind::None) {
         // Transform-enabled flushes write the staged envelope (the
         // delta stage already ran at serialize time) as the whole PFS
@@ -468,21 +546,26 @@ pfsFlushJob(const FtiConfig &config, int rank, int ckpt_id,
             storage::transformHasCompress(config.transform)
                 ? storage::compressEncode(blob)
                 : blob;
-        store.write(Fti::pfsFile(config, rank, ckpt_id),
-                    storage::Blob(out));
+        retried([&] {
+            store.write(Fti::pfsFile(config, rank, ckpt_id),
+                        storage::Blob(out));
+        });
         return out.size();
     }
     const std::string dir = Fti::execDir(config) + "/pfs/diff/rank" +
                             std::to_string(rank);
     store.createDirectories(dir);
     const std::string base = dir + "/base.fti";
-    const storage::Blob base_blob = storage::fetch(store, base);
+    const storage::Blob base_blob =
+        retried([&] { return storage::fetch(store, base); });
     if (!base_blob) {
         // The base image also serves as this checkpoint's PFS copy;
         // both paths share the staged buffer by refcount.
-        store.write(base, storage::Blob(blob));
-        store.write(Fti::pfsFile(config, rank, ckpt_id),
-                    storage::Blob(blob));
+        retried([&] { store.write(base, storage::Blob(blob)); });
+        retried([&] {
+            store.write(Fti::pfsFile(config, rank, ckpt_id),
+                        storage::Blob(blob));
+        });
         return blob.size();
     }
     // Delta vs base, built straight into the stored payload:
@@ -513,8 +596,9 @@ pfsFlushJob(const FtiConfig &config, int rank, int ckpt_id,
     }
     const std::string delta_path =
         dir + "/delta" + std::to_string(ckpt_id) + ".fti";
-    store.write(delta_path,
-                storage::Blob::fromVector(std::move(payload)));
+    const storage::Blob delta_blob =
+        storage::Blob::fromVector(std::move(payload));
+    retried([&] { store.write(delta_path, storage::Blob(delta_blob)); });
     return changed;
 }
 
@@ -551,8 +635,31 @@ Fti::enqueuePfsFlush(int ckpt_id, storage::Blob blob)
     }
     const auto ticket = drain().enqueue(
         [job_config = std::move(job_config), rank, ckpt_id,
-         blob = std::move(blob)]() -> std::uint64_t {
-            return pfsFlushJob(job_config, rank, ckpt_id, blob);
+         blob = std::move(blob),
+         faults = faults_]() -> std::uint64_t {
+            // Bind the epoch the flush was enqueued at: injection then
+            // does not depend on when the drain runs the job (sync,
+            // async, N threads — all see the same windows).
+            storage::FaultEpochScope scope(faults, ckpt_id);
+            const int limit = faults ? faults->retryLimit()
+                                     : storage::kDefaultIoRetryLimit;
+            for (int attempt = 0;; ++attempt) {
+                try {
+                    return pfsFlushJob(job_config, rank, ckpt_id, blob,
+                                       limit);
+                } catch (const storage::StorageError &) {
+                    // Drain-thread retries are wall-clock only: the
+                    // enqueuing rank already priced the plan's
+                    // transient strikes at checkpoint entry. A
+                    // permanently failed flush ships nothing — the
+                    // object stays lost/torn and recovery's ladder
+                    // (never a silent wrong restore) deals with it.
+                    if (attempt >= limit) {
+                        storage::noteFailedFlush();
+                        return 0;
+                    }
+                }
+            }
         },
         wall_bytes);
     // The virtual enqueue instant is stamped later, once checkpoint()
@@ -602,8 +709,98 @@ Fti::checkpoint(int ckpt_id, int level)
         level = config_.defaultLevel;
     MATCH_ASSERT(level >= 1 && level <= 4, "invalid checkpoint level");
 
+    // Storage-fault pre-flight: every decision below is a pure query
+    // against the deterministic plan, so all ranks take the same
+    // branch before any I/O or collective — degradation never
+    // desynchronizes the communicator.
+    double fault_penalty = 0.0;
+    if (faults_) {
+        faults_->setEpoch(ckpt_id);
+        const storage::StorageFaultPlan &plan = faults_->plan();
+        const int limit = faults_->retryLimit();
+        const simmpi::CostModel &cm = proc_.runtime().costModel();
+        const int rank =
+            proc_.runtime().commRank(proc_.globalIndex(), comm_);
+        if (plan.writeExhausted(ckpt_id, storage::PathClass::Local,
+                                limit)) {
+            // Every level stages through the local tier (data and
+            // metadata); with it write-exhausted the epoch cannot
+            // commit anywhere. Skip it — priced, recorded, loud —
+            // rather than dying while the application is healthy.
+            CategoryScope scope(proc_, TimeCategory::CkptWrite);
+            const double t0 = proc_.now();
+            proc_.sleepFor(cm.ioRetryPenalty(1));
+            storage::notePricedRetries(1);
+            storage::noteSkippedEpoch();
+            degradeEvents_.push_back(
+                {ckpt_id, level, 0, storage::PathClass::Local});
+            if (rank == 0)
+                util::warn("FTI checkpoint %d skipped: local tier "
+                           "write-exhausted (full or down past the "
+                           "retry budget)", ckpt_id);
+            writeSeconds_ += proc_.now() - t0;
+            return;
+        }
+        if (level == 4 &&
+            plan.writeExhausted(ckpt_id, storage::PathClass::Pfs,
+                                limit)) {
+            // PFS out for longer than the retry budget can ride:
+            // demote to the strongest local tier instead of wedging
+            // the drain on a flush that cannot land.
+            degradeEvents_.push_back(
+                {ckpt_id, 4, 3, storage::PathClass::Pfs});
+            storage::noteDegradedCkpt();
+            storage::notePricedRetries(limit);
+            fault_penalty += cm.ioRetryPenalty(limit);
+            if (rank == 0)
+                util::warn("FTI checkpoint %d: PFS write-exhausted, "
+                           "degrading L4 -> L3", ckpt_id);
+            level = 3;
+        }
+        if (level == 3 &&
+            plan.readExhausted(ckpt_id, storage::PathClass::Local,
+                               limit)) {
+            // The L3 encoder reads the group's freshly written data
+            // files back; with local reads exhausted it cannot. L2
+            // keeps cross-node redundancy without a read path.
+            degradeEvents_.push_back(
+                {ckpt_id, 3, 2, storage::PathClass::Local});
+            storage::noteDegradedCkpt();
+            storage::notePricedRetries(limit);
+            fault_penalty += cm.ioRetryPenalty(limit);
+            if (rank == 0)
+                util::warn("FTI checkpoint %d: local reads exhausted, "
+                           "degrading L3 -> L2", ckpt_id);
+            level = 2;
+        }
+        if (level == 4) {
+            // Transient PFS strikes are ridden out on the drain
+            // thread, where wall-clock retries cannot price virtual
+            // time: charge the re-staging backoff here. (Local-tier
+            // writes price their actual attempts inside ioRetry.)
+            const int strikes = plan.transientWriteStrikes(
+                ckpt_id, storage::PathClass::Pfs, limit);
+            if (strikes > 0) {
+                fault_penalty += cm.ioRetryPenalty(strikes);
+                storage::notePricedRetries(
+                    static_cast<std::uint64_t>(strikes));
+            }
+        }
+        // A latency-spike window on the level's primary class slows
+        // the epoch without failing anything.
+        const storage::PathClass primary =
+            level == 4 ? storage::PathClass::Pfs
+                       : storage::PathClass::Local;
+        if (plan.latencySpike(ckpt_id, primary)) {
+            fault_penalty += cm.faultLatencySpike();
+            storage::noteLatencySpike();
+        }
+    }
+
     CategoryScope scope(proc_, TimeCategory::CkptWrite);
     const double t0 = proc_.now();
+    if (fault_penalty > 0.0)
+        proc_.sleepFor(fault_penalty);
 
     storage::Blob blob = serializeRegions();
     bool emitted_full = true;
@@ -782,8 +979,8 @@ Fti::reconstructFromGroup(const MetaInfo &meta, bool checked)
         static_cast<std::size_t>(k + m));
     for (int i = 0; i < k; ++i) {
         std::vector<std::uint8_t> buf;
-        if (store_.read(ckptFile(config_, group_lo + i, meta.ckptId),
-                        buf)) {
+        if (readRetry(ckptFile(config_, group_lo + i, meta.ckptId), buf,
+                      /*checked=*/true)) {
             // SDC mode screens each data shard: a corrupt member would
             // poison the whole stripe's reconstruction, while treating
             // it as *missing* lets the parity rebuild it.
@@ -798,8 +995,11 @@ Fti::reconstructFromGroup(const MetaInfo &meta, bool checked)
     }
     for (int p = 0; p < m; ++p) {
         std::vector<std::uint8_t> buf;
-        if (store_.read(parityFile(config_, group_lo + p, meta.ckptId),
-                        buf)) {
+        // Like a data shard, a parity shard unreadable past the retry
+        // budget is simply a lost shard — the codec reconstructs
+        // around it while enough members survive.
+        if (readRetry(parityFile(config_, group_lo + p, meta.ckptId),
+                      buf, /*checked=*/true)) {
             if (buf.size() == stripe)
                 shards[k + p] = std::move(buf);
         }
@@ -822,7 +1022,7 @@ Fti::readPfsBlob(const MetaInfo &meta, bool checked)
 {
     const int rank = proc_.runtime().commRank(proc_.globalIndex(), comm_);
     if (storage::Blob whole =
-            storage::fetch(store_, pfsFile(config_, rank, meta.ckptId))) {
+            fetchRetry(pfsFile(config_, rank, meta.ckptId), checked)) {
         if (storage::transformHasCompress(config_.transform)) {
             // The PFS object is the compressed envelope; the meta
             // checksum covers the decompressed (staged) bytes, so
@@ -854,14 +1054,14 @@ Fti::readPfsBlob(const MetaInfo &meta, bool checked)
     // is materialized once into a fresh buffer.
     const std::string dir =
         execDir(config_) + "/pfs/diff/rank" + std::to_string(rank);
-    const storage::Blob base = storage::fetch(store_, dir + "/base.fti");
+    const storage::Blob base = fetchRetry(dir + "/base.fti", checked);
     if (!base) {
         if (checked)
             return storage::Blob();
         util::fatal("L4 recovery: no base image for rank %d", rank);
     }
-    const storage::Blob payload = storage::fetch(
-        store_, dir + "/delta" + std::to_string(meta.ckptId) + ".fti");
+    const storage::Blob payload = fetchRetry(
+        dir + "/delta" + std::to_string(meta.ckptId) + ".fti", checked);
     if (!payload)
         return base; // checkpoint was the base itself
     MATCH_ASSERT(payload.size() >= sizeof(std::uint64_t),
@@ -901,17 +1101,20 @@ Fti::readBlobForRecovery(const MetaInfo &meta)
     };
 
     if (meta.level <= 3) {
-        if (storage::Blob blob = storage::fetch(
-                store_, ckptFile(config_, rank, meta.ckptId));
+        // checked=true on the escalation reads: an object unreadable
+        // past the retry budget is treated exactly like a lost one —
+        // the level's redundancy absorbs it before anything fatals.
+        if (storage::Blob blob = fetchRetry(
+                ckptFile(config_, rank, meta.ckptId), /*checked=*/true);
             intact(blob)) {
             return blob;
         }
         // Local copy lost or corrupt: escalate by level.
         if (meta.level == 2) {
             const int holder = (rank + 1) % meta.nprocs;
-            if (storage::Blob blob = storage::fetch(
-                    store_,
-                    partnerFile(config_, holder, rank, meta.ckptId));
+            if (storage::Blob blob = fetchRetry(
+                    partnerFile(config_, holder, rank, meta.ckptId),
+                    /*checked=*/true);
                 intact(blob)) {
                 return blob;
             }
@@ -945,16 +1148,16 @@ Fti::tryReadBlobChecked(const MetaInfo &meta)
     };
 
     if (meta.level <= 3) {
-        if (storage::Blob blob = storage::fetch(
-                store_, ckptFile(config_, rank, meta.ckptId));
+        if (storage::Blob blob = fetchRetry(
+                ckptFile(config_, rank, meta.ckptId), /*checked=*/true);
             intact(blob)) {
             return blob;
         }
         if (meta.level == 2) {
             const int holder = (rank + 1) % meta.nprocs;
-            if (storage::Blob blob = storage::fetch(
-                    store_,
-                    partnerFile(config_, holder, rank, meta.ckptId));
+            if (storage::Blob blob = fetchRetry(
+                    partnerFile(config_, holder, rank, meta.ckptId),
+                    /*checked=*/true);
                 intact(blob)) {
                 return blob;
             }
@@ -1026,43 +1229,71 @@ Fti::recover()
         recoverChecked();
         return;
     }
-    const int newest = newestCommittedCkpt();
-    if (newest == 0)
+    const std::vector<int> ladder = committedCkptsNewestFirst();
+    if (ladder.empty())
         util::fatal("FTI_Recover called with no committed checkpoint");
 
     CategoryScope scope(proc_, TimeCategory::CkptRead);
     const double t0 = proc_.now();
-
-    MetaInfo meta;
-    const bool ok = loadMeta(newest, meta);
-    MATCH_ASSERT(ok, "committed checkpoint lost its metadata");
-    // An L4 restore reads objects the drain may still be streaming:
-    // wait out the channel (virtually and in wall-clock) first.
-    if (meta.level == 4)
-        drainBarrier();
-    const storage::Blob blob = loadImage(meta, /*checked=*/false);
-    MATCH_DEBUG("FTI recover: g=%d comm=%d rank=%d ckpt=%d bytes=%zu",
-                proc_.globalIndex(), comm_,
-                proc_.runtime().commRank(proc_.globalIndex(), comm_),
-                newest, blob.size());
-    deserializeRegions(blob.data(), blob.size());
-
     const int size = proc_.runtime().commSize(comm_);
-    const double virt_bytes =
-        static_cast<double>(blob.size()) * config_.virtualFactor;
-    proc_.sleepFor(proc_.runtime().costModel().checkpointRead(
-        meta.level, static_cast<std::size_t>(virt_bytes), size));
+    const int rank = proc_.runtime().commRank(proc_.globalIndex(), comm_);
 
-    if (storage::transformHasDelta(config_.transform)) {
-        // The restored image becomes the reference the next delta is
-        // encoded against; the restored checkpoint (and, transitively,
-        // its chain) must outlive whatever this incarnation writes.
-        deltaTx_.setReference(blob, newest);
-        deltaDepth_ = 0;
-        deltaChain_.clear();
-        deltaChain_.emplace_back(newest, meta.level);
+    // Newest-first ladder: a rung whose storage tier faulted past the
+    // retry budget (StorageError) falls back to the next older
+    // committed checkpoint instead of aborting. Strike counters are
+    // per path, so every rank exhausts its own objects identically and
+    // the ladder stays rank-uniform without communication. A *lost*
+    // object (not a faulting tier) still fatals inside loadImage,
+    // exactly as before this engine existed.
+    bool restored = false;
+    for (const int id : ladder) {
+        MetaInfo meta;
+        if (!loadMeta(id, meta))
+            continue; // shared store: same outcome on every rank
+        if (faults_)
+            faults_->setEpoch(id);
+        // An L4 restore reads objects the drain may still be
+        // streaming: wait out the channel (virtually and in
+        // wall-clock) first.
+        if (meta.level == 4)
+            drainBarrier();
+        storage::Blob blob;
+        try {
+            blob = loadImage(meta, /*checked=*/false);
+        } catch (const storage::StorageError &err) {
+            if (rank == 0)
+                util::warn("FTI recover: checkpoint %d unreadable "
+                           "(%s), falling back to an older one", id,
+                           err.what());
+            continue;
+        }
+        MATCH_DEBUG("FTI recover: g=%d comm=%d rank=%d ckpt=%d "
+                    "bytes=%zu", proc_.globalIndex(), comm_, rank, id,
+                    blob.size());
+        deserializeRegions(blob.data(), blob.size());
+
+        const double virt_bytes =
+            static_cast<double>(blob.size()) * config_.virtualFactor;
+        proc_.sleepFor(proc_.runtime().costModel().checkpointRead(
+            meta.level, static_cast<std::size_t>(virt_bytes), size));
+
+        if (storage::transformHasDelta(config_.transform)) {
+            // The restored image becomes the reference the next delta
+            // is encoded against; the restored checkpoint (and,
+            // transitively, its chain) must outlive whatever this
+            // incarnation writes.
+            deltaTx_.setReference(blob, id);
+            deltaDepth_ = 0;
+            deltaChain_.clear();
+            deltaChain_.emplace_back(id, meta.level);
+        }
+        lastCkptId_ = id;
+        restored = true;
+        break;
     }
-    lastCkptId_ = newest;
+    if (!restored)
+        util::fatal("FTI_Recover: every committed checkpoint is "
+                    "unreadable (storage tiers exhausted)");
     recoveryCkptId_ = 0; // the paper's loop recovers exactly once
     readSeconds_ += proc_.now() - t0;
 }
@@ -1087,6 +1318,8 @@ Fti::recoverChecked()
         MetaInfo meta;
         if (!loadMeta(id, meta))
             continue; // shared store: same outcome on every rank
+        if (faults_)
+            faults_->setEpoch(id);
         if (meta.level == 4)
             drainBarrier();
         const storage::Blob blob = loadImage(meta, /*checked=*/true);
@@ -1153,9 +1386,13 @@ Fti::scrub()
         return; // L4 objects live behind the drain; nothing local
     CategoryScope scope(proc_, TimeCategory::CkptWrite);
     const double t0 = proc_.now();
+    if (faults_)
+        faults_->setEpoch(newest);
     const int rank = proc_.runtime().commRank(proc_.globalIndex(), comm_);
     const std::string path = ckptFile(config_, rank, newest);
-    const storage::Blob blob = storage::fetch(store_, path);
+    // Retry exhaustion reads as "missing": the scrub just finds
+    // nothing to verify and the next recovery handles the fallout.
+    const storage::Blob blob = fetchRetry(path, /*checked=*/true);
     const double virt_bytes =
         static_cast<double>(meta.bytesPerRank[rank]) *
         config_.virtualFactor;
@@ -1210,9 +1447,15 @@ Fti::corruptAtRest(const FtiConfig &config, int rank)
     if (level <= 3) {
         std::vector<std::uint8_t> bytes;
         const std::string path = ckptFile(config, rank, newest);
-        if (store.read(path, bytes) && !bytes.empty()) {
-            bytes[bytes.size() / 2] ^= 0x5a;
-            store.writeAtomic(path, bytes.data(), bytes.size());
+        // Corruption injection is best-effort: a storage-fault window
+        // open at injection time just means the flip found nothing to
+        // rot.
+        try {
+            if (store.read(path, bytes) && !bytes.empty()) {
+                bytes[bytes.size() / 2] ^= 0x5a;
+                store.writeAtomic(path, bytes.data(), bytes.size());
+            }
+        } catch (const storage::StorageError &) {
         }
         return;
     }
@@ -1227,29 +1470,35 @@ Fti::corruptAtRest(const FtiConfig &config, int rank)
         const std::string dir = execDir(job_config) + "/pfs/diff/rank" +
                                 std::to_string(rank);
         std::vector<std::uint8_t> bytes;
-        // Whole-file PFS copy (present when this checkpoint is the
-        // differential base).
-        const std::string whole = pfsFile(job_config, rank, newest);
-        if (st.read(whole, bytes) && !bytes.empty()) {
-            bytes[bytes.size() / 2] ^= 0x5a;
-            st.writeAtomic(whole, bytes.data(), bytes.size());
-        }
-        // Base image.
-        const std::string base = dir + "/base.fti";
-        if (st.read(base, bytes) && !bytes.empty()) {
-            bytes[bytes.size() / 2] ^= 0x5a;
-            st.writeAtomic(base, bytes.data(), bytes.size());
-        }
-        // Delta: flip a byte inside the first record's payload (never
-        // the framing, which recovery parses before verifying), so the
-        // corruption survives into the restored image even when the
-        // delta overwrites the flipped base block.
-        const std::string delta =
-            dir + "/delta" + std::to_string(newest) + ".fti";
-        if (st.read(delta, bytes) &&
-            bytes.size() > 3 * sizeof(std::uint64_t)) {
-            bytes[3 * sizeof(std::uint64_t)] ^= 0x5a;
-            st.writeAtomic(delta, bytes.data(), bytes.size());
+        try {
+            // Whole-file PFS copy (present when this checkpoint is the
+            // differential base).
+            const std::string whole = pfsFile(job_config, rank, newest);
+            if (st.read(whole, bytes) && !bytes.empty()) {
+                bytes[bytes.size() / 2] ^= 0x5a;
+                st.writeAtomic(whole, bytes.data(), bytes.size());
+            }
+            // Base image.
+            const std::string base = dir + "/base.fti";
+            if (st.read(base, bytes) && !bytes.empty()) {
+                bytes[bytes.size() / 2] ^= 0x5a;
+                st.writeAtomic(base, bytes.data(), bytes.size());
+            }
+            // Delta: flip a byte inside the first record's payload
+            // (never the framing, which recovery parses before
+            // verifying), so the corruption survives into the restored
+            // image even when the delta overwrites the flipped base
+            // block.
+            const std::string delta =
+                dir + "/delta" + std::to_string(newest) + ".fti";
+            if (st.read(delta, bytes) &&
+                bytes.size() > 3 * sizeof(std::uint64_t)) {
+                bytes[3 * sizeof(std::uint64_t)] ^= 0x5a;
+                st.writeAtomic(delta, bytes.data(), bytes.size());
+            }
+        } catch (const storage::StorageError &) {
+            // Best-effort (see the L1-3 path): an open fault window
+            // foils the injection, never the drain worker.
         }
         return 0;
     };

@@ -44,6 +44,7 @@
 
 #include "src/fti/config.hh"
 #include "src/simmpi/proc.hh"
+#include "src/storage/faults.hh"
 
 namespace match::fti
 {
@@ -148,6 +149,20 @@ class Fti
     /** Virtual seconds spent reading checkpoints by this rank. */
     double readSeconds() const { return readSeconds_; }
 
+    /**
+     * Graceful-degradation decisions this rank took because a storage
+     * tier was write-exhausted (see storage::DegradeEvent): L4 -> L3
+     * demotions when the PFS is out, epoch skips when the local tier
+     * itself is full. Empty when no fault engine is attached. The
+     * decisions are pure plan queries, so every rank records the same
+     * sequence.
+     */
+    const std::vector<storage::DegradeEvent> &
+    degradeEvents() const
+    {
+        return degradeEvents_;
+    }
+
     /// @name Sandbox path helpers (shared with tests/tools).
     /// @{
     static std::string execDir(const FtiConfig &config);
@@ -249,11 +264,37 @@ class Fti
     void removeCheckpointFiles(int id, int level);
     double ckptFactor() const;
 
+    /**
+     * IoRetryPolicy: run a storage operation with up to the configured
+     * retry budget on StorageError, pricing each backoff in virtual
+     * time on this rank. Deterministic: the decorator's strike counters
+     * make the attempt count a pure function of the plan, so the priced
+     * time is --jobs/backend/drain independent. The last failure
+     * rethrows.
+     */
+    template <typename Op>
+    auto ioRetry(Op &&op) const -> decltype(op());
+    /** The retry budget (the fault engine's when one is attached). */
+    int ioRetryLimit() const;
+    /** storage::fetch with the retry policy; `checked` turns retry
+     *  exhaustion into a null blob (a recovery-ladder rung vote)
+     *  instead of letting the StorageError propagate. */
+    storage::Blob fetchRetry(const std::string &path, bool checked) const;
+    /** Backend::read with the retry policy; `checked` turns retry
+     *  exhaustion into false (object unreadable) instead of throwing. */
+    bool readRetry(const std::string &path,
+                   std::vector<std::uint8_t> &out, bool checked) const;
+
     simmpi::Proc &proc_;
     FtiConfig config_;
     simmpi::CommId comm_;
     /** Sandbox storage (config's backend, or the shared DiskBackend). */
     storage::Backend &store_;
+    /** The fault engine when store_ is a FaultInjectingBackend, else
+     *  null (the fast path: no plan queries, no retry pricing). */
+    storage::FaultInjectingBackend *faults_ = nullptr;
+    /** Write-exhaustion decisions taken (demotions, epoch skips). */
+    std::vector<storage::DegradeEvent> degradeEvents_;
     std::map<int, ProtectedRegion> regions_;
     int recoveryCkptId_ = 0;
     int lastCkptId_ = 0;

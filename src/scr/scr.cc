@@ -101,6 +101,13 @@ Scr::Scr(simmpi::Proc &proc, ScrConfig config)
 {
     if (!config_.drain)
         config_.drain = std::make_shared<storage::DrainWorker>();
+    // A decorated backend attaches the storage-fault engine. SCR's
+    // prefix directory carries no "/pfs/" segment, so register it as a
+    // PFS root — flushes and fetches against it then see PFS-class
+    // windows, while the cache sees local-class ones.
+    faults_ = dynamic_cast<storage::FaultInjectingBackend *>(&store_);
+    if (faults_)
+        faults_->addPfsPrefix(config_.prefixDir);
     // Restart detection reads flushed markers the drain writes: wait
     // out in-flight jobs so the decision depends only on what was
     // admitted (deterministic), never on the worker's wall schedule.
@@ -120,6 +127,56 @@ int
 Scr::size() const
 {
     return proc_.size();
+}
+
+int
+Scr::ioRetryLimit() const
+{
+    return faults_ ? faults_->retryLimit()
+                   : storage::kDefaultIoRetryLimit;
+}
+
+template <typename Op>
+auto
+Scr::ioRetry(Op &&op) const -> decltype(op())
+{
+    return storage::withIoRetry(
+        ioRetryLimit(), std::forward<Op>(op), [this](int attempt) {
+            proc_.sleepFor(
+                proc_.runtime().costModel().ioRetryBackoff(attempt));
+            storage::notePricedRetries(1);
+        });
+}
+
+storage::Blob
+Scr::fetchSoft(const std::string &path) const
+{
+    try {
+        return ioRetry([&] { return storage::fetch(store_, path); });
+    } catch (const storage::StorageError &) {
+        return storage::Blob(); // unreadable == lost: next tier's turn
+    }
+}
+
+bool
+Scr::copySoft(const std::string &src, const std::string &dst)
+{
+    try {
+        return ioRetry([&] { return store_.copy(src, dst); });
+    } catch (const storage::StorageError &) {
+        return false;
+    }
+}
+
+bool
+Scr::writeSoft(const std::string &path, storage::Blob &&blob)
+{
+    try {
+        ioRetry([&] { store_.write(path, storage::Blob(blob)); });
+        return true;
+    } catch (const storage::StorageError &) {
+        return false;
+    }
 }
 
 int
@@ -205,14 +262,14 @@ Scr::applyRedundancy()
         for (const std::string &name : routedFiles_) {
             const std::string src =
                 datasetDir(config_, writingDataset_, r) + "/" + name;
-            if (!store_.copy(src, dst + "/" + name))
+            if (!copySoft(src, dst + "/" + name))
                 util::fatal("SCR PARTNER: missing routed file %s "
                             "(rank %d)", name.c_str(), r);
             // The partner copy carries the integrity record too, so a
             // rebuilt file stays verifiable.
             if (config_.sdcChecks)
-                store_.copy(src + ".crc32c",
-                            dst + "/" + name + ".crc32c");
+                copySoft(src + ".crc32c",
+                         dst + "/" + name + ".crc32c");
         }
         return;
       }
@@ -249,9 +306,9 @@ Scr::applyRedundancy()
         for (int m = lo; m < hi; ++m) {
             std::size_t off = 0;
             for (const std::string &name : routedFiles_) {
-                const storage::Blob file = storage::fetch(
-                    store_, datasetDir(config_, writingDataset_, m) +
-                                "/" + name);
+                const storage::Blob file = fetchSoft(
+                    datasetDir(config_, writingDataset_, m) + "/" +
+                    name);
                 if (!file)
                     util::fatal("SCR XOR: missing member file (rank %d)",
                                 m);
@@ -260,8 +317,14 @@ Scr::applyRedundancy()
                 off += file.size();
             }
         }
-        store_.write(parityFile(config_, writingDataset_, lo / gs),
-                     std::move(parity).seal());
+        if (!writeSoft(parityFile(config_, writingDataset_, lo / gs),
+                       std::move(parity).seal())) {
+            // Parity lost to a persistent fault window: the dataset
+            // stays committed (cache copies are intact) but a later
+            // member loss must fall through to the prefix copy.
+            util::warn("SCR XOR: parity write failed for group %d "
+                       "(dataset %d)", lo / gs, writingDataset_);
+        }
         return;
       }
     }
@@ -286,9 +349,19 @@ namespace
  */
 std::uint64_t
 scrFlushJob(const ScrConfig &config, int dataset, int rank,
-            const std::vector<std::string> &files)
+            const std::vector<std::string> &files, int retry_limit)
 {
     storage::Backend &store = storage::resolve(config.backend);
+    // Transient fault windows strike each path independently, so the
+    // retry budget must be spent per object: re-running the whole job
+    // would burn attempts on paths that already landed and turn a
+    // rideable window into a spurious permanent failure. Drain-thread
+    // retries are wall-clock only — the enqueuing rank already priced
+    // the window's transient strikes in virtual time.
+    const auto retried = [retry_limit](auto &&op) {
+        return storage::withIoRetry(
+            retry_limit, std::forward<decltype(op)>(op), [](int) {});
+    };
     const std::string src_dir = Scr::datasetDir(config, dataset, rank);
     const std::string dst_dir =
         Scr::prefixDatasetDir(config, dataset, rank);
@@ -303,13 +376,16 @@ scrFlushJob(const ScrConfig &config, int dataset, int rank,
         if (compress && !isSidecar(name)) {
             // Ship the compress envelope; fetch undoes it. Sidecars
             // keep covering the raw bytes the application wrote.
-            const storage::Blob raw = storage::fetch(store, src);
+            const storage::Blob raw =
+                retried([&] { return storage::fetch(store, src); });
             if (raw) {
-                store.write(dst, storage::compressEncode(raw));
+                retried([&] {
+                    store.write(dst, storage::compressEncode(raw));
+                });
                 copied = true;
             }
         } else {
-            copied = store.copy(src, dst);
+            copied = retried([&] { return store.copy(src, dst); });
         }
         if (!copied) {
             MATCH_DEBUG("SCR flush: lost routed file %s (rank %d); "
@@ -322,8 +398,10 @@ scrFlushJob(const ScrConfig &config, int dataset, int rank,
         shipped += bytes;
     }
     static const char text[] = "flushed\n";
-    store.writeAtomic(Scr::flushedMarkerFile(config, dataset, rank),
-                      text, sizeof(text) - 1);
+    retried([&] {
+        store.writeAtomic(Scr::flushedMarkerFile(config, dataset, rank),
+                          text, sizeof(text) - 1);
+    });
     return shipped;
 }
 
@@ -343,8 +421,28 @@ Scr::enqueueFlush(int dataset, std::size_t bytes)
     }
     const auto ticket = drain().enqueue(
         [job_config = std::move(job_config), dataset, r = rank(),
-         files = std::move(files)]() -> std::uint64_t {
-            return scrFlushJob(job_config, dataset, r, files);
+         files = std::move(files),
+         faults = faults_]() -> std::uint64_t {
+            // Bind the enqueue-time epoch so injection is identical
+            // for any drain scheduling (sync, async, N threads).
+            storage::FaultEpochScope scope(faults, dataset);
+            const int limit = faults ? faults->retryLimit()
+                                     : storage::kDefaultIoRetryLimit;
+            for (int attempt = 0;; ++attempt) {
+                try {
+                    return scrFlushJob(job_config, dataset, r, files,
+                                       limit);
+                } catch (const storage::StorageError &) {
+                    // A permanently failed flush writes no flushed
+                    // marker: the dataset never becomes fetchable and
+                    // restart falls back to the newest fully drained
+                    // one — exactly the lost-cache soft-failure path.
+                    if (attempt >= limit) {
+                        storage::noteFailedFlush();
+                        return 0;
+                    }
+                }
+            }
         });
     // No occupancy bytes: SCR has no burst-buffer capacity bound, so
     // the channel must not accumulate occupants it never evicts.
@@ -380,9 +478,50 @@ Scr::completeCheckpoint(bool valid)
                  "SCR_Complete_checkpoint without start");
     CategoryScope scope(proc_, TimeCategory::CkptWrite);
 
+    // Storage-fault pre-flight: pure plan queries, identical on every
+    // rank, folded into SCR's own validity vote — an exhausted cache
+    // tier abandons the dataset exactly like an application-invalid
+    // one, and the run keeps computing.
+    bool tier_ok = true;
+    if (faults_) {
+        faults_->setEpoch(writingDataset_);
+        const storage::StorageFaultPlan &plan = faults_->plan();
+        const int limit = faults_->retryLimit();
+        const simmpi::CostModel &cm = proc_.runtime().costModel();
+        double fault_penalty = 0.0;
+        const bool needs_reads = config_.scheme != Redundancy::Single;
+        if (plan.writeExhausted(writingDataset_,
+                                storage::PathClass::Local, limit) ||
+            (needs_reads &&
+             plan.readExhausted(writingDataset_,
+                                storage::PathClass::Local, limit))) {
+            tier_ok = false;
+            fault_penalty += cm.ioRetryPenalty(1);
+            storage::notePricedRetries(1);
+            storage::noteSkippedEpoch();
+            const int scheme_level =
+                config_.scheme == Redundancy::Single    ? 1
+                : config_.scheme == Redundancy::Partner ? 2
+                                                        : 3;
+            degradeEvents_.push_back({writingDataset_, scheme_level, 0,
+                                      storage::PathClass::Local});
+            if (rank() == 0)
+                util::warn("SCR dataset %d abandoned: cache tier "
+                           "exhausted past the retry budget",
+                           writingDataset_);
+        }
+        if (plan.latencySpike(writingDataset_,
+                              storage::PathClass::Local)) {
+            fault_penalty += cm.faultLatencySpike();
+            storage::noteLatencySpike();
+        }
+        if (fault_penalty > 0.0)
+            proc_.sleepFor(fault_penalty);
+    }
+
     // All ranks agree on validity (SCR's allreduce).
-    const std::int64_t all_valid =
-        proc_.allreduceInt(valid ? 1 : 0, simmpi::ReduceOp::LogicalAnd);
+    const std::int64_t all_valid = proc_.allreduceInt(
+        (valid && tier_ok) ? 1 : 0, simmpi::ReduceOp::LogicalAnd);
 
     std::size_t bytes = 0;
     for (const std::string &name : routedFiles_) {
@@ -402,12 +541,14 @@ Scr::completeCheckpoint(bool valid)
                 const std::string path =
                     datasetDir(config_, writingDataset_, rank()) + "/" +
                     name;
-                const storage::Blob file = storage::fetch(store_, path);
+                const storage::Blob file = fetchSoft(path);
                 if (!file)
                     continue;
                 const std::string crc = std::to_string(file.crc32c());
-                store_.writeAtomic(path + ".crc32c", crc.data(),
-                                   crc.size());
+                ioRetry([&] {
+                    store_.writeAtomic(path + ".crc32c", crc.data(),
+                                       crc.size());
+                });
             }
         }
         if (config_.scheme != Redundancy::Single)
@@ -417,8 +558,10 @@ Scr::completeCheckpoint(bool valid)
             proc_.barrier();
         if (rank() == 0) {
             static const char text[] = "committed\n";
-            store_.writeAtomic(markerFile(config_, writingDataset_),
-                               text, sizeof(text) - 1);
+            ioRetry([&] {
+                store_.writeAtomic(markerFile(config_, writingDataset_),
+                                   text, sizeof(text) - 1);
+            });
         }
         int committed = 1;
         proc_.bcast(0, &committed, sizeof(committed));
@@ -438,7 +581,52 @@ Scr::completeCheckpoint(bool valid)
     // flush's virtual enqueue instant is the staged dataset's commit).
     if (all_valid && config_.flushEvery > 0 &&
         lastCommitted_ % config_.flushEvery == 0) {
-        enqueueFlush(lastCommitted_, bytes);
+        bool flush_ok = true;
+        if (faults_) {
+            const storage::StorageFaultPlan &plan = faults_->plan();
+            const int limit = faults_->retryLimit();
+            const simmpi::CostModel &cm = proc_.runtime().costModel();
+            if (plan.writeExhausted(lastCommitted_,
+                                    storage::PathClass::Pfs, limit)) {
+                // PFS out past the retry budget: skip the flush. The
+                // dataset stays committed in the cache; with no
+                // flushed markers it never poses as fetchable, so a
+                // later restart falls back to the newest fully
+                // drained dataset — graceful, never silently wrong.
+                flush_ok = false;
+                proc_.sleepFor(cm.ioRetryPenalty(limit));
+                storage::notePricedRetries(limit);
+                storage::noteDegradedCkpt();
+                const int scheme_level =
+                    config_.scheme == Redundancy::Single    ? 1
+                    : config_.scheme == Redundancy::Partner ? 2
+                                                            : 3;
+                degradeEvents_.push_back(
+                    {lastCommitted_, 4, scheme_level,
+                     storage::PathClass::Pfs});
+                if (rank() == 0)
+                    util::warn("SCR dataset %d: PFS write-exhausted, "
+                               "skipping prefix flush", lastCommitted_);
+            } else {
+                // Transient PFS strikes ride out on the drain thread
+                // (wall-clock): price the re-staging backoff here, on
+                // the rank that admitted the flush.
+                const int strikes = plan.transientWriteStrikes(
+                    lastCommitted_, storage::PathClass::Pfs, limit);
+                if (strikes > 0) {
+                    proc_.sleepFor(cm.ioRetryPenalty(strikes));
+                    storage::notePricedRetries(
+                        static_cast<std::uint64_t>(strikes));
+                }
+                if (plan.latencySpike(lastCommitted_,
+                                      storage::PathClass::Pfs)) {
+                    proc_.sleepFor(cm.faultLatencySpike());
+                    storage::noteLatencySpike();
+                }
+            }
+        }
+        if (flush_ok)
+            enqueueFlush(lastCommitted_, bytes);
     }
 
     // Drop the previous dataset (SCR keeps a bounded cache). Routed
@@ -483,10 +671,10 @@ Scr::tryRebuildFromPartner(const std::string &name)
                                         rank()));
     const std::string dst =
         datasetDir(config_, restartDataset_, rank()) + "/" + name;
-    if (!store_.copy(src, dst))
+    if (!copySoft(src, dst))
         return false;
     if (config_.sdcChecks)
-        store_.copy(src + ".crc32c", dst + ".crc32c");
+        copySoft(src + ".crc32c", dst + ".crc32c");
     return true;
 }
 
@@ -501,10 +689,10 @@ Scr::tryRebuildFromXor(const std::string &name)
     const int gs = config_.groupSize;
     const int lo = (rank() / gs) * gs;
     const int hi = std::min(lo + gs, size());
-    const storage::Blob parity = storage::fetch(
-        store_, parityFile(config_, restartDataset_, lo / gs));
+    const storage::Blob parity =
+        fetchSoft(parityFile(config_, restartDataset_, lo / gs));
     if (!parity)
-        return false; // parity lost
+        return false; // parity lost (or unreadable past retries)
     storage::MutableBlob acc =
         storage::BlobPool::local().acquire(parity.size());
     std::memcpy(acc.data(), parity.data(), parity.size());
@@ -512,9 +700,8 @@ Scr::tryRebuildFromXor(const std::string &name)
     for (int m = lo; m < hi; ++m) {
         if (m == rank())
             continue;
-        const storage::Blob blob = storage::fetch(
-            store_, datasetDir(config_, restartDataset_, m) + "/" +
-                        name);
+        const storage::Blob blob = fetchSoft(
+            datasetDir(config_, restartDataset_, m) + "/" + name);
         if (!blob)
             return false; // two losses in the group
         const std::size_t n = std::min(blob.size(), acc.size());
@@ -525,10 +712,9 @@ Scr::tryRebuildFromXor(const std::string &name)
     // the bytes it wrote (sizes are application knowledge under SCR).
     store_.createDirectories(datasetDir(config_, restartDataset_,
                                         rank()));
-    store_.write(datasetDir(config_, restartDataset_, rank()) + "/" +
-                     name,
-                 std::move(acc).seal());
-    return true;
+    return writeSoft(datasetDir(config_, restartDataset_, rank()) +
+                         "/" + name,
+                     std::move(acc).seal());
 }
 
 bool
@@ -550,7 +736,7 @@ Scr::tryFetchFromPrefix(const std::string &name)
         // The prefix copy is a compress envelope: decode it back into
         // the cache. A malformed envelope fails the fetch softly, like
         // a lost prefix copy (the SDC ladder keeps walking).
-        const storage::Blob envelope = storage::fetch(store_, src);
+        const storage::Blob envelope = fetchSoft(src);
         if (!envelope)
             return false;
         const storage::Blob raw =
@@ -559,12 +745,13 @@ Scr::tryFetchFromPrefix(const std::string &name)
             return false;
         proc_.sleepFor(proc_.runtime().costModel().transformDecompress(
             raw.size()));
-        store_.write(dst, storage::Blob(raw));
-    } else if (!store_.copy(src, dst)) {
+        if (!writeSoft(dst, storage::Blob(raw)))
+            return false;
+    } else if (!copySoft(src, dst)) {
         return false;
     }
     if (config_.sdcChecks)
-        store_.copy(src + ".crc32c", dst + ".crc32c");
+        copySoft(src + ".crc32c", dst + ".crc32c");
     return true;
 }
 
@@ -613,13 +800,12 @@ Scr::ensureRestartFile(const std::string &name, bool fatal_on_lost)
 bool
 Scr::verifyRestartFile(const std::string &path)
 {
-    const storage::Blob file = storage::fetch(store_, path);
+    const storage::Blob file = fetchSoft(path);
     if (!file)
         return false;
     proc_.sleepFor(
         proc_.runtime().costModel().scrubVerify(file.size()));
-    const storage::Blob sidecar =
-        storage::fetch(store_, path + ".crc32c");
+    const storage::Blob sidecar = fetchSoft(path + ".crc32c");
     if (!sidecar) {
         // No surviving integrity record (e.g. an XOR-rebuilt file —
         // parity does not cover sidecars): accept unverified.
@@ -637,6 +823,10 @@ Scr::routeRestartFile(const std::string &name)
                  "SCR restart routing without a restart");
     CategoryScope scope(proc_, TimeCategory::CkptRead);
     for (;;) {
+        // Windows are keyed on the dataset being restored; the SDC
+        // ladder re-keys as it falls back to older datasets.
+        if (faults_)
+            faults_->setEpoch(restartDataset_);
         const std::string path =
             datasetDir(config_, restartDataset_, rank()) + "/" + name;
         bool ok = ensureRestartFile(name, !config_.sdcChecks);

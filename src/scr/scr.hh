@@ -41,6 +41,7 @@
 #include "src/simmpi/proc.hh"
 #include "src/storage/backend.hh"
 #include "src/storage/drain.hh"
+#include "src/storage/faults.hh"
 #include "src/storage/transform.hh"
 
 namespace match::scr
@@ -169,6 +170,17 @@ class Scr
     /** Id of the dataset currently open for writing (0 when none). */
     int currentDataset() const { return writingDataset_; }
 
+    /** Graceful-degradation decisions taken because a storage tier was
+     *  exhausted (see storage::DegradeEvent): abandoned datasets
+     *  (toLevel 0) when the cache tier is out, skipped prefix flushes
+     *  (fromLevel 4) when the PFS is. Pure plan queries — identical on
+     *  every rank. */
+    const std::vector<storage::DegradeEvent> &
+    degradeEvents() const
+    {
+        return degradeEvents_;
+    }
+
     /// @name Sandbox helpers shared with tests.
     /// @{
     static std::string datasetDir(const ScrConfig &config, int dataset,
@@ -210,11 +222,29 @@ class Scr
     storage::DrainWorker &drain() { return *config_.drain; }
     int rank() const;
     int size() const;
+    /** IoRetryPolicy (see fti::Fti::ioRetry): bounded retries on
+     *  StorageError with each backoff priced in virtual time. */
+    template <typename Op>
+    auto ioRetry(Op &&op) const -> decltype(op());
+    int ioRetryLimit() const;
+    /** Retry-wrapped fetch; retry exhaustion reads as "lost" (null) so
+     *  the restart ladder escalates to the next redundancy tier. */
+    storage::Blob fetchSoft(const std::string &path) const;
+    /** Retry-wrapped copy; exhaustion reads as a failed copy. */
+    bool copySoft(const std::string &src, const std::string &dst);
+    /** Retry-wrapped write; exhaustion reads as "could not rebuild". */
+    bool writeSoft(const std::string &path, storage::Blob &&blob);
 
     simmpi::Proc &proc_;
     ScrConfig config_;
     /** Cache storage (config's backend, or the shared DiskBackend). */
     storage::Backend &store_;
+    /** The fault engine when store_ is a FaultInjectingBackend, else
+     *  null. The prefix dir is registered as a PFS root with it. */
+    storage::FaultInjectingBackend *faults_ = nullptr;
+    /** Tier-exhaustion decisions taken (abandoned datasets, skipped
+     *  flushes). */
+    std::vector<storage::DegradeEvent> degradeEvents_;
     int writingDataset_ = 0;
     int restartDataset_ = 0;
     int lastCommitted_ = 0;

@@ -191,6 +191,19 @@ struct CostParams
     /** Decompression throughput (decode is branchier than a scan but
      *  cheaper than encode's run detection). */
     double decompressBw = 3.0e9;
+
+    // --- Storage-tier faults (injection engine) -------------------------
+    /** First retry backoff after a storage-tier I/O error; successive
+     *  retries double it (bounded exponential backoff, the policy real
+     *  FTI/SCR deployments run against flaky burst buffers). Tens of
+     *  milliseconds: long enough to ride out a transient tier hiccup,
+     *  short against the checkpoint interval. */
+    double ioRetryBackoffBase = 0.02;
+
+    /** Extra seconds a latency-spike fault window adds to one
+     *  checkpoint-class operation (a congested PFS metadata server or
+     *  burst-buffer drain stall). */
+    double faultSpikeSeconds = 0.25;
 };
 
 /** Prices simulated operations in virtual seconds. */
@@ -309,6 +322,32 @@ class CostModel
     {
         return static_cast<double>(bytes) / params_.decompressBw;
     }
+
+    /** Backoff before the (attempt+1)-th retry of a storage operation
+     *  that hit a tier fault: base * 2^attempt (attempt is 0-based). */
+    SimTime
+    ioRetryBackoff(int attempt) const
+    {
+        double backoff = params_.ioRetryBackoffBase;
+        for (int a = 0; a < attempt; ++a)
+            backoff *= 2.0;
+        return backoff;
+    }
+
+    /** Total backoff of `attempts` consecutive retries (the priced
+     *  cost of riding out a transient fault window, or of exhausting
+     *  the budget before degrading to a healthier tier). */
+    SimTime
+    ioRetryPenalty(int attempts) const
+    {
+        SimTime total = 0.0;
+        for (int a = 0; a < attempts; ++a)
+            total += ioRetryBackoff(a);
+        return total;
+    }
+
+    /** Extra seconds one latency-spike fault window charges. */
+    SimTime faultLatencySpike() const { return params_.faultSpikeSeconds; }
 
     /** Time from a process death until survivors can observe it. */
     SimTime detectionLatency() const { return params_.detectionLatency; }

@@ -1,6 +1,7 @@
 #include "src/storage/backend.hh"
 
 #include <array>
+#include <cerrno>
 #include <filesystem>
 #include <fstream>
 #include <functional>
@@ -272,16 +273,24 @@ class DiskBackend final : public Backend
          std::vector<std::uint8_t> &out) const override
     {
         util::PhaseScope phase(util::Phase::Storage);
+        errno = 0;
         std::ifstream in(path, std::ios::binary | std::ios::ate);
         if (!in)
-            return false;
+            return false; // missing object: a result, not an error
         const std::streamoff bytes = in.tellg();
-        if (bytes < 0)
-            return false;
+        if (bytes < 0) {
+            throw StorageError("read", path, errno,
+                               "cannot determine object size");
+        }
         in.seekg(0);
         out.resize(static_cast<std::size_t>(bytes));
         in.read(reinterpret_cast<char *>(out.data()), bytes);
-        return !in.bad() && in.gcount() == bytes;
+        // A short or failing read on an object that exists is an I/O
+        // error, not a missing object: surface it instead of letting a
+        // truncated buffer masquerade as the checkpoint.
+        if (in.bad() || in.gcount() != bytes)
+            throw StorageError("read", path, errno, "short read");
+        return true;
     }
 
     Blob
@@ -295,13 +304,22 @@ class DiskBackend final : public Backend
           std::size_t bytes) override
     {
         util::PhaseScope phase(util::Phase::Storage);
+        errno = 0;
         std::ofstream out(path, std::ios::binary | std::ios::trunc);
-        if (!out)
-            util::fatal("cannot open %s for writing", path.c_str());
+        if (!out) {
+            throw StorageError("write", path, errno,
+                               "cannot open for writing");
+        }
         out.write(static_cast<const char *>(data),
                   static_cast<std::streamsize>(bytes));
         if (!out)
-            util::fatal("short write to %s", path.c_str());
+            throw StorageError("write", path, errno, "short write");
+        // flush + close through the stream so a full filesystem
+        // (ENOSPC surfaces at flush, not at write) cannot silently
+        // commit a truncated object that only the CRC catches later.
+        out.close();
+        if (out.fail())
+            throw StorageError("write", path, errno, "close/flush failed");
     }
 
     void
@@ -310,7 +328,14 @@ class DiskBackend final : public Backend
     {
         const std::string tmp = path + ".tmp";
         write(tmp, data, bytes);
-        fs::rename(tmp, path);
+        std::error_code ec;
+        fs::rename(tmp, path, ec);
+        if (ec) {
+            const int errnum = ec.value();
+            fs::remove(tmp, ec); // best effort; the commit failed
+            throw StorageError("writeAtomic", path, errnum,
+                               "rename failed");
+        }
     }
 
     bool

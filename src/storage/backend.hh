@@ -33,6 +33,15 @@
  * the handle itself, so a checkpoint write moves no bytes. The raw
  * (pointer, length) overloads remain for small records and for
  * callers without a blob in hand.
+ *
+ * Error contract: an operation that cannot complete throws
+ * StorageError carrying the operation, the path and (for DiskBackend)
+ * the errno — it never commits a truncated object and never aborts the
+ * process. "Object does not exist" is not an error: read()/size()/
+ * copy() report it through their boolean results, exactly as before.
+ * Checkpoint clients wrap backend calls in a bounded, virtual-time-
+ * priced retry loop (see src/storage/faults.hh) so a transient tier
+ * fault degrades gracefully instead of killing a run.
  */
 
 #ifndef MATCH_STORAGE_BACKEND_HH
@@ -40,6 +49,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -47,6 +57,38 @@
 
 namespace match::storage
 {
+
+/**
+ * Structured storage failure: the operation that failed, the object
+ * path it failed on, and the OS errno when one exists (0 for injected
+ * or logical faults). Thrown instead of aborting so checkpoint clients
+ * can retry, demote to a healthier tier, or vote the object lost on
+ * the recovery ladder.
+ */
+class StorageError : public std::runtime_error
+{
+  public:
+    StorageError(std::string op, std::string path, int errnum,
+                 const std::string &detail)
+        : std::runtime_error("storage " + op + " failed: " + path +
+                             (detail.empty() ? "" : " (" + detail + ")")),
+          op_(std::move(op)), path_(std::move(path)), errnum_(errnum)
+    {}
+
+    /** Operation label ("write", "writeAtomic", "read", "rename"). */
+    const std::string &op() const { return op_; }
+
+    /** Object path the operation failed on. */
+    const std::string &path() const { return path_; }
+
+    /** OS errno, or 0 when the failure carries none (injected). */
+    int errnum() const { return errnum_; }
+
+  private:
+    std::string op_;
+    std::string path_;
+    int errnum_ = 0;
+};
 
 /** Selectable backend implementations. */
 enum class Kind
@@ -78,7 +120,8 @@ class Backend
      */
     virtual Blob view(const std::string &path) const = 0;
 
-    /** Create or replace an object. Fatal on I/O failure. */
+    /** Create or replace an object. Throws StorageError on I/O
+     *  failure (path + errno surfaced; never commits a truncation). */
     virtual void write(const std::string &path, const void *data,
                        std::size_t bytes) = 0;
 
@@ -96,7 +139,8 @@ class Backend
     /**
      * Atomically create or replace an object: a reader never observes
      * a partial write (DiskBackend: tmp + rename; MemBackend: writes
-     * are atomic by construction).
+     * are atomic by construction). Throws StorageError on I/O failure,
+     * leaving the previous object (if any) intact.
      */
     virtual void writeAtomic(const std::string &path, const void *data,
                              std::size_t bytes) = 0;

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Storage-fault engine, end to end through the experiment runner: plan
+ * purity, --jobs/backend/drain-mode independence of faulty results,
+ * trace replay bit-identity, graceful degradation under a persistent
+ * PFS outage, and the retry policy riding out a storage fault that
+ * lands in the same epoch as an injected process failure.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "src/core/experiment.hh"
+#include "src/storage/faults.hh"
+
+namespace fs = std::filesystem;
+using namespace match;
+using namespace match::core;
+using match::apps::InputSize;
+using match::ft::Design;
+using match::storage::FaultKind;
+using match::storage::FaultWindow;
+using match::storage::PathClass;
+
+namespace
+{
+
+ExperimentConfig
+faultyConfig(Design design, int windows)
+{
+    ExperimentConfig config;
+    config.app = "miniVite"; // shortest loop => fastest cell
+    config.input = InputSize::Small;
+    config.nprocs = 8;
+    config.design = design;
+    config.runs = 2;
+    config.ckptStride = 5; // a few checkpoint epochs for windows to hit
+    config.noiseSigma = 0.0; // identity checks must not be smeared
+    config.storageFaultWindows = windows;
+    config.sandboxDir =
+        (fs::temp_directory_path() / "match-fault-tests").string();
+    return config;
+}
+
+void
+expectIdenticalResults(const ExperimentResult &a,
+                       const ExperimentResult &b)
+{
+    ASSERT_EQ(a.perRun.size(), b.perRun.size());
+    for (std::size_t i = 0; i < a.perRun.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a.perRun[i].application, b.perRun[i].application);
+        EXPECT_DOUBLE_EQ(a.perRun[i].ckptWrite, b.perRun[i].ckptWrite);
+        EXPECT_DOUBLE_EQ(a.perRun[i].ckptRead, b.perRun[i].ckptRead);
+        EXPECT_DOUBLE_EQ(a.perRun[i].recovery, b.perRun[i].recovery);
+        EXPECT_EQ(a.perRun[i].recoveries, b.perRun[i].recoveries);
+    }
+}
+
+} // namespace
+
+TEST(ExperimentFaults, PlanIsAPureFunctionOfConfigAndRun)
+{
+    const auto config = faultyConfig(Design::ReinitFti, 3);
+    EXPECT_EQ(storageFaultPlanFor(config, 0),
+              storageFaultPlanFor(config, 0));
+    EXPECT_FALSE(storageFaultPlanFor(config, 0) ==
+                 storageFaultPlanFor(config, 1));
+    auto reseeded = config;
+    reseeded.seed = 7;
+    EXPECT_FALSE(storageFaultPlanFor(config, 0) ==
+                 storageFaultPlanFor(reseeded, 0));
+    // Faults off: empty plan, no decorator installed.
+    auto off = config;
+    off.storageFaultWindows = 0;
+    EXPECT_TRUE(storageFaultPlanFor(off, 0).empty());
+}
+
+TEST(ExperimentFaults, FaultsChangeResultsDeterministically)
+{
+    const auto off = runExperiment(faultyConfig(Design::ReinitFti, 0));
+    auto config = faultyConfig(Design::ReinitFti, 3);
+    // Bias the drawn windows to the local class: this L1 cell has no
+    // PFS traffic, so only local-class windows can move its results.
+    config.storageFaultPfsBias = 0.0;
+    const auto a = runExperiment(config);
+    const auto b = runExperiment(config);
+    expectIdenticalResults(a, b);
+    // Priced retries/spikes/degradations make faulty runs slower.
+    EXPECT_NE(a.mean.total(), off.mean.total());
+}
+
+TEST(ExperimentFaults, ResultsIdenticalAcrossBackendsAndDrainModes)
+{
+    auto config = faultyConfig(Design::RestartFti, 3);
+    config.ckptLevel = 4; // exercise the drain path under faults
+    config.injectFailure = true;
+    const auto baseline = runExperiment(config);
+
+    auto disk = config;
+    disk.storage = storage::Kind::Disk;
+    expectIdenticalResults(baseline, runExperiment(disk));
+
+    auto sync_drain = config;
+    sync_drain.drain = storage::DrainMode::Sync;
+    expectIdenticalResults(baseline, runExperiment(sync_drain));
+
+    auto shallow = config;
+    shallow.drainDepth = 1;
+    expectIdenticalResults(baseline, runExperiment(shallow));
+}
+
+TEST(ExperimentFaults, TraceReplayReproducesDrawnPlanBitForBit)
+{
+    auto generated = faultyConfig(Design::ReinitFti, 3);
+    generated.runs = 1; // the trace pins one run's plan
+    generated.injectFailure = true;
+    const storage::StorageFaultPlan plan =
+        storageFaultPlanFor(generated, 0);
+    ASSERT_FALSE(plan.empty());
+
+    const std::string path =
+        (fs::temp_directory_path() / "match-fault-tests-replay.trace")
+            .string();
+    storage::writeFaultTraceFile(path, plan.windows);
+
+    auto replay = generated;
+    replay.storageFaultTrace = storage::readFaultTraceFile(path);
+    ASSERT_EQ(replay.storageFaultTrace, plan.windows);
+    expectIdenticalResults(runExperiment(generated),
+                           runExperiment(replay));
+}
+
+TEST(ExperimentFaults, PersistentPfsOutageCompletesViaDegradation)
+{
+    // The PFS refuses every write of every epoch, far past the retry
+    // budget; the run must complete by demoting L4 checkpoints to L3
+    // (never a fatal error while the local tiers stay healthy), and
+    // recovery must still succeed from the demoted checkpoints.
+    auto config = faultyConfig(Design::RestartFti, 1);
+    config.ckptLevel = 4;
+    config.injectFailure = true;
+    config.storageFaultTrace = {
+        {1, 1 << 20, PathClass::Pfs, FaultKind::WriteFault, 1000}};
+
+    const storage::FaultStats before = storage::faultGlobalStats();
+    const auto result = runExperiment(config);
+    const storage::FaultStats after = storage::faultGlobalStats();
+
+    EXPECT_TRUE(result.mean.failureFired);
+    EXPECT_GT(result.mean.recovery, 0.0);
+    EXPECT_GT(after.degradedCkpts, before.degradedCkpts);
+    // Pre-detected outage: the decorator never saw a doomed write.
+    EXPECT_EQ(after.injectedWriteFaults, before.injectedWriteFaults);
+
+    // The demoted run still prices more checkpoint time than a clean
+    // one (the demotion penalty), and completes every run.
+    EXPECT_EQ(result.perRun.size(), 2u);
+}
+
+TEST(ExperimentFaults, LocalEnospcSkipsEpochsAndCompletes)
+{
+    auto config = faultyConfig(Design::ReinitFti, 1);
+    config.storageFaultTrace = {
+        {2, 2, PathClass::Local, FaultKind::Enospc, 1}};
+    const storage::FaultStats before = storage::faultGlobalStats();
+    const auto off = runExperiment(faultyConfig(Design::ReinitFti, 0));
+    const auto result = runExperiment(config);
+    const storage::FaultStats after = storage::faultGlobalStats();
+    EXPECT_GT(after.skippedEpochs, before.skippedEpochs);
+    // The skipped epoch trades its write cost for one retry round's
+    // backoff — strictly cheaper, but never silently identical.
+    EXPECT_LT(result.mean.ckptWrite, off.mean.ckptWrite);
+    EXPECT_GT(result.mean.ckptWrite, 0.0);
+}
+
+TEST(ExperimentFaults, StorageFaultAndProcessFailureInSameEpoch)
+{
+    // A transient local write fault opens exactly around the epoch a
+    // process crash fires in: the retry policy must ride out the
+    // storage fault, the recovery ladder must absorb the crash, and
+    // the combination must stay deterministic.
+    auto config = faultyConfig(Design::ReinitFti, 1);
+    config.injectFailure = true;
+    config.failureModel = ft::FailureModelKind::Trace;
+    config.traceEvents = {{11, 3, ft::FailureKind::Crash}};
+    // Iteration 11 at stride 5 sits in epoch 2; cover epochs 1-3 so
+    // the checkpoint written before the crash and the recovery reads
+    // after it both run inside the window.
+    config.storageFaultTrace = {
+        {1, 3, PathClass::Local, FaultKind::WriteFault, 2}};
+
+    const storage::FaultStats before = storage::faultGlobalStats();
+    const auto a = runExperiment(config);
+    const auto b = runExperiment(config);
+    const storage::FaultStats after = storage::faultGlobalStats();
+
+    expectIdenticalResults(a, b);
+    EXPECT_TRUE(a.mean.failureFired);
+    EXPECT_GT(a.mean.recovery, 0.0);
+    EXPECT_GT(after.pricedRetries, before.pricedRetries);
+    EXPECT_GT(after.injectedWriteFaults, before.injectedWriteFaults);
+}
+
+TEST(ExperimentFaults, ConfigKeyDistinguishesStorageFaultAxes)
+{
+    const auto base = faultyConfig(Design::ReinitFti, 0);
+    const std::string key = configKey(base);
+
+    auto windows = base;
+    windows.storageFaultWindows = 2;
+    EXPECT_NE(configKey(windows), key);
+
+    auto bias = base;
+    bias.storageFaultPfsBias = 0.5;
+    EXPECT_NE(configKey(bias), key);
+
+    auto epochs = base;
+    epochs.storageFaultMeanEpochs = 4;
+    EXPECT_NE(configKey(epochs), key);
+
+    auto strikes = base;
+    strikes.storageFaultStrikes = 9;
+    EXPECT_NE(configKey(strikes), key);
+
+    auto retry = base;
+    retry.ioRetryLimit = 5;
+    EXPECT_NE(configKey(retry), key);
+
+    auto trace = base;
+    trace.storageFaultTrace = {
+        {1, 2, PathClass::Pfs, FaultKind::WriteFault, 2}};
+    EXPECT_NE(configKey(trace), key);
+    auto trace2 = trace;
+    trace2.storageFaultTrace[0].strikes = 3;
+    EXPECT_NE(configKey(trace2), configKey(trace));
+}

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * SCR under storage-tier faults: a persistent PFS outage skips the
+ * prefix flush (no flushed markers, restart falls back to the cache),
+ * transient PFS faults ride out on the flush job's retry loop, and an
+ * exhausted cache tier abandons the dataset through SCR's own validity
+ * vote instead of dying.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <vector>
+
+#include "src/scr/scr.hh"
+#include "src/simmpi/runtime.hh"
+#include "src/storage/faults.hh"
+
+namespace fs = std::filesystem;
+using namespace match;
+using namespace match::scr;
+using match::simmpi::JobOptions;
+using match::simmpi::Proc;
+using match::simmpi::Runtime;
+using match::storage::FaultKind;
+using match::storage::FaultWindow;
+using match::storage::PathClass;
+
+namespace
+{
+
+std::shared_ptr<storage::FaultInjectingBackend>
+faultyBackend(std::vector<FaultWindow> windows, int retry_limit = 3)
+{
+    storage::StorageFaultPlan plan;
+    plan.windows = std::move(windows);
+    return std::make_shared<storage::FaultInjectingBackend>(
+        storage::makeBackend(storage::Kind::Disk), std::move(plan),
+        retry_limit);
+}
+
+ScrConfig
+faultConfig(const std::string &job,
+            std::shared_ptr<storage::Backend> backend)
+{
+    ScrConfig cfg;
+    cfg.cacheDir =
+        (fs::temp_directory_path() / "match-scr-fault-tests/cache")
+            .string();
+    cfg.prefixDir =
+        (fs::temp_directory_path() / "match-scr-fault-tests/prefix")
+            .string();
+    cfg.jobId = job;
+    cfg.scheme = Redundancy::Single;
+    cfg.flushEvery = 1;
+    cfg.backend = std::move(backend);
+    return cfg;
+}
+
+JobOptions
+options(int nprocs)
+{
+    JobOptions opts;
+    opts.nprocs = nprocs;
+    return opts;
+}
+
+void
+writeState(const std::string &path, const std::vector<double> &state)
+{
+    std::ofstream out(path, std::ios::binary);
+    out.write(reinterpret_cast<const char *>(state.data()),
+              static_cast<std::streamsize>(state.size() *
+                                           sizeof(double)));
+}
+
+} // namespace
+
+TEST(ScrFaults, PersistentPfsOutageSkipsFlushAndRestartUsesCache)
+{
+    auto backend = faultyBackend(
+        {{1, 1000, PathClass::Pfs, FaultKind::WriteFault, 999}});
+    auto config = faultConfig("pfs-outage", backend);
+    Scr::purge(config);
+    const int procs = 4;
+
+    Runtime rt1;
+    rt1.run(options(procs), [&](Proc &proc) {
+        Scr scr(proc, config);
+        std::vector<double> state(32, proc.rank() + 1.5);
+        scr.startCheckpoint();
+        writeState(scr.routeFile("state.bin"), state);
+        scr.completeCheckpoint(true);
+        // The flush was skipped with a structured degrade record, not
+        // attempted and died.
+        ASSERT_EQ(scr.degradeEvents().size(), 1u);
+        EXPECT_EQ(scr.degradeEvents()[0].fromLevel, 4);
+        EXPECT_EQ(scr.degradeEvents()[0].cls, PathClass::Pfs);
+        scr.finalize();
+    });
+
+    // No flushed markers: the dataset never poses as fetchable from
+    // the prefix.
+    for (int r = 0; r < procs; ++r)
+        EXPECT_FALSE(backend->exists(
+            Scr::flushedMarkerFile(config, 1, r)));
+
+    // The cache copy is intact, so restart succeeds from it.
+    Runtime rt2;
+    rt2.run(options(procs), [&](Proc &proc) {
+        Scr scr(proc, config);
+        ASSERT_TRUE(scr.haveRestart());
+        scr.startRestart();
+        std::vector<double> state(32, 0.0);
+        std::ifstream in(scr.routeRestartFile("state.bin"),
+                         std::ios::binary);
+        ASSERT_TRUE(static_cast<bool>(in));
+        in.read(reinterpret_cast<char *>(state.data()),
+                static_cast<std::streamsize>(state.size() *
+                                             sizeof(double)));
+        ASSERT_TRUE(static_cast<bool>(in));
+        EXPECT_DOUBLE_EQ(state[0], proc.rank() + 1.5);
+        scr.completeRestart(true);
+    });
+    Scr::purge(config);
+}
+
+TEST(ScrFaults, TransientPfsFaultFlushStillLands)
+{
+    // Two strikes per path against a retry budget of three: the flush
+    // job's bounded retry loop rides the window out and every flushed
+    // marker lands.
+    auto backend = faultyBackend(
+        {{1, 1000, PathClass::Pfs, FaultKind::WriteFault, 2}}, 3);
+    auto config = faultConfig("pfs-transient", backend);
+    Scr::purge(config);
+    const int procs = 4;
+
+    const storage::FaultStats before = storage::faultGlobalStats();
+    Runtime rt;
+    rt.run(options(procs), [&](Proc &proc) {
+        Scr scr(proc, config);
+        std::vector<double> state(32, proc.rank() * 2.0);
+        scr.startCheckpoint();
+        writeState(scr.routeFile("state.bin"), state);
+        scr.completeCheckpoint(true);
+        EXPECT_TRUE(scr.degradeEvents().empty());
+        scr.finalize();
+    });
+    const storage::FaultStats after = storage::faultGlobalStats();
+
+    EXPECT_EQ(after.failedFlushes, before.failedFlushes);
+    EXPECT_GT(after.injectedWriteFaults, before.injectedWriteFaults);
+    for (int r = 0; r < procs; ++r)
+        EXPECT_TRUE(backend->exists(
+            Scr::flushedMarkerFile(config, 1, r)));
+    Scr::purge(config);
+}
+
+TEST(ScrFaults, ExhaustedCacheTierAbandonsDataset)
+{
+    auto backend = faultyBackend(
+        {{1, 1, PathClass::Local, FaultKind::Enospc, 1}});
+    auto config = faultConfig("cache-enospc", backend);
+    config.flushEvery = 0;
+    Scr::purge(config);
+    const int procs = 4;
+
+    Runtime rt1;
+    rt1.run(options(procs), [&](Proc &proc) {
+        Scr scr(proc, config);
+        std::vector<double> state(16, 1.0);
+        scr.startCheckpoint();
+        writeState(scr.routeFile("state.bin"), state);
+        scr.completeCheckpoint(true);
+        // Cache tier out past the retry budget: the dataset was
+        // abandoned via the validity vote (toLevel 0), no commit.
+        ASSERT_EQ(scr.degradeEvents().size(), 1u);
+        EXPECT_EQ(scr.degradeEvents()[0].toLevel, 0);
+        EXPECT_EQ(scr.degradeEvents()[0].cls, PathClass::Local);
+        scr.finalize();
+    });
+
+    Runtime rt2;
+    rt2.run(options(procs), [&](Proc &proc) {
+        Scr scr(proc, config);
+        EXPECT_FALSE(scr.haveRestart());
+    });
+    Scr::purge(config);
+}
