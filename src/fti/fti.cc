@@ -385,7 +385,20 @@ auto
 Fti::ioRetry(Op &&op) const -> decltype(op())
 {
     return storage::withIoRetry(
-        ioRetryLimit(), std::forward<Op>(op), [this](int attempt) {
+        ioRetryLimit(),
+        [&] {
+            // Bind this rank's own (epoch, actor) around the single
+            // backend call — never around the whole retry loop, whose
+            // backoff sleeps yield the fiber and would let another
+            // rank's binding leak in. The actor key gives this rank a
+            // private strike budget even on shared objects (meta
+            // files), so every rank exhausts every object identically
+            // and ladder decisions stay rank-uniform.
+            storage::FaultEpochScope scope(faults_, faultEpoch_,
+                                           proc_.globalIndex());
+            return op();
+        },
+        [this](int attempt) {
             // Each backoff is real (simulated) time on this rank, and
             // deterministic: the fault plan's strike counters make the
             // attempt count a pure function of configuration.
@@ -497,10 +510,12 @@ Fti::encodeGroupParity(int ckpt_id, const MetaInfo &meta)
         if (!auxDirsCreated_)
             store_.createDirectories(localDir(config_, holder));
         const std::string path = parityFile(config_, holder, ckpt_id);
-        // The decorator fails before taking ownership, so the parity
-        // blob survives for the retry.
+        // Each attempt writes a handle copy (refcounted, no byte
+        // copy): an inner backend throwing AFTER taking ownership of a
+        // moved blob would otherwise retry with a moved-from husk and
+        // commit a garbage parity object.
         ioRetry(
-            [&] { store_.write(path, std::move(parity[p])); });
+            [&] { store_.write(path, storage::Blob(parity[p])); });
     }
     auxDirsCreated_ = true;
 }
@@ -637,10 +652,11 @@ Fti::enqueuePfsFlush(int ckpt_id, storage::Blob blob)
         [job_config = std::move(job_config), rank, ckpt_id,
          blob = std::move(blob),
          faults = faults_]() -> std::uint64_t {
-            // Bind the epoch the flush was enqueued at: injection then
-            // does not depend on when the drain runs the job (sync,
-            // async, N threads — all see the same windows).
-            storage::FaultEpochScope scope(faults, ckpt_id);
+            // Bind the epoch the flush was enqueued at (and the
+            // flushing rank as the actor): injection then does not
+            // depend on when the drain runs the job (sync, async, N
+            // threads — all see the same windows and strike budgets).
+            storage::FaultEpochScope scope(faults, ckpt_id, rank);
             const int limit = faults ? faults->retryLimit()
                                      : storage::kDefaultIoRetryLimit;
             for (int attempt = 0;; ++attempt) {
@@ -714,6 +730,7 @@ Fti::checkpoint(int ckpt_id, int level)
     // branch before any I/O or collective — degradation never
     // desynchronizes the communicator.
     double fault_penalty = 0.0;
+    faultEpoch_ = ckpt_id;
     if (faults_) {
         faults_->setEpoch(ckpt_id);
         const storage::StorageFaultPlan &plan = faults_->plan();
@@ -1241,17 +1258,24 @@ Fti::recover()
     // Newest-first ladder: a rung whose storage tier faulted past the
     // retry budget (StorageError) falls back to the next older
     // committed checkpoint instead of aborting. Strike counters are
-    // per path, so every rank exhausts its own objects identically and
-    // the ladder stays rank-uniform without communication. A *lost*
-    // object (not a faulting tier) still fatals inside loadImage,
-    // exactly as before this engine existed.
+    // per (actor, path), so every rank charges its OWN budget against
+    // every object — including the shared rank-less meta files — and
+    // identical ladders make identical decisions on every rank without
+    // communication; one rank's retries can never heal a window for a
+    // later rank and let it restore a different id. A *lost* object
+    // (not a faulting tier) still fatals inside loadImage, exactly as
+    // before this engine existed.
     bool restored = false;
     for (const int id : ladder) {
-        MetaInfo meta;
-        if (!loadMeta(id, meta))
-            continue; // shared store: same outcome on every rank
+        // Re-key this rank's fault epoch to the rung before its meta
+        // read: the windows of the checkpoint being restored gate all
+        // of the rung's I/O, the meta file included.
+        faultEpoch_ = id;
         if (faults_)
             faults_->setEpoch(id);
+        MetaInfo meta;
+        if (!loadMeta(id, meta))
+            continue; // same per-actor outcome on every rank
         // An L4 restore reads objects the drain may still be
         // streaming: wait out the channel (virtually and in
         // wall-clock) first.
@@ -1315,11 +1339,12 @@ Fti::recoverChecked()
     bool restored = false;
     int restored_id = 0;
     for (const int id : committedCkptsNewestFirst()) {
-        MetaInfo meta;
-        if (!loadMeta(id, meta))
-            continue; // shared store: same outcome on every rank
+        faultEpoch_ = id;
         if (faults_)
             faults_->setEpoch(id);
+        MetaInfo meta;
+        if (!loadMeta(id, meta))
+            continue; // same per-actor outcome on every rank
         if (meta.level == 4)
             drainBarrier();
         const storage::Blob blob = loadImage(meta, /*checked=*/true);
@@ -1386,6 +1411,7 @@ Fti::scrub()
         return; // L4 objects live behind the drain; nothing local
     CategoryScope scope(proc_, TimeCategory::CkptWrite);
     const double t0 = proc_.now();
+    faultEpoch_ = newest;
     if (faults_)
         faults_->setEpoch(newest);
     const int rank = proc_.runtime().commRank(proc_.globalIndex(), comm_);
@@ -1426,8 +1452,14 @@ Fti::corruptAtRest(const FtiConfig &config, int rank)
         const int id = std::atoi(name.c_str() + 4);
         if (id <= newest)
             continue;
-        const storage::Blob text =
-            storage::fetch(store, metaFile(config, id));
+        // Best-effort, like the flip sections below: a read window
+        // open at injection time just hides this id from the scan —
+        // it must never abort the simulation driver.
+        storage::Blob text;
+        try {
+            text = storage::fetch(store, metaFile(config, id));
+        } catch (const storage::StorageError &) {
+        }
         if (!text)
             continue;
         util::IniFile ini;

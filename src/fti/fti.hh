@@ -293,6 +293,13 @@ class Fti
     /** The fault engine when store_ is a FaultInjectingBackend, else
      *  null (the fast path: no plan queries, no retry pricing). */
     storage::FaultInjectingBackend *faults_ = nullptr;
+    /** This rank's current fault epoch (the checkpoint id being
+     *  written, or the rung being restored). Per-instance, never the
+     *  decorator's shared fallback: ranks sitting on different
+     *  recovery rungs must not flap each other's effective epoch.
+     *  ioRetry binds it (with the rank's actor id) around every
+     *  injected operation. */
+    int faultEpoch_ = 0;
     /** Write-exhaustion decisions taken (demotions, epoch skips). */
     std::vector<storage::DegradeEvent> degradeEvents_;
     std::map<int, ProtectedRegion> regions_;

@@ -141,7 +141,19 @@ auto
 Scr::ioRetry(Op &&op) const -> decltype(op())
 {
     return storage::withIoRetry(
-        ioRetryLimit(), std::forward<Op>(op), [this](int attempt) {
+        ioRetryLimit(),
+        [&] {
+            // Bind this rank's own (epoch, actor) around the single
+            // backend call — not the retry loop, whose backoff sleeps
+            // yield the fiber (see fti::Fti::ioRetry). The actor key
+            // gives this rank a private strike budget on shared
+            // objects (markers, parity), keeping ladder decisions
+            // rank-uniform.
+            storage::FaultEpochScope scope(faults_, faultEpoch_,
+                                           proc_.globalIndex());
+            return op();
+        },
+        [this](int attempt) {
             proc_.sleepFor(
                 proc_.runtime().costModel().ioRetryBackoff(attempt));
             storage::notePricedRetries(1);
@@ -423,9 +435,10 @@ Scr::enqueueFlush(int dataset, std::size_t bytes)
         [job_config = std::move(job_config), dataset, r = rank(),
          files = std::move(files),
          faults = faults_]() -> std::uint64_t {
-            // Bind the enqueue-time epoch so injection is identical
-            // for any drain scheduling (sync, async, N threads).
-            storage::FaultEpochScope scope(faults, dataset);
+            // Bind the enqueue-time epoch (and the flushing rank as
+            // the actor) so injection is identical for any drain
+            // scheduling (sync, async, N threads).
+            storage::FaultEpochScope scope(faults, dataset, r);
             const int limit = faults ? faults->retryLimit()
                                      : storage::kDefaultIoRetryLimit;
             for (int attempt = 0;; ++attempt) {
@@ -483,6 +496,7 @@ Scr::completeCheckpoint(bool valid)
     // tier abandons the dataset exactly like an application-invalid
     // one, and the run keeps computing.
     bool tier_ok = true;
+    faultEpoch_ = writingDataset_;
     if (faults_) {
         faults_->setEpoch(writingDataset_);
         const storage::StorageFaultPlan &plan = faults_->plan();
@@ -490,10 +504,20 @@ Scr::completeCheckpoint(bool valid)
         const simmpi::CostModel &cm = proc_.runtime().costModel();
         double fault_penalty = 0.0;
         const bool needs_reads = config_.scheme != Redundancy::Single;
+        // Partner redundancy copies, and a copy spends ONE retry
+        // budget across its read and write legs — overlapping windows
+        // that are each individually rideable can together exhaust it,
+        // so the pre-flight must ask the combined-budget query or
+        // applyRedundancy would fatal on a file that provably exists.
+        const bool copies = config_.scheme == Redundancy::Partner;
         if (plan.writeExhausted(writingDataset_,
                                 storage::PathClass::Local, limit) ||
             (needs_reads &&
              plan.readExhausted(writingDataset_,
+                                storage::PathClass::Local, limit)) ||
+            (copies &&
+             plan.copyExhausted(writingDataset_,
+                                storage::PathClass::Local,
                                 storage::PathClass::Local, limit))) {
             tier_ok = false;
             fault_penalty += cm.ioRetryPenalty(1);
@@ -586,8 +610,18 @@ Scr::completeCheckpoint(bool valid)
             const storage::StorageFaultPlan &plan = faults_->plan();
             const int limit = faults_->retryLimit();
             const simmpi::CostModel &cm = proc_.runtime().costModel();
+            // Uncompressed flushes copy cache -> prefix, spending one
+            // retry budget across both legs; ask the combined query so
+            // a doomed flush is skipped (priced, recorded) instead of
+            // burning the drain on a copy that cannot land.
+            const bool flush_copies =
+                !storage::transformHasCompress(config_.transform);
             if (plan.writeExhausted(lastCommitted_,
-                                    storage::PathClass::Pfs, limit)) {
+                                    storage::PathClass::Pfs, limit) ||
+                (flush_copies &&
+                 plan.copyExhausted(lastCommitted_,
+                                    storage::PathClass::Local,
+                                    storage::PathClass::Pfs, limit))) {
                 // PFS out past the retry budget: skip the flush. The
                 // dataset stays committed in the cache; with no
                 // flushed markers it never poses as fetchable, so a
@@ -825,6 +859,7 @@ Scr::routeRestartFile(const std::string &name)
     for (;;) {
         // Windows are keyed on the dataset being restored; the SDC
         // ladder re-keys as it falls back to older datasets.
+        faultEpoch_ = restartDataset_;
         if (faults_)
             faults_->setEpoch(restartDataset_);
         const std::string path =

@@ -242,6 +242,11 @@ class Scr
     /** The fault engine when store_ is a FaultInjectingBackend, else
      *  null. The prefix dir is registered as a PFS root with it. */
     storage::FaultInjectingBackend *faults_ = nullptr;
+    /** This rank's current fault epoch (the dataset being written or
+     *  restored). Per-instance so ranks on different restart-ladder
+     *  rungs never flap each other's effective epoch; ioRetry binds it
+     *  (with the rank's actor id) around every injected operation. */
+    int faultEpoch_ = 0;
     /** Tier-exhaustion decisions taken (abandoned datasets, skipped
      *  flushes). */
     std::vector<storage::DegradeEvent> degradeEvents_;

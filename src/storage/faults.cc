@@ -113,6 +113,28 @@ StorageFaultPlan::readExhausted(int epoch, PathClass cls,
     return strikes > retryLimit;
 }
 
+bool
+StorageFaultPlan::copyExhausted(int epoch, PathClass srcCls,
+                                PathClass dstCls, int retryLimit) const
+{
+    // Backend::copy spends ONE retry budget across both legs: the
+    // decorator fails the src read until its strikes drain, then the
+    // dst write until its strikes drain, so the consecutive failures a
+    // retried copy sees is the sum of both sides — two individually
+    // rideable windows can together exceed the budget.
+    int strikes = 0;
+    for (const FaultWindow &w : windows) {
+        if (covers(w, epoch, srcCls) && w.kind == FaultKind::ReadFault)
+            strikes += w.strikes;
+        if (covers(w, epoch, dstCls) && isWriteKind(w.kind)) {
+            if (w.kind == FaultKind::Enospc)
+                return true; // retry never helps a full tier
+            strikes += w.strikes;
+        }
+    }
+    return strikes > retryLimit;
+}
+
 int
 StorageFaultPlan::transientWriteStrikes(int epoch, PathClass cls,
                                         int retryLimit) const
@@ -312,9 +334,12 @@ counters()
     return instance;
 }
 
-/** Thread-local epoch override installed by FaultEpochScope; -1 when
- *  no drain job is pinning an epoch on this thread. */
+/** Thread-local (epoch, actor) binding installed by FaultEpochScope;
+ *  -1 when no scope is active on this thread. Safe under the fiber
+ *  scheduler because scopes never span a yield point (see the class
+ *  comment). */
 thread_local int tlsEpochOverride = -1;
+thread_local int tlsActor = -1;
 
 } // anonymous namespace
 
@@ -419,7 +444,11 @@ FaultInjectingBackend::failingWindow(const std::string &path,
         if (w.kind == FaultKind::Enospc)
             return &w; // a full tier fails every attempt
         std::lock_guard<std::mutex> lock(mu_);
-        int &tried = attempts_[{i, path}];
+        // Keyed per actor: a shared object (FTI's rank-less meta file)
+        // must charge each simulated rank its own strike budget, or
+        // the first ranks' retries would heal the window for later
+        // ones and identical ladders would restore different ids.
+        int &tried = attempts_[{i, tlsActor, path}];
         if (tried < w.strikes) {
             ++tried;
             return &w;
@@ -430,7 +459,8 @@ FaultInjectingBackend::failingWindow(const std::string &path,
 
 void
 FaultInjectingBackend::failWrite(const std::string &path,
-                                 const void *data, std::size_t bytes)
+                                 const void *data, std::size_t bytes,
+                                 bool atomicOp)
 {
     const FaultWindow *window = failingWindow(path, /*writeOp=*/true);
     if (!window)
@@ -441,9 +471,14 @@ FaultInjectingBackend::failWrite(const std::string &path,
         // The fault every checksum exists for: a prefix of the object
         // lands before the error surfaces. A later full rewrite (the
         // retry) replaces it; an abandoned object is caught by the
-        // CRC/marker machinery, never silently restored.
+        // CRC/marker machinery, never silently restored. writeAtomic
+        // keeps its contract even here: the tear lands in the tmp
+        // object the failed rename discards, so nothing is persisted
+        // and the previous object stays intact — FTI meta INI files
+        // and SCR markers are detected by a bare exists() and must
+        // never be observable half-written.
         c.tornWrites.fetch_add(1, std::memory_order_relaxed);
-        if (data && bytes > 0)
+        if (!atomicOp && data && bytes > 0)
             inner_->write(path, data, bytes / 2);
         throw StorageError("write", path, 0, "injected torn write");
       case FaultKind::Enospc:
@@ -483,14 +518,14 @@ void
 FaultInjectingBackend::write(const std::string &path, const void *data,
                              std::size_t bytes)
 {
-    failWrite(path, data, bytes);
+    failWrite(path, data, bytes, /*atomicOp=*/false);
     inner_->write(path, data, bytes);
 }
 
 void
 FaultInjectingBackend::write(const std::string &path, Blob &&blob)
 {
-    failWrite(path, blob.data(), blob.size());
+    failWrite(path, blob.data(), blob.size(), /*atomicOp=*/false);
     inner_->write(path, std::move(blob));
 }
 
@@ -498,7 +533,7 @@ void
 FaultInjectingBackend::writeAtomic(const std::string &path,
                                    const void *data, std::size_t bytes)
 {
-    failWrite(path, data, bytes);
+    failWrite(path, data, bytes, /*atomicOp=*/true);
     inner_->writeAtomic(path, data, bytes);
 }
 
@@ -506,7 +541,7 @@ void
 FaultInjectingBackend::writeAtomic(const std::string &path,
                                    Blob &&blob)
 {
-    failWrite(path, blob.data(), blob.size());
+    failWrite(path, blob.data(), blob.size(), /*atomicOp=*/true);
     inner_->writeAtomic(path, std::move(blob));
 }
 
@@ -535,7 +570,7 @@ FaultInjectingBackend::copy(const std::string &src,
             1, std::memory_order_relaxed);
         throw StorageError("read", src, 0, "injected read fault");
     }
-    failWrite(dst, nullptr, 0);
+    failWrite(dst, nullptr, 0, /*atomicOp=*/false);
     return inner_->copy(src, dst);
 }
 
@@ -566,19 +601,23 @@ FaultInjectingBackend::listDir(const std::string &dir) const
 // --- FaultEpochScope -------------------------------------------------
 
 FaultEpochScope::FaultEpochScope(const FaultInjectingBackend *backend,
-                                 int epoch)
+                                 int epoch, int actor)
 {
     if (!backend)
         return;
     active_ = true;
-    prev_ = tlsEpochOverride;
+    prevEpoch_ = tlsEpochOverride;
+    prevActor_ = tlsActor;
     tlsEpochOverride = epoch;
+    tlsActor = actor;
 }
 
 FaultEpochScope::~FaultEpochScope()
 {
-    if (active_)
-        tlsEpochOverride = prev_;
+    if (active_) {
+        tlsEpochOverride = prevEpoch_;
+        tlsActor = prevActor_;
+    }
 }
 
 } // namespace match::storage

@@ -23,18 +23,25 @@
  *    time from the plan directly.
  *
  * Determinism contract: the decorator's injection decisions depend
- * only on (plan, current checkpoint epoch, path, per-path attempt
- * count) — never on wall-clock, thread identity or operation order
- * across paths — so the simulated results of a faulty run are as
- * reproducible as a clean one. Virtual-time costs (retry backoff,
- * latency spikes) are priced by the clients through CostModel terms;
- * the decorator only fails real I/O.
+ * only on (plan, the calling actor's checkpoint epoch, path, per-
+ * (actor, path) attempt count) — never on wall-clock, thread identity
+ * or operation order across paths or actors — so the simulated results
+ * of a faulty run are as reproducible as a clean one. The "actor" is
+ * the logical agent driving the I/O (a simulated rank, a drain-job
+ * flush): keying the strike counters and the effective epoch per actor
+ * keeps shared objects (FTI's rank-less meta files) from letting one
+ * rank's retries consume another rank's strike budget — every rank
+ * exhausts every object identically, so ladder decisions stay
+ * rank-uniform without communication. Virtual-time costs (retry
+ * backoff, latency spikes) are priced by the clients through CostModel
+ * terms; the decorator only fails real I/O.
  *
  * Window/epoch semantics: a window [firstEpoch, lastEpoch] is open
  * while the job's current checkpoint epoch (the id of the checkpoint
  * being written, or the newest committed one during recovery) lies in
  * the inclusive range. `strikes` is how many consecutive attempts per
- * object path fail before the tier heals for that path: a value at or
+ * (actor, object path) fail before the tier heals for that path: a
+ * value at or
  * below the clients' retry limit models a transient fault the retry
  * loop rides out; a larger value models a persistent outage, which the
  * clients pre-detect (the decision is a pure plan query, identical on
@@ -51,6 +58,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -97,9 +105,9 @@ struct FaultWindow
     int lastEpoch = 0;  ///< last checkpoint epoch covered (inclusive)
     PathClass cls = PathClass::Pfs;
     FaultKind kind = FaultKind::WriteFault;
-    /** Consecutive failing attempts per object path before the tier
-     *  heals for that path. Ignored for Enospc (retry never helps)
-     *  and LatencySpike (nothing fails). */
+    /** Consecutive failing attempts per (actor, object path) before
+     *  the tier heals for that path. Ignored for Enospc (retry never
+     *  helps) and LatencySpike (nothing fails). */
     int strikes = 1;
 
     bool
@@ -142,6 +150,19 @@ struct StorageFaultPlan
 
     /** Like writeExhausted, for reads. */
     bool readExhausted(int epoch, PathClass cls, int retryLimit) const;
+
+    /**
+     * Like writeExhausted, for Backend::copy, which spends one retry
+     * budget across BOTH legs — the src read and the dst write — so a
+     * copy is exhausted when the summed read strikes on `srcCls` and
+     * write strikes on `dstCls` exceed the limit (or an Enospc window
+     * covers the destination), even when each side alone is a
+     * rideable transient. Clients that copy (SCR partner redundancy,
+     * uncompressed flushes) must pre-flight with this, not with the
+     * per-side queries.
+     */
+    bool copyExhausted(int epoch, PathClass srcCls, PathClass dstCls,
+                       int retryLimit) const;
 
     /** Retries a write to `cls` at `epoch` needs before succeeding
      *  (0 when no transient write window is open): the summed strikes
@@ -269,11 +290,16 @@ void noteFailedFlush();
 /**
  * Decorator injecting the plan's faults into a real Backend.
  *
- * Epoch tracking: the simulation thread publishes the current
- * checkpoint epoch via setEpoch(); drain-thread flush jobs bind the
- * epoch their checkpoint was enqueued at with a FaultEpochScope, so an
- * async flush sees the same windows whether it runs immediately (sync
- * drain) or seconds later — injection is drain-mode independent.
+ * Epoch and actor tracking: checkpoint clients bind the calling
+ * actor's (epoch, actor id) around each injected operation with a
+ * FaultEpochScope — per-rank state, never shared, so ranks sitting on
+ * different recovery rungs cannot flap each other's effective epoch.
+ * Drain-thread flush jobs bind the epoch their checkpoint was
+ * enqueued at the same way, so an async flush sees the same windows
+ * whether it runs immediately (sync drain) or seconds later —
+ * injection is drain-mode independent. setEpoch() publishes a
+ * fallback epoch for unscoped accesses (tests, the simulation
+ * driver's corruption injector).
  *
  * Path classification: paths containing a "/pfs/" segment are Pfs;
  * everything else is Local. addPfsPrefix() registers extra PFS roots
@@ -295,7 +321,9 @@ class FaultInjectingBackend final : public Backend
     /** Bounded-retry budget the clients share (IoRetryPolicy). */
     int retryLimit() const { return retryLimit_; }
 
-    /** Publish the current checkpoint epoch (simulation thread). */
+    /** Publish the fallback checkpoint epoch, used by accesses not
+     *  wrapped in a FaultEpochScope (tests, the driver's corruption
+     *  injector). Client I/O binds its own epoch per scope instead. */
     void
     setEpoch(int epoch)
     {
@@ -338,19 +366,25 @@ class FaultInjectingBackend final : public Backend
     friend class FaultEpochScope;
 
     /** The effective epoch for the calling thread: a FaultEpochScope
-     *  override when one is active (drain jobs), else the published
-     *  simulation epoch. */
+     *  binding when one is active (client I/O, drain jobs), else the
+     *  published fallback epoch. */
     int effectiveEpoch() const;
 
     /** The open window failing this (op, path) attempt, or nullptr.
-     *  Increments the per-(window, path) attempt counter as a side
-     *  effect, so consecutive attempts eventually pass the window's
-     *  strike budget and succeed. */
+     *  Increments the per-(window, actor, path) attempt counter as a
+     *  side effect, so an actor's consecutive attempts eventually pass
+     *  the window's strike budget and succeed — without consuming any
+     *  other actor's budget on a shared object. */
     const FaultWindow *failingWindow(const std::string &path,
                                      bool writeOp) const;
 
+    /** Injects the failing write window's effect, if any. `atomicOp`
+     *  marks a writeAtomic call: a torn write then persists nothing
+     *  (the tear lands in the discarded tmp object), preserving the
+     *  "reader never observes a partial write" contract the meta/
+     *  marker machinery relies on. */
     void failWrite(const std::string &path, const void *data,
-                   std::size_t bytes);
+                   std::size_t bytes, bool atomicOp);
 
     std::shared_ptr<Backend> inner_;
     StorageFaultPlan plan_;
@@ -358,23 +392,37 @@ class FaultInjectingBackend final : public Backend
     std::atomic<int> epoch_{0};
     std::vector<std::string> pfsPrefixes_;
 
-    /** (window index, path) -> failed attempts so far. Mutable: reads
-     *  consult it too. Thread interleavings cannot perturb it — each
-     *  path is driven by one logical actor at a time. */
+    /** (window index, actor, path) -> failed attempts so far. Mutable:
+     *  reads consult it too. Keyed per actor so shared objects (FTI
+     *  meta files) give every simulated rank its own strike budget —
+     *  cross-rank consumption would make ranks restore different
+     *  checkpoints from identical ladders. */
     mutable std::mutex mu_;
-    mutable std::map<std::pair<std::size_t, std::string>, int> attempts_;
+    mutable std::map<std::tuple<std::size_t, int, std::string>, int>
+        attempts_;
 };
 
 /**
- * Thread-local epoch override for drain-thread jobs: constructed with
+ * Thread-local (epoch, actor) binding for injected I/O. Checkpoint
+ * clients install one around each backend operation with the calling
+ * rank's own epoch and identity (Fti/Scr do this inside their retry
+ * wrappers); drain-thread jobs install one for the job's duration with
  * the epoch the flush was enqueued at, so injection decisions are
  * identical whether the job runs inline (sync drain) or later on a
- * worker. A null backend makes the scope a no-op (faults off).
+ * worker. `actor` keys the strike counters: pass the simulated
+ * global rank (or the flushing rank for drain jobs); -1 leaves the
+ * access on the shared unbound bucket (tests, driver-side injection).
+ * A null backend makes the scope a no-op (faults off).
+ *
+ * Simulated ranks are fibers multiplexed on one OS thread, so a
+ * binding must never span a fiber yield point (sleepFor): clients
+ * scope each backend call, not the retry loop around it.
  */
 class FaultEpochScope
 {
   public:
-    FaultEpochScope(const FaultInjectingBackend *backend, int epoch);
+    FaultEpochScope(const FaultInjectingBackend *backend, int epoch,
+                    int actor = -1);
     ~FaultEpochScope();
 
     FaultEpochScope(const FaultEpochScope &) = delete;
@@ -382,7 +430,8 @@ class FaultEpochScope
 
   private:
     bool active_ = false;
-    int prev_ = -1;
+    int prevEpoch_ = -1;
+    int prevActor_ = -1;
 };
 
 /**

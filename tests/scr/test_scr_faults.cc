@@ -159,6 +159,46 @@ TEST(ScrFaults, TransientPfsFaultFlushStillLands)
     Scr::purge(config);
 }
 
+TEST(ScrFaults, OverlappingCopyWindowsAbandonDatasetNotFatal)
+{
+    // Partner redundancy copies cache -> cache, and Backend::copy
+    // spends ONE retry budget across its read and write legs. A local
+    // read window and a local write window that are each individually
+    // rideable (2 <= 3) compound to 4 consecutive copy failures: the
+    // pre-flight must see the combined budget as exhausted and abandon
+    // the dataset through the validity vote — the old per-side checks
+    // let the copy proceed and fatal on a file that provably existed.
+    auto backend = faultyBackend(
+        {{1, 1, PathClass::Local, FaultKind::ReadFault, 2},
+         {1, 1, PathClass::Local, FaultKind::WriteFault, 2}},
+        3);
+    auto config = faultConfig("copy-overlap", backend);
+    config.scheme = Redundancy::Partner;
+    config.flushEvery = 0;
+    Scr::purge(config);
+    const int procs = 4;
+
+    Runtime rt1;
+    rt1.run(options(procs), [&](Proc &proc) {
+        Scr scr(proc, config);
+        std::vector<double> state(16, 3.0);
+        scr.startCheckpoint();
+        writeState(scr.routeFile("state.bin"), state);
+        scr.completeCheckpoint(true);
+        ASSERT_EQ(scr.degradeEvents().size(), 1u);
+        EXPECT_EQ(scr.degradeEvents()[0].toLevel, 0);
+        EXPECT_EQ(scr.degradeEvents()[0].cls, PathClass::Local);
+        scr.finalize();
+    });
+
+    Runtime rt2;
+    rt2.run(options(procs), [&](Proc &proc) {
+        Scr scr(proc, config);
+        EXPECT_FALSE(scr.haveRestart());
+    });
+    Scr::purge(config);
+}
+
 TEST(ScrFaults, ExhaustedCacheTierAbandonsDataset)
 {
     auto backend = faultyBackend(

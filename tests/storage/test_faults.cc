@@ -2,9 +2,10 @@
  * @file
  * Storage-fault engine tests: plan generation determinism, the
  * replayable trace format, the decorator's injection semantics (window
- * gating by epoch/class/kind, per-path strike healing, torn-write
- * prefixes, ENOSPC, metadata passthrough), and the pure exhaustion
- * queries the checkpoint clients base their degradation decisions on.
+ * gating by epoch/class/kind, per-(actor, path) strike healing,
+ * torn-write prefixes, ENOSPC, metadata passthrough), and the pure
+ * exhaustion queries the checkpoint clients base their degradation
+ * decisions on.
  */
 
 #include <gtest/gtest.h>
@@ -172,6 +173,38 @@ TEST(FaultPlan, OverlappingWindowsCompoundStrikes)
     EXPECT_EQ(plan.transientWriteStrikes(3, PathClass::Local, 4), 4);
 }
 
+TEST(FaultPlan, CopyExhaustedSumsBothLegs)
+{
+    // Backend::copy spends one retry budget across the src read and
+    // the dst write: two windows that are each rideable alone (2 <= 3)
+    // compound to 4 consecutive failures and exhaust a retried copy.
+    StorageFaultPlan plan;
+    plan.windows = {
+        {1, 1, PathClass::Local, FaultKind::ReadFault, 2},
+        {1, 1, PathClass::Local, FaultKind::WriteFault, 2},
+        {2, 2, PathClass::Local, FaultKind::ReadFault, 2},
+        {3, 3, PathClass::Pfs, FaultKind::Enospc, 1},
+    };
+    const int limit = 3;
+    // Each side alone passes the per-side queries...
+    EXPECT_FALSE(plan.readExhausted(1, PathClass::Local, limit));
+    EXPECT_FALSE(plan.writeExhausted(1, PathClass::Local, limit));
+    // ...but the copy's combined budget is exhausted.
+    EXPECT_TRUE(plan.copyExhausted(1, PathClass::Local,
+                                   PathClass::Local, limit));
+    // A single transient leg stays rideable.
+    EXPECT_FALSE(plan.copyExhausted(2, PathClass::Local,
+                                    PathClass::Local, limit));
+    // ENOSPC on the destination exhausts regardless of strikes.
+    EXPECT_TRUE(plan.copyExhausted(3, PathClass::Local, PathClass::Pfs,
+                                   limit));
+    EXPECT_FALSE(plan.copyExhausted(3, PathClass::Pfs,
+                                    PathClass::Local, limit));
+    // A roomier budget rides the summed strikes out.
+    EXPECT_FALSE(plan.copyExhausted(1, PathClass::Local,
+                                    PathClass::Local, 4));
+}
+
 TEST(FaultTrace, RoundTripsThroughTextAndFile)
 {
     const std::vector<FaultWindow> windows = {
@@ -275,6 +308,63 @@ TEST(FaultBackend, TornWritePersistsAPrefix)
     EXPECT_EQ(get(*backend, "/t/pfs/a"), "01234");
     EXPECT_NO_THROW(put(*backend, "/t/pfs/a", data)); // healed
     EXPECT_EQ(get(*backend, "/t/pfs/a"), data);
+}
+
+TEST(FaultBackend, StrikeBudgetsAreKeyedPerActor)
+{
+    // A shared object (FTI's rank-less meta file) read by several
+    // simulated ranks must charge each rank its OWN strike budget:
+    // with a global counter, the first ranks' retries would heal the
+    // window for later ones, and identical recovery ladders would
+    // silently restore different checkpoint ids across ranks.
+    auto backend =
+        faulty({{1, 1, PathClass::Local, FaultKind::ReadFault, 2}});
+    backend->setEpoch(0);
+    put(*backend, "/t/meta/shared", "x");
+    backend->setEpoch(1);
+    std::vector<std::uint8_t> out;
+    const auto read_as = [&](int actor) {
+        storage::FaultEpochScope scope(backend.get(), 1, actor);
+        return backend->read("/t/meta/shared", out);
+    };
+    // Rank 0 consumes its two strikes, then heals — for itself only.
+    EXPECT_THROW(read_as(0), StorageError);
+    EXPECT_THROW(read_as(0), StorageError);
+    EXPECT_TRUE(read_as(0));
+    // Rank 1 still faces the full, untouched budget on the same path.
+    EXPECT_THROW(read_as(1), StorageError);
+    EXPECT_THROW(read_as(1), StorageError);
+    EXPECT_TRUE(read_as(1));
+    // The unbound bucket (no scope) is independent of both.
+    EXPECT_THROW(backend->read("/t/meta/shared", out), StorageError);
+}
+
+TEST(FaultBackend, TornAtomicWritePersistsNothing)
+{
+    // writeAtomic's contract — a reader never observes a partial
+    // write, the previous object stays intact — must hold under an
+    // injected tear too: meta INI files and SCR markers are detected
+    // by a bare exists() with no CRC, so a persisted prefix would be
+    // trusted as a complete object after a crash.
+    auto backend =
+        faulty({{1, 1, PathClass::Local, FaultKind::TornWrite, 1}});
+    backend->setEpoch(0);
+    backend->writeAtomic("/t/meta/a", "old", 3);
+    backend->setEpoch(1);
+    EXPECT_THROW(backend->writeAtomic("/t/meta/a", "0123456789", 10),
+                 StorageError);
+    // The tear landed in the discarded tmp object: the previous
+    // content is untouched, no half-written object is observable.
+    EXPECT_EQ(get(*backend, "/t/meta/a"), "old");
+    backend->writeAtomic("/t/meta/a", "0123456789", 10); // healed
+    EXPECT_EQ(get(*backend, "/t/meta/a"), "0123456789");
+    // A fresh path sees no prefix either - absent, not truncated.
+    auto torn =
+        faulty({{1, 1, PathClass::Local, FaultKind::TornWrite, 1}});
+    torn->setEpoch(1);
+    EXPECT_THROW(torn->writeAtomic("/t/meta/b", "0123456789", 10),
+                 StorageError);
+    EXPECT_FALSE(torn->exists("/t/meta/b"));
 }
 
 TEST(FaultBackend, EnospcNeverHeals)
